@@ -1,0 +1,164 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (run with `go test -bench=. -benchmem`). Each benchmark iteration
+// re-executes the full experiment through the public API; the printed
+// series/rows themselves come from cmd/feves-bench, which shares the same
+// harness (internal/bench).
+package feves_test
+
+import (
+	"testing"
+
+	"feves"
+	"feves/internal/bench"
+	"feves/internal/video"
+)
+
+// BenchmarkFig6a regenerates Fig. 6(a): fps vs search-area size for the
+// four single devices and three heterogeneous systems (experiment E1).
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.Fig6a(); len(s) != 7 {
+			b.Fatal("unexpected series count")
+		}
+	}
+}
+
+// BenchmarkFig6b regenerates Fig. 6(b): fps vs number of reference frames
+// (experiment E2).
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.Fig6b(); len(s) != 7 {
+			b.Fatal("unexpected series count")
+		}
+	}
+}
+
+// BenchmarkFig7a regenerates Fig. 7(a): per-frame adaptive balancing on
+// SysHK at SA 64×64 (experiment E3).
+func BenchmarkFig7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.Fig7a(); len(s) != 2 {
+			b.Fatal("unexpected series count")
+		}
+	}
+}
+
+// BenchmarkFig7b regenerates Fig. 7(b): per-frame balancing with DPB
+// ramp-up and injected load events (experiment E4).
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.Fig7b(); len(s) != 5 {
+			b.Fatal("unexpected series count")
+		}
+	}
+}
+
+// BenchmarkSpeedups regenerates the §IV headline speedup comparisons
+// (experiment E5).
+func BenchmarkSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.Speedups(); len(t.Rows) != 5 {
+			b.Fatal("unexpected table")
+		}
+	}
+}
+
+// BenchmarkSchedulingOverhead regenerates the §IV scheduling-overhead
+// measurement (experiment E6).
+func BenchmarkSchedulingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.Overhead(); len(t.Rows) != 2 {
+			b.Fatal("unexpected table")
+		}
+	}
+}
+
+// BenchmarkModuleShare regenerates the §II module-share analysis
+// (experiment E7).
+func BenchmarkModuleShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.ModuleShare(); len(t.Rows) != 4 {
+			b.Fatal("unexpected table")
+		}
+	}
+}
+
+// BenchmarkBalancerAblation regenerates the A1 balancer comparison.
+func BenchmarkBalancerAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.AblationBalancers(); len(t.Rows) != 3 {
+			b.Fatal("unexpected table")
+		}
+	}
+}
+
+// BenchmarkCopyEngines regenerates the A2 data-access ablation.
+func BenchmarkCopyEngines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.AblationEngines(); len(t.Rows) != 3 {
+			b.Fatal("unexpected table")
+		}
+	}
+}
+
+// BenchmarkSimulatedFrame measures the cost of simulating one balanced
+// 1080p inter-frame (schedule build + LP + event simulation).
+func BenchmarkSimulatedFrame(b *testing.B) {
+	sim, err := feves.NewSimulation(feves.Config{Width: 1920, Height: 1088}, feves.SysHK())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.Run(3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalFrame measures a real collaboratively-encoded frame
+// (all kernels computing) at a small resolution.
+func BenchmarkFunctionalFrame(b *testing.B) {
+	const w, h = 128, 96
+	enc, err := feves.NewEncoder(feves.Config{Width: w, Height: h, SearchArea: 16}, feves.SysNF())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := video.NewSynthetic(w, h, 0, 5)
+	if _, err := enc.EncodeYUV(src.FrameAt(0).PackedYUV()); err != nil {
+		b.Fatal(err)
+	}
+	frames := make([][]byte, 8)
+	for i := range frames {
+		frames[i] = src.FrameAt(i + 1).PackedYUV()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncodeYUV(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadPredictability regenerates the A4 content-dependence
+// measurement.
+func BenchmarkWorkloadPredictability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.WorkloadPredictability(); len(t.Rows) != 3 {
+			b.Fatal("unexpected table")
+		}
+	}
+}
+
+// BenchmarkPredictionAccuracy regenerates the A3 characterization-accuracy
+// measurement.
+func BenchmarkPredictionAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.PredictionAccuracy(); len(t.Rows) != 3 {
+			b.Fatal("unexpected table")
+		}
+	}
+}

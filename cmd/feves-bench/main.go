@@ -1,0 +1,106 @@
+// Command feves-bench regenerates every table and figure of the paper's
+// evaluation section (plus this reproduction's ablations) on the simulated
+// platforms and prints the series/rows as aligned text or JSON.
+//
+// Usage:
+//
+//	feves-bench -exp all
+//	feves-bench -exp fig6a
+//	feves-bench -exp fig7b -format json
+//
+// Experiments: fig6a fig6b fig7a fig7b speedups overhead share ablation
+// engines accuracy workload scaling all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"feves/internal/bench"
+)
+
+// experiment couples an id with lazily computed results.
+type experiment struct {
+	id     string
+	title  string
+	xName  string // non-empty for series experiments
+	series func() []bench.Series
+	table  func() bench.Table
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{id: "fig6a", title: "Fig. 6(a): fps vs search-area size (1080p, 1 RF)", xName: "SA[px]", series: bench.Fig6a},
+		{id: "fig6b", title: "Fig. 6(b): fps vs reference frames (1080p, SA 32x32)", xName: "RFs", series: bench.Fig6b},
+		{id: "fig7a", title: "Fig. 7(a): per-frame time [ms], SysHK, SA 64x64", xName: "frame", series: bench.Fig7a},
+		{id: "fig7b", title: "Fig. 7(b): per-frame time [ms], SysHK, SA 32x32 (+load events)", xName: "frame", series: bench.Fig7b},
+		{id: "speedups", table: bench.Speedups},
+		{id: "overhead", table: bench.Overhead},
+		{id: "share", table: bench.ModuleShare},
+		{id: "ablation", table: bench.AblationBalancers},
+		{id: "engines", table: bench.AblationEngines},
+		{id: "accuracy", table: bench.PredictionAccuracy},
+		{id: "workload", table: bench.WorkloadPredictability},
+		{id: "scaling", table: bench.GPUScaling},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see package doc) or 'all'")
+	format := flag.String("format", "text", "output format: text json")
+	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "feves-bench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	type jsonOut struct {
+		ID     string         `json:"id"`
+		Title  string         `json:"title,omitempty"`
+		Series []bench.Series `json:"series,omitempty"`
+		Table  *bench.Table   `json:"table,omitempty"`
+	}
+	var outputs []jsonOut
+
+	found := false
+	for _, e := range experiments() {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		found = true
+		switch {
+		case e.series != nil:
+			s := e.series()
+			if *format == "json" {
+				outputs = append(outputs, jsonOut{ID: e.id, Title: e.title, Series: s})
+			} else {
+				fmt.Println()
+				fmt.Print(bench.FormatSeries(e.title, e.xName, s))
+			}
+		default:
+			t := e.table()
+			if *format == "json" {
+				outputs = append(outputs, jsonOut{ID: e.id, Title: t.Title, Table: &t})
+			} else {
+				fmt.Println()
+				fmt.Print(bench.FormatTable(t))
+			}
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "feves-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outputs); err != nil {
+			fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

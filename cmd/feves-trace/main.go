@@ -1,0 +1,86 @@
+// Command feves-trace inspects the per-frame schedule the Video Coding
+// Manager produces: an ASCII Gantt chart of every device stream (kernels
+// and transfers), the τ1/τ2/τtot synchronization points, per-resource
+// utilization, and optionally the raw spans as CSV — Fig. 4 of the paper,
+// live.
+//
+// Example:
+//
+//	feves-trace -platform syshk -sa 64 -rf 2 -frame 5
+//	feves-trace -platform sysnff -frame 3 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"feves/internal/core"
+	"feves/internal/h264/codec"
+	"feves/internal/platforms"
+	"feves/internal/trace"
+	"feves/internal/vcm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("feves-trace: ")
+	var (
+		platform = flag.String("platform", "syshk", "platform: syshk sysnf sysnff cpun cpuh gpuf gpuk")
+		sa       = flag.Int("sa", 32, "search-area size")
+		rf       = flag.Int("rf", 1, "reference frames")
+		frame    = flag.Int("frame", 4, "inter-frame index to display (≥1)")
+		width    = flag.Int("width", 100, "gantt width in characters")
+		csv      = flag.Bool("csv", false, "emit raw spans as CSV instead of a gantt")
+		svg      = flag.String("svg", "", "also write the schedule as an SVG gantt to this file")
+	)
+	flag.Parse()
+
+	pl, err := platforms.Lookup(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := core.New(core.Options{
+		Platform: pl,
+		Codec: codec.Config{Width: 1920, Height: 1088, SearchRange: *sa / 2,
+			NumRF: *rf, IQP: 27, PQP: 28},
+		Mode: vcm.TimingOnly,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var last core.Result
+	for i := 0; i <= *frame; i++ {
+		last, err = fw.EncodeNext(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *svg != "" {
+		if err := os.WriteFile(*svg, []byte(trace.SVG(last.Timing, 1200)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+	if *csv {
+		fmt.Print(trace.CSV(last.Timing))
+		return
+	}
+	fmt.Print(trace.Gantt(last.Timing, *width))
+	fmt.Printf("\ndistribution: ME=%v INT=%v SME=%v Δm=%v Δl=%v σ=%v σʳ=%v\n",
+		last.Distribution.M, last.Distribution.L, last.Distribution.S,
+		last.Distribution.DeltaM, last.Distribution.DeltaL,
+		last.Distribution.Sigma, last.Distribution.SigmaR)
+	fmt.Printf("scheduling overhead: %v\n\nutilization:\n", last.SchedOverhead)
+	busy := trace.Busy(last.Timing)
+	names := make([]string, 0, len(busy))
+	for n := range busy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-24s %5.1f%%\n", n, busy[n]*100)
+	}
+}

@@ -1,0 +1,59 @@
+// Adaptive load balancing under system load (the paper's Fig. 7 scenario):
+// simulate 1080p encoding on SysHK while "other processes" slow the GPU at
+// selected frames, and watch the framework re-characterize and recover
+// within a single frame.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"feves"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	pl := feves.SysHK()
+	// Slow the GPU 2.5× during inter-frames 12 and 25 — the transient load
+	// events the paper observed on its non-dedicated system.
+	events := map[int]bool{12: true, 25: true}
+	pl.Perturb(func(frame, dev int) float64 {
+		if dev == 0 && events[frame] {
+			return 2.5
+		}
+		return 1
+	})
+
+	sim, err := feves.NewSimulation(feves.Config{
+		Width: 1920, Height: 1088, SearchArea: 32, RefFrames: 1,
+	}, pl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-frame inter-loop time on SysHK (1080p, SA 32x32, 1 RF)")
+	fmt.Println("frame 1 uses the equidistant initialization; GPU load events at frames 12 and 25")
+	fmt.Println()
+	reports, err := sim.Run(31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports[1:] {
+		ms := r.Seconds * 1e3
+		bar := strings.Repeat("#", int(ms*1.5))
+		note := ""
+		if events[r.Frame] {
+			note = "  <- GPU slowed 2.5x"
+		}
+		rt := " "
+		if r.FPS >= 25 {
+			rt = "*" // real-time
+		}
+		fmt.Printf("frame %2d %6.2f ms %s |%s%s\n", r.Frame, ms, rt, bar, note)
+	}
+	fmt.Println("\n(*) real-time (≥25 fps). Note the single-frame spike and immediate")
+	fmt.Println("recovery: the performance characterization absorbs the event and the")
+	fmt.Println("next LP distribution shifts rows back to the CPU cores and back again.")
+}

@@ -1,0 +1,61 @@
+// Custom platforms: model machines the paper never tested — an 8-core
+// workstation with one fast and one slow GPU, and a CPU-heavy node whose
+// GPU is so weak that the framework flips to a CPU-centric configuration
+// (R* on the cores) automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"feves"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := feves.Config{Width: 1920, Height: 1088, SearchArea: 32, RefFrames: 2}
+
+	// A mixed workstation: GPU speeds are relative to the Fermi GTX 580
+	// (2.0 ≈ a Kepler-class card), CPU speed relative to a Nehalem core.
+	ws, err := feves.CustomPlatform("workstation", []float64{2.0, 0.7}, 8, 1.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform %q devices: %v\n", ws.Name(), ws.Devices())
+
+	sim, err := feves.NewSimulation(cfg, ws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := sim.Run(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := reports[len(reports)-1]
+	fmt.Printf("steady rate: %.1f fps; R* runs on device %d (%s)\n",
+		last.FPS, last.RStarDevice, ws.Devices()[last.RStarDevice])
+	fmt.Printf("ME row shares: %v\n", last.MERows)
+	fmt.Printf("(the fast GPU takes the bulk; the slow GPU and the 8 cores mop up)\n\n")
+
+	// A CPU-heavy node: 16 strong cores, one feeble GPU. The R* placement
+	// should go CPU-centric.
+	node, err := feves.CustomPlatform("cpu-node", []float64{0.05}, 16, 2.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim2, err := feves.NewSimulation(cfg, node)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports2, err := sim2.Run(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last2 := reports2[len(reports2)-1]
+	kind := "GPU-centric"
+	if last2.RStarDevice >= 1 { // device 0 is the only GPU
+		kind = "CPU-centric"
+	}
+	fmt.Printf("platform %q: %.1f fps, R* on device %d → %s configuration\n",
+		node.Name(), last2.FPS, last2.RStarDevice, kind)
+}

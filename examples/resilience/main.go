@@ -1,0 +1,61 @@
+// Error resilience with slices: encode with independently decodable
+// slices, corrupt the transmitted bitstream, and compare strict decoding
+// (fails) with slice concealment (the damage stays inside one slice of one
+// frame).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"feves"
+	"feves/internal/video"
+)
+
+func main() {
+	log.SetFlags(0)
+	const w, h, n = 128, 96, 10
+
+	cfg := feves.Config{
+		Width: w, Height: h,
+		SearchArea:       32,
+		Slices:           3,    // three independently decodable slices/frame
+		ArithmeticCoding: true, // per-slice arithmetic chunks
+	}
+	enc, err := feves.NewEncoder(cfg, feves.SysNF())
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := video.NewSynthetic(w, h, n, 99)
+	for i := 0; i < n; i++ {
+		if _, err := enc.EncodeYUV(src.FrameAt(i).PackedYUV()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stream := enc.Bitstream()
+	fmt.Printf("encoded %d frames, %d bytes, 3 slices per frame\n\n", n, len(stream))
+
+	// Simulate transmission damage: walk byte positions until the flip
+	// lands in a slice's residual chunk (header damage is not concealable
+	// by design — headers carry the frame's structure).
+	for pos := len(stream) / 3; pos < len(stream); pos += 7 {
+		corrupt := append([]byte(nil), stream...)
+		corrupt[pos] ^= 0xA5
+		if _, err := feves.Verify(corrupt); err == nil {
+			continue // flip was harmless
+		}
+		frames, concealed, err := feves.VerifyConcealing(corrupt)
+		if err != nil || concealed == 0 {
+			continue // hit a header; try elsewhere
+		}
+		cframes, cerr := func() (int, error) { n, e := feves.Verify(corrupt); return n, e }()
+		fmt.Printf("byte %d flipped:\n", pos)
+		fmt.Printf("strict decoder:     failed after %d frames (%v)\n", cframes, cerr)
+		fmt.Printf("concealing decoder: all %d frames decoded, %d slice(s) concealed\n", frames, concealed)
+		fmt.Println("\nwith slices, a corrupt chunk degrades only its own macroblock rows;")
+		fmt.Println("the other slices of the frame decode bit-exactly and the sequence")
+		fmt.Println("continues (drift limited to regions predicted from the damaged rows).")
+		return
+	}
+	fmt.Println("no concealable corruption found in this sweep")
+}

@@ -1,0 +1,477 @@
+// Package feves is the public API of the FEVES reproduction: an autonomous
+// framework for collaborative H.264/AVC inter-loop video encoding on
+// simulated heterogeneous multi-core CPU + multi-GPU platforms, after
+// "FEVES: Framework for Efficient Parallel Video Encoding on Heterogeneous
+// Systems" (Ilic, Momcilovic, Roma, Sousa — ICPP 2014).
+//
+// Two ways to use it:
+//
+//   - Encoder: feed YUV 4:2:0 frames and get a real bitstream plus
+//     per-frame timing of the simulated collaborative schedule (Functional
+//     mode). The encoding is bit-exact regardless of the platform the
+//     work is balanced across.
+//   - Simulate: run the framework in timing-only mode at any resolution
+//     (e.g. the paper's 1080p) to reproduce the paper's experiments
+//     cheaply; kernels are skipped, which is sound because full-search
+//     motion estimation has content-independent cost.
+//
+// Platforms are built from calibrated device profiles (the paper's CPU_N,
+// CPU_H, GPU_F, GPU_K) or custom ones; the per-frame load balancing,
+// performance characterization, data-access management and synchronization
+// structure all follow the paper's Algorithms 1 and 2.
+package feves
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"feves/internal/core"
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/h264/codec"
+	"feves/internal/h264/me"
+	"feves/internal/sched"
+	"feves/internal/vcm"
+)
+
+// Config holds the sequence-level coding parameters.
+type Config struct {
+	// Width and Height are the frame dimensions in pixels (multiples of 16).
+	Width, Height int
+	// SearchArea is the SA size in pixels as the paper quotes it: 32 means
+	// a 32×32 search area (±16 pel displacement).
+	SearchArea int
+	// RefFrames is the number of reference frames (1–16).
+	RefFrames int
+	// IQP and PQP are the intra-/inter-frame quantization parameters; the
+	// zero value selects the paper's {27, 28}.
+	IQP, PQP int
+	// Balancer selects the load-balancing strategy; zero value is the
+	// paper's LP balancer.
+	Balancer BalancerKind
+	// BalancerHysteresis (LP balancer only) keeps the previous frame's
+	// distribution unless the new solution improves predicted τtot by more
+	// than this fraction, damping jitter-induced oscillation. 0 reproduces
+	// the paper's per-frame re-optimization.
+	BalancerHysteresis float64
+	// Alpha is the EWMA weight of the performance characterization
+	// (0 → default 0.8).
+	Alpha float64
+	// ArithmeticCoding switches the residual entropy backend from the
+	// Baseline-profile CAVLC-style VLC to this reproduction's CABAC-style
+	// adaptive binary arithmetic coder (typically a few percent smaller
+	// streams at identical reconstruction).
+	ArithmeticCoding bool
+	// IntraPeriod inserts an IDR refresh every IntraPeriod frames (0 =
+	// the paper's IPPP structure with a single leading intra frame).
+	IntraPeriod int
+	// FastME selects a fast motion-search algorithm instead of the
+	// paper's full search: "" or "full-search" (default), "three-step",
+	// "diamond". Fast ME makes the workload content-dependent, which is
+	// exactly what the paper's FSBM choice avoids; provided for ablations.
+	FastME string
+	// TargetBitsPerFrame enables reactive rate control on the inter-frame
+	// QP (0 = the paper's fixed-QP operation).
+	TargetBitsPerFrame int
+	// Checksum appends a CRC-32 of every reconstructed frame so decoders
+	// detect corruption and encoder/decoder drift.
+	Checksum bool
+	// SceneCutThreshold enables adaptive IDR insertion when inter
+	// prediction fails frame-wide (mean motion-compensated cost per pixel
+	// above the threshold). 0 disables; typical values 5–15.
+	SceneCutThreshold float64
+	// Parallel runs the functional encoding kernels of disjoint row
+	// ranges on concurrent goroutines. Output is bit-exact either way;
+	// this only uses the host machine's cores for the real computation.
+	Parallel bool
+	// Slices splits each frame into independently decodable horizontal
+	// slices (prediction isolation; separate arithmetic chunks). 0/1 =
+	// whole-frame coding.
+	Slices int
+}
+
+// BalancerKind selects a load-balancing strategy.
+type BalancerKind int
+
+const (
+	// BalancerLP is the paper's Algorithm 2 (default).
+	BalancerLP BalancerKind = iota
+	// BalancerEquidistant is the static even split of multi-GPU prior work.
+	BalancerEquidistant
+	// BalancerProportional splits rows by observed device speed without
+	// modelling transfers or overlap.
+	BalancerProportional
+	// BalancerLPNoReuse is the LP balancer with the Data Access
+	// Management's reuse optimization disabled (every accelerator fetches
+	// its full SME inputs) — the A2 data-reuse ablation baseline.
+	BalancerLPNoReuse
+	// BalancerMEOffload reproduces the single-module-offload prior work of
+	// the paper's §II ([5], [6]): ME on one GPU, everything else on the
+	// CPU cores. Requires a platform with at least one GPU and one core.
+	BalancerMEOffload
+)
+
+func (b BalancerKind) build(hysteresis float64) sched.Balancer {
+	switch b {
+	case BalancerEquidistant:
+		return sched.EquidistantBalancer{}
+	case BalancerProportional:
+		return sched.ProportionalBalancer{}
+	case BalancerLPNoReuse:
+		return &sched.LPBalancer{NoReuse: true, Hysteresis: hysteresis}
+	case BalancerMEOffload:
+		return sched.MEOffloadBalancer{}
+	default:
+		return &sched.LPBalancer{Hysteresis: hysteresis}
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.SearchArea == 0 {
+		c.SearchArea = 32
+	}
+	if c.RefFrames == 0 {
+		c.RefFrames = 1
+	}
+	if c.IQP == 0 {
+		c.IQP = 27
+	}
+	if c.PQP == 0 {
+		c.PQP = 28
+	}
+	return c
+}
+
+func (c Config) codecConfig() (codec.Config, error) {
+	mode := codec.EntropyVLC
+	if c.ArithmeticCoding {
+		mode = codec.EntropyArith
+	}
+	var algo me.Algorithm
+	switch c.FastME {
+	case "", "full-search":
+		algo = me.FullSearch
+	case "three-step":
+		algo = me.ThreeStep
+	case "diamond":
+		algo = me.Diamond
+	default:
+		return codec.Config{}, fmt.Errorf("feves: unknown ME algorithm %q", c.FastME)
+	}
+	return codec.Config{
+		Width: c.Width, Height: c.Height,
+		SearchRange: c.SearchArea / 2,
+		NumRF:       c.RefFrames,
+		IQP:         c.IQP, PQP: c.PQP,
+		Entropy:            mode,
+		IntraPeriod:        c.IntraPeriod,
+		MEAlgo:             algo,
+		TargetBitsPerFrame: c.TargetBitsPerFrame,
+		Checksum:           c.Checksum,
+		SceneCutThreshold:  c.SceneCutThreshold,
+		Slices:             c.Slices,
+	}, nil
+}
+
+// Platform is a heterogeneous system description.
+type Platform struct {
+	inner *device.Platform
+}
+
+// Name returns the platform's label.
+func (p *Platform) Name() string { return p.inner.Name }
+
+// Devices returns the device names in scheduling order (GPUs first).
+func (p *Platform) Devices() []string {
+	out := make([]string, p.inner.NumDevices())
+	for i := range out {
+		out[i] = p.inner.Dev(i).Name
+	}
+	return out
+}
+
+// Perturb installs a load-perturbation schedule: factor(frame, device) > 1
+// slows the device's kernels for that inter-frame (Fig. 7's non-dedicated
+// system events). A nil function removes perturbations.
+func (p *Platform) Perturb(factor func(frame, deviceIndex int) float64) {
+	p.inner.Perturb = factor
+}
+
+// The paper's platforms.
+
+// SysNF is a quad-core Nehalem CPU plus one Fermi GPU.
+func SysNF() *Platform { return &Platform{device.SysNF()} }
+
+// SysNFF is a quad-core Nehalem CPU plus two Fermi GPUs.
+func SysNFF() *Platform { return &Platform{device.SysNFF()} }
+
+// SysHK is a quad-core Haswell CPU plus one Kepler GPU.
+func SysHK() *Platform { return &Platform{device.SysHK()} }
+
+// CPUNehalem is the quad-core CPU_N baseline.
+func CPUNehalem() *Platform {
+	return &Platform{device.CPUOnly("CPU_N", device.CPUNehalemCore(), 4)}
+}
+
+// CPUHaswell is the quad-core CPU_H baseline.
+func CPUHaswell() *Platform {
+	return &Platform{device.CPUOnly("CPU_H", device.CPUHaswellCore(), 4)}
+}
+
+// GPUFermi is the single-GPU GPU_F baseline.
+func GPUFermi() *Platform { return &Platform{device.GPUOnly("GPU_F", device.GPUFermi())} }
+
+// GPUKepler is the single-GPU GPU_K baseline.
+func GPUKepler() *Platform { return &Platform{device.GPUOnly("GPU_K", device.GPUKepler())} }
+
+// GPUTesla is a Tesla-generation single-GPU platform — the oldest
+// architecture generation the paper's module library targets.
+func GPUTesla() *Platform { return &Platform{device.GPUOnly("GPU_T", device.GPUTesla())} }
+
+// CustomDualCopySysHK is SysHK with the Kepler GPU given two copy engines,
+// so host→device and device→host transfers overlap (the §III-B dual-copy
+// configuration; used by the A2 ablation).
+func CustomDualCopySysHK() (*Platform, error) {
+	pl := &device.Platform{
+		Name:    "SysHK-2ce",
+		GPUs:    []device.Profile{device.GPUKepler().WithCopyEngines(2)},
+		CPUCore: device.CPUHaswellCore(),
+		Cores:   4,
+		Seed:    1,
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return &Platform{pl}, nil
+}
+
+// CustomPlatform assembles a platform from scaled copies of the reference
+// devices: gpuSpeed scales GPU_F (2 ≈ twice as fast) per listed GPU, and
+// cores CPU cores scaled from CPU_N by cpuSpeed. Use it to model machines
+// the paper did not test.
+func CustomPlatform(name string, gpuSpeeds []float64, cores int, cpuSpeed float64) (*Platform, error) {
+	pl := &device.Platform{Name: name, Seed: 1}
+	for i, s := range gpuSpeeds {
+		if s <= 0 {
+			return nil, fmt.Errorf("feves: GPU speed %v must be positive", s)
+		}
+		pl.GPUs = append(pl.GPUs, device.GPUFermi().Scaled(1/s, fmt.Sprintf("%s-gpu%d", name, i)))
+	}
+	if cores > 0 {
+		if cpuSpeed <= 0 {
+			return nil, fmt.Errorf("feves: CPU speed %v must be positive", cpuSpeed)
+		}
+		pl.CPUCore = device.CPUNehalemCore().Scaled(1/cpuSpeed, name+"-core")
+		pl.Cores = cores
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return &Platform{pl}, nil
+}
+
+// FrameReport is the outcome of one frame.
+type FrameReport struct {
+	Frame int
+	Intra bool
+	// Seconds is the simulated inter-loop time (τtot); 0 for intra frames.
+	Seconds float64
+	// Tau1 and Tau2 are the simulated synchronization points.
+	Tau1, Tau2 float64
+	// FPS is 1/Seconds.
+	FPS float64
+	// SchedOverhead is the real wall-clock cost of the balancing decision.
+	SchedOverhead time.Duration
+	// MERows etc. report the row distribution per device.
+	MERows, INTRows, SMERows []int
+	// RStarDevice is the index of the device that ran MC+TQ+TQ⁻¹+DBL.
+	RStarDevice int
+	// PredictedSeconds is the LP's τtot prediction for this frame (0 for
+	// non-LP balancers and the equidistant initialization frame): the gap
+	// to Seconds measures the performance model's accuracy.
+	PredictedSeconds float64
+	// Bits and PSNRY are the functional coding results (0 in simulation).
+	Bits  int
+	PSNRY float64
+	// MESeconds..RStarSeconds are the summed device-time of each module
+	// group during this frame (the §II module-share breakdown).
+	MESeconds, INTSeconds, SMESeconds, RStarSeconds float64
+}
+
+func report(r core.Result) FrameReport {
+	fr := FrameReport{
+		Frame: r.FrameIndex,
+		// Intra is set when the framework scheduled an intra frame (first
+		// frame, IDR period) or when the encoder's scene-cut detector
+		// switched to intra coding mid-pipeline.
+		Intra:            r.Intra || r.Stats.Intra,
+		Seconds:          r.Timing.Tot,
+		Tau1:             r.Timing.Tau1,
+		Tau2:             r.Timing.Tau2,
+		SchedOverhead:    r.SchedOverhead,
+		MERows:           r.Distribution.M,
+		INTRows:          r.Distribution.L,
+		SMERows:          r.Distribution.S,
+		RStarDevice:      r.Distribution.RStarDev,
+		PredictedSeconds: r.Distribution.PredTot,
+		Bits:             r.Stats.Bits,
+		PSNRY:            r.Stats.PSNRY,
+		MESeconds:        r.Timing.ModuleTime[sched.ModME],
+		INTSeconds:       r.Timing.ModuleTime[sched.ModINT],
+		SMESeconds:       r.Timing.ModuleTime[sched.ModSME],
+		RStarSeconds:     r.Timing.ModuleTime[sched.ModRStar],
+	}
+	if fr.Seconds > 0 {
+		fr.FPS = 1 / fr.Seconds
+	}
+	return fr
+}
+
+// Encoder encodes a real video sequence collaboratively (Functional mode).
+type Encoder struct {
+	fw  *core.Framework
+	cfg Config
+}
+
+// NewEncoder creates a functional encoder on the given platform.
+func NewEncoder(cfg Config, pl *Platform) (*Encoder, error) {
+	cfg = cfg.withDefaults()
+	cc, err := cfg.codecConfig()
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.New(core.Options{
+		Platform: pl.inner,
+		Codec:    cc,
+		Mode:     vcm.Functional,
+		Balancer: cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:    cfg.Alpha,
+		Parallel: cfg.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{fw: fw, cfg: cfg}, nil
+}
+
+// EncodeYUV encodes the next frame given as packed planar I420 bytes
+// (Y, Cb, Cr) of the configured dimensions.
+func (e *Encoder) EncodeYUV(yuv []byte) (FrameReport, error) {
+	f := h264.NewFrame(e.cfg.Width, e.cfg.Height)
+	f.Poc = e.fw.FramesProcessed()
+	if err := f.LoadYUV(yuv); err != nil {
+		return FrameReport{}, err
+	}
+	r, err := e.fw.EncodeNext(f)
+	if err != nil {
+		return FrameReport{}, err
+	}
+	return report(r), nil
+}
+
+// Bitstream returns the coded stream so far.
+func (e *Encoder) Bitstream() []byte { return e.fw.Bitstream() }
+
+// Verify decodes a bitstream produced by an Encoder and returns the number
+// of frames it contains, erroring on any corruption — the end-to-end check
+// that collaborative encoding preserved correctness.
+func Verify(stream []byte) (frames int, err error) {
+	frames, _, err = decodeAll(stream, false)
+	return frames, err
+}
+
+// VerifyConcealing decodes a (possibly damaged) sliced arithmetic stream
+// with error concealment: corrupt slice chunks degrade only their own rows
+// instead of failing the stream. It returns the frame count and the number
+// of slices that had to be concealed.
+func VerifyConcealing(stream []byte) (frames, concealedSlices int, err error) {
+	return decodeAll(stream, true)
+}
+
+func decodeAll(stream []byte, conceal bool) (frames, concealed int, err error) {
+	dec, err := codec.NewDecoder(stream)
+	if err != nil {
+		return 0, 0, err
+	}
+	dec.Conceal = conceal
+	for {
+		_, err := dec.DecodeFrame()
+		if errors.Is(err, io.EOF) {
+			return frames, dec.ConcealedSlices(), nil
+		}
+		if err != nil {
+			return frames, dec.ConcealedSlices(), err
+		}
+		frames++
+	}
+}
+
+// Simulation runs the framework in timing-only mode.
+type Simulation struct {
+	fw *core.Framework
+}
+
+// NewSimulation creates a timing-only framework, typically at 1080p, to
+// reproduce the paper's performance experiments.
+func NewSimulation(cfg Config, pl *Platform) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	cc, err := cfg.codecConfig()
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.New(core.Options{
+		Platform: pl.inner,
+		Codec:    cc,
+		Mode:     vcm.TimingOnly,
+		Balancer: cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:    cfg.Alpha,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{fw: fw}, nil
+}
+
+// Step simulates the next frame.
+func (s *Simulation) Step() (FrameReport, error) {
+	r, err := s.fw.EncodeNext(nil)
+	if err != nil {
+		return FrameReport{}, err
+	}
+	return report(r), nil
+}
+
+// Run simulates n frames (including the initial intra frame) and returns
+// their reports.
+func (s *Simulation) Run(n int) ([]FrameReport, error) {
+	out := make([]FrameReport, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := s.Step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SteadyFPS simulates frames until the encoding rate stabilizes and
+// returns the steady-state frames per second — the quantity plotted in
+// Fig. 6 of the paper.
+func SteadyFPS(cfg Config, pl *Platform) (float64, error) {
+	sim, err := NewSimulation(cfg, pl)
+	if err != nil {
+		return 0, err
+	}
+	// One intra frame, then enough inter-frames to pass the RF ramp-up and
+	// let the characterization converge.
+	n := cfg.withDefaults().RefFrames + 8
+	reports, err := sim.Run(n + 1)
+	if err != nil {
+		return 0, err
+	}
+	last := reports[len(reports)-1]
+	return last.FPS, nil
+}

@@ -1,0 +1,3 @@
+module feves
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package core implements the Framework Control block of FEVES
+// (Algorithm 1 of the paper): the top-level loop that detects the platform,
+// runs the initialization phase (equidistant partitioning of the first
+// inter-frame to seed the Performance Characterization) and the iterative
+// phase (per-frame Load Balancing from the measured model, collaborative
+// execution through the Video Coding Manager, and model update), while
+// accounting the real scheduling overhead the paper bounds at 2 ms.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/h264/codec"
+	"feves/internal/h264/rd"
+	"feves/internal/sched"
+	"feves/internal/vcm"
+)
+
+// Options configures a framework instance.
+type Options struct {
+	Platform *device.Platform
+	// Codec holds the sequence parameters. In TimingOnly mode only the
+	// geometry, search range and RF count matter.
+	Codec codec.Config
+	// Mode selects functional encoding or timing-only simulation.
+	Mode vcm.Mode
+	// Balancer defaults to the paper's LP balancer.
+	Balancer sched.Balancer
+	// Alpha is the EWMA weight of the Performance Characterization
+	// (default 0.8; 1 reproduces the paper's last-measurement behaviour).
+	Alpha float64
+	// Parallel executes functional kernels of disjoint row ranges on
+	// concurrent goroutines (bit-exact; see vcm.Manager.Parallel).
+	Parallel bool
+}
+
+// Result reports one processed frame.
+type Result struct {
+	FrameIndex int // 0-based display index
+	Intra      bool
+	// Timing is the simulated inter-loop execution (zero for intra frames,
+	// which the paper excludes from the balanced inter-loop).
+	Timing vcm.FrameTiming
+	// Distribution is the row assignment used.
+	Distribution sched.Distribution
+	// SchedOverhead is the real wall-clock cost of the balancing decision
+	// (the paper's <2 ms claim, experiment E6).
+	SchedOverhead time.Duration
+	// Stats is the functional coding outcome (zero in TimingOnly mode).
+	Stats rd.FrameStats
+}
+
+// Framework is the paper's Framework Control: it owns the performance
+// model, the balancer and the Video Coding Manager, and processes frames
+// in sequence.
+type Framework struct {
+	opts      Options
+	topo      sched.Topology
+	pm        *sched.PerfModel
+	mgr       *vcm.Manager
+	bal       sched.Balancer
+	enc       *codec.Encoder
+	prev      []int // σʳ carried between frames
+	frame     int   // frames processed (display order)
+	lastIntra int   // display index of the most recent intra frame
+}
+
+// New builds a framework for the given options — Algorithm 1 lines 1–2:
+// platform detection and configuration of the functional blocks.
+func New(opts Options) (*Framework, error) {
+	if opts.Platform == nil {
+		return nil, fmt.Errorf("core: no platform given")
+	}
+	if err := opts.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Codec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Balancer == nil {
+		opts.Balancer = &sched.LPBalancer{}
+	}
+	if opts.Alpha == 0 {
+		opts.Alpha = 0.8
+	}
+	topo := sched.Topology{NumGPU: opts.Platform.NumGPUs(), Cores: opts.Platform.Cores}
+	f := &Framework{
+		opts: opts,
+		topo: topo,
+		pm:   sched.NewPerfModel(topo.NumDevices(), opts.Alpha),
+		bal:  opts.Balancer,
+		prev: make([]int, topo.NumDevices()),
+	}
+	f.mgr = &vcm.Manager{Platform: opts.Platform, Mode: opts.Mode, Parallel: opts.Parallel}
+	if opts.Mode == vcm.Functional {
+		enc, err := codec.NewEncoder(opts.Codec)
+		if err != nil {
+			return nil, err
+		}
+		f.enc = enc
+		f.mgr.Enc = enc
+	}
+	return f, nil
+}
+
+// Topology returns the scheduled device topology.
+func (f *Framework) Topology() sched.Topology { return f.topo }
+
+// Model exposes the live Performance Characterization (read-mostly; used
+// by experiments and traces).
+func (f *Framework) Model() *sched.PerfModel { return f.pm }
+
+// Encoder returns the functional encoder (nil in TimingOnly mode).
+func (f *Framework) Encoder() *codec.Encoder { return f.enc }
+
+// FramesProcessed returns the number of frames consumed so far.
+func (f *Framework) FramesProcessed() int { return f.frame }
+
+// workload derives the frame's workload parameters; the usable reference
+// count ramps up over the first NumRF inter-frames after each intra frame
+// (Fig. 7(b)).
+func (f *Framework) workload(interIdx int) device.Workload {
+	usable := interIdx - f.lastIntra
+	if usable > f.opts.Codec.NumRF {
+		usable = f.opts.Codec.NumRF
+	}
+	if usable < 1 {
+		usable = 1
+	}
+	return device.Workload{
+		MBW:      f.opts.Codec.Width / h264.MBSize,
+		MBH:      f.opts.Codec.Height / h264.MBSize,
+		SA:       2 * f.opts.Codec.SearchRange,
+		NumRF:    f.opts.Codec.NumRF,
+		UsableRF: usable,
+	}
+}
+
+// EncodeNext processes the next frame of the sequence. In Functional mode
+// cf must be the frame to encode; in TimingOnly mode cf is ignored (may be
+// nil). The first frame is intra coded outside the balanced inter-loop;
+// every subsequent frame runs Algorithm 1's iterative phase.
+func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
+	idx := f.frame
+	intra := idx == 0 ||
+		(f.opts.Codec.IntraPeriod > 0 && idx%f.opts.Codec.IntraPeriod == 0)
+	if intra {
+		res := Result{FrameIndex: idx, Intra: true}
+		if f.opts.Mode == vcm.Functional {
+			stats, err := f.enc.EncodeIntraFrame(cf)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Stats = stats
+		}
+		f.lastIntra = idx
+		f.frame++
+		return res, nil
+	}
+
+	w := f.workload(idx)
+	// Load Balancing (lines 3 and 8): equidistant until the model is
+	// characterized, LP afterwards. The decision cost is the framework's
+	// scheduling overhead.
+	start := time.Now()
+	var d sched.Distribution
+	var err error
+	if !f.pm.Ready() {
+		d = sched.Equidistant(f.topo.NumDevices(), w.Rows(), 0)
+	} else {
+		d, err = f.bal.Distribute(f.pm, f.topo, w, f.prev)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	overhead := time.Since(start)
+
+	ft, err := f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev, cf)
+	if err != nil {
+		return Result{}, err
+	}
+	f.prev = d.SigmaR
+	f.frame++
+	return Result{
+		FrameIndex:    idx,
+		Timing:        ft,
+		Distribution:  d,
+		SchedOverhead: overhead,
+		Stats:         ft.Stats,
+	}, nil
+}
+
+// Bitstream returns the functional encoder's coded stream (nil in
+// TimingOnly mode).
+func (f *Framework) Bitstream() []byte {
+	if f.enc == nil {
+		return nil
+	}
+	return f.enc.Bitstream()
+}

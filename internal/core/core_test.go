@@ -1,0 +1,205 @@
+package core
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"feves/internal/device"
+	"feves/internal/h264/codec"
+	"feves/internal/sched"
+	"feves/internal/vcm"
+	"feves/internal/video"
+)
+
+func timingOpts(pl *device.Platform, sa, rf int) Options {
+	return Options{
+		Platform: pl,
+		Codec: codec.Config{Width: 1920, Height: 1088, SearchRange: sa / 2,
+			NumRF: rf, IQP: 27, PQP: 28},
+		Mode: vcm.TimingOnly,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing platform accepted")
+	}
+	opts := timingOpts(device.SysHK(), 32, 1)
+	opts.Codec.NumRF = 0
+	if _, err := New(opts); err == nil {
+		t.Fatal("invalid codec config accepted")
+	}
+	if _, err := New(timingOpts(device.SysHK(), 32, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1Phases(t *testing.T) {
+	fw, err := New(timingOpts(device.SysHK(), 32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 0: intra, no timing.
+	r0, err := fw.EncodeNext(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r0.Intra || r0.Timing.Tot != 0 {
+		t.Fatalf("frame 0 should be intra without inter-loop timing: %+v", r0)
+	}
+	// Frame 1: initialization phase — equidistant.
+	r1, err := fw.EncodeNext(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := sched.Equidistant(fw.Topology().NumDevices(), 68, 0)
+	for i := range eq.M {
+		if r1.Distribution.M[i] != eq.M[i] {
+			t.Fatalf("frame 1 must use the equidistant distribution, got %v", r1.Distribution.M)
+		}
+	}
+	// Frame 2+: iterative phase — LP-balanced and faster.
+	r2, err := fw.EncodeNext(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Timing.Tot >= r1.Timing.Tot {
+		t.Fatalf("balanced frame 2 (%.2f ms) not faster than equidistant frame 1 (%.2f ms)",
+			r2.Timing.Tot*1e3, r1.Timing.Tot*1e3)
+	}
+	if fw.FramesProcessed() != 3 {
+		t.Fatalf("FramesProcessed = %d", fw.FramesProcessed())
+	}
+}
+
+func TestSchedulingOverheadUnderPaperBudget(t *testing.T) {
+	fw, err := New(timingOpts(device.SysNFF(), 32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst time.Duration
+	for i := 0; i < 12; i++ {
+		r, err := fw.EncodeNext(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.SchedOverhead > worst {
+			worst = r.SchedOverhead
+		}
+	}
+	// The paper reports <2 ms per frame; our LP is tiny, so enforce it.
+	if worst > 2*time.Millisecond {
+		t.Fatalf("scheduling overhead %v exceeds the paper's 2 ms budget", worst)
+	}
+}
+
+func TestRFRampUpWorkload(t *testing.T) {
+	fw, _ := New(timingOpts(device.SysHK(), 32, 4))
+	if w := fw.workload(1); w.UsableRF != 1 {
+		t.Fatalf("inter-frame 1 usable RF = %d", w.UsableRF)
+	}
+	if w := fw.workload(3); w.UsableRF != 3 {
+		t.Fatalf("inter-frame 3 usable RF = %d", w.UsableRF)
+	}
+	if w := fw.workload(9); w.UsableRF != 4 {
+		t.Fatalf("inter-frame 9 usable RF = %d (cap)", w.UsableRF)
+	}
+}
+
+func TestRampUpSlowsFrames(t *testing.T) {
+	// Fig. 7(b): with NumRF > 1, early frames get faster RF-ramped loads,
+	// so per-frame time rises until the DPB is full.
+	fw, _ := New(timingOpts(device.SysHK(), 32, 5))
+	var times []float64
+	for i := 0; i < 9; i++ {
+		r, err := fw.EncodeNext(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 1 {
+			times = append(times, r.Timing.Tot)
+		}
+	}
+	// Frames 2..5 (index 1..4 here) must be increasing in load; compare
+	// usable-RF 1 vs 4 frames (skipping the equidistant frame 1).
+	if times[4] <= times[1] {
+		t.Fatalf("RF ramp-up should increase frame time: %v", times)
+	}
+	// After the ramp, times stabilize.
+	if times[7] > times[5]*1.15 {
+		t.Fatalf("times did not stabilize after ramp: %v", times)
+	}
+}
+
+func TestFunctionalEndToEnd(t *testing.T) {
+	const w, h, n = 64, 48, 5
+	cfg := codec.Config{Width: w, Height: h, SearchRange: 8, NumRF: 2, IQP: 27, PQP: 28}
+	fw, err := New(Options{Platform: device.SysNF(), Codec: cfg, Mode: vcm.Functional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := video.NewSynthetic(w, h, n, 3)
+	for i := 0; i < n; i++ {
+		r, err := fw.EncodeNext(src.FrameAt(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats.Bits <= 0 {
+			t.Fatalf("frame %d has no coded bits", i)
+		}
+	}
+	// The produced stream decodes bit-exactly against the encoder state.
+	dec, err := codec.NewDecoder(fw.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		df, err := dec.DecodeFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+		if count == n && !df.Equal(fw.Encoder().LastRecon()) {
+			t.Fatal("decoded final frame differs from encoder reconstruction")
+		}
+	}
+	if count != n {
+		t.Fatalf("decoded %d frames, want %d", count, n)
+	}
+}
+
+func TestBalancerOptionRespected(t *testing.T) {
+	opts := timingOpts(device.SysHK(), 32, 1)
+	opts.Balancer = sched.EquidistantBalancer{}
+	fw, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.EncodeNext(nil)
+	fw.EncodeNext(nil)
+	r, err := fw.EncodeNext(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := sched.Equidistant(fw.Topology().NumDevices(), 68, r.Distribution.RStarDev)
+	for i := range eq.M {
+		if r.Distribution.M[i] != eq.M[i] {
+			t.Fatalf("equidistant balancer not used: %v", r.Distribution.M)
+		}
+	}
+}
+
+func TestTimingBitstreamNil(t *testing.T) {
+	fw, _ := New(timingOpts(device.SysHK(), 32, 1))
+	if fw.Bitstream() != nil || fw.Encoder() != nil {
+		t.Fatal("timing-only framework should have no encoder state")
+	}
+	if fw.Model() == nil {
+		t.Fatal("model must exist")
+	}
+}

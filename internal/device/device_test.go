@@ -1,0 +1,266 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func wl1080p(sa, usable, numRF int) Workload {
+	return Workload{MBW: 120, MBH: 68, SA: sa, NumRF: numRF, UsableRF: usable}
+}
+
+// singleDeviceFrameTime approximates the sequential frame time of one
+// device: all rows of ME+INT+SME plus the R* group, no overlap.
+func singleDeviceFrameTime(p Profile, w Workload) float64 {
+	rows := float64(w.Rows())
+	return rows*(p.KME(w)+p.KINT(w)+p.KSME(w)) + p.TRStar(w)
+}
+
+func TestCalibrationMatchesFig6SingleDevice(t *testing.T) {
+	w := wl1080p(32, 1, 1)
+	cases := []struct {
+		name string
+		t    float64 // frame time
+		want float64 // fps target from Fig. 6(a) at SA 32, 1 RF
+		tol  float64
+	}{
+		{"CPU_N", singleDeviceFrameTime(CPUNehalemCore(), w) / 4, 12.3, 1.0}, // 4 cores
+		{"CPU_H", singleDeviceFrameTime(CPUHaswellCore(), w) / 4, 20.9, 1.5},
+		{"GPU_F", singleDeviceFrameTime(GPUFermi(), w), 29.1, 1.5},
+		{"GPU_K", singleDeviceFrameTime(GPUKepler(), w), 58.2, 3.0},
+	}
+	for _, c := range cases {
+		fps := 1 / c.t
+		if math.Abs(fps-c.want) > c.tol {
+			t.Errorf("%s: %.1f fps, want %.1f±%.1f", c.name, fps, c.want, c.tol)
+		}
+	}
+}
+
+func TestRelativeDeviceSpeeds(t *testing.T) {
+	w := wl1080p(32, 1, 1)
+	// Paper: CPU_H ≈ 1.7× CPU_N; GPU_K ≈ 2× GPU_F.
+	rCPU := singleDeviceFrameTime(CPUNehalemCore(), w) / singleDeviceFrameTime(CPUHaswellCore(), w)
+	if math.Abs(rCPU-1.7) > 0.05 {
+		t.Errorf("CPU_H/CPU_N speed ratio %.2f, want ≈1.7", rCPU)
+	}
+	rGPU := singleDeviceFrameTime(GPUFermi(), w) / singleDeviceFrameTime(GPUKepler(), w)
+	if math.Abs(rGPU-2.0) > 0.05 {
+		t.Errorf("GPU_K/GPU_F speed ratio %.2f, want ≈2", rGPU)
+	}
+}
+
+func TestMEScalesQuadraticallyWithSA(t *testing.T) {
+	p := GPUKepler()
+	k32 := p.KME(wl1080p(32, 1, 1))
+	k64 := p.KME(wl1080p(64, 1, 1))
+	if math.Abs(k64/k32-4) > 1e-9 {
+		t.Fatalf("ME load ratio %v between SA 64 and 32, want 4 (Fig. 6a)", k64/k32)
+	}
+}
+
+func TestMESMEScaleWithRF(t *testing.T) {
+	p := GPUFermi()
+	w1, w3 := wl1080p(32, 1, 4), wl1080p(32, 3, 4)
+	if math.Abs(p.KME(w3)/p.KME(w1)-3) > 1e-9 {
+		t.Fatal("ME must scale linearly with usable RFs")
+	}
+	if math.Abs(p.KSME(w3)/p.KSME(w1)-3) > 1e-9 {
+		t.Fatal("SME must scale linearly with usable RFs")
+	}
+	if p.KINT(w3) != p.KINT(w1) {
+		t.Fatal("INT is RF-independent (one new reference per frame)")
+	}
+	if p.KRStar(w3) != p.KRStar(w1) {
+		t.Fatal("R* is RF-independent")
+	}
+}
+
+func TestTransferModel(t *testing.T) {
+	g := GPUFermi()
+	if g.TH2D(0) != 0 || g.TD2H(0) != 0 {
+		t.Fatal("zero-byte transfers must be free")
+	}
+	// 6 MB at 6 GB/s + 8 µs latency ≈ 1.008 ms.
+	got := g.TH2D(6_000_000)
+	if math.Abs(got-1.008e-3) > 1e-6 {
+		t.Fatalf("TH2D = %v", got)
+	}
+	if g.TD2H(6_000_000) <= got {
+		t.Fatal("D2H must be slower than H2D (asymmetric link)")
+	}
+	c := CPUNehalemCore()
+	if c.TH2D(1000) != 0 || c.TD2H(1000) != 0 {
+		t.Fatal("CPU cores transfer nothing")
+	}
+}
+
+func TestRowVolumes(t *testing.T) {
+	w := wl1080p(32, 2, 4)
+	if w.CFRowBytes() != 16*1920*3/2 {
+		t.Fatalf("CF row = %d", w.CFRowBytes())
+	}
+	if w.SFRowBytes() != 16*16*1920 {
+		t.Fatalf("SF row = %d", w.SFRowBytes())
+	}
+	if w.MVRowBytes() != 120*41*4*2 {
+		t.Fatalf("MV row = %d", w.MVRowBytes())
+	}
+	if w.RFRowBytes() != w.CFRowBytes() {
+		t.Fatal("RF row must match CF row")
+	}
+	if w.Candidates() != 1024 {
+		t.Fatalf("candidates = %d", w.Candidates())
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	p := GPUKepler()
+	seen := map[float64]bool{}
+	for frame := 0; frame < 50; frame++ {
+		f1 := p.JitterFactor(7, frame, 0, 1)
+		f2 := p.JitterFactor(7, frame, 0, 1)
+		if f1 != f2 {
+			t.Fatal("jitter is not deterministic")
+		}
+		if f1 < 1-p.Jitter || f1 > 1+p.Jitter {
+			t.Fatalf("jitter %v outside [%v,%v]", f1, 1-p.Jitter, 1+p.Jitter)
+		}
+		seen[f1] = true
+	}
+	if len(seen) < 10 {
+		t.Fatal("jitter looks constant across frames")
+	}
+	p.Jitter = 0
+	if p.JitterFactor(7, 3, 0, 1) != 1 {
+		t.Fatal("zero jitter must return exactly 1")
+	}
+}
+
+func TestPlatformIndexing(t *testing.T) {
+	pl := SysNFF()
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumGPUs() != 2 || pl.NumDevices() != 6 {
+		t.Fatalf("NumGPUs %d NumDevices %d", pl.NumGPUs(), pl.NumDevices())
+	}
+	if !pl.IsGPU(0) || !pl.IsGPU(1) || pl.IsGPU(2) {
+		t.Fatal("GPU/CPU boundary wrong")
+	}
+	if pl.Dev(0).Name != "GPU_F" || pl.Dev(2).Name != "CPU_N-core" {
+		t.Fatal("device order wrong")
+	}
+}
+
+func TestStandardPlatformsValid(t *testing.T) {
+	for _, pl := range []*Platform{
+		SysNF(), SysNFF(), SysHK(),
+		CPUOnly("CPU_N", CPUNehalemCore(), 4),
+		CPUOnly("CPU_H", CPUHaswellCore(), 4),
+		GPUOnly("GPU_F", GPUFermi()),
+		GPUOnly("GPU_K", GPUKepler()),
+	} {
+		if err := pl.Validate(); err != nil {
+			t.Errorf("%s: %v", pl.Name, err)
+		}
+	}
+}
+
+func TestPlatformValidateRejects(t *testing.T) {
+	bad := []*Platform{
+		{Name: "empty"},
+		{Name: "gpu-as-cpu", GPUs: []Profile{CPUNehalemCore()}},
+		{Name: "cpu-as-gpu", CPUCore: GPUFermi(), Cores: 2},
+		{Name: "neg-cores", CPUCore: CPUNehalemCore(), Cores: -1},
+	}
+	for _, pl := range bad {
+		if err := pl.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", pl.Name)
+		}
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	p := GPUFermi()
+	p.CopyEngines = 3
+	if p.Validate() == nil {
+		t.Error("3 copy engines accepted")
+	}
+	q := CPUNehalemCore()
+	q.CopyEngines = 1
+	if q.Validate() == nil {
+		t.Error("CPU with copy engine accepted")
+	}
+	r := GPUFermi()
+	r.MECandSec = 0
+	if r.Validate() == nil {
+		t.Error("zero kernel coefficient accepted")
+	}
+	s := GPUFermi()
+	s.Name = ""
+	if s.Validate() == nil {
+		t.Error("unnamed profile accepted")
+	}
+}
+
+func TestEffectiveFactorAppliesPerturbation(t *testing.T) {
+	pl := SysHK()
+	base := pl.EffectiveFactor(5, 0, 0)
+	pl.Perturb = func(frame, dev int) float64 {
+		if frame == 5 && dev == 0 {
+			return 2
+		}
+		return 1
+	}
+	perturbed := pl.EffectiveFactor(5, 0, 0)
+	if math.Abs(perturbed/base-2) > 1e-12 {
+		t.Fatalf("perturbation factor %v, want 2", perturbed/base)
+	}
+	if pl.EffectiveFactor(6, 0, 0) != pl.Dev(0).JitterFactor(pl.Seed, 6, 0, 0) {
+		t.Fatal("unperturbed frame must equal pure jitter")
+	}
+}
+
+func TestScaledAndWithCopyEngines(t *testing.T) {
+	p := GPUFermi().Scaled(0.5, "GPU_X")
+	if p.Name != "GPU_X" || math.Abs(p.MECandSec/GPUFermi().MECandSec-0.5) > 1e-12 {
+		t.Fatal("Scaled wrong")
+	}
+	q := GPUKepler().WithCopyEngines(2)
+	if q.CopyEngines != 2 || q.Name == GPUKepler().Name {
+		t.Fatal("WithCopyEngines wrong")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if (Workload{MBW: 10, MBH: 5, SA: 32, NumRF: 2, UsableRF: 1}).Validate() != nil {
+		t.Fatal("valid workload rejected")
+	}
+	bad := []Workload{
+		{MBW: 0, MBH: 5, SA: 32, NumRF: 1, UsableRF: 1},
+		{MBW: 10, MBH: 5, SA: 31, NumRF: 1, UsableRF: 1},
+		{MBW: 10, MBH: 5, SA: 32, NumRF: 1, UsableRF: 2},
+		{MBW: 10, MBH: 5, SA: 32, NumRF: 0, UsableRF: 0},
+	}
+	for i, w := range bad {
+		if w.Validate() == nil {
+			t.Errorf("workload %d accepted", i)
+		}
+	}
+}
+
+func TestGPUTeslaProfile(t *testing.T) {
+	p := GPUTesla()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := wl1080p(32, 1, 1)
+	rt := singleDeviceFrameTime(p, w) / singleDeviceFrameTime(GPUFermi(), w)
+	if math.Abs(rt-2.2) > 0.05 {
+		t.Fatalf("Tesla/Fermi time ratio %.2f, want ≈2.2", rt)
+	}
+	if p.H2DBytesPerSec >= GPUFermi().H2DBytesPerSec {
+		t.Fatal("Tesla link should be narrower than Fermi's")
+	}
+}

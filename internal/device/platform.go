@@ -1,0 +1,111 @@
+package device
+
+import "fmt"
+
+// Platform describes a heterogeneous system: an ordered device list with
+// GPUs first (device p_1 … p_nw) followed by CPU cores (p_{nw+1} …
+// p_{nw+nc}), matching the paper's indexing, plus the deterministic noise
+// seed and an optional perturbation schedule that models non-dedicated
+// system load (Fig. 7).
+type Platform struct {
+	Name string
+	GPUs []Profile
+	// CPUCore is the per-core profile; Cores is n_c.
+	CPUCore Profile
+	Cores   int
+
+	// Seed drives the deterministic kernel-time jitter.
+	Seed uint64
+	// Perturb, when non-nil, returns an extra multiplier (≥ 0) on the
+	// kernel times of device devIndex while encoding inter-frame `frame`
+	// (1-based). A factor of 2 halves the device's speed for that frame —
+	// the "other processes started running" events of Fig. 7.
+	Perturb func(frame, devIndex int) float64
+}
+
+// Validate checks the platform description.
+func (pl *Platform) Validate() error {
+	if len(pl.GPUs) == 0 && pl.Cores == 0 {
+		return fmt.Errorf("device: platform %q has no devices", pl.Name)
+	}
+	for _, g := range pl.GPUs {
+		if g.Class != GPU {
+			return fmt.Errorf("device: %q listed as GPU but has class %v", g.Name, g.Class)
+		}
+		if err := g.Validate(); err != nil {
+			return err
+		}
+	}
+	if pl.Cores < 0 || pl.Cores > 64 {
+		return fmt.Errorf("device: core count %d out of range", pl.Cores)
+	}
+	if pl.Cores > 0 {
+		if pl.CPUCore.Class != CPU {
+			return fmt.Errorf("device: CPU core profile has class %v", pl.CPUCore.Class)
+		}
+		if err := pl.CPUCore.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumGPUs returns n_w.
+func (pl *Platform) NumGPUs() int { return len(pl.GPUs) }
+
+// NumDevices returns n_w + n_c.
+func (pl *Platform) NumDevices() int { return len(pl.GPUs) + pl.Cores }
+
+// Dev returns the profile of device i (0-based; GPUs first, then cores).
+func (pl *Platform) Dev(i int) Profile {
+	if i < len(pl.GPUs) {
+		return pl.GPUs[i]
+	}
+	return pl.CPUCore
+}
+
+// IsGPU reports whether device i is an accelerator.
+func (pl *Platform) IsGPU(i int) bool { return i < len(pl.GPUs) }
+
+// EffectiveFactor combines jitter and perturbation for device i's kernels
+// while encoding the given inter-frame. Module indexes: 0 ME, 1 INT,
+// 2 SME, 3 R*.
+func (pl *Platform) EffectiveFactor(frame, devIndex, module int) float64 {
+	f := pl.Dev(devIndex).JitterFactor(pl.Seed, frame, devIndex, module)
+	if pl.Perturb != nil {
+		if m := pl.Perturb(frame, devIndex); m > 0 {
+			f *= m
+		}
+	}
+	return f
+}
+
+// The paper's three heterogeneous test systems and the four single-device
+// baselines of Fig. 6.
+
+// SysNF is CPU_N (4 cores) + one GPU_F.
+func SysNF() *Platform {
+	return &Platform{Name: "SysNF", GPUs: []Profile{GPUFermi()}, CPUCore: CPUNehalemCore(), Cores: 4, Seed: 1}
+}
+
+// SysNFF is CPU_N (4 cores) + two GPU_F devices.
+func SysNFF() *Platform {
+	return &Platform{Name: "SysNFF", GPUs: []Profile{GPUFermi(), GPUFermi()}, CPUCore: CPUNehalemCore(), Cores: 4, Seed: 1}
+}
+
+// SysHK is CPU_H (4 cores) + one GPU_K.
+func SysHK() *Platform {
+	return &Platform{Name: "SysHK", GPUs: []Profile{GPUKepler()}, CPUCore: CPUHaswellCore(), Cores: 4, Seed: 1}
+}
+
+// CPUOnly builds a homogeneous multi-core platform (the paper's CPU_N and
+// CPU_H baselines with 4 cores).
+func CPUOnly(name string, core Profile, cores int) *Platform {
+	return &Platform{Name: name, CPUCore: core, Cores: cores, Seed: 1}
+}
+
+// GPUOnly builds a single-accelerator platform (the GPU_F / GPU_K
+// baselines; the CPU orchestrates but does not compute).
+func GPUOnly(name string, gpu Profile) *Platform {
+	return &Platform{Name: name, GPUs: []Profile{gpu}, Seed: 1}
+}

@@ -1,0 +1,115 @@
+package device
+
+import "fmt"
+
+// Workload captures the per-frame encoding parameters that determine kernel
+// and transfer costs: frame geometry, search-area size and the number of
+// reference frames actually searchable this frame (which ramps up over the
+// first NumRF inter-frames, per Fig. 7(b) of the paper).
+type Workload struct {
+	MBW, MBH int // frame size in macroblocks
+	SA       int // search-area size in pixels (paper notation: SA×SA)
+	NumRF    int // configured reference frames
+	UsableRF int // references available this frame (≤ NumRF)
+}
+
+// Validate sanity-checks the workload.
+func (w Workload) Validate() error {
+	switch {
+	case w.MBW <= 0 || w.MBH <= 0:
+		return fmt.Errorf("device: workload frame %dx%d MBs", w.MBW, w.MBH)
+	case w.SA < 2 || w.SA%2 != 0:
+		return fmt.Errorf("device: SA %d must be a positive even size", w.SA)
+	case w.NumRF < 1 || w.UsableRF < 1 || w.UsableRF > w.NumRF:
+		return fmt.Errorf("device: RF config %d/%d invalid", w.UsableRF, w.NumRF)
+	}
+	return nil
+}
+
+// Rows returns N, the number of macroblock rows the balancer distributes.
+func (w Workload) Rows() int { return w.MBH }
+
+// Candidates returns the FSBM candidate count per macroblock per reference.
+func (w Workload) Candidates() int { return w.SA * w.SA }
+
+// Width returns the frame width in pixels.
+func (w Workload) Width() int { return w.MBW * 16 }
+
+// CFRowBytes is the size of one macroblock row of the current frame
+// (luma + 4:2:0 chroma).
+func (w Workload) CFRowBytes() int { return 16 * w.Width() * 3 / 2 }
+
+// RFRowBytes is the size of one macroblock row of a reconstructed
+// reference frame.
+func (w Workload) RFRowBytes() int { return w.CFRowBytes() }
+
+// SFRowBytes is the size of one macroblock row of the interpolated SF
+// structure: 16 quarter-pel planes of luma ("as large as 16 RFs").
+func (w Workload) SFRowBytes() int { return 16 * 16 * w.Width() }
+
+// MVRowBytes is the size of one macroblock row of the motion-vector
+// buffer: 41 partitions × 4 bytes per usable reference.
+func (w Workload) MVRowBytes() int { return w.MBW * 41 * 4 * w.UsableRF }
+
+// KME returns this device's ME time per macroblock row (the paper's K^m_i
+// parameter), before jitter.
+func (p Profile) KME(w Workload) float64 {
+	return float64(w.MBW) * float64(w.Candidates()) * float64(w.UsableRF) * p.MECandSec
+}
+
+// KSME returns the SME time per macroblock row (K^s_i).
+func (p Profile) KSME(w Workload) float64 {
+	return float64(w.MBW) * float64(w.UsableRF) * p.SMESec
+}
+
+// KINT returns the interpolation time per macroblock row (K^l_i).
+func (p Profile) KINT(w Workload) float64 {
+	return float64(w.MBW) * p.INTSec
+}
+
+// KRStar returns the R* group time per macroblock row.
+func (p Profile) KRStar(w Workload) float64 {
+	return float64(w.MBW) * p.RStarSec
+}
+
+// TRStar returns T^R* — the time to run the whole R* group on this device
+// (the parameter the paper's constraint (9) uses).
+func (p Profile) TRStar(w Workload) float64 {
+	return float64(w.Rows()) * p.KRStar(w)
+}
+
+// TH2D returns the host→device transfer time for the given volume.
+func (p Profile) TH2D(bytes int) float64 {
+	if p.Class == CPU || bytes == 0 {
+		return 0
+	}
+	return p.TransferLatency + float64(bytes)/p.H2DBytesPerSec
+}
+
+// TD2H returns the device→host transfer time for the given volume.
+func (p Profile) TD2H(bytes int) float64 {
+	if p.Class == CPU || bytes == 0 {
+		return 0
+	}
+	return p.TransferLatency + float64(bytes)/p.D2HBytesPerSec
+}
+
+// splitmix64 hashes a seed into a well-distributed 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// JitterFactor returns the deterministic noise multiplier in
+// [1−Jitter, 1+Jitter] for a (seed, frame, device, module) tuple. The same
+// tuple always produces the same factor, keeping experiments reproducible.
+func (p Profile) JitterFactor(seed uint64, frame, devIndex, module int) float64 {
+	if p.Jitter == 0 {
+		return 1
+	}
+	h := splitmix64(seed ^ splitmix64(uint64(frame)<<32|uint64(devIndex)<<8|uint64(module)))
+	u := float64(h>>11) / float64(1<<53) // uniform [0,1)
+	return 1 + p.Jitter*(2*u-1)
+}

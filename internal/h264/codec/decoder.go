@@ -1,0 +1,356 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"feves/internal/h264"
+	"feves/internal/h264/deblock"
+	"feves/internal/h264/entropy"
+	"feves/internal/h264/interp"
+	"feves/internal/h264/mc"
+)
+
+// ErrChecksum reports a per-frame CRC mismatch: the decoded picture does
+// not match what the encoder reconstructed.
+var ErrChecksum = errors.New("codec: frame checksum mismatch")
+
+// verifyChecksum consumes and checks the frame trailer when enabled. For
+// frames with concealed slices the trailer is consumed but not compared —
+// the reconstruction legitimately differs from the encoder's.
+func (d *Decoder) verifyChecksum(recon *h264.Frame) error {
+	if !d.cfg.Checksum {
+		return nil
+	}
+	want, err := d.r.ReadBits(32)
+	if err != nil {
+		return err
+	}
+	if d.frameConcealed > 0 {
+		return nil
+	}
+	if got := reconCRC(recon); got != want {
+		return fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, want)
+	}
+	return nil
+}
+
+// beginFrameEntropy mirrors the encoder's frame layout: with the
+// arithmetic backend one independent residual chunk per slice precedes
+// the header region; each is consumed here and wrapped as that slice's
+// block source.
+func (d *Decoder) beginFrameEntropy(slices int) ([]blockSource, error) {
+	srcs := make([]blockSource, slices)
+	if d.cfg.Entropy != EntropyArith {
+		for i := range srcs {
+			srcs[i] = vlcSource{d.r}
+		}
+		return srcs, nil
+	}
+	for i := range srcs {
+		n, err := d.r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		d.r.AlignByte()
+		chunk, err := d.r.ReadBytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		src := arithSource{
+			d:    entropy.NewArithDecoder(chunk),
+			rc:   entropy.NewResidualContexts(),
+			dead: new(bool),
+		}
+		if d.Conceal {
+			src.conceal = &d.frameConcealed
+		}
+		srcs[i] = src
+	}
+	return srcs, nil
+}
+
+// Decoder reconstructs the frames of a bitstream produced by Encoder. It is
+// the end-to-end verification tool of the reproduction: for every frame the
+// decoder output must be bit-exact with the encoder's reconstructed
+// reference frame, regardless of how the encoding was distributed across
+// devices.
+type Decoder struct {
+	cfg Config
+	r   *entropy.BitReader
+	dpb *h264.DPB
+	sfs []*interp.SubFrame
+	poc int
+	// stats, when non-nil, collects per-frame syntax statistics for
+	// Inspect.
+	stats *FrameInfo
+	// Conceal enables error concealment for sliced arithmetic streams: a
+	// corrupt slice chunk degrades only its own rows (residuals are
+	// zeroed, prediction still applies) instead of failing the frame.
+	// Headers must still parse; checksum trailers are skipped for
+	// concealed frames (the pixels legitimately differ).
+	Conceal bool
+	// concealed counts slices concealed since decoding began;
+	// frameConcealed counts within the current frame.
+	concealed      int
+	frameConcealed int
+}
+
+// ConcealedSlices returns how many corrupt slices were concealed so far
+// (always 0 unless Conceal is set).
+func (d *Decoder) ConcealedSlices() int { return d.concealed }
+
+// NewDecoder parses the sequence header and prepares a decoder.
+func NewDecoder(stream []byte) (*Decoder, error) {
+	r := entropy.NewBitReader(stream)
+	cfg, err := readSequenceHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{cfg: cfg, r: r, dpb: h264.NewDPB(cfg.NumRF)}, nil
+}
+
+// Config returns the sequence parameters parsed from the header.
+func (d *Decoder) Config() Config { return d.cfg }
+
+// DecodeFrame decodes the next frame, returning io.EOF at stream end.
+func (d *Decoder) DecodeFrame() (*h264.Frame, error) {
+	if d.r.Remaining() < 8 {
+		return nil, io.EOF
+	}
+	ft, err := d.r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	d.frameConcealed = 0
+	defer func() { d.concealed += d.frameConcealed }()
+	switch ft {
+	case 0:
+		return d.decodeIntra()
+	case 1:
+		return d.decodeInter()
+	default:
+		return nil, fmt.Errorf("%w: frame type %d", ErrBadStream, ft)
+	}
+}
+
+func (d *Decoder) decodeIntra() (*h264.Frame, error) {
+	recon := h264.NewFrame(d.cfg.Width, d.cfg.Height)
+	bi := deblock.NewBlockInfo(d.cfg.Width, d.cfg.Height)
+	mbw, mbh := recon.MBWidth(), recon.MBHeight()
+	qp := d.cfg.IQP
+	starts := sliceStarts(mbh, d.cfg.sliceCount())
+	srcs, err := d.beginFrameEntropy(len(starts))
+	if err != nil {
+		return nil, err
+	}
+	for mby := 0; mby < mbh; mby++ {
+		topY := sliceTopRow(starts, mby) * h264.MBSize
+		src := srcs[sliceIndex(starts, mby)]
+		for mbx := 0; mbx < mbw; mbx++ {
+			if err := d.decodeIntraMB(src, recon, bi, mbx, mby, qp, topY); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.r.AlignByte()
+	deblock.FilterFrame(recon, bi, qp)
+	if err := d.verifyChecksum(recon); err != nil {
+		return nil, err
+	}
+	recon.Poc = d.poc
+	recon.IsIntra = true
+	d.poc++
+	// IDR semantics: flush references and sub-frames, mirroring the
+	// encoder.
+	d.dpb.Clear()
+	d.sfs = nil
+	d.dpb.Push(recon)
+	return recon, nil
+}
+
+func (d *Decoder) decodeIntraMB(src blockSource, recon *h264.Frame, bi *deblock.BlockInfo, mbx, mby, qp, topY int) error {
+	x0, y0 := mbx*h264.MBSize, mby*h264.MBSize
+	modeRaw, err := d.r.ReadUE()
+	if err != nil {
+		return err
+	}
+	if modeRaw >= numIntraModes {
+		return fmt.Errorf("%w: intra mode %d", ErrBadStream, modeRaw)
+	}
+	if (modeRaw == intraVertical && y0 == topY) || (modeRaw == intraHorizontal && x0 == 0) {
+		return fmt.Errorf("%w: intra mode %d without neighbours", ErrBadStream, modeRaw)
+	}
+	var pred [256]uint8
+	buildIntraPredSlice(recon.Y, x0, y0, int(modeRaw), topY, &pred)
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			var blk [16]int32
+			if err := src.readBlock(&blk); err != nil {
+				return err
+			}
+			nz := false
+			for _, v := range blk {
+				if v != 0 {
+					nz = true
+					break
+				}
+			}
+			dqInvReconPred(&blk, qp, recon.Y, x0+bx*4, y0+by*4, pred[:], bx*4, by*4, 16)
+			bi.SetBlock(mbx*4+bx, mby*4+by, nz, h264.MV{}, 0)
+		}
+	}
+	cx0, cy0 := x0/2, y0/2
+	for _, pl := range []*h264.Plane{recon.Cb, recon.Cr} {
+		dc := dcPredict(pl, cx0, cy0, 8, topY/2)
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				var blk [16]int32
+				if err := src.readBlock(&blk); err != nil {
+					return err
+				}
+				dqInvRecon(&blk, qp, pl, cx0+bx*4, cy0+by*4, dc)
+			}
+		}
+	}
+	bi.SetIntra(mbx, mby, true)
+	return nil
+}
+
+func (d *Decoder) decodeInter() (*h264.Frame, error) {
+	if d.dpb.Len() == 0 {
+		return nil, fmt.Errorf("%w: inter frame before intra frame", ErrBadStream)
+	}
+	// Mirror the encoder's INT step: interpolate the most recent reference.
+	newSF := interp.NewSubFrame(d.cfg.Width, d.cfg.Height)
+	interp.Interpolate(d.dpb.Ref(0).Y, newSF)
+	d.sfs = append([]*interp.SubFrame{newSF}, d.sfs...)
+	if len(d.sfs) > d.dpb.Len() {
+		d.sfs = d.sfs[:d.dpb.Len()]
+	}
+	sfs := make([]*interp.SubFrame, d.cfg.NumRF)
+	copy(sfs, d.sfs)
+	refs := make([]*h264.Frame, d.dpb.Len())
+	for i := range refs {
+		refs[i] = d.dpb.Ref(i)
+	}
+
+	qpDelta, err := d.r.ReadSE()
+	if err != nil {
+		return nil, err
+	}
+	qp := d.cfg.PQP + int(qpDelta)
+	if qp < 0 || qp > 51 {
+		return nil, fmt.Errorf("%w: frame QP %d", ErrBadStream, qp)
+	}
+	if d.stats != nil {
+		d.stats.QP = qp
+	}
+	recon := h264.NewFrame(d.cfg.Width, d.cfg.Height)
+	bi := deblock.NewBlockInfo(d.cfg.Width, d.cfg.Height)
+	mbw, mbh := recon.MBWidth(), recon.MBHeight()
+	starts := sliceStarts(mbh, d.cfg.sliceCount())
+	srcs, err := d.beginFrameEntropy(len(starts))
+	if err != nil {
+		return nil, err
+	}
+	repMV := make([]h264.MV, mbw*mbh)
+
+	for mby := 0; mby < mbh; mby++ {
+		topRow := sliceTopRow(starts, mby)
+		src := srcs[sliceIndex(starts, mby)]
+		for mbx := 0; mbx < mbw; mbx++ {
+			modeRaw, err := d.r.ReadUE()
+			if err != nil {
+				return nil, err
+			}
+			if modeRaw >= h264.NumPartModes {
+				return nil, fmt.Errorf("%w: partition mode %d", ErrBadStream, modeRaw)
+			}
+			dec := h264.MBDecision{Mode: h264.PartMode(modeRaw)}
+			if d.stats != nil {
+				d.stats.ModeCount[dec.Mode]++
+			}
+			pred := mc.MedianPredictorSlice(repMV, mbw, mbx, mby, topRow)
+			for k := 0; k < dec.Mode.Count(); k++ {
+				ref, err := d.r.ReadUE()
+				if err != nil {
+					return nil, err
+				}
+				if int(ref) >= d.dpb.Len() {
+					return nil, fmt.Errorf("%w: reference %d of %d", ErrBadStream, ref, d.dpb.Len())
+				}
+				mvdx, err := d.r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				mvdy, err := d.r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				dec.Ref[k] = uint8(ref)
+				dec.MV[k] = h264.MV{X: pred.X + int16(mvdx), Y: pred.Y + int16(mvdy)}
+			}
+			repMV[mby*mbw+mbx] = dec.MV[0]
+
+			var predY [256]uint8
+			var predCb, predCr [64]uint8
+			mc.PredictMB(&dec, sfs, refs, mbx, mby, &predY, &predCb, &predCr)
+			if err := d.decodeInterMB(src, recon, bi, &dec, mbx, mby, &predY, &predCb, &predCr, qp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.r.AlignByte()
+	deblock.FilterFrame(recon, bi, qp)
+	if err := d.verifyChecksum(recon); err != nil {
+		return nil, err
+	}
+	recon.Poc = d.poc
+	d.poc++
+	d.dpb.Push(recon)
+	return recon, nil
+}
+
+func (d *Decoder) decodeInterMB(src blockSource, recon *h264.Frame, bi *deblock.BlockInfo,
+	dec *h264.MBDecision, mbx, mby int,
+	predY *[256]uint8, predCb, predCr *[64]uint8, qp int) error {
+
+	x0, y0 := mbx*h264.MBSize, mby*h264.MBSize
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			var blk [16]int32
+			if err := src.readBlock(&blk); err != nil {
+				return err
+			}
+			nz := false
+			for _, v := range blk {
+				if v != 0 {
+					nz = true
+					break
+				}
+			}
+			dqInvReconPred(&blk, qp, recon.Y, x0+bx*4, y0+by*4, predY[:], bx*4, by*4, 16)
+			k := partForBlock(dec.Mode, bx, by)
+			bi.SetBlock(mbx*4+bx, mby*4+by, nz, dec.MV[k], dec.Ref[k])
+		}
+	}
+	cx0, cy0 := x0/2, y0/2
+	for _, pl := range []struct {
+		dst  *h264.Plane
+		pred *[64]uint8
+	}{{recon.Cb, predCb}, {recon.Cr, predCr}} {
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				var blk [16]int32
+				if err := src.readBlock(&blk); err != nil {
+					return err
+				}
+				dqInvReconPred(&blk, qp, pl.dst, cx0+bx*4, cy0+by*4, pl.pred[:], bx*4, by*4, 8)
+			}
+		}
+	}
+	bi.SetIntra(mbx, mby, false)
+	return nil
+}

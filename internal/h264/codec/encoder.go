@@ -1,0 +1,184 @@
+package codec
+
+import (
+	"fmt"
+
+	"feves/internal/h264"
+	"feves/internal/h264/entropy"
+	"feves/internal/h264/interp"
+	"feves/internal/h264/me"
+	"feves/internal/h264/rd"
+	"feves/internal/h264/sme"
+)
+
+// Encoder is the stateful sequence encoder. It owns the decoded-picture
+// buffer, the per-reference SF structures and the output bitstream writer.
+type Encoder struct {
+	cfg Config
+	w   *entropy.BitWriter
+	dpb *h264.DPB
+	// sfs[i] is the interpolated sub-frame of dpb.Ref(i). At the start of a
+	// frame, the most recent reference (index 0) has no sub-frame yet: the
+	// INT module produces it during that frame's τ1 interval.
+	sfs    []*interp.SubFrame
+	frames int
+	rc     *RateControl // nil when rate control is off
+}
+
+// NewEncoder creates an encoder and writes the sequence header.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Encoder{
+		cfg: cfg,
+		w:   entropy.NewBitWriter(),
+		dpb: h264.NewDPB(cfg.NumRF),
+	}
+	if cfg.TargetBitsPerFrame > 0 {
+		rc, err := NewRateControl(cfg.TargetBitsPerFrame, cfg.PQP, 12, 51)
+		if err != nil {
+			return nil, err
+		}
+		e.rc = rc
+	}
+	writeSequenceHeader(e.w, cfg)
+	return e, nil
+}
+
+// frameQP returns the inter-frame QP to use next: the rate controller's
+// choice when enabled, the fixed sequence PQP otherwise.
+func (e *Encoder) frameQP() int {
+	if e.rc != nil {
+		return e.rc.QP()
+	}
+	return e.cfg.PQP
+}
+
+// Config returns the sequence parameters.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Bitstream flushes and returns the coded stream so far.
+func (e *Encoder) Bitstream() []byte { return e.w.Bytes() }
+
+// BitsWritten returns the number of coded bits so far.
+func (e *Encoder) BitsWritten() int { return e.w.Len() }
+
+// FramesEncoded returns the number of frames coded so far.
+func (e *Encoder) FramesEncoded() int { return e.frames }
+
+// DPBLen returns the number of reference frames currently available —
+// smaller than NumRF during the ramp-up frames of Fig. 7(b).
+func (e *Encoder) DPBLen() int { return e.dpb.Len() }
+
+// ShouldIntra reports whether the next frame must be intra coded: the
+// first frame of a sequence, or an IDR refresh point when IntraPeriod is
+// configured.
+func (e *Encoder) ShouldIntra() bool {
+	if e.dpb.Len() == 0 {
+		return true
+	}
+	return e.cfg.IntraPeriod > 0 && e.frames%e.cfg.IntraPeriod == 0
+}
+
+// EncodeFrame encodes one frame end to end on the calling goroutine: the
+// first frame of a sequence (and each IDR refresh point) is intra coded,
+// every other frame runs the full inter loop. This is the single-device
+// reference path.
+func (e *Encoder) EncodeFrame(cf *h264.Frame) (rd.FrameStats, error) {
+	if err := e.checkFrame(cf); err != nil {
+		return rd.FrameStats{}, err
+	}
+	if e.ShouldIntra() {
+		return e.EncodeIntraFrame(cf)
+	}
+	job := e.BeginFrame(cf)
+	n := e.cfg.MBRows()
+	e.RunME(job, 0, n)
+	e.RunINT(job, 0, n)
+	e.CompleteINT(job)
+	e.RunSME(job, 0, n)
+	return e.RunRStar(job), nil
+}
+
+func (e *Encoder) checkFrame(cf *h264.Frame) error {
+	if cf.W != e.cfg.Width || cf.H != e.cfg.Height {
+		return fmt.Errorf("codec: frame %dx%d does not match configured %dx%d",
+			cf.W, cf.H, e.cfg.Width, e.cfg.Height)
+	}
+	return nil
+}
+
+// BeginFrame allocates the working buffers of one inter-frame. The DPB must
+// hold at least one reference (i.e. the intra frame was already encoded).
+func (e *Encoder) BeginFrame(cf *h264.Frame) *FrameJob {
+	if e.dpb.Len() == 0 {
+		panic("codec: BeginFrame before intra frame")
+	}
+	if err := e.checkFrame(cf); err != nil {
+		panic(err)
+	}
+	return &FrameJob{
+		CF:    cf,
+		ME:    h264.NewMVField(cf.MBWidth(), cf.MBHeight(), e.cfg.NumRF),
+		SME:   h264.NewMVField(cf.MBWidth(), cf.MBHeight(), e.cfg.NumRF),
+		NewSF: interp.NewSubFrame(cf.W, cf.H),
+	}
+}
+
+// RunME performs full-search motion estimation for macroblock rows
+// [rowLo, rowHi) against every available reference. Safe to call
+// concurrently on disjoint row ranges.
+func (e *Encoder) RunME(job *FrameJob, rowLo, rowHi int) {
+	me.SearchRowsAlgo(e.cfg.MEAlgo, job.CF, e.dpb, e.cfg.MECfg(), job.ME, rowLo, rowHi)
+}
+
+// RunINT interpolates macroblock rows [rowLo, rowHi) of the most recent
+// reference frame into the job's new sub-frame. Safe to call concurrently
+// on disjoint row ranges.
+func (e *Encoder) RunINT(job *FrameJob, rowLo, rowHi int) {
+	interp.InterpolateRows(e.dpb.Ref(0).Y, job.NewSF, rowLo, rowHi)
+}
+
+// CompleteINT is the τ1 host-side step: it extends the new sub-frame's
+// borders and installs it as the sub-frame of reference 0, making the full
+// SF structure available to SME on every device.
+func (e *Encoder) CompleteINT(job *FrameJob) {
+	if job.intComplete {
+		panic("codec: CompleteINT called twice")
+	}
+	job.NewSF.ExtendBorders()
+	e.sfs = append([]*interp.SubFrame{job.NewSF}, e.sfs...)
+	if len(e.sfs) > e.dpb.Len() {
+		e.sfs = e.sfs[:e.dpb.Len()]
+	}
+	job.intComplete = true
+}
+
+// RunSME refines macroblock rows [rowLo, rowHi) on the SF structure.
+// CompleteINT must have run. Safe to call concurrently on disjoint rows.
+func (e *Encoder) RunSME(job *FrameJob, rowLo, rowHi int) {
+	if !job.intComplete {
+		panic("codec: RunSME before CompleteINT")
+	}
+	sfs := e.sfsPadded()
+	sme.RefineRows(job.CF, sfs, job.ME, job.SME, rowLo, rowHi)
+}
+
+// sfsPadded returns the SF list padded with nils up to NumRF slots for the
+// DPB ramp-up frames.
+func (e *Encoder) sfsPadded() []*interp.SubFrame {
+	sfs := make([]*interp.SubFrame, e.cfg.NumRF)
+	copy(sfs, e.sfs)
+	return sfs
+}
+
+// LastRecon returns the most recently reconstructed reference frame (the
+// RF+1 buffer the paper transfers back to the host after R*). It is the
+// frame a conforming decoder must reproduce bit-exactly.
+func (e *Encoder) LastRecon() *h264.Frame {
+	if e.dpb.Len() == 0 {
+		return nil
+	}
+	return e.dpb.Ref(0)
+}

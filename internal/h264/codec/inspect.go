@@ -1,0 +1,78 @@
+package codec
+
+import (
+	"errors"
+	"io"
+
+	"feves/internal/h264"
+)
+
+// FrameInfo describes one frame of an inspected bitstream.
+type FrameInfo struct {
+	Index int
+	Intra bool
+	Bits  int
+	// QP is the inter-frame quantization parameter (the sequence IQP for
+	// intra frames).
+	QP int
+	// ModeCount histograms the inter partition modes chosen (all zero for
+	// intra frames).
+	ModeCount [h264.NumPartModes]int
+}
+
+// StreamInfo is the result of Inspect: the parsed sequence parameters and
+// per-frame statistics.
+type StreamInfo struct {
+	Config Config
+	Frames []FrameInfo
+}
+
+// TotalBits returns the coded size of all frames (excluding the sequence
+// header).
+func (si *StreamInfo) TotalBits() int {
+	total := 0
+	for _, f := range si.Frames {
+		total += f.Bits
+	}
+	return total
+}
+
+// ModeHistogram sums the partition-mode counts over all frames.
+func (si *StreamInfo) ModeHistogram() [h264.NumPartModes]int {
+	var out [h264.NumPartModes]int
+	for _, f := range si.Frames {
+		for m, c := range f.ModeCount {
+			out[m] += c
+		}
+	}
+	return out
+}
+
+// Inspect fully decodes a bitstream and reports its structure: frame
+// types, per-frame coded sizes and QPs, and the inter partition-mode
+// histogram. It fails on any corruption (including CRC trailers when the
+// stream carries them).
+func Inspect(stream []byte) (*StreamInfo, error) {
+	dec, err := NewDecoder(stream)
+	if err != nil {
+		return nil, err
+	}
+	si := &StreamInfo{Config: dec.Config()}
+	for {
+		start := dec.r.Pos()
+		dec.stats = &FrameInfo{Index: len(si.Frames), QP: dec.cfg.IQP}
+		f, err := dec.DecodeFrame()
+		if errors.Is(err, io.EOF) {
+			dec.stats = nil
+			return si, nil
+		}
+		if err != nil {
+			dec.stats = nil
+			return si, err
+		}
+		info := *dec.stats
+		info.Intra = f.IsIntra
+		info.Bits = dec.r.Pos() - start
+		si.Frames = append(si.Frames, info)
+	}
+}

@@ -1,0 +1,99 @@
+package codec
+
+import (
+	"testing"
+
+	"feves/internal/h264"
+)
+
+func TestInspectReportsStructure(t *testing.T) {
+	const w, h, n = 64, 48, 6
+	frames := movingScene(w, h, n, 101)
+	cfg := testConfig(w, h)
+	cfg.IntraPeriod = 3
+	cfg.TargetBitsPerFrame = 8000
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bits []int
+	for _, f := range frames {
+		stats, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits = append(bits, stats.Bits)
+	}
+	si, err := Inspect(enc.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only decode-relevant fields travel in the sequence header; encoder-
+	// side options (rate control, intra period, ME algorithm) do not.
+	ec := enc.Config()
+	if si.Config.Width != ec.Width || si.Config.Height != ec.Height ||
+		si.Config.SearchRange != ec.SearchRange || si.Config.NumRF != ec.NumRF ||
+		si.Config.IQP != ec.IQP || si.Config.PQP != ec.PQP ||
+		si.Config.Entropy != ec.Entropy || si.Config.Checksum != ec.Checksum {
+		t.Fatal("inspected signalled fields differ")
+	}
+	if len(si.Frames) != n {
+		t.Fatalf("%d frames inspected, want %d", len(si.Frames), n)
+	}
+	total := 0
+	for i, fi := range si.Frames {
+		if fi.Index != i {
+			t.Fatalf("frame %d indexed %d", i, fi.Index)
+		}
+		if fi.Intra != (i%3 == 0) {
+			t.Fatalf("frame %d intra=%v", i, fi.Intra)
+		}
+		if fi.Bits != bits[i] {
+			t.Fatalf("frame %d: inspected %d bits, encoder reported %d", i, fi.Bits, bits[i])
+		}
+		if fi.QP < 0 || fi.QP > 51 {
+			t.Fatalf("frame %d: QP %d", i, fi.QP)
+		}
+		mbTotal := 0
+		for _, c := range fi.ModeCount {
+			mbTotal += c
+		}
+		if fi.Intra && mbTotal != 0 {
+			t.Fatalf("intra frame %d has inter modes", i)
+		}
+		if !fi.Intra && mbTotal != (w/16)*(h/16) {
+			t.Fatalf("frame %d: %d mode entries, want %d", i, mbTotal, (w/16)*(h/16))
+		}
+		total += fi.Bits
+	}
+	if si.TotalBits() != total {
+		t.Fatal("TotalBits mismatch")
+	}
+	hist := si.ModeHistogram()
+	sum := 0
+	for _, c := range hist {
+		sum += c
+	}
+	if sum != 4*(w/16)*(h/16) { // 4 inter frames
+		t.Fatalf("histogram covers %d MBs", sum)
+	}
+	_ = h264.NumPartModes
+}
+
+func TestInspectRejectsCorruption(t *testing.T) {
+	frames := movingScene(48, 48, 2, 102)
+	cfg := testConfig(48, 48)
+	cfg.Checksum = true
+	enc, _ := NewEncoder(cfg)
+	for _, f := range frames {
+		if _, err := enc.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := enc.Bitstream()
+	corrupt := append([]byte(nil), stream...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := Inspect(corrupt); err == nil {
+		t.Fatal("corrupt stream inspected cleanly")
+	}
+}

@@ -1,0 +1,234 @@
+package codec
+
+import (
+	"feves/internal/h264"
+	"feves/internal/h264/deblock"
+	"feves/internal/h264/entropy"
+	"feves/internal/h264/rd"
+	"feves/internal/h264/transform"
+)
+
+// EncodeIntraFrame codes cf as an I-frame using 16×16 (luma) and 8×8
+// (chroma) DC prediction from already-reconstructed neighbours, followed by
+// TQ, entropy coding, reconstruction and deblocking. The intra frame seeds
+// the DPB; per the paper it lies outside the inter-loop whose time the
+// framework balances, so it always runs on the host path.
+func (e *Encoder) EncodeIntraFrame(cf *h264.Frame) (rd.FrameStats, error) {
+	if err := e.checkFrame(cf); err != nil {
+		return rd.FrameStats{}, err
+	}
+	startBits := e.w.Len()
+	qp := e.cfg.IQP
+	recon := h264.NewFrame(cf.W, cf.H)
+	bi := deblock.NewBlockInfo(cf.W, cf.H)
+	mbw, mbh := cf.MBWidth(), cf.MBHeight()
+
+	e.w.WriteUE(0) // frame type: I
+	starts := sliceStarts(mbh, e.cfg.sliceCount())
+	hw, sinks := e.beginFrameEntropy(len(starts))
+	for mby := 0; mby < mbh; mby++ {
+		topY := sliceTopRow(starts, mby) * h264.MBSize
+		sink := sinks[sliceIndex(starts, mby)]
+		for mbx := 0; mbx < mbw; mbx++ {
+			codeIntraMB(hw, sink, cf, recon, bi, mbx, mby, qp, topY)
+		}
+	}
+	e.assembleFrame(hw, sinks)
+
+	deblock.FilterFrame(recon, bi, qp)
+	if e.cfg.Checksum {
+		e.w.WriteBits(reconCRC(recon), 32)
+	}
+	recon.Poc = cf.Poc
+	recon.IsIntra = true
+	// IDR semantics: an intra frame flushes the reference buffer and the
+	// interpolated sub-frames, so prediction never crosses it.
+	e.dpb.Clear()
+	e.sfs = nil
+	e.dpb.Push(recon)
+	e.frames++
+
+	y, cb, cr := rd.FramePSNR(cf, recon)
+	return rd.FrameStats{
+		Poc: cf.Poc, Intra: true,
+		Bits:  e.w.Len() - startBits,
+		PSNRY: y, PSNRCb: cb, PSNRCr: cr,
+	}, nil
+}
+
+// dcPredict computes the DC prediction for a size×size block at (x0, y0)
+// of plane p, using reconstructed top/left neighbours when available.
+// Neighbours above minY (the slice's first luma row, scaled for chroma by
+// the caller) are treated as unavailable.
+func dcPredict(p *h264.Plane, x0, y0, size, minY int) uint8 {
+	var sum, n int32
+	if y0 > minY {
+		for i := 0; i < size; i++ {
+			sum += int32(p.At(x0+i, y0-1))
+		}
+		n += int32(size)
+	}
+	if x0 > 0 {
+		for j := 0; j < size; j++ {
+			sum += int32(p.At(x0-1, y0+j))
+		}
+		n += int32(size)
+	}
+	if n == 0 {
+		return 128
+	}
+	return uint8((sum + n/2) / n)
+}
+
+// Intra 16×16 luma prediction modes, a subset of the standard's: DC,
+// vertical (extend the row above) and horizontal (extend the column to the
+// left). The chosen mode is signalled per macroblock with ue(v).
+const (
+	intraDC = iota
+	intraVertical
+	intraHorizontal
+	numIntraModes
+)
+
+// buildIntraPredSlice fills a 16×16 luma prediction for the given mode
+// from the already-reconstructed neighbours, honouring the slice boundary
+// at luma row minY.
+func buildIntraPredSlice(recon *h264.Plane, x0, y0, mode, minY int, pred *[256]uint8) {
+	switch mode {
+	case intraVertical:
+		for x := 0; x < 16; x++ {
+			v := recon.At(x0+x, y0-1)
+			for y := 0; y < 16; y++ {
+				pred[y*16+x] = v
+			}
+		}
+	case intraHorizontal:
+		for y := 0; y < 16; y++ {
+			v := recon.At(x0-1, y0+y)
+			for x := 0; x < 16; x++ {
+				pred[y*16+x] = v
+			}
+		}
+	default:
+		dc := dcPredict(recon, x0, y0, 16, minY)
+		for i := range pred {
+			pred[i] = dc
+		}
+	}
+}
+
+// chooseIntraMode picks the available luma mode with the lowest SAD.
+// Vertical prediction is unavailable on a slice's first row.
+func chooseIntraMode(cf, recon *h264.Frame, x0, y0, minY int) int {
+	best, bestCost := intraDC, int32(1)<<30
+	var pred [256]uint8
+	for mode := 0; mode < numIntraModes; mode++ {
+		if mode == intraVertical && y0 == minY {
+			continue
+		}
+		if mode == intraHorizontal && x0 == 0 {
+			continue
+		}
+		buildIntraPredSlice(recon.Y, x0, y0, mode, minY, &pred)
+		var sad int32
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				d := int32(cf.Y.At(x0+x, y0+y)) - int32(pred[y*16+x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad < bestCost {
+			best, bestCost = mode, sad
+		}
+	}
+	return best
+}
+
+// codeIntraMB codes one intra macroblock; the caller guarantees raster
+// order so that prediction sees the already-reconstructed neighbours.
+// topY is the first luma row of the macroblock's slice.
+func codeIntraMB(hw *entropy.BitWriter, sink blockSink, cf, recon *h264.Frame, bi *deblock.BlockInfo, mbx, mby, qp, topY int) {
+	x0, y0 := mbx*h264.MBSize, mby*h264.MBSize
+	mode := chooseIntraMode(cf, recon, x0, y0, topY)
+	hw.WriteUE(uint32(mode))
+	var pred [256]uint8
+	buildIntraPredSlice(recon.Y, x0, y0, mode, topY, &pred)
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			var blk [16]int32
+			for j := 0; j < 4; j++ {
+				for i := 0; i < 4; i++ {
+					blk[j*4+i] = int32(cf.Y.At(x0+bx*4+i, y0+by*4+j)) - int32(pred[(by*4+j)*16+bx*4+i])
+				}
+			}
+			nz := transform.TQ(&blk, qp)
+			sink.writeBlock(&blk)
+			transform.TQInv(&blk, qp)
+			for j := 0; j < 4; j++ {
+				for i := 0; i < 4; i++ {
+					pv := pred[(by*4+j)*16+bx*4+i]
+					recon.Y.Set(x0+bx*4+i, y0+by*4+j, transform.Clip255(int32(pv)+blk[j*4+i]))
+				}
+			}
+			bi.SetBlock(mbx*4+bx, mby*4+by, nz > 0, h264.MV{}, 0)
+		}
+	}
+	// Chroma 8×8 with DC prediction per plane.
+	cx0, cy0 := x0/2, y0/2
+	for _, pl := range []struct{ src, dst *h264.Plane }{{cf.Cb, recon.Cb}, {cf.Cr, recon.Cr}} {
+		dc := dcPredict(pl.dst, cx0, cy0, 8, topY/2)
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				var blk [16]int32
+				for j := 0; j < 4; j++ {
+					for i := 0; i < 4; i++ {
+						blk[j*4+i] = int32(pl.src.At(cx0+bx*4+i, cy0+by*4+j)) - int32(dc)
+					}
+				}
+				transform.TQ(&blk, qp)
+				sink.writeBlock(&blk)
+				transform.TQInv(&blk, qp)
+				for j := 0; j < 4; j++ {
+					for i := 0; i < 4; i++ {
+						pl.dst.Set(cx0+bx*4+i, cy0+by*4+j, transform.Clip255(int32(dc)+blk[j*4+i]))
+					}
+				}
+			}
+		}
+	}
+	bi.SetIntra(mbx, mby, true)
+}
+
+// codeChroma transforms, codes and reconstructs the two 8×8 chroma blocks
+// of an inter macroblock.
+func codeChroma(sink blockSink, cf, recon *h264.Frame, mbx, mby int, predCb, predCr *[64]uint8, qp int) {
+	cx0, cy0 := mbx*8, mby*8
+	for _, pl := range []struct {
+		src, dst *h264.Plane
+		pred     *[64]uint8
+	}{{cf.Cb, recon.Cb, predCb}, {cf.Cr, recon.Cr, predCr}} {
+		for by := 0; by < 2; by++ {
+			for bx := 0; bx < 2; bx++ {
+				var blk [16]int32
+				for j := 0; j < 4; j++ {
+					for i := 0; i < 4; i++ {
+						px := pl.pred[(by*4+j)*8+bx*4+i]
+						blk[j*4+i] = int32(pl.src.At(cx0+bx*4+i, cy0+by*4+j)) - int32(px)
+					}
+				}
+				transform.TQ(&blk, qp)
+				sink.writeBlock(&blk)
+				transform.TQInv(&blk, qp)
+				for j := 0; j < 4; j++ {
+					for i := 0; i < 4; i++ {
+						px := pl.pred[(by*4+j)*8+bx*4+i]
+						pl.dst.Set(cx0+bx*4+i, cy0+by*4+j, transform.Clip255(int32(px)+blk[j*4+i]))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"feves/internal/h264"
+)
+
+// TestCodecRoundTripQuick is the codec's property test: for random small
+// configurations (dimensions, search range, reference count, QPs, entropy
+// backend, slices, GOP structure) and random content, every encode decodes
+// bit-exactly to the encoder's reconstruction.
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Width:       16 * (2 + rng.Intn(3)),
+			Height:      16 * (2 + rng.Intn(3)),
+			SearchRange: 2 + rng.Intn(7),
+			NumRF:       1 + rng.Intn(3),
+			IQP:         10 + rng.Intn(35),
+			PQP:         10 + rng.Intn(35),
+			Entropy:     EntropyMode(rng.Intn(2)),
+			IntraPeriod: rng.Intn(4), // 0..3
+		}
+		rows := cfg.Height / 16
+		cfg.Slices = 1 + rng.Intn(rows)
+		if rng.Intn(3) == 0 {
+			cfg.Checksum = true
+		}
+		if rng.Intn(3) == 0 {
+			cfg.TargetBitsPerFrame = 2000 + rng.Intn(20000)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Logf("seed %d: invalid config generated: %v", seed, err)
+			return false
+		}
+		n := 2 + rng.Intn(3)
+		frames := movingScene(cfg.Width, cfg.Height, n, seed)
+		enc, err := NewEncoder(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		recons := make([]*h264.Frame, 0, n)
+		for _, fr := range frames {
+			if _, err := enc.EncodeFrame(fr); err != nil {
+				t.Logf("seed %d: encode: %v", seed, err)
+				return false
+			}
+			recons = append(recons, enc.LastRecon().Clone())
+		}
+		dec, err := NewDecoder(enc.Bitstream())
+		if err != nil {
+			t.Logf("seed %d: decoder: %v", seed, err)
+			return false
+		}
+		for i := 0; ; i++ {
+			df, err := dec.DecodeFrame()
+			if err == io.EOF {
+				return i == n
+			}
+			if err != nil {
+				t.Logf("seed %d frame %d: decode: %v", seed, i, err)
+				return false
+			}
+			if i >= n || !df.Equal(recons[i]) {
+				t.Logf("seed %d frame %d: reconstruction mismatch", seed, i)
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package codec
+
+import "fmt"
+
+// RateControl is a simple reactive constant-bitrate controller: it adjusts
+// the inter-frame QP after every coded frame to steer the per-frame bit
+// usage toward a target. The paper encodes at fixed QP (rate control lies
+// outside the inter-loop it balances), so this is an optional extension;
+// the chosen QP is signalled per frame as a delta against the sequence
+// header's PQP, keeping streams self-contained.
+type RateControl struct {
+	target       int
+	minQP, maxQP int
+	qp           int
+	// smoothing state: exponentially weighted recent bit usage
+	avgBits float64
+}
+
+// NewRateControl creates a controller targeting bitsPerFrame, starting at
+// initQP and clamped to [minQP, maxQP].
+func NewRateControl(bitsPerFrame, initQP, minQP, maxQP int) (*RateControl, error) {
+	if bitsPerFrame <= 0 {
+		return nil, fmt.Errorf("codec: rate-control target %d must be positive", bitsPerFrame)
+	}
+	if minQP < 0 || maxQP > 51 || minQP > maxQP {
+		return nil, fmt.Errorf("codec: rate-control QP bounds [%d,%d] invalid", minQP, maxQP)
+	}
+	if initQP < minQP {
+		initQP = minQP
+	}
+	if initQP > maxQP {
+		initQP = maxQP
+	}
+	return &RateControl{target: bitsPerFrame, minQP: minQP, maxQP: maxQP, qp: initQP}, nil
+}
+
+// QP returns the quantization parameter for the next inter frame.
+func (rc *RateControl) QP() int { return rc.qp }
+
+// Target returns the configured bits-per-frame goal.
+func (rc *RateControl) Target() int { return rc.target }
+
+// Update folds in the bit usage of the frame just coded and adapts the QP:
+// each QP step changes the quantizer step size by ~12% (2^(1/6)), so the
+// controller moves proportionally to the log of the usage ratio, one or
+// two steps at a time to avoid oscillation.
+func (rc *RateControl) Update(bitsUsed int) {
+	const alpha = 0.5
+	if rc.avgBits == 0 {
+		rc.avgBits = float64(bitsUsed)
+	} else {
+		rc.avgBits = alpha*float64(bitsUsed) + (1-alpha)*rc.avgBits
+	}
+	ratio := rc.avgBits / float64(rc.target)
+	switch {
+	case ratio > 2.0:
+		rc.qp += 2
+	case ratio > 1.10:
+		rc.qp++
+	case ratio < 0.5:
+		rc.qp -= 2
+	case ratio < 0.90:
+		rc.qp--
+	}
+	if rc.qp < rc.minQP {
+		rc.qp = rc.minQP
+	}
+	if rc.qp > rc.maxQP {
+		rc.qp = rc.maxQP
+	}
+}

@@ -1,0 +1,137 @@
+package codec
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRateControlValidation(t *testing.T) {
+	if _, err := NewRateControl(0, 28, 12, 51); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := NewRateControl(1000, 28, 40, 20); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	rc, err := NewRateControl(1000, 5, 12, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.QP() != 12 {
+		t.Fatalf("initial QP %d not clamped to min", rc.QP())
+	}
+	if rc.Target() != 1000 {
+		t.Fatal("target accessor wrong")
+	}
+}
+
+func TestRateControlDirection(t *testing.T) {
+	rc, _ := NewRateControl(10000, 28, 12, 51)
+	// Consistent overshoot raises QP.
+	for i := 0; i < 5; i++ {
+		rc.Update(40000)
+	}
+	if rc.QP() <= 28 {
+		t.Fatalf("QP %d did not rise under overshoot", rc.QP())
+	}
+	// Consistent undershoot lowers it again.
+	for i := 0; i < 20; i++ {
+		rc.Update(1000)
+	}
+	if rc.QP() >= 28 {
+		t.Fatalf("QP %d did not fall under undershoot", rc.QP())
+	}
+	// Bounds hold under extremes.
+	for i := 0; i < 100; i++ {
+		rc.Update(1 << 26)
+	}
+	if rc.QP() != 51 {
+		t.Fatalf("QP %d not clamped to max", rc.QP())
+	}
+	for i := 0; i < 100; i++ {
+		rc.Update(1)
+	}
+	if rc.QP() != 12 {
+		t.Fatalf("QP %d not clamped to min", rc.QP())
+	}
+}
+
+func TestRateControlConvergesOnSequence(t *testing.T) {
+	const w, h, n = 96, 96, 40
+	const target = 9000 // bits per frame
+	frames := movingScene(w, h, n, 61)
+	cfg := testConfig(w, h)
+	cfg.TargetBitsPerFrame = target
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lateBits, lateFrames int
+	for i, f := range frames {
+		stats, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= n/2 && !stats.Intra {
+			lateBits += stats.Bits
+			lateFrames++
+		}
+	}
+	avg := float64(lateBits) / float64(lateFrames)
+	if avg < target*0.6 || avg > target*1.4 {
+		t.Fatalf("steady bits/frame %.0f not near target %d", avg, target)
+	}
+	// Rate-controlled streams still decode bit-exactly.
+	dec, err := NewDecoder(enc.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		df, err := dec.DecodeFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+		if count == n && !df.Equal(enc.LastRecon()) {
+			t.Fatal("rate-controlled stream does not round-trip")
+		}
+	}
+	if count != n {
+		t.Fatalf("decoded %d frames, want %d", count, n)
+	}
+}
+
+func TestRateControlChangesQPOverTime(t *testing.T) {
+	// Start far from the achievable operating point so the controller must
+	// actually move the QP.
+	const w, h = 64, 64
+	frames := movingScene(w, h, 10, 62)
+	cfg := testConfig(w, h)
+	cfg.PQP = 12 // very fine quantization ⇒ initial overshoot
+	cfg.TargetBitsPerFrame = 4000
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := -1, -1
+	for i, f := range frames {
+		stats, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Intra {
+			continue
+		}
+		if first < 0 {
+			first = stats.Bits
+		}
+		last = stats.Bits
+		_ = i
+	}
+	if last >= first {
+		t.Fatalf("controller did not reduce frame size: first %d, last %d", first, last)
+	}
+}

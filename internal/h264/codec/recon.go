@@ -1,0 +1,32 @@
+package codec
+
+import (
+	"feves/internal/h264"
+	"feves/internal/h264/transform"
+)
+
+// dqInvRecon dequantizes and inverse-transforms a residual block and adds a
+// constant (DC) prediction, writing the reconstructed 4×4 block into plane
+// p at (x0, y0).
+func dqInvRecon(blk *[16]int32, qp int, p *h264.Plane, x0, y0 int, dc uint8) {
+	transform.TQInv(blk, qp)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			p.Set(x0+i, y0+j, transform.Clip255(int32(dc)+blk[j*4+i]))
+		}
+	}
+}
+
+// dqInvReconPred dequantizes and inverse-transforms a residual block and
+// adds the prediction samples pred (a stride-wide macroblock buffer),
+// writing the reconstruction into plane p at (x0, y0). (px0, py0) locate
+// the block inside the prediction buffer.
+func dqInvReconPred(blk *[16]int32, qp int, p *h264.Plane, x0, y0 int, pred []uint8, px0, py0, stride int) {
+	transform.TQInv(blk, qp)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			pv := pred[(py0+j)*stride+px0+i]
+			p.Set(x0+i, y0+j, transform.Clip255(int32(pv)+blk[j*4+i]))
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package codec
+
+import (
+	"feves/internal/h264"
+	"feves/internal/h264/deblock"
+	"feves/internal/h264/entropy"
+	"feves/internal/h264/mc"
+	"feves/internal/h264/rd"
+	"feves/internal/h264/transform"
+)
+
+// RunRStar executes the R* module group of the paper — Motion Compensation
+// (with partitioning-mode decision), Transform and Quantization, entropy
+// coding, Dequantization and Inverse Transform (reconstruction), and
+// Deblocking Filtering — sequentially, as on the single device the load
+// balancer assigns R* to. It pushes the reconstructed frame into the DPB
+// and returns the frame statistics.
+func (e *Encoder) RunRStar(job *FrameJob) rd.FrameStats {
+	if !job.intComplete {
+		panic("codec: RunRStar before CompleteINT")
+	}
+	cf := job.CF
+	qp := e.frameQP()
+	startBits := e.w.Len()
+
+	dec := mc.DecideFrame(job.SME, qp)
+	if e.cfg.SceneCutThreshold > 0 && meanCostPerPixel(dec) > e.cfg.SceneCutThreshold {
+		// Inter prediction failed across the frame (scene change): discard
+		// the motion search and code an IDR instead. The decoder sees an
+		// ordinary intra frame.
+		stats, err := e.EncodeIntraFrame(cf)
+		if err != nil {
+			// cf was already validated by BeginFrame; this cannot happen.
+			panic(err)
+		}
+		return stats
+	}
+	recon := h264.NewFrame(cf.W, cf.H)
+	bi := deblock.NewBlockInfo(cf.W, cf.H)
+	mbw, mbh := cf.MBWidth(), cf.MBHeight()
+
+	refs := make([]*h264.Frame, e.dpb.Len())
+	for i := range refs {
+		refs[i] = e.dpb.Ref(i)
+	}
+	sfs := e.sfsPadded()
+
+	e.w.WriteUE(1)                     // frame type: P
+	e.w.WriteSE(int32(qp - e.cfg.PQP)) // per-frame QP delta (rate control)
+
+	// Header bits and residual blocks may go to different sinks: with the
+	// arithmetic backend the residual forms one independent chunk per
+	// slice, emitted before the header region (see assembleFrame).
+	starts := sliceStarts(mbh, e.cfg.sliceCount())
+	hw, sinks := e.beginFrameEntropy(len(starts))
+	repMV := make([]h264.MV, mbw*mbh)
+	for mby := 0; mby < mbh; mby++ {
+		topRow := sliceTopRow(starts, mby)
+		sink := sinks[sliceIndex(starts, mby)]
+		for mbx := 0; mbx < mbw; mbx++ {
+			d := dec.At(mbx, mby)
+			// Macroblock header: mode, then per-partition ref and MVD
+			// against the slice-local median predictor.
+			pred := mc.MedianPredictorSlice(repMV, mbw, mbx, mby, topRow)
+			hw.WriteUE(uint32(d.Mode))
+			for k := 0; k < d.Mode.Count(); k++ {
+				hw.WriteUE(uint32(d.Ref[k]))
+				hw.WriteSE(int32(d.MV[k].X - pred.X))
+				hw.WriteSE(int32(d.MV[k].Y - pred.Y))
+			}
+			repMV[mby*mbw+mbx] = d.MV[0]
+
+			var predY [256]uint8
+			var predCb, predCr [64]uint8
+			mc.PredictMB(d, sfs, refs, mbx, mby, &predY, &predCb, &predCr)
+			codeInterMB(sink, cf, recon, bi, d, mbx, mby, &predY, &predCb, &predCr, qp)
+		}
+	}
+	e.assembleFrame(hw, sinks)
+
+	deblock.FilterFrame(recon, bi, qp)
+	if e.cfg.Checksum {
+		e.w.WriteBits(reconCRC(recon), 32)
+	}
+	recon.Poc = cf.Poc
+	e.dpb.Push(recon)
+	e.frames++
+
+	y, cb, cr := rd.FramePSNR(cf, recon)
+	bits := e.w.Len() - startBits
+	if e.rc != nil {
+		e.rc.Update(bits)
+	}
+	return rd.FrameStats{
+		Poc: cf.Poc, Intra: false,
+		Bits:  bits,
+		PSNRY: y, PSNRCb: cb, PSNRCr: cr,
+	}
+}
+
+// meanCostPerPixel averages the mode-decision cost (SAD + λ·rate) over
+// the frame's pixels — the scene-cut detector's signal.
+func meanCostPerPixel(dec *mc.Decision) float64 {
+	var total float64
+	for i := range dec.MBs {
+		total += float64(dec.MBs[i].Cost)
+	}
+	return total / float64(len(dec.MBs)*h264.MBSize*h264.MBSize)
+}
+
+// sliceIndex returns the index of the slice containing row mby.
+func sliceIndex(starts []int, mby int) int {
+	idx := 0
+	for i, st := range starts {
+		if st <= mby {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// beginFrameEntropy returns the header writer and one residual sink per
+// slice. With the VLC backend everything goes to the main bitstream
+// (headers and blocks interleave exactly as in the Baseline-profile
+// layout, and the stateless VLC needs no per-slice isolation); with the
+// arithmetic backend headers accumulate in a side writer and every slice
+// gets an independent arithmetic chunk with fresh contexts.
+func (e *Encoder) beginFrameEntropy(slices int) (*entropy.BitWriter, []blockSink) {
+	sinks := make([]blockSink, slices)
+	if e.cfg.Entropy == EntropyArith {
+		for i := range sinks {
+			sinks[i] = arithSink{
+				e:  entropy.NewArithEncoder(),
+				rc: entropy.NewResidualContexts(),
+			}
+		}
+		return entropy.NewBitWriter(), sinks
+	}
+	for i := range sinks {
+		sinks[i] = vlcSink{e.w}
+	}
+	return e.w, sinks
+}
+
+// assembleFrame finalizes one frame's payload in the main bitstream: with
+// VLC everything is already in place; with the arithmetic backend each
+// slice's chunk (length-prefixed, byte-aligned) and then the header region
+// are appended.
+func (e *Encoder) assembleFrame(hw *entropy.BitWriter, sinks []blockSink) {
+	if _, ok := sinks[0].(arithSink); ok {
+		for _, sk := range sinks {
+			chunk := sk.(arithSink).e.Finish()
+			e.w.WriteUE(uint32(len(chunk)))
+			e.w.AlignByte()
+			e.w.WriteBytes(chunk)
+		}
+		e.w.WriteBytes(hw.Bytes()) // Bytes() zero-pads hw to a boundary
+		return
+	}
+	e.w.AlignByte()
+}
+
+// codeInterMB transforms, quantizes, entropy-codes and reconstructs the
+// residual of one inter macroblock, recording the deblocking block state.
+func codeInterMB(sink blockSink, cf, recon *h264.Frame, bi *deblock.BlockInfo,
+	d *h264.MBDecision, mbx, mby int,
+	predY *[256]uint8, predCb, predCr *[64]uint8, qp int) {
+
+	x0, y0 := mbx*h264.MBSize, mby*h264.MBSize
+	// Luma: sixteen 4×4 blocks in raster order.
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			var blk [16]int32
+			for j := 0; j < 4; j++ {
+				for i := 0; i < 4; i++ {
+					px := predY[(by*4+j)*16+bx*4+i]
+					blk[j*4+i] = int32(cf.Y.At(x0+bx*4+i, y0+by*4+j)) - int32(px)
+				}
+			}
+			nz := transform.TQ(&blk, qp)
+			sink.writeBlock(&blk)
+			transform.TQInv(&blk, qp)
+			for j := 0; j < 4; j++ {
+				for i := 0; i < 4; i++ {
+					px := predY[(by*4+j)*16+bx*4+i]
+					recon.Y.Set(x0+bx*4+i, y0+by*4+j, transform.Clip255(int32(px)+blk[j*4+i]))
+				}
+			}
+			k := partForBlock(d.Mode, bx, by)
+			bi.SetBlock(mbx*4+bx, mby*4+by, nz > 0, d.MV[k], d.Ref[k])
+		}
+	}
+	codeChroma(sink, cf, recon, mbx, mby, predCb, predCr, qp)
+	bi.SetIntra(mbx, mby, false)
+}

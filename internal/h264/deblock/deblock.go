@@ -1,0 +1,313 @@
+// Package deblock implements the DBL inter-loop module of the FEVES
+// reproduction: the H.264/AVC in-loop deblocking filter with the standard
+// α/β thresholds and tc0 clipping tables, boundary-strength derivation from
+// coding mode, coded coefficients, reference indexes and motion-vector
+// differences, and the normal (bS 1–3) and strong (bS 4) edge filters for
+// luma and chroma.
+//
+// Macroblocks are filtered in raster order (vertical edges, then horizontal
+// edges), which is why the paper assigns DBL — with its cross-macroblock
+// dependencies — to the single-device R* group rather than load-balancing
+// it across devices.
+package deblock
+
+import (
+	"feves/internal/h264"
+)
+
+// alphaTab and betaTab are the edge-activity thresholds of Table 8-16 of
+// the H.264/AVC standard, indexed by QP (no offset support).
+var alphaTab = [52]int32{
+	0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	4, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 17, 20, 22, 25, 28,
+	32, 36, 40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144,
+	162, 182, 203, 226, 255, 255,
+}
+
+var betaTab = [52]int32{
+	0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8, 8,
+	9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15,
+	16, 16, 17, 17, 18, 18,
+}
+
+// tc0Tab is the clipping table of Table 8-17, indexed by QP and bS−1.
+var tc0Tab = [52][3]int32{
+	{0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0},
+	{0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0},
+	{0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 1},
+	{0, 0, 1}, {0, 0, 1}, {0, 0, 1}, {0, 1, 1}, {0, 1, 1}, {1, 1, 1},
+	{1, 1, 1}, {1, 1, 1}, {1, 1, 1}, {1, 1, 2}, {1, 1, 2}, {1, 1, 2},
+	{1, 1, 2}, {1, 2, 3}, {1, 2, 3}, {2, 2, 3}, {2, 2, 4}, {2, 3, 4},
+	{2, 3, 4}, {3, 3, 5}, {3, 4, 6}, {3, 4, 6}, {4, 5, 7}, {4, 5, 8},
+	{5, 6, 9}, {6, 7, 10}, {6, 8, 11}, {7, 9, 13}, {8, 10, 14},
+	{9, 12, 16}, {10, 13, 18}, {11, 15, 20}, {13, 17, 23}, {14, 19, 25},
+}
+
+// BlockInfo carries the per-4×4-block coding state the filter needs to
+// derive boundary strengths. Block (bx, by) covers luma pixels
+// [4bx, 4bx+4) × [4by, 4by+4).
+type BlockInfo struct {
+	BW, BH int       // grid size in 4×4 blocks
+	MBW    int       // macroblocks per row (BW/4)
+	NZ     []bool    // non-zero coded coefficients per block
+	MV     []h264.MV // quarter-pel vector per block
+	Ref    []uint8   // reference index per block
+	Intra  []bool    // per macroblock
+}
+
+// NewBlockInfo allocates the coding-state grid for a w×h frame.
+func NewBlockInfo(w, h int) *BlockInfo {
+	bw, bh := w/4, h/4
+	mbw := w / h264.MBSize
+	n := bw * bh
+	return &BlockInfo{
+		BW: bw, BH: bh, MBW: mbw,
+		NZ:    make([]bool, n),
+		MV:    make([]h264.MV, n),
+		Ref:   make([]uint8, n),
+		Intra: make([]bool, mbw*(h/h264.MBSize)),
+	}
+}
+
+func (bi *BlockInfo) idx(bx, by int) int { return by*bi.BW + bx }
+
+// SetBlock records the state of 4×4 block (bx, by).
+func (bi *BlockInfo) SetBlock(bx, by int, nz bool, mv h264.MV, ref uint8) {
+	i := bi.idx(bx, by)
+	bi.NZ[i] = nz
+	bi.MV[i] = mv
+	bi.Ref[i] = ref
+}
+
+// SetIntra marks macroblock (mbx, mby) as intra coded.
+func (bi *BlockInfo) SetIntra(mbx, mby int, intra bool) {
+	bi.Intra[mby*bi.MBW+mbx] = intra
+}
+
+func (bi *BlockInfo) intraAtBlock(bx, by int) bool {
+	return bi.Intra[(by/4)*bi.MBW+bx/4]
+}
+
+// BoundaryStrength derives bS for the edge between 4×4 blocks p and q
+// (block coordinates; q is to the right of or below p). mbEdge reports
+// whether the edge coincides with a macroblock boundary.
+func (bi *BlockInfo) BoundaryStrength(pbx, pby, qbx, qby int, mbEdge bool) int {
+	if bi.intraAtBlock(pbx, pby) || bi.intraAtBlock(qbx, qby) {
+		if mbEdge {
+			return 4
+		}
+		return 3
+	}
+	p, q := bi.idx(pbx, pby), bi.idx(qbx, qby)
+	if bi.NZ[p] || bi.NZ[q] {
+		return 2
+	}
+	if bi.Ref[p] != bi.Ref[q] {
+		return 1
+	}
+	dx := int32(bi.MV[p].X) - int32(bi.MV[q].X)
+	dy := int32(bi.MV[p].Y) - int32(bi.MV[q].Y)
+	if dx >= 4 || dx <= -4 || dy >= 4 || dy <= -4 {
+		return 1
+	}
+	return 0
+}
+
+// FilterFrame applies the in-loop filter to the reconstructed frame in
+// place. Macroblocks are processed in raster order; within each macroblock
+// all vertical edges are filtered before the horizontal edges, per clause
+// 8.7 of the standard.
+func FilterFrame(f *h264.Frame, bi *BlockInfo, qp int) {
+	mbw, mbh := f.MBWidth(), f.MBHeight()
+	for mby := 0; mby < mbh; mby++ {
+		for mbx := 0; mbx < mbw; mbx++ {
+			filterMB(f, bi, qp, mbx, mby)
+		}
+	}
+	f.ExtendBorders()
+}
+
+func filterMB(f *h264.Frame, bi *BlockInfo, qp int, mbx, mby int) {
+	// Vertical luma edges at x offsets 0, 4, 8, 12.
+	for e := 0; e < 4; e++ {
+		x := mbx*16 + e*4
+		if x == 0 {
+			continue // picture boundary
+		}
+		for seg := 0; seg < 4; seg++ {
+			y := mby*16 + seg*4
+			bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
+			if bs == 0 {
+				continue
+			}
+			for r := 0; r < 4; r++ {
+				filterLumaV(f.Y, x, y+r, bs, qp)
+			}
+		}
+	}
+	// Horizontal luma edges at y offsets 0, 4, 8, 12.
+	for e := 0; e < 4; e++ {
+		y := mby*16 + e*4
+		if y == 0 {
+			continue
+		}
+		for seg := 0; seg < 4; seg++ {
+			x := mbx*16 + seg*4
+			bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
+			if bs == 0 {
+				continue
+			}
+			for c := 0; c < 4; c++ {
+				filterLumaH(f.Y, x+c, y, bs, qp)
+			}
+		}
+	}
+	// Chroma edges: luma edges 0 and 8 map to chroma 0 and 4.
+	for _, cp := range []*h264.Plane{f.Cb, f.Cr} {
+		for _, e := range []int{0, 8} {
+			x := mbx*16 + e
+			if x == 0 {
+				continue
+			}
+			for seg := 0; seg < 4; seg++ {
+				y := mby*16 + seg*4
+				bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
+				if bs == 0 {
+					continue
+				}
+				for r := 0; r < 2; r++ {
+					filterChromaV(cp, x/2, y/2+r, bs, qp)
+				}
+			}
+		}
+		for _, e := range []int{0, 8} {
+			y := mby*16 + e
+			if y == 0 {
+				continue
+			}
+			for seg := 0; seg < 4; seg++ {
+				x := mbx*16 + seg*4
+				bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
+				if bs == 0 {
+					continue
+				}
+				for c := 0; c < 2; c++ {
+					filterChromaH(cp, x/2+c, y/2, bs, qp)
+				}
+			}
+		}
+	}
+}
+
+func clip3(lo, hi, v int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clip255(v int32) uint8 {
+	return uint8(clip3(0, 255, v))
+}
+
+// filterLumaV filters one row of the vertical edge at column x: samples
+// p3..p0 are at x-4..x-1 and q0..q3 at x..x+3 of row y.
+func filterLumaV(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x+i, y)) }
+	set := func(i int, v uint8) { pl.Set(x+i, y, v) }
+	filterLumaEdge(get, set, bs, qp)
+}
+
+// filterLumaH filters one column of the horizontal edge at row y.
+func filterLumaH(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x, y+i)) }
+	set := func(i int, v uint8) { pl.Set(x, y+i, v) }
+	filterLumaEdge(get, set, bs, qp)
+}
+
+// filterLumaEdge implements clauses 8.7.2.3/8.7.2.4: get/set address
+// samples relative to the edge, index −1 is p0 and index 0 is q0.
+func filterLumaEdge(get func(int) int32, set func(int, uint8), bs, qp int) {
+	alpha, beta := alphaTab[qp], betaTab[qp]
+	p0, p1, p2, p3 := get(-1), get(-2), get(-3), get(-4)
+	q0, q1, q2, q3 := get(0), get(1), get(2), get(3)
+	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
+		return
+	}
+	ap, aq := abs32(p2-p0), abs32(q2-q0)
+	if bs == 4 {
+		if ap < beta && abs32(p0-q0) < (alpha>>2)+2 {
+			set(-1, clip255((p2+2*p1+2*p0+2*q0+q1+4)>>3))
+			set(-2, clip255((p2+p1+p0+q0+2)>>2))
+			set(-3, clip255((2*p3+3*p2+p1+p0+q0+4)>>3))
+		} else {
+			set(-1, clip255((2*p1+p0+q1+2)>>2))
+		}
+		if aq < beta && abs32(p0-q0) < (alpha>>2)+2 {
+			set(0, clip255((q2+2*q1+2*q0+2*p0+p1+4)>>3))
+			set(1, clip255((q2+q1+q0+p0+2)>>2))
+			set(2, clip255((2*q3+3*q2+q1+q0+p0+4)>>3))
+		} else {
+			set(0, clip255((2*q1+q0+p1+2)>>2))
+		}
+		return
+	}
+	tc0 := tc0Tab[qp][bs-1]
+	tc := tc0
+	if ap < beta {
+		tc++
+	}
+	if aq < beta {
+		tc++
+	}
+	delta := clip3(-tc, tc, ((q0-p0)<<2+(p1-q1)+4)>>3)
+	set(-1, clip255(p0+delta))
+	set(0, clip255(q0-delta))
+	if ap < beta {
+		set(-2, clip255(p1+clip3(-tc0, tc0, (p2+((p0+q0+1)>>1)-2*p1)>>1)))
+	}
+	if aq < beta {
+		set(1, clip255(q1+clip3(-tc0, tc0, (q2+((p0+q0+1)>>1)-2*q1)>>1)))
+	}
+}
+
+func filterChromaV(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x+i, y)) }
+	set := func(i int, v uint8) { pl.Set(x+i, y, v) }
+	filterChromaEdge(get, set, bs, qp)
+}
+
+func filterChromaH(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x, y+i)) }
+	set := func(i int, v uint8) { pl.Set(x, y+i, v) }
+	filterChromaEdge(get, set, bs, qp)
+}
+
+func filterChromaEdge(get func(int) int32, set func(int, uint8), bs, qp int) {
+	alpha, beta := alphaTab[qp], betaTab[qp]
+	p0, p1 := get(-1), get(-2)
+	q0, q1 := get(0), get(1)
+	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
+		return
+	}
+	if bs == 4 {
+		set(-1, clip255((2*p1+p0+q1+2)>>2))
+		set(0, clip255((2*q1+q0+p1+2)>>2))
+		return
+	}
+	tc := tc0Tab[qp][bs-1] + 1
+	delta := clip3(-tc, tc, ((q0-p0)<<2+(p1-q1)+4)>>3)
+	set(-1, clip255(p0+delta))
+	set(0, clip255(q0-delta))
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,12 @@
+// Package h264 provides the core data structures shared by all inter-loop
+// video encoding modules of the FEVES reproduction: YUV 4:2:0 frames, padded
+// luma/chroma planes, macroblock and partition geometry, motion-vector
+// fields, and the decoded-picture buffer that holds reference frames.
+//
+// The actual inter-loop modules live in the subpackages me (full-search
+// block-matching motion estimation), interp (half/quarter-pel sub-pixel
+// interpolation), sme (sub-pixel motion estimation), mc (mode decision and
+// motion compensation), transform (integer transform and quantization),
+// deblock (in-loop deblocking filter), entropy (Exp-Golomb and run-level
+// residual coding) and rd (rate/distortion accounting).
+package h264

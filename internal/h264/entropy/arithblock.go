@@ -1,0 +1,167 @@
+package entropy
+
+// Context-modelled residual coding for 4×4 transform blocks on top of the
+// binary arithmetic coder — the CABAC-style counterpart of WriteBlock4x4.
+// The syntax per block is:
+//
+//	coded_block_flag            (1 context)
+//	for each scan position p while not last:
+//	    significant_flag[p]     (per-position context)
+//	    if significant:
+//	        last_flag[p]        (per-position context)
+//	        sign                (bypass)
+//	        |level|-1           unary prefix ≤ 8 under level contexts,
+//	                            then order-0 Exp-Golomb suffix on bypass
+//
+// Contexts adapt within a frame and reset at frame boundaries, so streams
+// remain independently decodable per frame.
+
+// ResidualContexts holds the adaptive models for one coding direction.
+type ResidualContexts struct {
+	cbf   Context
+	sig   [16]Context
+	last  [16]Context
+	level [4]Context
+}
+
+// NewResidualContexts returns freshly initialized models.
+func NewResidualContexts() *ResidualContexts {
+	rc := &ResidualContexts{}
+	rc.Reset()
+	return rc
+}
+
+// Reset re-initializes every context (frame boundary).
+func (rc *ResidualContexts) Reset() {
+	rc.cbf.Reset()
+	for i := range rc.sig {
+		rc.sig[i].Reset()
+		rc.last[i].Reset()
+	}
+	for i := range rc.level {
+		rc.level[i].Reset()
+	}
+}
+
+const levelPrefixMax = 8
+
+// EncodeBlock4x4 codes a raster-ordered quantized block.
+func (rc *ResidualContexts) EncodeBlock4x4(e *ArithEncoder, coefs *[16]int32) {
+	var scan [16]int32
+	lastSig := -1
+	for raster, c := range coefs {
+		p := invZigZag4x4[raster]
+		scan[p] = c
+		if c != 0 && p > lastSig {
+			lastSig = p
+		}
+	}
+	if lastSig < 0 {
+		e.EncodeBit(&rc.cbf, 0)
+		return
+	}
+	e.EncodeBit(&rc.cbf, 1)
+	for p := 0; p <= lastSig; p++ {
+		if scan[p] == 0 {
+			e.EncodeBit(&rc.sig[p], 0)
+			continue
+		}
+		e.EncodeBit(&rc.sig[p], 1)
+		if p == lastSig {
+			e.EncodeBit(&rc.last[p], 1)
+		} else {
+			e.EncodeBit(&rc.last[p], 0)
+		}
+		v := scan[p]
+		var sign uint32
+		if v < 0 {
+			sign = 1
+			v = -v
+		}
+		e.EncodeBypass(sign)
+		rc.encodeMagnitude(e, uint32(v-1))
+	}
+}
+
+// encodeMagnitude codes v ≥ 0 with a context-modelled truncated-unary
+// prefix and an Exp-Golomb bypass suffix.
+func (rc *ResidualContexts) encodeMagnitude(e *ArithEncoder, v uint32) {
+	prefix := v
+	if prefix > levelPrefixMax {
+		prefix = levelPrefixMax
+	}
+	for i := uint32(0); i < prefix; i++ {
+		e.EncodeBit(rc.levelCtx(i), 1)
+	}
+	if prefix < levelPrefixMax {
+		e.EncodeBit(rc.levelCtx(prefix), 0)
+		return
+	}
+	// Escape: Exp-Golomb order 0 of the remainder on the bypass path.
+	rem := v - levelPrefixMax
+	n := uint(bitLen32(rem + 1))
+	for i := uint(1); i < n; i++ {
+		e.EncodeBypass(0)
+	}
+	e.EncodeBypassBits(rem+1, n)
+}
+
+func (rc *ResidualContexts) levelCtx(i uint32) *Context {
+	if i >= uint32(len(rc.level)) {
+		i = uint32(len(rc.level)) - 1
+	}
+	return &rc.level[i]
+}
+
+// DecodeBlock4x4 decodes a block coded by EncodeBlock4x4 into coefs
+// (raster order). It returns false when the syntax is corrupt (e.g. a
+// significant coefficient beyond the block end).
+func (rc *ResidualContexts) DecodeBlock4x4(d *ArithDecoder, coefs *[16]int32) bool {
+	*coefs = [16]int32{}
+	if d.DecodeBit(&rc.cbf) == 0 {
+		return true
+	}
+	for p := 0; p < 16; p++ {
+		if d.DecodeBit(&rc.sig[p]) == 0 {
+			if p == 15 {
+				return false // a coded block must have a significant coef
+			}
+			continue
+		}
+		last := d.DecodeBit(&rc.last[p]) == 1
+		sign := d.DecodeBypass()
+		mag, ok := rc.decodeMagnitude(d)
+		if !ok {
+			return false
+		}
+		v := int32(mag) + 1
+		if sign == 1 {
+			v = -v
+		}
+		coefs[ZigZag4x4[p]] = v
+		if last {
+			return true
+		}
+	}
+	return false // ran off the block without a last flag
+}
+
+func (rc *ResidualContexts) decodeMagnitude(d *ArithDecoder) (uint32, bool) {
+	var prefix uint32
+	for prefix < levelPrefixMax {
+		if d.DecodeBit(rc.levelCtx(prefix)) == 0 {
+			return prefix, true
+		}
+		prefix++
+	}
+	// Escape suffix: Exp-Golomb order 0 on bypass.
+	zeros := uint(0)
+	for d.DecodeBypass() == 0 {
+		zeros++
+		if zeros > 30 {
+			return 0, false
+		}
+	}
+	info := d.DecodeBypassBits(zeros)
+	return levelPrefixMax + (1<<zeros | info) - 1, true
+}

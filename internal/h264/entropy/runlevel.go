@@ -1,0 +1,97 @@
+package entropy
+
+// ZigZag4x4 is the H.264/AVC zig-zag scan order for 4×4 transform blocks:
+// it maps scan position to raster index so that low-frequency coefficients
+// come first and trailing zeros compress into a single end-of-block code.
+var ZigZag4x4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}
+
+// invZigZag4x4 maps raster index to scan position.
+var invZigZag4x4 [16]int
+
+func init() {
+	for scan, raster := range ZigZag4x4 {
+		invZigZag4x4[raster] = scan
+	}
+}
+
+// WriteBlock4x4 encodes a quantized 4×4 coefficient block (raster order)
+// with a CAVLC-style run-level scheme: total number of non-zero
+// coefficients as ue(v), then for each non-zero coefficient in zig-zag
+// order its zero-run length (ue) and level (se). An all-zero block costs a
+// single ue(0) bit.
+func (w *BitWriter) WriteBlock4x4(coefs *[16]int32) {
+	var scan [16]int32
+	nz := 0
+	for raster, c := range coefs {
+		scan[invZigZag4x4[raster]] = c
+		if c != 0 {
+			nz++
+		}
+	}
+	w.WriteUE(uint32(nz))
+	run := 0
+	for _, c := range scan {
+		if c == 0 {
+			run++
+			continue
+		}
+		w.WriteUE(uint32(run))
+		w.WriteSE(c)
+		run = 0
+	}
+}
+
+// ReadBlock4x4 decodes a block written by WriteBlock4x4 into coefs
+// (raster order).
+func (r *BitReader) ReadBlock4x4(coefs *[16]int32) error {
+	*coefs = [16]int32{}
+	nz, err := r.ReadUE()
+	if err != nil {
+		return err
+	}
+	if nz > 16 {
+		return ErrUnexpectedEOF
+	}
+	pos := 0
+	for i := uint32(0); i < nz; i++ {
+		run, err := r.ReadUE()
+		if err != nil {
+			return err
+		}
+		pos += int(run)
+		if pos >= 16 {
+			return ErrUnexpectedEOF
+		}
+		level, err := r.ReadSE()
+		if err != nil {
+			return err
+		}
+		coefs[ZigZag4x4[pos]] = level
+		pos++
+	}
+	return nil
+}
+
+// Block4x4Bits returns the exact bit cost of coding the block, without
+// writing it.
+func Block4x4Bits(coefs *[16]int32) int {
+	var scan [16]int32
+	nz := 0
+	for raster, c := range coefs {
+		scan[invZigZag4x4[raster]] = c
+		if c != 0 {
+			nz++
+		}
+	}
+	bits := UEBits(uint32(nz))
+	run := 0
+	for _, c := range scan {
+		if c == 0 {
+			run++
+			continue
+		}
+		bits += UEBits(uint32(run)) + SEBits(c)
+		run = 0
+	}
+	return bits
+}

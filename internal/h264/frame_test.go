@@ -1,0 +1,122 @@
+package h264
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewFrameGeometry(t *testing.T) {
+	f := NewFrame(64, 48)
+	if f.MBWidth() != 4 || f.MBHeight() != 3 {
+		t.Fatalf("MB grid = %dx%d, want 4x3", f.MBWidth(), f.MBHeight())
+	}
+	if f.Cb.W != 32 || f.Cb.H != 24 || f.Cr.W != 32 || f.Cr.H != 24 {
+		t.Fatal("chroma planes are not quarter size")
+	}
+}
+
+func TestNewFramePanicsOnNonMBMultiple(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple-of-16 size")
+		}
+	}()
+	NewFrame(60, 48)
+}
+
+func TestFrameYUVRoundTrip(t *testing.T) {
+	f := NewFrame(32, 32)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]uint8, 32*32*3/2)
+	rng.Read(data)
+	if err := f.LoadYUV(data); err != nil {
+		t.Fatal(err)
+	}
+	out := f.PackedYUV()
+	if len(out) != len(data) {
+		t.Fatalf("packed length = %d, want %d", len(out), len(data))
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+}
+
+func TestFrameLoadYUVSizeError(t *testing.T) {
+	f := NewFrame(16, 16)
+	if err := f.LoadYUV(make([]uint8, 10)); err == nil {
+		t.Fatal("expected error on short buffer")
+	}
+}
+
+func TestFrameEqualAndClone(t *testing.T) {
+	a := NewFrame(32, 16)
+	data := make([]uint8, 32*16*3/2)
+	for i := range data {
+		data[i] = uint8(i)
+	}
+	if err := a.LoadYUV(data); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should be equal")
+	}
+	b.Cr.Set(0, 0, b.Cr.At(0, 0)+1)
+	if a.Equal(b) {
+		t.Fatal("chroma mutation should break equality")
+	}
+}
+
+func TestDPBEvictionOrder(t *testing.T) {
+	d := NewDPB(3)
+	if d.Cap() != 3 || d.Len() != 0 {
+		t.Fatal("fresh DPB state wrong")
+	}
+	var frames []*Frame
+	for i := 0; i < 5; i++ {
+		f := NewFrame(16, 16)
+		f.Poc = i
+		frames = append(frames, f)
+		d.Push(f)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	// Most recent first: POC 4, 3, 2.
+	for i, want := range []int{4, 3, 2} {
+		if d.Ref(i).Poc != want {
+			t.Errorf("Ref(%d).Poc = %d, want %d", i, d.Ref(i).Poc, want)
+		}
+	}
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatal("Clear did not empty DPB")
+	}
+}
+
+func TestDPBRampUp(t *testing.T) {
+	// The paper's Fig. 7(b) relies on the DPB holding fewer frames than its
+	// capacity during the first inter-frames.
+	d := NewDPB(5)
+	for i := 1; i <= 7; i++ {
+		d.Push(NewFrame(16, 16))
+		want := i
+		if want > 5 {
+			want = 5
+		}
+		if d.Len() != want {
+			t.Fatalf("after %d pushes Len = %d, want %d", i, d.Len(), want)
+		}
+	}
+}
+
+func TestDPBCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDPB(0) should panic")
+		}
+	}()
+	NewDPB(0)
+}

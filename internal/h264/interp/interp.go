@@ -1,0 +1,207 @@
+// Package interp implements the INT inter-loop module of the FEVES
+// reproduction: half-pel interpolation of reference frames with the 6-tap
+// H.264/AVC filter (1, −5, 20, 20, −5, 1)/32 and quarter-pel interpolation
+// by bilinear averaging, producing the Sub-pixel interpolated Frame (SF)
+// structure — 16 sub-position planes per reference frame, "as large as 16
+// RFs" in the paper's words.
+//
+// Interpolation is row-sliceable: InterpolateRows fills only the requested
+// macroblock rows and is bit-exact regardless of how rows are distributed
+// across devices, which is what makes the module safe to load-balance.
+package interp
+
+import (
+	"fmt"
+
+	"feves/internal/h264"
+)
+
+// SubFrame holds the 16 quarter-pel sub-position planes of one interpolated
+// reference frame. Plane index is fy*4+fx for fractional offsets fx, fy in
+// quarter-pel units; plane 0 is the integer-position plane (a copy of the
+// reference frame's luma).
+type SubFrame struct {
+	W, H   int
+	Planes [16]*h264.Plane
+}
+
+// NewSubFrame allocates the 16 sub-position planes for a w×h luma plane.
+func NewSubFrame(w, h int) *SubFrame {
+	sf := &SubFrame{W: w, H: h}
+	for i := range sf.Planes {
+		sf.Planes[i] = h264.NewPlane(w, h, h264.DefaultPad)
+	}
+	return sf
+}
+
+// Sample returns the luma sample at quarter-pel position (x4, y4), where
+// integer position (x, y) corresponds to (4x, 4y). Positions inside the
+// padded border are valid.
+func (sf *SubFrame) Sample(x4, y4 int) uint8 {
+	fx, fy := x4&3, y4&3
+	return sf.Planes[fy*4+fx].At(x4>>2, y4>>2)
+}
+
+// Equal reports whether two sub-frames agree on all 16 picture areas.
+func (sf *SubFrame) Equal(o *SubFrame) bool {
+	if sf.W != o.W || sf.H != o.H {
+		return false
+	}
+	for i := range sf.Planes {
+		if !sf.Planes[i].Equal(o.Planes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualRows reports whether two sub-frames agree on macroblock rows
+// [rowLo, rowHi) of all 16 planes.
+func (sf *SubFrame) EqualRows(o *SubFrame, rowLo, rowHi int) bool {
+	if sf.W != o.W || sf.H != o.H {
+		return false
+	}
+	for p := range sf.Planes {
+		for y := rowLo * h264.MBSize; y < rowHi*h264.MBSize; y++ {
+			a, b := sf.Planes[p].Row(y), o.Planes[p].Row(y)
+			for x := range a {
+				if a[x] != b[x] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ExtendBorders replicates edges of all 16 planes. Call once after every
+// picture row has been interpolated (the τ1 host-side assembly step).
+func (sf *SubFrame) ExtendBorders() {
+	for _, p := range sf.Planes {
+		p.ExtendBorder()
+	}
+}
+
+// sixTap applies the H.264 half-pel filter to six samples without rounding.
+func sixTap(a, b, c, d, e, f int32) int32 {
+	return a - 5*b + 20*c + 20*d - 5*e + f
+}
+
+func clip(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// Interpolate fills the whole sub-frame from the reference luma plane and
+// extends the borders. Equivalent to InterpolateRows over all rows followed
+// by ExtendBorders.
+func Interpolate(ref *h264.Plane, sf *SubFrame) {
+	InterpolateRows(ref, sf, 0, ref.H/h264.MBSize)
+	sf.ExtendBorders()
+}
+
+// InterpolateRows interpolates macroblock rows [rowLo, rowHi) of all 16
+// sub-position planes from the (border-extended) reference luma plane.
+// The computation only reads ref, so concurrent calls on disjoint row
+// ranges are safe and their union is bit-exact with a single full-frame
+// interpolation.
+func InterpolateRows(ref *h264.Plane, sf *SubFrame, rowLo, rowHi int) {
+	if ref.W != sf.W || ref.H != sf.H {
+		panic(fmt.Sprintf("interp: ref %dx%d vs SF %dx%d", ref.W, ref.H, sf.W, sf.H))
+	}
+	yLo, yHi := rowLo*h264.MBSize, rowHi*h264.MBSize
+	if yLo < 0 || yHi > ref.H || yLo >= yHi {
+		panic(fmt.Sprintf("interp: bad row range [%d,%d)", rowLo, rowHi))
+	}
+	w := ref.W
+
+	// Intermediate half-pel values are kept unrounded (int32) so that the
+	// centre position j is derived from unrounded horizontal values exactly
+	// as the standard specifies. We compute a halo of rows around the target
+	// range because the vertical filter and the quarter-pel averages of the
+	// last row reach below it.
+	const halo = 3
+	iLo, iHi := yLo-halo, yHi+halo
+	rows := iHi - iLo
+	// bRaw[y][x]: horizontal 6-tap at (x+1/2, y), unrounded.
+	bRaw := make([][]int32, rows)
+	for i := range bRaw {
+		y := iLo + i
+		bRaw[i] = make([]int32, w+1) // includes x = -1..w-1 shifted by 1? see idx below
+		for x := -1; x < w; x++ {
+			bRaw[i][x+1] = sixTap(
+				int32(ref.At(x-2, y)), int32(ref.At(x-1, y)), int32(ref.At(x, y)),
+				int32(ref.At(x+1, y)), int32(ref.At(x+2, y)), int32(ref.At(x+3, y)))
+		}
+	}
+	bAt := func(x, y int) int32 { return bRaw[y-iLo][x+1] }
+
+	// hRaw[y][x]: vertical 6-tap at (x, y+1/2), unrounded, for y in
+	// [yLo-1, yHi) and x in [0, w] (x = w needed by k and r).
+	hRows := yHi - (yLo - 1)
+	hRaw := make([][]int32, hRows)
+	for i := range hRaw {
+		y := yLo - 1 + i
+		hRaw[i] = make([]int32, w+1)
+		for x := 0; x <= w; x++ {
+			hRaw[i][x] = sixTap(
+				int32(ref.At(x, y-2)), int32(ref.At(x, y-1)), int32(ref.At(x, y)),
+				int32(ref.At(x, y+1)), int32(ref.At(x, y+2)), int32(ref.At(x, y+3)))
+		}
+	}
+	hAt := func(x, y int) int32 { return hRaw[y-(yLo-1)][x] }
+
+	// jRaw[y][x]: centre half-pel at (x+1/2, y+1/2) = vertical 6-tap over
+	// unrounded horizontal values, for y in [yLo-1, yHi).
+	jRaw := make([][]int32, hRows)
+	for i := range jRaw {
+		y := yLo - 1 + i
+		jRaw[i] = make([]int32, w)
+		for x := 0; x < w; x++ {
+			jRaw[i][x] = sixTap(
+				bAt(x, y-2), bAt(x, y-1), bAt(x, y),
+				bAt(x, y+1), bAt(x, y+2), bAt(x, y+3))
+		}
+	}
+	jAt := func(x, y int) int32 { return jRaw[y-(yLo-1)][x] }
+
+	// Rounded half-pel samples.
+	bPel := func(x, y int) int32 { return int32(clip((bAt(x, y) + 16) >> 5)) }
+	hPel := func(x, y int) int32 { return int32(clip((hAt(x, y) + 16) >> 5)) }
+	jPel := func(x, y int) int32 { return int32(clip((jAt(x, y) + 512) >> 10)) }
+
+	for y := yLo; y < yHi; y++ {
+		for x := 0; x < w; x++ {
+			G := int32(ref.At(x, y))
+			Gr := int32(ref.At(x+1, y)) // integer sample to the right
+			Gd := int32(ref.At(x, y+1)) // integer sample below
+			b := bPel(x, y)             // (1/2, 0)
+			h := hPel(x, y)             // (0, 1/2)
+			j := jPel(x, y)             // (1/2, 1/2)
+			m := hPel(x+1, y)           // h one integer column right
+			s := bPel(x, y+1)           // b one integer row down
+
+			sf.Planes[0].Set(x, y, uint8(G))            // (0,0)
+			sf.Planes[1].Set(x, y, uint8((G+b+1)>>1))   // a (1,0)
+			sf.Planes[2].Set(x, y, uint8(b))            // b (2,0)
+			sf.Planes[3].Set(x, y, uint8((b+Gr+1)>>1))  // c (3,0)
+			sf.Planes[4].Set(x, y, uint8((G+h+1)>>1))   // d (0,1)
+			sf.Planes[5].Set(x, y, uint8((b+h+1)>>1))   // e (1,1)
+			sf.Planes[6].Set(x, y, uint8((b+j+1)>>1))   // f (2,1)
+			sf.Planes[7].Set(x, y, uint8((b+m+1)>>1))   // g (3,1)
+			sf.Planes[8].Set(x, y, uint8(h))            // h (0,2)
+			sf.Planes[9].Set(x, y, uint8((h+j+1)>>1))   // i (1,2)
+			sf.Planes[10].Set(x, y, uint8(j))           // j (2,2)
+			sf.Planes[11].Set(x, y, uint8((j+m+1)>>1))  // k (3,2)
+			sf.Planes[12].Set(x, y, uint8((h+Gd+1)>>1)) // n (0,3)
+			sf.Planes[13].Set(x, y, uint8((h+s+1)>>1))  // p (1,3)
+			sf.Planes[14].Set(x, y, uint8((j+s+1)>>1))  // q (2,3)
+			sf.Planes[15].Set(x, y, uint8((m+s+1)>>1))  // r (3,3)
+		}
+	}
+}

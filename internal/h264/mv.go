@@ -1,0 +1,94 @@
+package h264
+
+// MV is a motion vector. Units depend on context: full-pel for integer
+// motion estimation (package me), quarter-pel for sub-pixel refinement
+// (package sme) and for the final coded vectors.
+type MV struct {
+	X, Y int16
+}
+
+// Add returns the component-wise sum of two vectors.
+func (v MV) Add(o MV) MV { return MV{v.X + o.X, v.Y + o.Y} }
+
+// Scale4 converts a full-pel vector to quarter-pel units.
+func (v MV) Scale4() MV { return MV{v.X * 4, v.Y * 4} }
+
+// MVField stores, for one frame, a motion vector and a matching cost for
+// every (macroblock, partition, reference frame) triple. It is the data
+// structure exchanged between the ME, SME and MC modules — the "MV" buffer
+// whose host↔device transfers the paper's Data Access Management schedules.
+//
+// Layout: index = ((mb)*TotalPartitions + part)*numRF + rf, with mb in
+// raster order. Partition indices are flat across all 7 modes (see
+// PartMode.Base).
+type MVField struct {
+	MBW, MBH int
+	NumRF    int
+	MV       []MV
+	Cost     []int32
+}
+
+// NewMVField allocates a zeroed field for mbw×mbh macroblocks and numRF
+// reference frames.
+func NewMVField(mbw, mbh, numRF int) *MVField {
+	n := mbw * mbh * TotalPartitions * numRF
+	return &MVField{
+		MBW: mbw, MBH: mbh, NumRF: numRF,
+		MV:   make([]MV, n),
+		Cost: make([]int32, n),
+	}
+}
+
+// Index returns the flat index for macroblock (mbx, mby), flat partition
+// index part (0..40) and reference frame rf.
+func (f *MVField) Index(mbx, mby, part, rf int) int {
+	mb := mby*f.MBW + mbx
+	return (mb*TotalPartitions+part)*f.NumRF + rf
+}
+
+// Get returns the vector and cost at the given coordinates.
+func (f *MVField) Get(mbx, mby, part, rf int) (MV, int32) {
+	i := f.Index(mbx, mby, part, rf)
+	return f.MV[i], f.Cost[i]
+}
+
+// Set stores a vector and cost.
+func (f *MVField) Set(mbx, mby, part, rf int, mv MV, cost int32) {
+	i := f.Index(mbx, mby, part, rf)
+	f.MV[i] = mv
+	f.Cost[i] = cost
+}
+
+// RowSlice returns the index range [lo, hi) covering macroblock rows
+// [rowLo, rowHi). Used to account row-granular buffer transfers.
+func (f *MVField) RowSlice(rowLo, rowHi int) (lo, hi int) {
+	per := f.MBW * TotalPartitions * f.NumRF
+	return rowLo * per, rowHi * per
+}
+
+// EqualRows reports whether two fields agree on macroblock rows [lo, hi).
+func (f *MVField) EqualRows(g *MVField, lo, hi int) bool {
+	if f.MBW != g.MBW || f.MBH != g.MBH || f.NumRF != g.NumRF {
+		return false
+	}
+	a, b := f.RowSlice(lo, hi)
+	for i := a; i < b; i++ {
+		if f.MV[i] != g.MV[i] || f.Cost[i] != g.Cost[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two fields are identical.
+func (f *MVField) Equal(g *MVField) bool { return f.EqualRows(g, 0, f.MBH) }
+
+// MBDecision is the outcome of mode decision for one macroblock: the chosen
+// partition mode and, per partition of that mode, the selected reference
+// frame and quarter-pel motion vector.
+type MBDecision struct {
+	Mode PartMode
+	Ref  [16]uint8 // per partition (up to 16)
+	MV   [16]MV    // quarter-pel, per partition
+	Cost int32
+}

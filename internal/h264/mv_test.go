@@ -1,0 +1,80 @@
+package h264
+
+import "testing"
+
+func TestMVFieldIndexDisjoint(t *testing.T) {
+	f := NewMVField(3, 2, 2)
+	seen := make(map[int]bool)
+	for mby := 0; mby < 2; mby++ {
+		for mbx := 0; mbx < 3; mbx++ {
+			for part := 0; part < TotalPartitions; part++ {
+				for rf := 0; rf < 2; rf++ {
+					i := f.Index(mbx, mby, part, rf)
+					if i < 0 || i >= len(f.MV) {
+						t.Fatalf("index %d out of range", i)
+					}
+					if seen[i] {
+						t.Fatalf("index collision at (%d,%d,%d,%d)", mbx, mby, part, rf)
+					}
+					seen[i] = true
+				}
+			}
+		}
+	}
+	if len(seen) != len(f.MV) {
+		t.Fatalf("covered %d of %d slots", len(seen), len(f.MV))
+	}
+}
+
+func TestMVFieldSetGet(t *testing.T) {
+	f := NewMVField(2, 2, 3)
+	f.Set(1, 1, 40, 2, MV{-3, 7}, 1234)
+	mv, cost := f.Get(1, 1, 40, 2)
+	if mv != (MV{-3, 7}) || cost != 1234 {
+		t.Fatalf("got %v/%d", mv, cost)
+	}
+}
+
+func TestMVFieldRowSlice(t *testing.T) {
+	f := NewMVField(4, 3, 2)
+	per := 4 * TotalPartitions * 2
+	lo, hi := f.RowSlice(1, 3)
+	if lo != per || hi != 3*per {
+		t.Fatalf("RowSlice = [%d,%d), want [%d,%d)", lo, hi, per, 3*per)
+	}
+	if _, hi := f.RowSlice(0, 3); hi != len(f.MV) {
+		t.Fatal("full row slice must cover the whole field")
+	}
+}
+
+func TestMVFieldEqualRows(t *testing.T) {
+	a := NewMVField(2, 3, 1)
+	b := NewMVField(2, 3, 1)
+	a.Set(0, 2, 5, 0, MV{1, 1}, 9)
+	if !a.EqualRows(b, 0, 2) {
+		t.Fatal("rows 0-2 should match")
+	}
+	if a.EqualRows(b, 2, 3) {
+		t.Fatal("row 2 should differ")
+	}
+	if a.Equal(b) {
+		t.Fatal("fields should differ")
+	}
+	b.Set(0, 2, 5, 0, MV{1, 1}, 9)
+	if !a.Equal(b) {
+		t.Fatal("fields should now match")
+	}
+	if a.Equal(NewMVField(2, 3, 2)) {
+		t.Fatal("different RF count must not compare equal")
+	}
+}
+
+func TestMVArithmetic(t *testing.T) {
+	v := MV{3, -2}
+	if v.Add(MV{-1, 5}) != (MV{2, 3}) {
+		t.Fatal("Add wrong")
+	}
+	if v.Scale4() != (MV{12, -8}) {
+		t.Fatal("Scale4 wrong")
+	}
+}

@@ -1,0 +1,154 @@
+package h264
+
+import "fmt"
+
+// Plane is a rectangular 8-bit sample plane with an optional padded border.
+// The border replicates edge samples so that motion search and interpolation
+// may read outside the nominal picture area, exactly like the padded
+// reference planes of the JM reference encoder.
+//
+// Pixel (x, y) with x in [-Pad, W+Pad) and y in [-Pad, H+Pad) is stored at
+// buf[(y+Pad)*Stride + (x+Pad)].
+type Plane struct {
+	W, H   int
+	Pad    int
+	Stride int
+	buf    []uint8
+}
+
+// NewPlane allocates a zeroed plane of w×h samples with the given padding.
+func NewPlane(w, h, pad int) *Plane {
+	if w <= 0 || h <= 0 || pad < 0 {
+		panic(fmt.Sprintf("h264: invalid plane geometry %dx%d pad %d", w, h, pad))
+	}
+	stride := w + 2*pad
+	return &Plane{
+		W:      w,
+		H:      h,
+		Pad:    pad,
+		Stride: stride,
+		buf:    make([]uint8, stride*(h+2*pad)),
+	}
+}
+
+// At returns the sample at (x, y). Coordinates inside the padded border are
+// valid; anything beyond panics (bounds check via slice indexing).
+func (p *Plane) At(x, y int) uint8 {
+	return p.buf[(y+p.Pad)*p.Stride+(x+p.Pad)]
+}
+
+// Set writes the sample at (x, y).
+func (p *Plane) Set(x, y int, v uint8) {
+	p.buf[(y+p.Pad)*p.Stride+(x+p.Pad)] = v
+}
+
+// Row returns the picture-area samples of row y (length W). The slice
+// aliases the plane's storage.
+func (p *Plane) Row(y int) []uint8 {
+	off := (y+p.Pad)*p.Stride + p.Pad
+	return p.buf[off : off+p.W]
+}
+
+// RowPadded returns row y including the left/right padded border
+// (length W+2*Pad). The slice aliases the plane's storage.
+func (p *Plane) RowPadded(y int) []uint8 {
+	off := (y + p.Pad) * p.Stride
+	return p.buf[off : off+p.Stride]
+}
+
+// Idx returns the storage index of sample (x, y); combined with Raw it
+// enables stride-based inner loops in the hot kernels.
+func (p *Plane) Idx(x, y int) int {
+	return (y+p.Pad)*p.Stride + (x + p.Pad)
+}
+
+// Raw exposes the backing buffer for stride-based kernels.
+func (p *Plane) Raw() []uint8 { return p.buf }
+
+// Fill sets every sample (including the border) to v.
+func (p *Plane) Fill(v uint8) {
+	for i := range p.buf {
+		p.buf[i] = v
+	}
+}
+
+// CopyFrom copies the picture area of src (same W×H required) and re-extends
+// the border.
+func (p *Plane) CopyFrom(src *Plane) {
+	if p.W != src.W || p.H != src.H {
+		panic("h264: CopyFrom dimension mismatch")
+	}
+	for y := 0; y < p.H; y++ {
+		copy(p.Row(y), src.Row(y))
+	}
+	p.ExtendBorder()
+}
+
+// LoadFrom fills the picture area from a tightly packed w*h byte slice and
+// extends the border.
+func (p *Plane) LoadFrom(data []uint8) {
+	if len(data) != p.W*p.H {
+		panic(fmt.Sprintf("h264: LoadFrom needs %d bytes, got %d", p.W*p.H, len(data)))
+	}
+	for y := 0; y < p.H; y++ {
+		copy(p.Row(y), data[y*p.W:(y+1)*p.W])
+	}
+	p.ExtendBorder()
+}
+
+// Packed returns a tightly packed copy of the picture area (W*H bytes).
+func (p *Plane) Packed() []uint8 {
+	out := make([]uint8, p.W*p.H)
+	for y := 0; y < p.H; y++ {
+		copy(out[y*p.W:], p.Row(y))
+	}
+	return out
+}
+
+// ExtendBorder replicates the picture edges into the padded border. It must
+// be called after the picture area is modified and before any kernel reads
+// outside the picture area.
+func (p *Plane) ExtendBorder() {
+	if p.Pad == 0 {
+		return
+	}
+	// Left and right borders of each picture row.
+	for y := 0; y < p.H; y++ {
+		row := p.RowPadded(y)
+		l, r := row[p.Pad], row[p.Pad+p.W-1]
+		for x := 0; x < p.Pad; x++ {
+			row[x] = l
+			row[p.Pad+p.W+x] = r
+		}
+	}
+	// Top and bottom borders replicate the first/last padded rows.
+	top := p.RowPadded(0)
+	bot := p.RowPadded(p.H - 1)
+	for y := 1; y <= p.Pad; y++ {
+		copy(p.RowPadded(-y), top)
+		copy(p.RowPadded(p.H-1+y), bot)
+	}
+}
+
+// Equal reports whether the picture areas of two planes are identical.
+func (p *Plane) Equal(q *Plane) bool {
+	if p.W != q.W || p.H != q.H {
+		return false
+	}
+	for y := 0; y < p.H; y++ {
+		a, b := p.Row(y), q.Row(y)
+		for x := range a {
+			if a[x] != b[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the plane.
+func (p *Plane) Clone() *Plane {
+	q := NewPlane(p.W, p.H, p.Pad)
+	copy(q.buf, p.buf)
+	return q
+}

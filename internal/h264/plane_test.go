@@ -1,0 +1,182 @@
+package h264
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPlaneGeometry(t *testing.T) {
+	p := NewPlane(32, 16, 8)
+	if p.W != 32 || p.H != 16 || p.Pad != 8 {
+		t.Fatalf("geometry mismatch: %+v", p)
+	}
+	if p.Stride != 32+16 {
+		t.Fatalf("stride = %d, want 48", p.Stride)
+	}
+	if len(p.Raw()) != 48*32 {
+		t.Fatalf("buffer length = %d, want %d", len(p.Raw()), 48*32)
+	}
+}
+
+func TestNewPlanePanicsOnBadGeometry(t *testing.T) {
+	for _, c := range [][3]int{{0, 4, 0}, {4, 0, 0}, {4, 4, -1}, {-1, 4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlane(%v) did not panic", c)
+				}
+			}()
+			NewPlane(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestPlaneSetAtRoundTrip(t *testing.T) {
+	p := NewPlane(8, 8, 4)
+	p.Set(3, 5, 200)
+	if got := p.At(3, 5); got != 200 {
+		t.Fatalf("At(3,5) = %d, want 200", got)
+	}
+	// Border coordinates are addressable.
+	p.Set(-4, -4, 7)
+	if got := p.At(-4, -4); got != 7 {
+		t.Fatalf("border At = %d, want 7", got)
+	}
+}
+
+func TestPlaneRowAliasing(t *testing.T) {
+	p := NewPlane(8, 4, 2)
+	row := p.Row(1)
+	row[3] = 99
+	if p.At(3, 1) != 99 {
+		t.Fatal("Row does not alias plane storage")
+	}
+	if len(row) != 8 {
+		t.Fatalf("Row length = %d, want 8", len(row))
+	}
+	rp := p.RowPadded(1)
+	if len(rp) != 12 {
+		t.Fatalf("RowPadded length = %d, want 12", len(rp))
+	}
+}
+
+func TestExtendBorderReplicatesEdges(t *testing.T) {
+	p := NewPlane(4, 4, 3)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			p.Set(x, y, uint8(16*y+x+1))
+		}
+	}
+	p.ExtendBorder()
+	cases := []struct {
+		x, y int
+		want uint8
+	}{
+		{-1, 0, p.At(0, 0)},  // left
+		{-3, 2, p.At(0, 2)},  // far left
+		{4, 1, p.At(3, 1)},   // right
+		{6, 3, p.At(3, 3)},   // far right
+		{0, -2, p.At(0, 0)},  // top
+		{2, 6, p.At(2, 3)},   // bottom
+		{-3, -3, p.At(0, 0)}, // corner
+		{6, 6, p.At(3, 3)},   // corner
+		{-1, 5, p.At(0, 3)},  // bottom-left mix
+	}
+	for _, c := range cases {
+		if got := p.At(c.x, c.y); got != c.want {
+			t.Errorf("border At(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPlaneLoadPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]uint8, 16*8)
+	for i := range data {
+		data[i] = uint8(rng.Intn(256))
+	}
+	p := NewPlane(16, 8, 4)
+	p.LoadFrom(data)
+	out := p.Packed()
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("byte %d: got %d, want %d", i, out[i], data[i])
+		}
+	}
+}
+
+func TestPlaneLoadFromPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LoadFrom with wrong size did not panic")
+		}
+	}()
+	NewPlane(4, 4, 0).LoadFrom(make([]uint8, 15))
+}
+
+func TestPlaneCopyFromAndEqual(t *testing.T) {
+	a := NewPlane(8, 8, 2)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			a.Set(x, y, uint8(x*y))
+		}
+	}
+	a.ExtendBorder()
+	b := NewPlane(8, 8, 5) // different padding is fine
+	b.CopyFrom(a)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("planes should be equal after CopyFrom")
+	}
+	b.Set(0, 0, b.At(0, 0)+1)
+	if a.Equal(b) {
+		t.Fatal("planes should differ after mutation")
+	}
+	if a.Equal(NewPlane(8, 4, 2)) {
+		t.Fatal("different dimensions must not compare equal")
+	}
+}
+
+func TestPlaneClone(t *testing.T) {
+	a := NewPlane(4, 4, 1)
+	a.Set(2, 2, 42)
+	a.ExtendBorder()
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone differs")
+	}
+	b.Set(2, 2, 1)
+	if a.At(2, 2) != 42 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestPlaneFill(t *testing.T) {
+	p := NewPlane(4, 4, 2)
+	p.Fill(128)
+	if p.At(-2, -2) != 128 || p.At(5, 5) != 128 || p.At(1, 1) != 128 {
+		t.Fatal("Fill did not set all samples")
+	}
+}
+
+func TestPlanePackedLoadQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 4 * (1 + rng.Intn(8))
+		h := 4 * (1 + rng.Intn(8))
+		data := make([]uint8, w*h)
+		rng.Read(data)
+		p := NewPlane(w, h, rng.Intn(8))
+		p.LoadFrom(data)
+		out := p.Packed()
+		for i := range data {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package rd provides the rate/distortion accounting used by the FEVES
+// reproduction's examples and experiments: mean squared error, PSNR and
+// simple per-frame bit/quality statistics.
+package rd
+
+import (
+	"fmt"
+	"math"
+
+	"feves/internal/h264"
+)
+
+// MSE returns the mean squared error between the picture areas of two
+// planes of identical dimensions.
+func MSE(a, b *h264.Plane) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("rd: MSE dimension mismatch")
+	}
+	var sum float64
+	for y := 0; y < a.H; y++ {
+		ra, rb := a.Row(y), b.Row(y)
+		for x := range ra {
+			d := float64(ra[x]) - float64(rb[x])
+			sum += d * d
+		}
+	}
+	return sum / float64(a.W*a.H)
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two planes.
+// Identical planes yield +Inf.
+func PSNR(a, b *h264.Plane) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// FramePSNR returns the PSNR of the luma and both chroma planes.
+func FramePSNR(orig, recon *h264.Frame) (y, cb, cr float64) {
+	return PSNR(orig.Y, recon.Y), PSNR(orig.Cb, recon.Cb), PSNR(orig.Cr, recon.Cr)
+}
+
+// FrameStats aggregates the coding outcome of one frame.
+type FrameStats struct {
+	Poc    int
+	Intra  bool
+	Bits   int
+	PSNRY  float64
+	PSNRCb float64
+	PSNRCr float64
+}
+
+func (s FrameStats) String() string {
+	kind := "P"
+	if s.Intra {
+		kind = "I"
+	}
+	return fmt.Sprintf("frame %3d (%s): %7d bits, PSNR Y %.2f dB Cb %.2f dB Cr %.2f dB",
+		s.Poc, kind, s.Bits, s.PSNRY, s.PSNRCb, s.PSNRCr)
+}
+
+// SequenceStats accumulates statistics over an encoded sequence.
+type SequenceStats struct {
+	Frames    int
+	TotalBits int
+	SumPSNRY  float64
+}
+
+// Add folds one frame's statistics into the sequence totals.
+func (s *SequenceStats) Add(f FrameStats) {
+	s.Frames++
+	s.TotalBits += f.Bits
+	if !math.IsInf(f.PSNRY, 1) {
+		s.SumPSNRY += f.PSNRY
+	} else {
+		s.SumPSNRY += 100 // cap lossless frames for a finite average
+	}
+}
+
+// AvgPSNRY returns the mean luma PSNR over the sequence.
+func (s *SequenceStats) AvgPSNRY() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return s.SumPSNRY / float64(s.Frames)
+}
+
+// BitsPerFrame returns the mean coded size.
+func (s *SequenceStats) BitsPerFrame() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return float64(s.TotalBits) / float64(s.Frames)
+}

@@ -1,0 +1,83 @@
+package rd
+
+import (
+	"math"
+	"testing"
+
+	"feves/internal/h264"
+)
+
+func TestPSNRIdenticalIsInf(t *testing.T) {
+	p := h264.NewPlane(16, 16, 0)
+	p.Fill(100)
+	if !math.IsInf(PSNR(p, p), 1) {
+		t.Fatal("identical planes should give +Inf PSNR")
+	}
+}
+
+func TestMSEKnownValue(t *testing.T) {
+	a := h264.NewPlane(4, 4, 0)
+	b := h264.NewPlane(4, 4, 0)
+	b.Fill(2) // every sample differs by 2 → MSE 4
+	if got := MSE(a, b); got != 4 {
+		t.Fatalf("MSE = %v, want 4", got)
+	}
+	// PSNR = 10·log10(255²/4) ≈ 42.11 dB.
+	if got := PSNR(a, b); math.Abs(got-42.1101) > 0.01 {
+		t.Fatalf("PSNR = %v", got)
+	}
+}
+
+func TestMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE(h264.NewPlane(4, 4, 0), h264.NewPlane(8, 4, 0))
+}
+
+func TestFramePSNR(t *testing.T) {
+	a := h264.NewFrame(16, 16)
+	b := h264.NewFrame(16, 16)
+	b.Y.Fill(1)
+	y, cb, cr := FramePSNR(a, b)
+	if math.IsInf(y, 1) {
+		t.Fatal("luma differs, PSNR must be finite")
+	}
+	if !math.IsInf(cb, 1) || !math.IsInf(cr, 1) {
+		t.Fatal("identical chroma must give +Inf")
+	}
+}
+
+func TestSequenceStats(t *testing.T) {
+	var s SequenceStats
+	s.Add(FrameStats{Bits: 1000, PSNRY: 40})
+	s.Add(FrameStats{Bits: 3000, PSNRY: 30})
+	s.Add(FrameStats{Bits: 2000, PSNRY: math.Inf(1)})
+	if s.Frames != 3 || s.TotalBits != 6000 {
+		t.Fatalf("stats %+v", s)
+	}
+	if got := s.BitsPerFrame(); got != 2000 {
+		t.Fatalf("BitsPerFrame = %v", got)
+	}
+	// Inf capped at 100 for the average.
+	if got := s.AvgPSNRY(); math.Abs(got-(40+30+100)/3.0) > 1e-9 {
+		t.Fatalf("AvgPSNRY = %v", got)
+	}
+	var empty SequenceStats
+	if empty.AvgPSNRY() != 0 || empty.BitsPerFrame() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestFrameStatsString(t *testing.T) {
+	s := FrameStats{Poc: 5, Intra: true, Bits: 100, PSNRY: 40.5, PSNRCb: 41, PSNRCr: 42}
+	if got := s.String(); got == "" || got[0] == 0 {
+		t.Fatal("empty String()")
+	}
+	p := FrameStats{Poc: 6}
+	if s.String() == p.String() {
+		t.Fatal("distinct stats should print differently")
+	}
+}

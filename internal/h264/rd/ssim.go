@@ -1,0 +1,61 @@
+package rd
+
+import "feves/internal/h264"
+
+// SSIM constants per Wang et al. (2004) for 8-bit samples:
+// C1 = (0.01·255)², C2 = (0.03·255)².
+const (
+	ssimC1 = 6.5025
+	ssimC2 = 58.5225
+)
+
+// SSIM computes the mean structural similarity index between two planes
+// using the common non-overlapping 8×8 window variant. Identical planes
+// score 1; the value decreases toward 0 (or slightly below) as structural
+// distortion grows. Both planes must have identical dimensions with sizes
+// that are multiples of 8.
+func SSIM(a, b *h264.Plane) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("rd: SSIM dimension mismatch")
+	}
+	if a.W%8 != 0 || a.H%8 != 0 {
+		panic("rd: SSIM requires dimensions that are multiples of 8")
+	}
+	var sum float64
+	windows := 0
+	for y := 0; y < a.H; y += 8 {
+		for x := 0; x < a.W; x += 8 {
+			sum += ssimWindow(a, b, x, y)
+			windows++
+		}
+	}
+	return sum / float64(windows)
+}
+
+// ssimWindow evaluates SSIM on one 8×8 window.
+func ssimWindow(a, b *h264.Plane, x0, y0 int) float64 {
+	const n = 64.0
+	var sa, sb, saa, sbb, sab float64
+	for y := y0; y < y0+8; y++ {
+		ra, rb := a.Row(y), b.Row(y)
+		for x := x0; x < x0+8; x++ {
+			va, vb := float64(ra[x]), float64(rb[x])
+			sa += va
+			sb += vb
+			saa += va * va
+			sbb += vb * vb
+			sab += va * vb
+		}
+	}
+	muA, muB := sa/n, sb/n
+	varA := saa/n - muA*muA
+	varB := sbb/n - muB*muB
+	cov := sab/n - muA*muB
+	return ((2*muA*muB + ssimC1) * (2*cov + ssimC2)) /
+		((muA*muA + muB*muB + ssimC1) * (varA + varB + ssimC2))
+}
+
+// FrameSSIM returns the luma SSIM of two frames.
+func FrameSSIM(orig, recon *h264.Frame) float64 {
+	return SSIM(orig.Y, recon.Y)
+}

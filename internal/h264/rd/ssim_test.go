@@ -1,0 +1,112 @@
+package rd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"feves/internal/h264"
+)
+
+func randomPlane(w, h int, seed int64) *h264.Plane {
+	p := h264.NewPlane(w, h, 0)
+	rng := rand.New(rand.NewSource(seed))
+	for y := 0; y < h; y++ {
+		row := p.Row(y)
+		for x := range row {
+			row[x] = uint8(rng.Intn(256))
+		}
+	}
+	return p
+}
+
+func TestSSIMIdenticalIsOne(t *testing.T) {
+	p := randomPlane(32, 32, 1)
+	if got := SSIM(p, p); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SSIM(p, p) = %v, want 1", got)
+	}
+}
+
+func TestSSIMBoundedAndSymmetric(t *testing.T) {
+	a := randomPlane(32, 32, 2)
+	b := randomPlane(32, 32, 3)
+	ab, ba := SSIM(a, b), SSIM(b, a)
+	if math.Abs(ab-ba) > 1e-12 {
+		t.Fatalf("SSIM not symmetric: %v vs %v", ab, ba)
+	}
+	if ab > 1 || ab < -1 {
+		t.Fatalf("SSIM out of range: %v", ab)
+	}
+}
+
+func TestSSIMOrdersDistortions(t *testing.T) {
+	// Mild noise must score higher than heavy noise against the original.
+	orig := randomPlane(64, 64, 4)
+	noisy := func(amp int, seed int64) *h264.Plane {
+		p := orig.Clone()
+		rng := rand.New(rand.NewSource(seed))
+		for y := 0; y < p.H; y++ {
+			row := p.Row(y)
+			for x := range row {
+				v := int(row[x]) + rng.Intn(2*amp+1) - amp
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				row[x] = uint8(v)
+			}
+		}
+		return p
+	}
+	mild, heavy := SSIM(orig, noisy(5, 5)), SSIM(orig, noisy(60, 6))
+	if mild <= heavy {
+		t.Fatalf("mild noise SSIM %v should exceed heavy noise SSIM %v", mild, heavy)
+	}
+	if mild < 0.8 {
+		t.Fatalf("mild noise SSIM %v suspiciously low", mild)
+	}
+}
+
+func TestSSIMLuminanceShiftPenalizedGently(t *testing.T) {
+	// A constant +3 luminance shift preserves structure: SSIM stays high,
+	// much higher than structural scrambling.
+	orig := randomPlane(32, 32, 7)
+	shifted := orig.Clone()
+	for y := 0; y < 32; y++ {
+		row := shifted.Row(y)
+		for x := range row {
+			if int(row[x])+3 <= 255 {
+				row[x] += 3
+			}
+		}
+	}
+	scrambled := randomPlane(32, 32, 8)
+	if SSIM(orig, shifted) <= SSIM(orig, scrambled) {
+		t.Fatal("luminance shift should score above structural scrambling")
+	}
+}
+
+func TestSSIMPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SSIM(randomPlane(32, 32, 1), randomPlane(16, 32, 1)) },
+		func() { SSIM(h264.NewPlane(12, 12, 0), h264.NewPlane(12, 12, 0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFrameSSIM(t *testing.T) {
+	f := h264.NewFrame(32, 32)
+	g := f.Clone()
+	if FrameSSIM(f, g) != 1 {
+		t.Fatal("identical frames must score 1")
+	}
+}

@@ -1,0 +1,118 @@
+// Package sme implements the Sub-pixel Motion Estimation inter-loop module
+// of the FEVES reproduction. Starting from the integer-pel vectors found by
+// full-search ME, each of the 41 partitions of every macroblock is refined
+// in two steps on the interpolated SF structure: a half-pel step (the eight
+// half-pel neighbours of the integer position) followed by a quarter-pel
+// step (the eight quarter-pel neighbours of the best half-pel position) —
+// the classical refinement used by the JM reference encoder.
+//
+// RefineRows is row-sliceable: a device assigned macroblock rows [lo, hi)
+// needs the ME vectors for those rows (the paper's MV→SME transfers) and
+// read access to the SF (the SF(RF)→SME transfers), and produces vectors
+// bit-exact with a single-device refinement.
+package sme
+
+import (
+	"fmt"
+	"math"
+
+	"feves/internal/h264"
+	"feves/internal/h264/interp"
+)
+
+// RefineRows refines macroblock rows [rowLo, rowHi). meField holds the
+// integer-pel FSBM output; out receives quarter-pel vectors and SAD costs.
+// sfs[rf] is the interpolated sub-frame of reference rf; entries may be nil
+// for DPB ramp-up references, whose costs are passed through as unusable.
+func RefineRows(cf *h264.Frame, sfs []*interp.SubFrame, meField, out *h264.MVField, rowLo, rowHi int) {
+	if meField.MBW != out.MBW || meField.MBH != out.MBH || meField.NumRF != out.NumRF {
+		panic("sme: ME and output field geometry mismatch")
+	}
+	if meField.MBW != cf.MBWidth() || meField.MBH != cf.MBHeight() {
+		panic("sme: field does not match frame geometry")
+	}
+	if rowLo < 0 || rowHi > cf.MBHeight() || rowLo >= rowHi {
+		panic(fmt.Sprintf("sme: bad row range [%d,%d)", rowLo, rowHi))
+	}
+	if len(sfs) < meField.NumRF {
+		panic(fmt.Sprintf("sme: %d sub-frames for %d reference slots", len(sfs), meField.NumRF))
+	}
+	for mby := rowLo; mby < rowHi; mby++ {
+		for mbx := 0; mbx < cf.MBWidth(); mbx++ {
+			for rf := 0; rf < meField.NumRF; rf++ {
+				refineMB(cf, sfs[rf], meField, out, mbx, mby, rf)
+			}
+		}
+	}
+}
+
+func refineMB(cf *h264.Frame, sf *interp.SubFrame, meField, out *h264.MVField, mbx, mby, rf int) {
+	for _, mode := range h264.AllModes() {
+		w, h := mode.Size()
+		for k := 0; k < mode.Count(); k++ {
+			part := mode.Base() + k
+			imv, icost := meField.Get(mbx, mby, part, rf)
+			if icost == math.MaxInt32 || sf == nil {
+				out.Set(mbx, mby, part, rf, imv.Scale4(), math.MaxInt32)
+				continue
+			}
+			ox, oy := mode.Offset(k)
+			x, y := mbx*h264.MBSize+ox, mby*h264.MBSize+oy
+
+			center := imv.Scale4()
+			best, bestCost := refineStep(cf.Y, sf, x, y, w, h, center, 2)
+			best, bestCost = refineStepFrom(cf.Y, sf, x, y, w, h, best, bestCost, 1)
+			out.Set(mbx, mby, part, rf, best, bestCost)
+		}
+	}
+}
+
+// refineStep evaluates the 3×3 grid with the given quarter-pel step around
+// center (center included) and returns the best vector and cost.
+func refineStep(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, center h264.MV, step int16) (h264.MV, int32) {
+	best := center
+	bestCost := SubSAD(cur, sf, x, y, w, h, center)
+	return refineStepFrom(cur, sf, x, y, w, h, best, bestCost, step)
+}
+
+// refineStepFrom evaluates the eight neighbours at the given step around
+// best, keeping the incumbent on ties (deterministic scan order).
+func refineStepFrom(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, best h264.MV, bestCost int32, step int16) (h264.MV, int32) {
+	center := best
+	for dy := int16(-1); dy <= 1; dy++ {
+		for dx := int16(-1); dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			cand := h264.MV{X: center.X + dx*step, Y: center.Y + dy*step}
+			c := SubSAD(cur, sf, x, y, w, h, cand)
+			if c < bestCost {
+				bestCost = c
+				best = cand
+			}
+		}
+	}
+	return best, bestCost
+}
+
+// SubSAD computes the SAD between the w×h current-frame block at (x, y) and
+// the sub-pel reference block displaced by the quarter-pel vector mv.
+func SubSAD(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, mv h264.MV) int32 {
+	fx, fy := int(mv.X)&3, int(mv.Y)&3
+	px, py := int(mv.X)>>2, int(mv.Y)>>2 // arithmetic shift floors negatives
+	plane := sf.Planes[fy*4+fx]
+	var sum int32
+	for j := 0; j < h; j++ {
+		cRow := cur.RowPadded(y + j)[cur.Pad+x:]
+		for i := 0; i < w; i++ {
+			a := cRow[i]
+			b := plane.At(x+i+px, y+j+py)
+			if a > b {
+				sum += int32(a - b)
+			} else {
+				sum += int32(b - a)
+			}
+		}
+	}
+	return sum
+}

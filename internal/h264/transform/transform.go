@@ -1,0 +1,164 @@
+// Package transform implements the TQ and TQ⁻¹ inter-loop modules of the
+// FEVES reproduction: the 4×4 integer core transform of H.264/AVC, forward
+// quantization with the standard multiplication-factor tables for QP 0–51,
+// inverse quantization (rescaling) and the inverse integer transform, plus
+// pixel reconstruction helpers.
+package transform
+
+import "fmt"
+
+// MaxQP is the largest quantization parameter defined by H.264/AVC.
+const MaxQP = 51
+
+// Multiplication factors MF for forward quantization, indexed by QP%6 and
+// coefficient position class (0: (0,0),(0,2),(2,0),(2,2); 1: (1,1),(1,3),
+// (3,1),(3,3); 2: the rest). Table 8-x of the standard.
+var mf = [6][3]int32{
+	{13107, 5243, 8066},
+	{11916, 4660, 7490},
+	{10082, 4194, 6554},
+	{9362, 3647, 5825},
+	{8192, 3355, 5243},
+	{7282, 2893, 4559},
+}
+
+// Rescaling factors V for inverse quantization, same indexing.
+var vTab = [6][3]int32{
+	{10, 16, 13},
+	{11, 18, 14},
+	{13, 20, 16},
+	{14, 23, 18},
+	{16, 25, 20},
+	{18, 29, 23},
+}
+
+// posClass maps raster position in a 4×4 block to its quantizer class.
+var posClass = [16]int{
+	0, 2, 0, 2,
+	2, 1, 2, 1,
+	0, 2, 0, 2,
+	2, 1, 2, 1,
+}
+
+// QStep returns the effective quantizer step size for the given QP,
+// doubling every 6 QP values (0.625 at QP 0).
+func QStep(qp int) float64 {
+	base := [6]float64{0.625, 0.6875, 0.8125, 0.875, 1.0, 1.125}
+	return base[qp%6] * float64(int(1)<<uint(qp/6))
+}
+
+// Forward4x4 applies the 4×4 integer core transform in place
+// (raster-ordered residual block). It is the unscaled transform; the
+// per-position scaling is absorbed into quantization per the standard.
+func Forward4x4(b *[16]int32) {
+	// Rows.
+	for i := 0; i < 16; i += 4 {
+		p0, p1, p2, p3 := b[i], b[i+1], b[i+2], b[i+3]
+		e0, e1 := p0+p3, p1+p2
+		e2, e3 := p1-p2, p0-p3
+		b[i] = e0 + e1
+		b[i+1] = 2*e3 + e2
+		b[i+2] = e0 - e1
+		b[i+3] = e3 - 2*e2
+	}
+	// Columns.
+	for i := 0; i < 4; i++ {
+		p0, p1, p2, p3 := b[i], b[i+4], b[i+8], b[i+12]
+		e0, e1 := p0+p3, p1+p2
+		e2, e3 := p1-p2, p0-p3
+		b[i] = e0 + e1
+		b[i+4] = 2*e3 + e2
+		b[i+8] = e0 - e1
+		b[i+12] = e3 - 2*e2
+	}
+}
+
+// Inverse4x4 applies the inverse integer transform in place, including the
+// final (x+32)>>6 rounding, producing the reconstructed residual.
+func Inverse4x4(b *[16]int32) {
+	// Rows.
+	for i := 0; i < 16; i += 4 {
+		d0, d1, d2, d3 := b[i], b[i+1], b[i+2], b[i+3]
+		e0, e1 := d0+d2, d0-d2
+		e2, e3 := (d1>>1)-d3, d1+(d3>>1)
+		b[i] = e0 + e3
+		b[i+1] = e1 + e2
+		b[i+2] = e1 - e2
+		b[i+3] = e0 - e3
+	}
+	// Columns, with final rounding.
+	for i := 0; i < 4; i++ {
+		d0, d1, d2, d3 := b[i], b[i+4], b[i+8], b[i+12]
+		e0, e1 := d0+d2, d0-d2
+		e2, e3 := (d1>>1)-d3, d1+(d3>>1)
+		b[i] = (e0 + e3 + 32) >> 6
+		b[i+4] = (e1 + e2 + 32) >> 6
+		b[i+8] = (e1 - e2 + 32) >> 6
+		b[i+12] = (e0 - e3 + 32) >> 6
+	}
+}
+
+// Quantize quantizes transformed coefficients in place for the given QP
+// using the inter (P-slice) dead-zone offset f = 2^qbits/6.
+func Quantize(b *[16]int32, qp int) {
+	checkQP(qp)
+	qbits := uint(15 + qp/6)
+	f := int32(1) << qbits / 6
+	row := &mf[qp%6]
+	for i, w := range b {
+		m := row[posClass[i]]
+		if w >= 0 {
+			b[i] = (w*m + f) >> qbits
+		} else {
+			b[i] = -((-w*m + f) >> qbits)
+		}
+	}
+}
+
+// Dequantize rescales quantized levels in place for the given QP.
+func Dequantize(b *[16]int32, qp int) {
+	checkQP(qp)
+	shift := uint(qp / 6)
+	row := &vTab[qp%6]
+	for i, z := range b {
+		b[i] = z * row[posClass[i]] << shift
+	}
+}
+
+// TQ runs the full forward path (transform + quantization) in place and
+// returns the number of non-zero levels, which mode decision and the
+// entropy coder use for coded-block-pattern style decisions.
+func TQ(b *[16]int32, qp int) (nonzero int) {
+	Forward4x4(b)
+	Quantize(b, qp)
+	for _, v := range b {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	return nonzero
+}
+
+// TQInv runs the full inverse path (rescaling + inverse transform) in
+// place, yielding the reconstructed residual.
+func TQInv(b *[16]int32, qp int) {
+	Dequantize(b, qp)
+	Inverse4x4(b)
+}
+
+// Clip255 clamps v to the 8-bit sample range.
+func Clip255(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func checkQP(qp int) {
+	if qp < 0 || qp > MaxQP {
+		panic(fmt.Sprintf("transform: QP %d out of range [0,%d]", qp, MaxQP))
+	}
+}

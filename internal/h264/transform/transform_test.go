@@ -1,0 +1,202 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardDCOfConstantBlock(t *testing.T) {
+	// A constant block has all energy in the DC coefficient: DC = 16*c.
+	var b [16]int32
+	for i := range b {
+		b[i] = 10
+	}
+	Forward4x4(&b)
+	if b[0] != 160 {
+		t.Fatalf("DC = %d, want 160", b[0])
+	}
+	for i := 1; i < 16; i++ {
+		if b[i] != 0 {
+			t.Fatalf("AC coefficient %d = %d, want 0", i, b[i])
+		}
+	}
+}
+
+func TestForwardInverseWithoutQuantIsScaledIdentity(t *testing.T) {
+	// Inverse(Forward(x)) with the norm correction applied per the standard
+	// reconstructs x exactly when the intermediate is rescaled by V at QP 4
+	// (where 2^(QP/6)=1 and MF*V = 2^21... ). We instead verify the weaker,
+	// implementation-relevant property: round-tripping through TQ/TQInv at
+	// QP 0 reconstructs within the quantizer step.
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		var x [16]int32
+		for i := range x {
+			x[i] = int32(rng.Intn(511) - 255) // residual range
+		}
+		b := x
+		TQ(&b, 0)
+		TQInv(&b, 0)
+		for i := range x {
+			if d := math.Abs(float64(b[i] - x[i])); d > 2 {
+				t.Fatalf("QP0 round trip error %v at %d (in %d out %d)", d, i, x[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripErrorBoundedByQStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, qp := range []int{0, 6, 12, 20, 27, 34, 40, 51} {
+		// Dead-zone quantization (f = step/6) errs by up to (1-1/6)·step per
+		// coefficient, and a pixel combines errors from several basis
+		// functions, so allow 1.6·step plus transform rounding slack.
+		bound := 1.6*QStep(qp) + 4
+		for iter := 0; iter < 100; iter++ {
+			var x [16]int32
+			for i := range x {
+				x[i] = int32(rng.Intn(511) - 255)
+			}
+			b := x
+			TQ(&b, qp)
+			TQInv(&b, qp)
+			for i := range x {
+				if d := math.Abs(float64(b[i] - x[i])); d > bound {
+					t.Fatalf("QP%d error %.1f > bound %.1f", qp, d, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestHigherQPNeverIncreasesNonzeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 100; iter++ {
+		var x [16]int32
+		for i := range x {
+			x[i] = int32(rng.Intn(201) - 100)
+		}
+		prev := 17
+		for _, qp := range []int{0, 12, 24, 36, 48} {
+			b := x
+			nz := TQ(&b, qp)
+			if nz > prev {
+				t.Fatalf("nonzeros grew from %d to %d at QP %d", prev, nz, qp)
+			}
+			prev = nz
+		}
+	}
+}
+
+func TestZeroBlockStaysZero(t *testing.T) {
+	var b [16]int32
+	if nz := TQ(&b, 27); nz != 0 {
+		t.Fatalf("zero block has %d nonzeros", nz)
+	}
+	TQInv(&b, 27)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("zero block did not stay zero")
+		}
+	}
+}
+
+func TestQuantizeSignSymmetry(t *testing.T) {
+	f := func(vals [16]int16, qpRaw uint8) bool {
+		qp := int(qpRaw) % (MaxQP + 1)
+		var pos, neg [16]int32
+		for i, v := range vals {
+			pos[i] = int32(v)
+			neg[i] = -int32(v)
+		}
+		Quantize(&pos, qp)
+		Quantize(&neg, qp)
+		for i := range pos {
+			if pos[i] != -neg[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseLinearity(t *testing.T) {
+	// The inverse transform before rounding is linear; with rounding, the
+	// response to a doubled input differs from doubled output by at most 1
+	// per sample. Check exact linearity on inputs without rounding loss.
+	var b [16]int32
+	b[0] = 64 // DC of 64 -> inverse is (64+... ) constant block
+	Inverse4x4(&b)
+	for _, v := range b {
+		if v != 1 {
+			t.Fatalf("inverse of DC-only block = %d, want 1", v)
+		}
+	}
+}
+
+func TestQStepDoublesEverySix(t *testing.T) {
+	for qp := 0; qp+6 <= MaxQP; qp++ {
+		r := QStep(qp+6) / QStep(qp)
+		if math.Abs(r-2) > 1e-9 {
+			t.Fatalf("QStep(%d+6)/QStep(%d) = %v, want 2", qp, qp, r)
+		}
+	}
+	if QStep(0) != 0.625 {
+		t.Fatalf("QStep(0) = %v", QStep(0))
+	}
+}
+
+func TestClip255(t *testing.T) {
+	if Clip255(-5) != 0 || Clip255(300) != 255 || Clip255(128) != 128 {
+		t.Fatal("Clip255 wrong")
+	}
+}
+
+func TestQPPanics(t *testing.T) {
+	for _, qp := range []int{-1, 52} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("QP %d did not panic", qp)
+				}
+			}()
+			var b [16]int32
+			Quantize(&b, qp)
+		}()
+	}
+}
+
+func TestDequantizeScalesWithQP(t *testing.T) {
+	// Dequantizing the same levels at QP and QP+6 doubles the output.
+	var a, b [16]int32
+	for i := range a {
+		a[i] = int32(i - 8)
+		b[i] = int32(i - 8)
+	}
+	Dequantize(&a, 10)
+	Dequantize(&b, 16)
+	for i := range a {
+		if b[i] != 2*a[i] {
+			t.Fatalf("pos %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkTQTQInv(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var blk [16]int32
+	for i := range blk {
+		blk[i] = int32(rng.Intn(511) - 255)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := blk
+		TQ(&x, 28)
+		TQInv(&x, 28)
+	}
+}

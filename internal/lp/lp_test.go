@@ -1,0 +1,469 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMinimization(t *testing.T) {
+	// min x+y s.t. x+y >= 2, x <= 5 → obj 2.
+	p := New(2)
+	p.SetObjective([]float64{1, 1})
+	p.Add([]float64{1, 1}, GE, 2)
+	p.Add([]float64{1, 0}, LE, 5)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 2) {
+		t.Fatalf("obj %v, want 2", obj)
+	}
+	if !approx(x[0]+x[1], 2) {
+		t.Fatalf("x %v", x)
+	}
+}
+
+func TestMaximizationViaNegation(t *testing.T) {
+	// max 3x+2y s.t. x+y<=4, x+3y<=6 → x=4,y=0, obj 12.
+	p := New(2)
+	p.SetObjective([]float64{-3, -2})
+	p.Add([]float64{1, 1}, LE, 4)
+	p.Add([]float64{1, 3}, LE, 6)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(-obj, 12) || !approx(x[0], 4) || !approx(x[1], 0) {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min 2x+y s.t. x+y=3, x>=1 → x=1? No: cost of y is 1 < 2 so put all in
+	// y: x=1 forced minimum? x >= 1 → x=1, y=2, obj 4.
+	p := New(2)
+	p.SetObjective([]float64{2, 1})
+	p.Add([]float64{1, 1}, EQ, 3)
+	p.Add([]float64{1, 0}, GE, 1)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 4) || !approx(x[0], 1) || !approx(x[1], 2) {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(1)
+	p.SetObjective([]float64{1})
+	p.Add([]float64{1}, GE, 5)
+	p.Add([]float64{1}, LE, 3)
+	if _, _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(2)
+	p.SetObjective([]float64{-1, 0})
+	p.Add([]float64{0, 1}, LE, 1)
+	if _, _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestUnconstrained(t *testing.T) {
+	p := New(3)
+	p.SetObjective([]float64{1, 0, 2})
+	x, obj, err := p.Solve()
+	if err != nil || obj != 0 {
+		t.Fatalf("x=%v obj=%v err=%v", x, obj, err)
+	}
+	p2 := New(1)
+	p2.SetObjective([]float64{-1})
+	if _, _, err := p2.Solve(); err != ErrUnbounded {
+		t.Fatal("unconstrained negative cost must be unbounded")
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y <= -2 with min x → x=0, y>=2.
+	p := New(2)
+	p.SetObjective([]float64{1, 0})
+	p.Add([]float64{1, -1}, LE, -2)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 0) || x[1] < 2-1e-6 {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	p := New(4)
+	p.SetObjective([]float64{-0.75, 150, -0.02, 6})
+	p.Add([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.Add([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.Add([]float64{0, 0, 1, 0}, LE, 1)
+	_, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, -0.05) {
+		t.Fatalf("obj %v, want -0.05 (Beale's example)", obj)
+	}
+}
+
+func TestMakespanStructure(t *testing.T) {
+	// A miniature of the balancer's LP: distribute N rows over two devices
+	// with speeds k1, k2, minimizing the makespan τ.
+	// Vars: m1, m2, τ. min τ s.t. m1+m2=N, ki·mi - τ <= 0.
+	const N, k1, k2 = 60, 1.0, 2.0
+	p := New(3)
+	p.SetObjective([]float64{0, 0, 1})
+	p.Add([]float64{1, 1, 0}, EQ, N)
+	p.Add([]float64{k1, 0, -1}, LE, 0)
+	p.Add([]float64{0, k2, -1}, LE, 0)
+	x, obj, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: m1=40, m2=20, τ=40 (inverse-speed proportional).
+	if !approx(x[0], 40) || !approx(x[1], 20) || !approx(obj, 40) {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+// vertexOracle solves tiny LPs by enumerating all basic solutions:
+// intersections of n constraint hyperplanes drawn from the constraint set
+// plus the axes x_i = 0.
+func vertexOracle(p *Problem, rows [][]float64, sens []Sense, rhs []float64) (float64, bool) {
+	n := p.NumVars()
+	type plane struct {
+		a []float64
+		b float64
+	}
+	var planes []plane
+	for i := range rows {
+		planes = append(planes, plane{rows[i], rhs[i]})
+	}
+	for i := 0; i < n; i++ {
+		a := make([]float64, n)
+		a[i] = 1
+		planes = append(planes, plane{a, 0})
+	}
+	best := math.Inf(1)
+	found := false
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			// Solve the n×n system.
+			A := make([][]float64, n)
+			for r := 0; r < n; r++ {
+				A[r] = append(append([]float64{}, planes[idx[r]].a...), planes[idx[r]].b)
+			}
+			x, ok := gauss(A)
+			if !ok {
+				return
+			}
+			// Feasibility.
+			for _, xi := range x {
+				if xi < -1e-7 {
+					return
+				}
+			}
+			for i := range rows {
+				dot := 0.0
+				for j := range x {
+					dot += rows[i][j] * x[j]
+				}
+				switch sens[i] {
+				case LE:
+					if dot > rhs[i]+1e-7 {
+						return
+					}
+				case GE:
+					if dot < rhs[i]-1e-7 {
+						return
+					}
+				case EQ:
+					if math.Abs(dot-rhs[i]) > 1e-7 {
+						return
+					}
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.c[j] * x[j]
+			}
+			if obj < best {
+				best = obj
+			}
+			found = true
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+func gauss(a [][]float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if math.Abs(a[r][col]) > 1e-9 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		pv := a[col][col]
+		for j := col; j <= n; j++ {
+			a[col][j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = a[i][n]
+	}
+	return x, true
+}
+
+func TestAgainstVertexOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(2)
+		m := 1 + rng.Intn(4)
+		p := New(n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = float64(rng.Intn(11)) // non-negative cost → bounded below
+		}
+		p.SetObjective(c)
+		rows := make([][]float64, m)
+		sens := make([]Sense, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				rows[i][j] = float64(rng.Intn(7) - 3)
+			}
+			sens[i] = Sense(rng.Intn(3))
+			rhs[i] = float64(rng.Intn(15) - 5)
+			p.Add(rows[i], sens[i], rhs[i])
+		}
+		x, obj, err := p.Solve()
+		oracleObj, oracleFeasible := vertexOracle(p, rows, sens, rhs)
+		if err == ErrInfeasible {
+			if oracleFeasible {
+				t.Fatalf("trial %d: solver infeasible but oracle found %v", trial, oracleObj)
+			}
+			continue
+		}
+		if err == ErrUnbounded {
+			continue // oracle cannot certify unboundedness; skip
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !oracleFeasible {
+			t.Fatalf("trial %d: solver found %v but oracle says infeasible", trial, x)
+		}
+		if math.Abs(obj-oracleObj) > 1e-5 {
+			t.Fatalf("trial %d: solver obj %v, oracle %v", trial, obj, oracleObj)
+		}
+		// Verify the returned point satisfies every constraint.
+		for i := range rows {
+			dot := 0.0
+			for j := range x {
+				dot += rows[i][j] * x[j]
+			}
+			switch sens[i] {
+			case LE:
+				if dot > rhs[i]+1e-6 {
+					t.Fatalf("trial %d: constraint %d violated", trial, i)
+				}
+			case GE:
+				if dot < rhs[i]-1e-6 {
+					t.Fatalf("trial %d: constraint %d violated", trial, i)
+				}
+			case EQ:
+				if math.Abs(dot-rhs[i]) > 1e-6 {
+					t.Fatalf("trial %d: constraint %d violated", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(0) did not panic")
+			}
+		}()
+		New(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized constraint did not panic")
+			}
+		}()
+		New(1).Add([]float64{1, 2}, LE, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong objective size did not panic")
+			}
+		}()
+		New(2).SetObjective([]float64{1})
+	}()
+}
+
+func TestShortConstraintIsPadded(t *testing.T) {
+	p := New(3)
+	p.Coef(2, 1)
+	p.Add([]float64{1}, GE, 5) // only x0
+	x, _, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < 5-1e-6 {
+		t.Fatalf("x %v", x)
+	}
+	if p.NumConstraints() != 1 || p.NumVars() != 3 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" || Sense(9).String() != "?" {
+		t.Fatal("Sense labels wrong")
+	}
+}
+
+func BenchmarkBalancerSizedLP(b *testing.B) {
+	// The shape of one Algorithm 2 instance for a 6-device platform:
+	// 21 variables, ~30 constraints.
+	build := func() *Problem {
+		p := New(21)
+		p.Coef(20, 1)
+		rng := rand.New(rand.NewSource(7))
+		for c := 0; c < 3; c++ {
+			a := make([]float64, 21)
+			for i := 0; i < 6; i++ {
+				a[c*6+i] = 1
+			}
+			p.Add(a, EQ, 68)
+		}
+		for c := 0; c < 24; c++ {
+			a := make([]float64, 21)
+			for i := 0; i < 3; i++ {
+				a[rng.Intn(18)] = rng.Float64() * 1e-3
+			}
+			a[18+rng.Intn(2)] = 1
+			a[20] = -1
+			p.Add(a, LE, 0)
+		}
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := build().Solve(); err != nil && err != ErrInfeasible && err != ErrUnbounded {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLargeRandomProblemsSolveCleanly(t *testing.T) {
+	// Stress: problems an order of magnitude larger than the balancer's,
+	// checking only internal consistency (solutions satisfy constraints).
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(30)
+		m := 20 + rng.Intn(40)
+		p := New(n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64() * 10 // non-negative: bounded below
+		}
+		p.SetObjective(c)
+		rows := make([][]float64, m)
+		sens := make([]Sense, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			for j := 0; j < 5; j++ {
+				rows[i][rng.Intn(n)] = rng.Float64()*6 - 3
+			}
+			sens[i] = Sense(rng.Intn(3))
+			rhs[i] = rng.Float64()*20 - 5
+			p.Add(rows[i], sens[i], rhs[i])
+		}
+		x, obj, err := p.Solve()
+		if err == ErrInfeasible || err == ErrUnbounded {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var check float64
+		for j := range x {
+			if x[j] < -1e-7 {
+				t.Fatalf("trial %d: negative variable", trial)
+			}
+			check += c[j] * x[j]
+		}
+		if math.Abs(check-obj) > 1e-5*(1+math.Abs(obj)) {
+			t.Fatalf("trial %d: objective mismatch", trial)
+		}
+		for i := range rows {
+			dot := 0.0
+			for j := range x {
+				dot += rows[i][j] * x[j]
+			}
+			tol := 1e-5 * (1 + math.Abs(rhs[i]))
+			switch sens[i] {
+			case LE:
+				if dot > rhs[i]+tol {
+					t.Fatalf("trial %d: constraint %d violated (%v > %v)", trial, i, dot, rhs[i])
+				}
+			case GE:
+				if dot < rhs[i]-tol {
+					t.Fatalf("trial %d: constraint %d violated", trial, i)
+				}
+			case EQ:
+				if math.Abs(dot-rhs[i]) > tol {
+					t.Fatalf("trial %d: equality %d violated", trial, i)
+				}
+			}
+		}
+	}
+}

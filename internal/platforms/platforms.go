@@ -1,0 +1,53 @@
+// Package platforms is the name registry of simulated platform
+// configurations shared by the command-line tools: the paper's four
+// single-device baselines, its three heterogeneous systems, and a couple
+// of extras built from the extended device library.
+package platforms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"feves/internal/device"
+)
+
+// builders maps canonical names to fresh-platform constructors. Platforms
+// carry mutable perturbation state, so every lookup builds a new instance.
+var builders = map[string]func() *device.Platform{
+	"syshk":  device.SysHK,
+	"sysnf":  device.SysNF,
+	"sysnff": device.SysNFF,
+	"cpun":   func() *device.Platform { return device.CPUOnly("CPU_N", device.CPUNehalemCore(), 4) },
+	"cpuh":   func() *device.Platform { return device.CPUOnly("CPU_H", device.CPUHaswellCore(), 4) },
+	"gpuf":   func() *device.Platform { return device.GPUOnly("GPU_F", device.GPUFermi()) },
+	"gpuk":   func() *device.Platform { return device.GPUOnly("GPU_K", device.GPUKepler()) },
+	"gput":   func() *device.Platform { return device.GPUOnly("GPU_T", device.GPUTesla()) },
+	// SysNT: an older-generation hybrid (Nehalem + Tesla) for exploring
+	// how the framework behaves when the GPU barely beats the CPU.
+	"sysnt": func() *device.Platform {
+		return &device.Platform{Name: "SysNT", GPUs: []device.Profile{device.GPUTesla()},
+			CPUCore: device.CPUNehalemCore(), Cores: 4, Seed: 1}
+	},
+}
+
+// Lookup returns a fresh instance of the named platform (names are
+// case-insensitive).
+func Lookup(name string) (*device.Platform, error) {
+	b, ok := builders[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("platforms: unknown platform %q (available: %s)",
+			name, strings.Join(Names(), " "))
+	}
+	return b(), nil
+}
+
+// Names lists the registered platform names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,55 @@
+package platforms
+
+import "testing"
+
+func TestLookupAllNamesValid(t *testing.T) {
+	for _, name := range Names() {
+		pl, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("%s: invalid platform: %v", name, err)
+		}
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	a, err := Lookup("SysHK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "SysHK" {
+		t.Fatalf("got %s", a.Name)
+	}
+}
+
+func TestLookupReturnsFreshInstances(t *testing.T) {
+	a, _ := Lookup("syshk")
+	b, _ := Lookup("syshk")
+	if a == b {
+		t.Fatal("Lookup must not share platform instances (perturbation state)")
+	}
+	a.Perturb = func(int, int) float64 { return 2 }
+	if b.Perturb != nil {
+		t.Fatal("perturbation leaked between instances")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("cray"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("%d names registered: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package sched
+
+import (
+	"fmt"
+
+	"feves/internal/device"
+	"feves/internal/lp"
+)
+
+// Topology describes the device mix the balancer schedules for: nGPU
+// accelerators (devices 0..nGPU-1) followed by CPU cores, matching the
+// paper's p_1..p_nw, p_nw+1..p_nw+nc enumeration.
+type Topology struct {
+	NumGPU int
+	Cores  int
+}
+
+// NumDevices returns the total device count.
+func (t Topology) NumDevices() int { return t.NumGPU + t.Cores }
+
+// IsGPU reports whether device i is an accelerator.
+func (t Topology) IsGPU(i int) bool { return i < t.NumGPU }
+
+// Balancer produces one frame's distribution from the performance model.
+type Balancer interface {
+	// Distribute computes the row distribution for a frame with the given
+	// workload (row count, search area, usable references). prevSigmaR is
+	// the σʳ vector carried over from the previous frame (nil means zero).
+	Distribute(pm *PerfModel, topo Topology, w device.Workload, prevSigmaR []int) (Distribution, error)
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// LPBalancer is the paper's Load Balancing routine (Algorithm 2): a linear
+// program over the distribution vectors minimizing τtot, iterated to a
+// fixed point with the MS_BOUNDS/LS_BOUNDS data-reuse terms.
+type LPBalancer struct {
+	// MaxIters bounds the Δ fixed-point iterations (default 4).
+	MaxIters int
+	// NoReuse disables the MS_BOUNDS/LS_BOUNDS data-reuse optimization of
+	// the Data Access Management: every accelerator fetches its complete
+	// SME inputs (Δ = s_i) instead of only the rows it is missing. This is
+	// the baseline of the A2 data-reuse ablation.
+	NoReuse bool
+	// Hysteresis, when positive, keeps the previous frame's distribution
+	// unless the freshly solved one improves the predicted τtot by more
+	// than this relative fraction (e.g. 0.03 = 3%). It damps the
+	// oscillation between near-equivalent optima that measurement jitter
+	// induces; re-scoring under the *current* model ensures genuine
+	// changes (Fig. 7 load events) still switch immediately.
+	Hysteresis float64
+
+	prev     *Distribution
+	prevRows int
+}
+
+// Name implements Balancer.
+func (b *LPBalancer) Name() string {
+	if b.NoReuse {
+		return "lp-noreuse"
+	}
+	return "lp"
+}
+
+// Distribute implements Balancer.
+func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload, prevSigmaR []int) (Distribution, error) {
+	rows := w.Rows()
+	if !pm.Ready() {
+		return Distribution{}, fmt.Errorf("sched: performance model not characterized yet")
+	}
+	p := topo.NumDevices()
+	if pm.NumDevices() != p {
+		return Distribution{}, fmt.Errorf("sched: model has %d devices, topology %d", pm.NumDevices(), p)
+	}
+	if prevSigmaR == nil {
+		prevSigmaR = make([]int, p)
+	}
+	iters := b.MaxIters
+	if iters <= 0 {
+		iters = 4
+	}
+	rstar := PlaceRStar(pm, topo, rows)
+
+	deltaM := make([]int, p)
+	deltaL := make([]int, p)
+	var d Distribution
+	for it := 0; it < iters; it++ {
+		x, err := solveLP(pm, topo, w, rstar, deltaM, deltaL, prevSigmaR)
+		if err != nil {
+			return Distribution{}, err
+		}
+		d = roundSolution(x, p, rows, rstar)
+		var nm, nl []int
+		if b.NoReuse {
+			nm = fullFetch(d.S, topo.IsGPU)
+			nl = fullFetch(d.S, topo.IsGPU)
+		} else {
+			nm = MSBounds(d.M, d.S, topo.IsGPU)
+			nl = LSBounds(d.L, d.S, topo.IsGPU)
+		}
+		if intsEqual(nm, deltaM) && intsEqual(nl, deltaL) {
+			deltaM, deltaL = nm, nl
+			break
+		}
+		deltaM, deltaL = nm, nl
+	}
+	d.DeltaM, d.DeltaL = deltaM, deltaL
+
+	// Hysteresis: prefer the incumbent distribution when the new solution
+	// is not a real improvement under the current measurements.
+	if b.Hysteresis > 0 && b.prev != nil && b.prevRows == rows &&
+		len(b.prev.M) == p && b.prev.RStarDev == rstar {
+		_, _, prevTot := PredictTimes(pm, topo, w, *b.prev, prevSigmaR)
+		if prevTot <= d.PredTot*(1+b.Hysteresis) {
+			d.M = append([]int(nil), b.prev.M...)
+			d.L = append([]int(nil), b.prev.L...)
+			d.S = append([]int(nil), b.prev.S...)
+			d.DeltaM = MSBounds(d.M, d.S, topo.IsGPU)
+			d.DeltaL = LSBounds(d.L, d.S, topo.IsGPU)
+			t1, t2, tot := PredictTimes(pm, topo, w, d, prevSigmaR)
+			d.PredTau1, d.PredTau2, d.PredTot = t1, t2, tot
+			deltaM, deltaL = d.DeltaM, d.DeltaL
+		}
+	}
+
+	// Constraints (14)/(15): size the deferred SF completion transfers to
+	// fit the τ2→τtot slack.
+	d.Sigma = make([]int, p)
+	d.SigmaR = make([]int, p)
+	slack := d.PredTot - d.PredTau2
+	for i := 0; i < p; i++ {
+		if !topo.IsGPU(i) || i == rstar {
+			continue
+		}
+		missing := rows - d.L[i] - deltaL[i]
+		d.Sigma[i], d.SigmaR[i] = SigmaSplit(missing, slack, pm.T(i, SFh2d))
+	}
+	if err := d.Validate(rows); err != nil {
+		return Distribution{}, err
+	}
+	if b.Hysteresis > 0 {
+		keep := d
+		b.prev = &keep
+		b.prevRows = rows
+	}
+	return d, nil
+}
+
+// solveLP builds and solves one instance of Algorithm 2's linear program
+// with the Δ terms held constant.
+func solveLP(pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM, deltaL, prevSigmaR []int) ([]float64, error) {
+	p := topo.NumDevices()
+	rows := w.Rows()
+	n := float64(rows)
+	// Variables: m_0..m_{p-1}, l_..., s_..., τ1, τ2, τtot.
+	vm := func(i int) int { return i }
+	vl := func(i int) int { return p + i }
+	vs := func(i int) int { return 2*p + i }
+	t1, t2, tot := 3*p, 3*p+1, 3*p+2
+	nv := 3*p + 3
+
+	prob := lp.New(nv)
+	// Objective: minimize τtot. The tiny weights on τ1 and τ2 break ties
+	// among alternative optima toward schedules with early synchronization
+	// points, which also overlap better in the measured execution.
+	prob.Coef(tot, 1)
+	prob.Coef(t1, 1e-3)
+	prob.Coef(t2, 1e-3)
+
+	row := func() []float64 { return make([]float64, nv) }
+
+	// (1) ∑m = ∑l = ∑s = N.
+	for _, vf := range []func(int) int{vm, vl, vs} {
+		a := row()
+		for i := 0; i < p; i++ {
+			a[vf(i)] = 1
+		}
+		prob.Add(a, lp.EQ, n)
+	}
+	// Ordering of synchronization points.
+	a := row()
+	a[t1], a[t2] = 1, -1
+	prob.Add(a, lp.LE, 0)
+	a = row()
+	a[t2], a[tot] = 1, -1
+	prob.Add(a, lp.LE, 0)
+
+	trs := pm.TRStar(rstar, rows)
+	for i := 0; i < p; i++ {
+		km, kl, ks := pm.KAt(i, ModME, w.UsableRF), pm.K(i, ModINT), pm.KAt(i, ModSME, w.UsableRF)
+		switch {
+		case !topo.IsGPU(i):
+			// (2) K^l·l + K^m·m ≤ τ1.
+			a = row()
+			a[vm(i)], a[vl(i)], a[t1] = km, kl, -1
+			prob.Add(a, lp.LE, 0)
+			// (3) τ1 + K^s·s ≤ τ2.
+			a = row()
+			a[t1], a[vs(i)], a[t2] = 1, ks, -1
+			prob.Add(a, lp.LE, 0)
+			if i == rstar {
+				// CPU-centric: R* runs on the cores after τ2.
+				a = row()
+				a[t2], a[tot] = 1, -1
+				prob.Add(a, lp.LE, -trs)
+			}
+		case i == rstar:
+			kcf, ksfh, ksfd := pm.T(i, CFh2d), pm.T(i, SFh2d), pm.T(i, SFd2h)
+			kmvh, kmvd, krfd := pm.T(i, MVh2d), pm.T(i, MVd2h), pm.T(i, RFd2h)
+			dm, dl := float64(deltaM[i]), float64(deltaL[i])
+			// Joint compute-engine serialization: the paper's constraints
+			// (4) and (5) bound the ME and INT chains separately, but both
+			// kernels run serially on the accelerator's single compute
+			// engine (Fig. 4's timeline: INT then ME), so their sum also
+			// bounds τ1. Without this the LP underestimates τ1 and picks
+			// distributions the measured schedule cannot meet.
+			a = row()
+			a[vl(i)], a[vm(i)], a[t1] = kl, km, -1
+			prob.Add(a, lp.LE, 0)
+			// (4) m(K^cfhd + K^m + K^mvdh) ≤ τ1.
+			a = row()
+			a[vm(i)], a[t1] = kcf+km+kmvd, -1
+			prob.Add(a, lp.LE, 0)
+			// (5) l·K^l + l·K^sfdh + Δm·K^cfhd + m·K^mvdh ≤ τ1.
+			a = row()
+			a[vl(i)], a[vm(i)], a[t1] = kl+ksfd, kmvd, -1
+			prob.Add(a, lp.LE, -dm*kcf)
+			// (6) m·K^cfhd + l·K^sfdh + Δm·K^cfhd + m·K^mvdh ≤ τ1.
+			a = row()
+			a[vm(i)], a[vl(i)], a[t1] = kcf+kmvd, ksfd, -1
+			prob.Add(a, lp.LE, -dm*kcf)
+			// (7) τ1 + Δl·K^sfhd + Δm·K^mvhd + s·K^s ≤ τ2.
+			a = row()
+			a[t1], a[vs(i)], a[t2] = 1, ks, -1
+			prob.Add(a, lp.LE, -dl*ksfh-dm*kmvh)
+			// (8) τ1 + Δl·K^sfhd + (N−m−Δm)·K^cfhd + (N−l−Δl)·K^sfhd + Δm·K^mvhd ≤ τ2.
+			a = row()
+			a[t1], a[vm(i)], a[vl(i)], a[t2] = 1, -kcf, -ksfh, -1
+			prob.Add(a, lp.LE, -dl*ksfh-(n-dm)*kcf-(n-dl)*ksfh-dm*kmvh)
+			// (9) τ2 + (N−s)·K^mvhd + T^R* + N·K^rfdh ≤ τtot.
+			a = row()
+			a[t2], a[vs(i)], a[tot] = 1, -kmvh, -1
+			prob.Add(a, lp.LE, -n*kmvh-trs-n*krfd)
+		default:
+			kcf, krfh, ksfh, ksfd := pm.T(i, CFh2d), pm.T(i, RFh2d), pm.T(i, SFh2d), pm.T(i, SFd2h)
+			kmvh, kmvd := pm.T(i, MVh2d), pm.T(i, MVd2h)
+			dm, dl := float64(deltaM[i]), float64(deltaL[i])
+			sr := float64(prevSigmaR[i])
+			// Joint compute-engine serialization (see the R* device case):
+			// the RF upload leads in, then INT and ME run back to back.
+			a = row()
+			a[vl(i)], a[vm(i)], a[t1] = kl, km, -1
+			prob.Add(a, lp.LE, -n*krfh)
+			// (10) N·K^rfhd + m(K^cfhd + K^m + K^mvdh) ≤ τ1.
+			a = row()
+			a[vm(i)], a[t1] = kcf+km+kmvd, -1
+			prob.Add(a, lp.LE, -n*krfh)
+			// (11) N·K^rfhd + l(K^l+K^sfdh) + σʳ⁻¹·K^sfhd + Δm·K^cfhd + m·K^mvdh ≤ τ1.
+			a = row()
+			a[vl(i)], a[vm(i)], a[t1] = kl+ksfd, kmvd, -1
+			prob.Add(a, lp.LE, -n*krfh-sr*ksfh-dm*kcf)
+			// (12) N·K^rfhd + m·K^cfhd + l·K^sfdh + σʳ⁻¹·K^sfhd + Δm·K^cfhd + m·K^mvdh ≤ τ1.
+			a = row()
+			a[vm(i)], a[vl(i)], a[t1] = kcf+kmvd, ksfd, -1
+			prob.Add(a, lp.LE, -n*krfh-sr*ksfh-dm*kcf)
+			// (13) τ1 + Δl·K^sfhd + Δm·K^mvhd + s·K^s + s·K^mvdh ≤ τ2.
+			a = row()
+			a[t1], a[vs(i)], a[t2] = 1, ks+kmvd, -1
+			prob.Add(a, lp.LE, -dl*ksfh-dm*kmvh)
+		}
+	}
+	x, _, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("sched: load-balancing LP: %w", err)
+	}
+	return x, nil
+}
+
+// roundSolution converts the LP's fractional solution to integer row
+// counts preserving the per-module totals.
+func roundSolution(x []float64, p, rows, rstar int) Distribution {
+	return Distribution{
+		M:        roundPreservingSum(x[0:p], rows),
+		L:        roundPreservingSum(x[p:2*p], rows),
+		S:        roundPreservingSum(x[2*p:3*p], rows),
+		RStarDev: rstar,
+		PredTau1: x[3*p],
+		PredTau2: x[3*p+1],
+		PredTot:  x[3*p+2],
+	}
+}
+
+// fullFetch returns Δ = s_i for every accelerator: the no-data-reuse
+// baseline, where SME inputs are always transferred in full.
+func fullFetch(s []int, isGPU func(int) bool) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		if isGPU(i) {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EquidistantBalancer is the multi-GPU state of the art the paper compares
+// against ([8]): a static even split regardless of device speeds.
+type EquidistantBalancer struct{}
+
+// Name implements Balancer.
+func (EquidistantBalancer) Name() string { return "equidistant" }
+
+// Distribute implements Balancer.
+func (EquidistantBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload, prevSigmaR []int) (Distribution, error) {
+	rows := w.Rows()
+	rstar := 0
+	if pm != nil && pm.Ready() {
+		rstar = PlaceRStar(pm, topo, rows)
+	}
+	return Equidistant(topo.NumDevices(), rows, rstar), nil
+}
+
+// ProportionalBalancer splits each module's rows proportionally to the
+// devices' observed module speeds, without modelling transfers or overlap
+// — a natural heuristic the A1 ablation compares the LP against.
+type ProportionalBalancer struct{}
+
+// Name implements Balancer.
+func (ProportionalBalancer) Name() string { return "proportional" }
+
+// Distribute implements Balancer.
+func (ProportionalBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload, prevSigmaR []int) (Distribution, error) {
+	rows := w.Rows()
+	if !pm.Ready() {
+		return Distribution{}, fmt.Errorf("sched: performance model not characterized yet")
+	}
+	p := topo.NumDevices()
+	split := func(m Module) []int {
+		w := make([]float64, p)
+		var sum float64
+		for i := 0; i < p; i++ {
+			w[i] = 1 / pm.K(i, m)
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] = w[i] / sum * float64(rows)
+		}
+		return roundPreservingSum(w, rows)
+	}
+	d := Distribution{
+		M: split(ModME), L: split(ModINT), S: split(ModSME),
+		RStarDev: PlaceRStar(pm, topo, rows),
+	}
+	d.DeltaM = MSBounds(d.M, d.S, topo.IsGPU)
+	d.DeltaL = LSBounds(d.L, d.S, topo.IsGPU)
+	d.Sigma = make([]int, p)
+	d.SigmaR = make([]int, p)
+	for i := 0; i < p; i++ {
+		if topo.IsGPU(i) && i != d.RStarDev {
+			d.SigmaR[i] = rows - d.L[i] - d.DeltaL[i]
+			if d.SigmaR[i] < 0 {
+				d.SigmaR[i] = 0
+			}
+		}
+	}
+	return d, d.Validate(rows)
+}

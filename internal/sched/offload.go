@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"fmt"
+
+	"feves/internal/device"
+)
+
+// MEOffloadBalancer reproduces the state-of-the-art approach the paper's
+// §II contrasts FEVES against ([5], [6]): offload only the dominant module
+// (motion estimation) to a single GPU, and run everything else — INT, SME
+// and the R* group — on the CPU cores. It uses at most one accelerator by
+// construction, which is exactly the scalability limitation the paper
+// calls out ("these approaches offer a limited scalability since only one
+// GPU device can be efficiently employed").
+type MEOffloadBalancer struct{}
+
+// Name implements Balancer.
+func (MEOffloadBalancer) Name() string { return "me-offload" }
+
+// Distribute implements Balancer: ME rows all on GPU 0; INT and SME rows
+// split evenly over the CPU cores; R* on the first core (CPU-centric).
+func (MEOffloadBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload, prevSigmaR []int) (Distribution, error) {
+	rows := w.Rows()
+	p := topo.NumDevices()
+	if topo.NumGPU < 1 {
+		return Distribution{}, fmt.Errorf("sched: ME offload needs a GPU")
+	}
+	if topo.Cores < 1 {
+		return Distribution{}, fmt.Errorf("sched: ME offload needs CPU cores")
+	}
+	d := Distribution{
+		M:        make([]int, p),
+		L:        make([]int, p),
+		S:        make([]int, p),
+		RStarDev: topo.NumGPU, // first CPU core
+		Sigma:    make([]int, p),
+		SigmaR:   make([]int, p),
+		DeltaM:   make([]int, p),
+		DeltaL:   make([]int, p),
+	}
+	d.M[0] = rows
+	base, rem := rows/topo.Cores, rows%topo.Cores
+	for c := 0; c < topo.Cores; c++ {
+		share := base
+		if c < rem {
+			share++
+		}
+		d.L[topo.NumGPU+c] = share
+		d.S[topo.NumGPU+c] = share
+	}
+	return d, d.Validate(rows)
+}

@@ -1,0 +1,202 @@
+// Package sched implements the Load Balancing and Performance
+// Characterization blocks of the FEVES framework (§III-C, Algorithm 2 of
+// the paper): an on-line performance model fed by measured execution and
+// transfer times, a linear-programming balancer that distributes the ME,
+// INT and SME macroblock rows across heterogeneous devices to minimize the
+// total inter-loop time τtot, the MS_BOUNDS/LS_BOUNDS data-reuse routines,
+// the σ/σʳ deferred-SF-transfer computation, and baseline balancers
+// (equidistant and speed-proportional) used by the paper's comparisons and
+// this reproduction's ablations.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Module indexes the inter-loop module groups whose speeds the model
+// tracks.
+type Module int
+
+const (
+	ModME Module = iota
+	ModINT
+	ModSME
+	ModRStar
+	numModules
+)
+
+func (m Module) String() string {
+	switch m {
+	case ModME:
+		return "ME"
+	case ModINT:
+		return "INT"
+	case ModSME:
+		return "SME"
+	case ModRStar:
+		return "R*"
+	}
+	return "?"
+}
+
+// Transfer identifies a buffer/direction pair of the paper's K^{·} transfer
+// parameters.
+type Transfer int
+
+const (
+	CFh2d Transfer = iota // current frame, host→device
+	RFh2d                 // reference frame, host→device
+	RFd2h                 // reconstructed reference, device→host
+	SFh2d                 // interpolated sub-frame, host→device
+	SFd2h                 // interpolated sub-frame, device→host
+	MVh2d                 // motion vectors, host→device
+	MVd2h                 // motion vectors, device→host
+	numTransfers
+)
+
+func (t Transfer) String() string {
+	names := [...]string{"CF.h2d", "RF.h2d", "RF.d2h", "SF.h2d", "SF.d2h", "MV.h2d", "MV.d2h"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return "?"
+}
+
+// PerfModel is the Performance Characterization store: per device, the
+// observed seconds per macroblock row for each module (K^m, K^l, K^s), the
+// whole-frame R* time (T^R*), and the per-row transfer times in each
+// direction. Observations are folded in with an exponential moving average
+// so the model tracks load fluctuations (Fig. 7) while damping jitter.
+type PerfModel struct {
+	n     int
+	alpha float64
+	k     [numModules][]float64 // sec per MB row (T^R* stored whole-frame)
+	tr    [numTransfers][]float64
+	seen  []bool // device has at least one compute observation
+}
+
+// NewPerfModel creates a model for n devices. alpha in (0, 1] is the EWMA
+// weight of the newest observation; the paper's "use the last measured
+// load" behaviour corresponds to alpha = 1.
+func NewPerfModel(n int, alpha float64) *PerfModel {
+	if n <= 0 {
+		panic("sched: PerfModel needs at least one device")
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("sched: alpha %v out of (0,1]", alpha))
+	}
+	pm := &PerfModel{n: n, alpha: alpha, seen: make([]bool, n)}
+	for m := range pm.k {
+		pm.k[m] = nan(n)
+	}
+	for t := range pm.tr {
+		pm.tr[t] = nan(n)
+	}
+	return pm
+}
+
+func nan(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	return s
+}
+
+// NumDevices returns the device count.
+func (pm *PerfModel) NumDevices() int { return pm.n }
+
+// Ready reports whether every device has compute observations for ME, INT
+// and SME — the precondition for invoking the LP balancer (before that,
+// Algorithm 1 uses the equidistant distribution).
+func (pm *PerfModel) Ready() bool {
+	for i := 0; i < pm.n; i++ {
+		for _, m := range []Module{ModME, ModINT, ModSME} {
+			if math.IsNaN(pm.k[m][i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ObserveCompute records that device dev processed `rows` macroblock rows
+// of a module in `seconds`, with `usableRF` reference frames searched. ME
+// and SME scale linearly with the reference count, so their stored speeds
+// are normalized per reference — the "realistic performance
+// parametrization" that keeps predictions accurate while the DPB ramps up
+// (Fig. 7(b)). For ModRStar, rows is ignored and seconds is the
+// whole-frame T^R*.
+func (pm *PerfModel) ObserveCompute(dev int, m Module, rows, usableRF int, seconds float64) {
+	if m != ModRStar && rows <= 0 {
+		return // nothing was assigned; no information
+	}
+	if usableRF < 1 {
+		usableRF = 1
+	}
+	perRow := seconds
+	if m != ModRStar {
+		perRow = seconds / float64(rows)
+		if m == ModME || m == ModSME {
+			perRow /= float64(usableRF)
+		}
+	}
+	pm.fold(&pm.k[m][dev], perRow)
+	pm.seen[dev] = true
+}
+
+// ObserveTransfer records a transfer of `rows` buffer rows taking
+// `seconds` on device dev's link.
+func (pm *PerfModel) ObserveTransfer(dev int, t Transfer, rows int, seconds float64) {
+	if rows <= 0 {
+		return
+	}
+	pm.fold(&pm.tr[t][dev], seconds/float64(rows))
+}
+
+func (pm *PerfModel) fold(slot *float64, v float64) {
+	if math.IsNaN(*slot) {
+		*slot = v
+		return
+	}
+	*slot = pm.alpha*v + (1-pm.alpha)**slot
+}
+
+// K returns the per-row time of a module on a device (NaN if unobserved;
+// T^R* is whole-frame). For ME and SME the stored value is per reference
+// frame; use KAt to denormalize for a workload.
+func (pm *PerfModel) K(dev int, m Module) float64 { return pm.k[m][dev] }
+
+// KAt returns the per-row time of a module for a frame searching usableRF
+// references, denormalizing the ME/SME speeds.
+func (pm *PerfModel) KAt(dev int, m Module, usableRF int) float64 {
+	v := pm.k[m][dev]
+	if m == ModME || m == ModSME {
+		v *= float64(usableRF)
+	}
+	return v
+}
+
+// T returns the per-row transfer time (0 if never observed — the CPU-core
+// case, whose transfers are free).
+func (pm *PerfModel) T(dev int, t Transfer) float64 {
+	v := pm.tr[t][dev]
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// TRStar returns the whole-frame R* estimate for a device; devices never
+// observed running R* inherit a conservative estimate from their SME speed
+// (R* ≈ SME-weight × rows), so placement can still compare them.
+func (pm *PerfModel) TRStar(dev int, rows int) float64 {
+	if v := pm.k[ModRStar][dev]; !math.IsNaN(v) {
+		return v
+	}
+	if v := pm.k[ModSME][dev]; !math.IsNaN(v) {
+		return v * float64(rows)
+	}
+	return math.Inf(1)
+}

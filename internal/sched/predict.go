@@ -1,0 +1,94 @@
+package sched
+
+import "feves/internal/device"
+
+// PredictTimes evaluates the synchronization points τ1, τ2 and τtot that
+// Algorithm 2's constraint chains imply for a *given* distribution under
+// the current performance model — the same bounds the LP minimizes, applied
+// to a fixed point instead of an optimization variable. It is used by the
+// hysteresis logic (re-scoring the previous frame's distribution under
+// fresh measurements) and by tests that check LP optimality.
+func PredictTimes(pm *PerfModel, topo Topology, w device.Workload, d Distribution, prevSigmaR []int) (t1, t2, tot float64) {
+	p := topo.NumDevices()
+	rows := w.Rows()
+	n := float64(rows)
+	if prevSigmaR == nil {
+		prevSigmaR = make([]int, p)
+	}
+	max := func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+
+	rstar := d.RStarDev
+	trs := pm.TRStar(rstar, rows)
+
+	for i := 0; i < p; i++ {
+		km := pm.KAt(i, ModME, w.UsableRF)
+		kl := pm.K(i, ModINT)
+		m, l := float64(d.M[i]), float64(d.L[i])
+		switch {
+		case !topo.IsGPU(i):
+			// (2): the core's serial ME+INT chain.
+			t1 = max(t1, m*km+l*kl)
+		case i == rstar:
+			kcf, ksfd := pm.T(i, CFh2d), pm.T(i, SFd2h)
+			kmvd := pm.T(i, MVd2h)
+			dm := float64(d.DeltaM[i])
+			t1 = max(t1, l*kl+m*km)                  // joint compute chain
+			t1 = max(t1, m*(kcf+km+kmvd))            // (4)
+			t1 = max(t1, l*(kl+ksfd)+dm*kcf+m*kmvd)  // (5)
+			t1 = max(t1, m*(kcf+kmvd)+l*ksfd+dm*kcf) // (6)
+		default:
+			kcf, krfh, ksfh, ksfd := pm.T(i, CFh2d), pm.T(i, RFh2d), pm.T(i, SFh2d), pm.T(i, SFd2h)
+			kmvd := pm.T(i, MVd2h)
+			dm := float64(d.DeltaM[i])
+			sr := float64(prevSigmaR[i])
+			t1 = max(t1, n*krfh+l*kl+m*km)
+			t1 = max(t1, n*krfh+m*(kcf+km+kmvd))                    // (10)
+			t1 = max(t1, n*krfh+l*(kl+ksfd)+sr*ksfh+dm*kcf+m*kmvd)  // (11)
+			t1 = max(t1, n*krfh+m*(kcf+kmvd)+l*ksfd+sr*ksfh+dm*kcf) // (12)
+		}
+	}
+
+	t2 = t1
+	for i := 0; i < p; i++ {
+		ks := pm.KAt(i, ModSME, w.UsableRF)
+		s := float64(d.S[i])
+		switch {
+		case !topo.IsGPU(i):
+			t2 = max(t2, t1+s*ks) // (3)
+		case i == rstar:
+			kcf, ksfh := pm.T(i, CFh2d), pm.T(i, SFh2d)
+			kmvh := pm.T(i, MVh2d)
+			m, l := float64(d.M[i]), float64(d.L[i])
+			dm, dl := float64(d.DeltaM[i]), float64(d.DeltaL[i])
+			t2 = max(t2, t1+dl*ksfh+dm*kmvh+s*ks) // (7)
+			cfRem := (n - m - dm) * kcf
+			if cfRem < 0 {
+				cfRem = 0
+			}
+			sfRem := (n - l - dl) * ksfh
+			if sfRem < 0 {
+				sfRem = 0
+			}
+			t2 = max(t2, t1+dl*ksfh+cfRem+sfRem+dm*kmvh) // (8)
+		default:
+			ksfh, kmvh, kmvd := pm.T(i, SFh2d), pm.T(i, MVh2d), pm.T(i, MVd2h)
+			dm, dl := float64(d.DeltaM[i]), float64(d.DeltaL[i])
+			t2 = max(t2, t1+dl*ksfh+dm*kmvh+s*(ks+kmvd)) // (13)
+		}
+	}
+
+	// (9) / the CPU-centric analogue.
+	if topo.IsGPU(rstar) {
+		kmvh, krfd := pm.T(rstar, MVh2d), pm.T(rstar, RFd2h)
+		s := float64(d.S[rstar])
+		tot = t2 + (n-s)*kmvh + trs + n*krfd
+	} else {
+		tot = t2 + trs
+	}
+	return t1, t2, tot
+}

@@ -1,0 +1,99 @@
+package sched
+
+import "math"
+
+// The R* group (MC, TQ, TQ⁻¹, DBL) has low computational weight (< 3% for
+// MC+TQ+TQ⁻¹ per the paper) and DBL's cross-macroblock dependencies resist
+// distribution, so the paper maps the whole group onto a single device
+// chosen with a shortest-path (Dijkstra) formulation over the module-device
+// assignment graph from [9]. This file implements that placement: a layered
+// DAG whose nodes are (stage, device) pairs, with stage weights derived
+// from the characterized R* time and migration edges priced at the cost of
+// moving the working set between devices.
+
+// rStarStages are the relative weights of MC, TQ, TQ⁻¹ and DBL within the
+// R* group time (MC+TQ+TQ⁻¹ < 3% of the inter-loop per [4]; DBL dominates).
+var rStarStages = [4]float64{0.30, 0.20, 0.20, 0.30}
+
+// RStarPath computes the minimum-cost assignment of the four R* stages to
+// devices, allowing migration between stages at the cost of moving the
+// frame working set across the interconnect. It returns the per-stage
+// device choice and the total cost. With realistic transfer costs the
+// optimum collapses onto a single device, which is exactly the paper's
+// argument for single-device R* mapping.
+func RStarPath(pm *PerfModel, topo Topology, rows int) (devs [4]int, cost float64) {
+	p := topo.NumDevices()
+	const nStages = 4
+	// dist[i] is the best cost of finishing the current stage on device i.
+	dist := make([]float64, p)
+	prev := make([][4]int, p) // back-pointers per device
+
+	stageTime := func(stage, dev int) float64 {
+		return pm.TRStar(dev, rows) * rStarStages[stage]
+	}
+	migrate := func(from, to int) float64 {
+		if from == to {
+			return 0
+		}
+		// Move the reconstruction working set: device→host on the source,
+		// host→device on the target (free for CPU cores).
+		var c float64
+		if topo.IsGPU(from) {
+			c += float64(rows) * pm.T(from, RFd2h)
+		}
+		if topo.IsGPU(to) {
+			c += float64(rows) * pm.T(to, RFh2d)
+		}
+		return c
+	}
+
+	for i := 0; i < p; i++ {
+		dist[i] = stageTime(0, i)
+		prev[i][0] = i
+	}
+	for stage := 1; stage < nStages; stage++ {
+		next := make([]float64, p)
+		nextPrev := make([][4]int, p)
+		for to := 0; to < p; to++ {
+			best := math.Inf(1)
+			var bestPath [4]int
+			for from := 0; from < p; from++ {
+				c := dist[from] + migrate(from, to) + stageTime(stage, to)
+				if c < best {
+					best = c
+					bestPath = prev[from]
+					bestPath[stage] = to
+				}
+			}
+			next[to] = best
+			nextPrev[to] = bestPath
+		}
+		dist, prev = next, nextPrev
+	}
+	best := 0
+	for i := 1; i < p; i++ {
+		if dist[i] < dist[best] {
+			best = i
+		}
+	}
+	return prev[best], dist[best]
+}
+
+// PlaceRStar selects the single device that runs the whole R* group: the
+// one minimizing the characterized R* time plus its input/output transfer
+// overhead (missing SME vectors in, reconstructed reference out). Ties go
+// to the lower index, so an equally fast GPU yields the paper's GPU-centric
+// configuration.
+func PlaceRStar(pm *PerfModel, topo Topology, rows int) int {
+	best, bestCost := 0, math.Inf(1)
+	for i := 0; i < topo.NumDevices(); i++ {
+		c := pm.TRStar(i, rows)
+		if topo.IsGPU(i) {
+			c += float64(rows) * (pm.T(i, MVh2d) + pm.T(i, RFd2h))
+		}
+		if c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}

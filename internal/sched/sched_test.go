@@ -1,0 +1,625 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"feves/internal/device"
+)
+
+// modelFor seeds a PerfModel with exact (jitter-free) characterization of a
+// platform for a workload, as a converged Performance Characterization
+// would hold.
+func modelFor(pl *device.Platform, w device.Workload) (*PerfModel, Topology) {
+	topo := Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	pm := NewPerfModel(topo.NumDevices(), 1)
+	for i := 0; i < topo.NumDevices(); i++ {
+		p := pl.Dev(i)
+		pm.ObserveCompute(i, ModME, 1, w.UsableRF, p.KME(w))
+		pm.ObserveCompute(i, ModINT, 1, 1, p.KINT(w))
+		pm.ObserveCompute(i, ModSME, 1, w.UsableRF, p.KSME(w))
+		pm.ObserveCompute(i, ModRStar, 0, 1, p.TRStar(w))
+		if pl.IsGPU(i) {
+			pm.ObserveTransfer(i, CFh2d, 1, p.TH2D(w.CFRowBytes()))
+			pm.ObserveTransfer(i, RFh2d, 1, p.TH2D(w.RFRowBytes()))
+			pm.ObserveTransfer(i, RFd2h, 1, p.TD2H(w.RFRowBytes()))
+			pm.ObserveTransfer(i, SFh2d, 1, p.TH2D(w.SFRowBytes()))
+			pm.ObserveTransfer(i, SFd2h, 1, p.TD2H(w.SFRowBytes()))
+			pm.ObserveTransfer(i, MVh2d, 1, p.TH2D(w.MVRowBytes()))
+			pm.ObserveTransfer(i, MVd2h, 1, p.TD2H(w.MVRowBytes()))
+		}
+	}
+	return pm, topo
+}
+
+func wl(sa, rf int) device.Workload {
+	return device.Workload{MBW: 120, MBH: 68, SA: sa, NumRF: rf, UsableRF: rf}
+}
+
+func TestPerfModelEWMA(t *testing.T) {
+	pm := NewPerfModel(1, 0.5)
+	pm.ObserveCompute(0, ModME, 10, 1, 10) // 1 s/row
+	if pm.K(0, ModME) != 1 {
+		t.Fatalf("first observation should set the value, got %v", pm.K(0, ModME))
+	}
+	pm.ObserveCompute(0, ModME, 10, 1, 30) // 3 s/row → EWMA 2
+	if pm.K(0, ModME) != 2 {
+		t.Fatalf("EWMA = %v, want 2", pm.K(0, ModME))
+	}
+	// Zero rows carries no information.
+	pm.ObserveCompute(0, ModME, 0, 1, 99)
+	if pm.K(0, ModME) != 2 {
+		t.Fatal("zero-row observation must be ignored")
+	}
+}
+
+func TestPerfModelReady(t *testing.T) {
+	pm := NewPerfModel(2, 1)
+	if pm.Ready() {
+		t.Fatal("empty model cannot be ready")
+	}
+	for i := 0; i < 2; i++ {
+		pm.ObserveCompute(i, ModME, 1, 1, 1)
+		pm.ObserveCompute(i, ModINT, 1, 1, 1)
+	}
+	if pm.Ready() {
+		t.Fatal("missing SME observations")
+	}
+	pm.ObserveCompute(0, ModSME, 1, 1, 1)
+	pm.ObserveCompute(1, ModSME, 1, 1, 1)
+	if !pm.Ready() {
+		t.Fatal("fully observed model must be ready")
+	}
+}
+
+func TestPerfModelTransferDefaultsToZero(t *testing.T) {
+	pm := NewPerfModel(1, 1)
+	if pm.T(0, SFh2d) != 0 {
+		t.Fatal("unobserved transfers must read as free (CPU-core semantics)")
+	}
+	pm.ObserveTransfer(0, SFh2d, 4, 2)
+	if pm.T(0, SFh2d) != 0.5 {
+		t.Fatalf("T = %v, want 0.5", pm.T(0, SFh2d))
+	}
+}
+
+func TestPerfModelTRStarFallback(t *testing.T) {
+	pm := NewPerfModel(1, 1)
+	if !math.IsInf(pm.TRStar(0, 10), 1) {
+		t.Fatal("unobserved device should be infinitely expensive")
+	}
+	pm.ObserveCompute(0, ModSME, 1, 1, 2)
+	if pm.TRStar(0, 10) != 20 {
+		t.Fatalf("SME fallback = %v, want 20", pm.TRStar(0, 10))
+	}
+	pm.ObserveCompute(0, ModRStar, 0, 1, 5)
+	if pm.TRStar(0, 10) != 5 {
+		t.Fatal("direct observation must win")
+	}
+}
+
+func TestEquidistant(t *testing.T) {
+	d := Equidistant(3, 68, 0)
+	if err := d.Validate(68); err != nil {
+		t.Fatal(err)
+	}
+	if d.M[0] != 23 || d.M[1] != 23 || d.M[2] != 22 {
+		t.Fatalf("split %v", d.M)
+	}
+	for i, sr := range d.SigmaR {
+		if sr != 68-d.L[i] {
+			t.Fatalf("σʳ[%d] = %d, want %d", i, sr, 68-d.L[i])
+		}
+	}
+}
+
+func TestRoundPreservingSumQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		rows := 1 + rng.Intn(200)
+		x := make([]float64, n)
+		rem := float64(rows)
+		for i := 0; i < n-1; i++ {
+			x[i] = rem * rng.Float64()
+			rem -= x[i]
+		}
+		x[n-1] = rem
+		out := roundPreservingSum(x, rows)
+		sum := 0
+		for i, v := range out {
+			if v < 0 {
+				return false
+			}
+			if math.Abs(float64(v)-x[i]) > 1.0+1e-9 {
+				return false // rounding moved more than one unit
+			}
+			sum += v
+		}
+		return sum == rows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsIdentityDistribution(t *testing.T) {
+	isGPU := func(i int) bool { return true }
+	m := []int{20, 30, 18}
+	if dm := MSBounds(m, m, isGPU); dm[0] != 0 || dm[1] != 0 || dm[2] != 0 {
+		t.Fatalf("identical ranges need no extra transfers, got %v", dm)
+	}
+}
+
+func TestBoundsDisjointAndPartial(t *testing.T) {
+	isGPU := func(i int) bool { return i == 0 || i == 1 }
+	// Device 0: ME rows [0,10); SME rows [0,20) → 10 extra rows.
+	// Device 1: ME rows [10,30); SME rows [20,30) → contained → 0 extra.
+	m := []int{10, 20}
+	s := []int{20, 10}
+	dm := MSBounds(m, s, isGPU)
+	if dm[0] != 10 || dm[1] != 0 {
+		t.Fatalf("Δm = %v, want [10 0]", dm)
+	}
+	// CPU devices report zero regardless.
+	dm = MSBounds(m, s, func(int) bool { return false })
+	if dm[0] != 0 || dm[1] != 0 {
+		t.Fatalf("CPU Δ must be zero, got %v", dm)
+	}
+}
+
+func TestBoundsNeverExceedNeed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		rows := 30 + rng.Intn(60)
+		randDist := func() []int {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			var sum float64
+			for _, v := range x {
+				sum += v
+			}
+			for i := range x {
+				x[i] = x[i] / sum * float64(rows)
+			}
+			return roundPreservingSum(x, rows)
+		}
+		m, s := randDist(), randDist()
+		dm := MSBounds(m, s, func(int) bool { return true })
+		for i := range dm {
+			if dm[i] < 0 || dm[i] > s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmaSplit(t *testing.T) {
+	// 10 rows missing, slack fits 4.
+	s, r := SigmaSplit(10, 4, 1)
+	if s != 4 || r != 6 {
+		t.Fatalf("σ=%d σʳ=%d", s, r)
+	}
+	if s, r = SigmaSplit(10, 100, 1); s != 10 || r != 0 {
+		t.Fatalf("all rows should fit: σ=%d σʳ=%d", s, r)
+	}
+	if s, r = SigmaSplit(0, 5, 1); s != 0 || r != 0 {
+		t.Fatal("nothing missing → nothing to do")
+	}
+	if s, r = SigmaSplit(7, -3, 1); s != 0 || r != 7 {
+		t.Fatal("negative slack defers everything")
+	}
+	if s, r = SigmaSplit(7, 0, 0); s != 7 || r != 0 {
+		t.Fatal("free transfers always fit")
+	}
+}
+
+func TestLPBalancerFavoursFasterDevice(t *testing.T) {
+	pm, topo := modelFor(device.SysHK(), wl(32, 1))
+	b := &LPBalancer{}
+	d, err := b.Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(68); err != nil {
+		t.Fatal(err)
+	}
+	// The Kepler GPU is far faster than one Haswell core: it must receive
+	// the largest ME share.
+	for i := 1; i < topo.NumDevices(); i++ {
+		if d.M[0] <= d.M[i] {
+			t.Fatalf("GPU ME share %d not dominant over core %d share %d (%v)", d.M[0], i, d.M[i], d.M)
+		}
+	}
+	if d.PredTot <= 0 || d.PredTau1 <= 0 || d.PredTau2 < d.PredTau1 || d.PredTot < d.PredTau2 {
+		t.Fatalf("inconsistent predictions τ1=%v τ2=%v τtot=%v", d.PredTau1, d.PredTau2, d.PredTot)
+	}
+}
+
+func TestLPBalancerBeatsEquidistantPrediction(t *testing.T) {
+	pm, topo := modelFor(device.SysNF(), wl(32, 1))
+	b := &LPBalancer{}
+	d, err := b.Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimate the equidistant makespan with the same model: the slowest
+	// device's serial chain dominates.
+	eq := Equidistant(topo.NumDevices(), 68, 0)
+	worst := 0.0
+	for i := 0; i < topo.NumDevices(); i++ {
+		c := float64(eq.M[i])*pm.K(i, ModME) + float64(eq.L[i])*pm.K(i, ModINT) + float64(eq.S[i])*pm.K(i, ModSME)
+		if c > worst {
+			worst = c
+		}
+	}
+	worst += pm.TRStar(0, 68)
+	if d.PredTot >= worst {
+		t.Fatalf("LP predicted τtot %v not better than equidistant estimate %v", d.PredTot, worst)
+	}
+}
+
+func TestLPBalancerSingleGPU(t *testing.T) {
+	pm, topo := modelFor(device.GPUOnly("GPU_K", device.GPUKepler()), wl(32, 1))
+	d, err := (&LPBalancer{}).Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M[0] != 68 || d.L[0] != 68 || d.S[0] != 68 {
+		t.Fatalf("single device must take everything: %+v", d)
+	}
+	if d.RStarDev != 0 {
+		t.Fatal("R* must be on the only device")
+	}
+}
+
+func TestLPBalancerCPUOnly(t *testing.T) {
+	pm, topo := modelFor(device.CPUOnly("CPU_H", device.CPUHaswellCore(), 4), wl(32, 1))
+	d, err := (&LPBalancer{}).Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(68); err != nil {
+		t.Fatal(err)
+	}
+	// Identical cores admit many optimal row splits (ME and INT rows are
+	// interchangeable in constraint (2)); the balanced quantity is each
+	// core's τ1-phase time K^m·m + K^l·l, which must not exceed the
+	// prediction by more than one row's worth of work.
+	for i := 0; i < 4; i++ {
+		load := float64(d.M[i])*pm.K(i, ModME) + float64(d.L[i])*pm.K(i, ModINT)
+		if load > d.PredTau1+pm.K(i, ModME)+pm.K(i, ModINT) {
+			t.Fatalf("core %d τ1 load %v exceeds predicted τ1 %v", i, load, d.PredTau1)
+		}
+	}
+}
+
+func TestLPBalancerRequiresReadyModel(t *testing.T) {
+	pm := NewPerfModel(2, 1)
+	if _, err := (&LPBalancer{}).Distribute(pm, Topology{NumGPU: 1, Cores: 1}, wl(32, 1), nil); err == nil {
+		t.Fatal("uncharacterized model must be rejected")
+	}
+}
+
+func TestLPBalancerAdaptsToPerturbation(t *testing.T) {
+	plat := device.SysHK()
+	pm, topo := modelFor(plat, wl(32, 1))
+	b := &LPBalancer{}
+	before, err := b.Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GPU suddenly becomes 4× slower (Fig. 7 event): re-characterize
+	// and redistribute.
+	w := wl(32, 1)
+	gpu := plat.Dev(0)
+	pm.ObserveCompute(0, ModME, 1, w.UsableRF, 4*gpu.KME(w))
+	pm.ObserveCompute(0, ModSME, 1, w.UsableRF, 4*gpu.KSME(w))
+	pm.ObserveCompute(0, ModINT, 1, 1, 4*gpu.KINT(w))
+	after, err := b.Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.M[0] >= before.M[0] {
+		t.Fatalf("GPU slowdown must reduce its ME share: %d → %d", before.M[0], after.M[0])
+	}
+}
+
+func TestProportionalBalancer(t *testing.T) {
+	pm, topo := modelFor(device.SysNF(), wl(32, 1))
+	d, err := ProportionalBalancer{}.Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(68); err != nil {
+		t.Fatal(err)
+	}
+	if d.M[0] <= d.M[1] {
+		t.Fatal("proportional split must favour the GPU")
+	}
+}
+
+func TestEquidistantBalancerInterface(t *testing.T) {
+	var b Balancer = EquidistantBalancer{}
+	d, err := b.Distribute(nil, Topology{NumGPU: 1, Cores: 3}, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(68); err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "equidistant" || (&LPBalancer{}).Name() != "lp" || (ProportionalBalancer{}).Name() != "proportional" {
+		t.Fatal("balancer names wrong")
+	}
+}
+
+func TestPlaceRStarPrefersGPU(t *testing.T) {
+	pm, topo := modelFor(device.SysHK(), wl(32, 1))
+	if dev := PlaceRStar(pm, topo, 68); dev != 0 {
+		t.Fatalf("R* placed on device %d, want the Kepler GPU (0)", dev)
+	}
+}
+
+func TestPlaceRStarPrefersCPUWhenGPUSlow(t *testing.T) {
+	slowGPU := device.GPUFermi().Scaled(100, "GPU_slow")
+	pl := &device.Platform{Name: "odd", GPUs: []device.Profile{slowGPU}, CPUCore: device.CPUHaswellCore(), Cores: 4, Seed: 1}
+	pm, topo := modelFor(pl, wl(32, 1))
+	if dev := PlaceRStar(pm, topo, 68); dev == 0 {
+		t.Fatal("R* should move off a 100× slower GPU (CPU-centric configuration)")
+	}
+}
+
+func TestRStarPathCollapsesToSingleDevice(t *testing.T) {
+	pm, topo := modelFor(device.SysHK(), wl(32, 1))
+	devs, cost := RStarPath(pm, topo, 68)
+	for _, d := range devs[1:] {
+		if d != devs[0] {
+			t.Fatalf("with real transfer costs the path must not migrate: %v", devs)
+		}
+	}
+	if cost <= 0 {
+		t.Fatalf("cost %v", cost)
+	}
+}
+
+func TestRStarPathMigratesWhenTransfersFree(t *testing.T) {
+	// Two devices with complementary stage speeds and free transfers: the
+	// optimal path uses both.
+	pm := NewPerfModel(2, 1)
+	topo := Topology{NumGPU: 0, Cores: 2} // CPU cores: free migration
+	pm.ObserveCompute(0, ModRStar, 0, 1, 1.0)
+	pm.ObserveCompute(1, ModRStar, 0, 1, 1.0)
+	for i := 0; i < 2; i++ {
+		pm.ObserveCompute(i, ModME, 1, 1, 1)
+		pm.ObserveCompute(i, ModINT, 1, 1, 1)
+		pm.ObserveCompute(i, ModSME, 1, 1, 1)
+	}
+	devs, _ := RStarPath(pm, topo, 68)
+	// Equal speeds and free migration: path cost equals single-device
+	// cost; any assignment is optimal. Now make device 1 faster overall —
+	// the path must use it exclusively.
+	pm.ObserveCompute(1, ModRStar, 0, 1, 0.5)
+	devs, cost := RStarPath(pm, topo, 68)
+	for _, d := range devs {
+		if d != 1 {
+			t.Fatalf("path should collapse to the faster device: %v", devs)
+		}
+	}
+	if math.Abs(cost-0.5) > 1e-9 {
+		t.Fatalf("cost %v, want 0.5", cost)
+	}
+}
+
+func TestCPUCentricConstraintUsed(t *testing.T) {
+	// Platform whose GPU is so slow that R* lands on a CPU core: the LP
+	// must still produce a valid distribution with τtot ≥ τ2 + T^R*.
+	slowGPU := device.GPUFermi().Scaled(50, "GPU_snail")
+	pl := &device.Platform{Name: "cpu-centric", GPUs: []device.Profile{slowGPU}, CPUCore: device.CPUHaswellCore(), Cores: 4, Seed: 1}
+	w := wl(32, 1)
+	pm, topo := modelFor(pl, w)
+	d, err := (&LPBalancer{}).Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.IsGPU(d.RStarDev) {
+		t.Fatal("R* should be CPU-centric here")
+	}
+	trs := pm.TRStar(d.RStarDev, 68)
+	if d.PredTot < d.PredTau2+trs-1e-9 {
+		t.Fatalf("τtot %v < τ2 %v + T^R* %v", d.PredTot, d.PredTau2, trs)
+	}
+}
+
+func TestDistributionValidate(t *testing.T) {
+	d := Distribution{M: []int{5, 5}, L: []int{5, 5}, S: []int{5, 5}, RStarDev: 0}
+	if err := d.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	bad := Distribution{M: []int{5, 4}, L: []int{5, 5}, S: []int{5, 5}}
+	if bad.Validate(10) == nil {
+		t.Fatal("wrong sum accepted")
+	}
+	neg := Distribution{M: []int{-1, 11}, L: []int{5, 5}, S: []int{5, 5}}
+	if neg.Validate(10) == nil {
+		t.Fatal("negative rows accepted")
+	}
+	badDev := Distribution{M: []int{5, 5}, L: []int{5, 5}, S: []int{5, 5}, RStarDev: 7}
+	if badDev.Validate(10) == nil {
+		t.Fatal("bad R* device accepted")
+	}
+}
+
+func TestModuleAndTransferStrings(t *testing.T) {
+	if ModME.String() != "ME" || ModRStar.String() != "R*" || Module(99).String() != "?" {
+		t.Fatal("module names wrong")
+	}
+	if CFh2d.String() != "CF.h2d" || MVd2h.String() != "MV.d2h" || Transfer(99).String() != "?" {
+		t.Fatal("transfer names wrong")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMEOffloadBalancer(t *testing.T) {
+	pm, topo := modelFor(device.SysNFF(), wl(32, 1))
+	d, err := MEOffloadBalancer{}.Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(68); err != nil {
+		t.Fatal(err)
+	}
+	// All ME rows on GPU 0; the second GPU is idle — the scalability
+	// limitation the paper calls out about single-module offload.
+	if d.M[0] != 68 || d.M[1] != 0 {
+		t.Fatalf("ME distribution %v, want all rows on GPU 0", d.M)
+	}
+	if d.L[0] != 0 || d.S[0] != 0 || d.L[1] != 0 || d.S[1] != 0 {
+		t.Fatal("GPUs must not run INT or SME under ME offload")
+	}
+	sumCPU := 0
+	for c := 2; c < topo.NumDevices(); c++ {
+		sumCPU += d.S[c]
+	}
+	if sumCPU != 68 {
+		t.Fatalf("CPU cores carry %d SME rows, want 68", sumCPU)
+	}
+	if topo.IsGPU(d.RStarDev) {
+		t.Fatal("ME offload is CPU-centric for R*")
+	}
+	if (MEOffloadBalancer{}).Name() != "me-offload" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestMEOffloadRequiresHybridPlatform(t *testing.T) {
+	pm, topo := modelFor(device.CPUOnly("CPU_H", device.CPUHaswellCore(), 4), wl(32, 1))
+	if _, err := (MEOffloadBalancer{}).Distribute(pm, topo, wl(32, 1), nil); err == nil {
+		t.Fatal("CPU-only platform accepted")
+	}
+	pm2, topo2 := modelFor(device.GPUOnly("GPU_K", device.GPUKepler()), wl(32, 1))
+	if _, err := (MEOffloadBalancer{}).Distribute(pm2, topo2, wl(32, 1), nil); err == nil {
+		t.Fatal("GPU-only platform accepted")
+	}
+}
+
+func TestPredictTimesMatchesLPPrediction(t *testing.T) {
+	// Evaluating the LP's own solution with PredictTimes must reproduce
+	// its predicted synchronization points (same constraint formulas).
+	pm, topo := modelFor(device.SysHK(), wl(32, 2))
+	b := &LPBalancer{}
+	w := wl(32, 2)
+	d, err := b.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2, tot := PredictTimes(pm, topo, w, d, nil)
+	// Integer rounding moves the chains by at most a few rows' work.
+	tol := 0.05 * d.PredTot
+	if math.Abs(t1-d.PredTau1) > tol || math.Abs(t2-d.PredTau2) > tol || math.Abs(tot-d.PredTot) > tol {
+		t.Fatalf("PredictTimes (%.4f %.4f %.4f) vs LP (%.4f %.4f %.4f)",
+			t1, t2, tot, d.PredTau1, d.PredTau2, d.PredTot)
+	}
+}
+
+func TestHysteresisKeepsIncumbent(t *testing.T) {
+	pm, topo := modelFor(device.SysHK(), wl(32, 1))
+	b := &LPBalancer{Hysteresis: 0.05}
+	w := wl(32, 1)
+	first, err := b.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny jitter on one core: without hysteresis the optimum might shift
+	// a row; with it the distribution must be identical.
+	pm.ObserveCompute(2, ModME, 1, 1, pm.KAt(2, ModME, 1)*1.01)
+	second, err := b.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intsEqual(first.M, second.M) || !intsEqual(first.S, second.S) {
+		t.Fatalf("hysteresis did not hold the incumbent: %v -> %v", first.M, second.M)
+	}
+}
+
+func TestHysteresisStillReactsToRealChanges(t *testing.T) {
+	plat := device.SysHK()
+	pm, topo := modelFor(plat, wl(32, 1))
+	b := &LPBalancer{Hysteresis: 0.05}
+	w := wl(32, 1)
+	before, err := b.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPU becomes 4× slower: the incumbent's predicted τtot explodes, so
+	// the balancer must abandon it at once.
+	gpu := plat.Dev(0)
+	pm.ObserveCompute(0, ModME, 1, 1, 4*gpu.KME(w))
+	pm.ObserveCompute(0, ModSME, 1, 1, 4*gpu.KSME(w))
+	pm.ObserveCompute(0, ModINT, 1, 1, 4*gpu.KINT(w))
+	after, err := b.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.M[0] >= before.M[0] {
+		t.Fatalf("hysteresis blocked a genuine re-balance: %d -> %d", before.M[0], after.M[0])
+	}
+}
+
+func TestNoReuseBalancer(t *testing.T) {
+	pm, topo := modelFor(device.SysHK(), wl(32, 1))
+	b := &LPBalancer{NoReuse: true}
+	if b.Name() != "lp-noreuse" {
+		t.Fatal("name wrong")
+	}
+	d, err := b.Distribute(pm, topo, wl(32, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(68); err != nil {
+		t.Fatal(err)
+	}
+	// Without reuse, every accelerator's Δ equals its full SME share.
+	if d.DeltaM[0] != d.S[0] || d.DeltaL[0] != d.S[0] {
+		t.Fatalf("no-reuse Δ should equal s: Δm=%v Δl=%v s=%v", d.DeltaM, d.DeltaL, d.S)
+	}
+	// CPU cores still have no transfers.
+	for i := 1; i < topo.NumDevices(); i++ {
+		if d.DeltaM[i] != 0 || d.DeltaL[i] != 0 {
+			t.Fatalf("CPU core %d has transfer deltas", i)
+		}
+	}
+}
+
+func TestObserveTransferZeroRowsIgnored(t *testing.T) {
+	pm := NewPerfModel(1, 1)
+	pm.ObserveTransfer(0, CFh2d, 0, 5)
+	if pm.T(0, CFh2d) != 0 {
+		t.Fatal("zero-row transfer observation must be ignored")
+	}
+}
+
+func TestModuleStringsComplete(t *testing.T) {
+	if ModINT.String() != "INT" || ModSME.String() != "SME" {
+		t.Fatal("module names wrong")
+	}
+	for tr := CFh2d; tr < numTransfers; tr++ {
+		if tr.String() == "?" {
+			t.Fatalf("transfer %d unnamed", tr)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"feves/internal/vcm"
+)
+
+func sample() vcm.FrameTiming {
+	return vcm.FrameTiming{
+		Frame: 3, Tau1: 0.010, Tau2: 0.020, Tot: 0.040, RStarDev: 0,
+		Spans: []vcm.TaskSpan{
+			{Resource: "GPU_K#0.compute", Label: "ME@0", Start: 0, End: 0.008},
+			{Resource: "GPU_K#0.ce0", Label: "CF.h2d@0", Start: 0, End: 0.002},
+			{Resource: "GPU_K#0.compute", Label: "SME@0", Start: 0.010, End: 0.018},
+			{Resource: "host", Label: "tau1", Start: 0.010, End: 0.010},
+		},
+	}
+}
+
+func TestGanttContainsResourcesAndMarkers(t *testing.T) {
+	g := Gantt(sample(), 60)
+	for _, want := range []string{"GPU_K#0.compute", "GPU_K#0.ce0", "host", "τ1=10.00ms", "#"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("gantt missing %q:\n%s", want, g)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if !strings.Contains(Gantt(vcm.FrameTiming{}, 40), "empty") {
+		t.Fatal("empty schedule not reported")
+	}
+}
+
+func TestGanttClampsWidth(t *testing.T) {
+	g := Gantt(sample(), 1) // clamped to 20
+	if len(g) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestCSVSortedByStart(t *testing.T) {
+	c := CSV(sample())
+	lines := strings.Split(strings.TrimSpace(c), "\n")
+	if lines[0] != "resource,label,start_ms,end_ms" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[3], "SME@0") {
+		t.Fatalf("spans not sorted by start:\n%s", c)
+	}
+}
+
+func TestBusyFractions(t *testing.T) {
+	b := Busy(sample())
+	if v := b["GPU_K#0.compute"]; v < 0.39 || v > 0.41 { // 16ms of 40ms
+		t.Fatalf("compute busy %v, want 0.40", v)
+	}
+	if v := b["GPU_K#0.ce0"]; v < 0.049 || v > 0.051 {
+		t.Fatalf("ce busy %v, want 0.05", v)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := SVG(sample(), 640)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Must be parseable XML.
+	var node struct{}
+	if err := xml.Unmarshal([]byte(svg), &node); err != nil {
+		t.Fatalf("SVG is not well-formed XML: %v", err)
+	}
+	// One rect per span.
+	if got := strings.Count(svg, "<rect"); got != len(sample().Spans) {
+		t.Fatalf("%d rects for %d spans", got, len(sample().Spans))
+	}
+	for _, want := range []string{"τ1", "τ2", "GPU_K#0.compute"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	svg := SVG(vcm.FrameTiming{}, 640)
+	if !strings.Contains(svg, "empty schedule") {
+		t.Fatal("empty case not handled")
+	}
+}
+
+func TestTaskColors(t *testing.T) {
+	seen := map[string]bool{}
+	for _, l := range []string{"ME@0", "INT@1", "SME@2", "R*@0", "CF.h2d@0", "tau1"} {
+		seen[taskColor(l)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 distinct colors, got %d", len(seen))
+	}
+}

@@ -1,0 +1,386 @@
+// Package vcm implements the Video Coding Manager and Data Access
+// Management blocks of the FEVES framework (§III-B of the paper): given a
+// frame's workload distribution it builds the cross-device schedule of
+// kernel invocations and host↔device transfers shown in Fig. 4/5 —
+// including the single- vs dual-copy-engine overlap semantics, the
+// data-reuse Δ transfers, and the deferred SF completion (σ/σʳ) — executes
+// it on the discrete-event simulator, measures the synchronization points
+// τ1, τ2 and τtot, and feeds the measured execution and transfer times back
+// into the Performance Characterization.
+//
+// In Functional mode every kernel task additionally carries the real
+// encoding work (the codec package's row-sliced module calls), so the
+// simulated schedule drives a genuine, bit-exact collaborative encode.
+package vcm
+
+import (
+	"fmt"
+	"sync"
+
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/h264/codec"
+	"feves/internal/h264/rd"
+	"feves/internal/sched"
+	"feves/internal/simclock"
+)
+
+// Mode selects whether kernels actually compute.
+type Mode int
+
+const (
+	// TimingOnly skips the functional kernels: only the virtual-time
+	// schedule runs. Because FSBM workloads are content-independent (the
+	// paper's own observation), timings are unaffected; this mode makes
+	// 1080p parameter sweeps cheap.
+	TimingOnly Mode = iota
+	// Functional runs the real row-sliced encoder kernels inside the
+	// simulated schedule, producing a real bitstream and reconstruction.
+	Functional
+)
+
+// FrameTiming reports one inter-frame's simulated execution.
+type FrameTiming struct {
+	Frame    int // 1-based inter-frame index
+	Tau1     float64
+	Tau2     float64
+	Tot      float64
+	RStarDev int
+	// Module kernel-time totals summed over devices (seconds of device
+	// time, not wall time), used by the module-share experiment.
+	ModuleTime [4]float64
+	// Stats holds the functional encoding result (zero in TimingOnly mode).
+	Stats rd.FrameStats
+	// Spans lists every executed task (kernels, transfers, barriers) for
+	// Gantt-style inspection of the Fig. 4 schedule.
+	Spans []TaskSpan
+}
+
+// TaskSpan records one executed schedule task.
+type TaskSpan struct {
+	Resource string
+	Label    string
+	Start    float64
+	End      float64
+}
+
+// FPS returns the frame rate implied by the total inter-loop time.
+func (t FrameTiming) FPS() float64 {
+	if t.Tot <= 0 {
+		return 0
+	}
+	return 1 / t.Tot
+}
+
+// Manager orchestrates collaborative inter-frame encoding on a platform.
+type Manager struct {
+	Platform *device.Platform
+	Mode     Mode
+	// Enc is the functional encoder; required in Functional mode.
+	Enc *codec.Encoder
+	// Parallel executes the functional kernels of independent row ranges
+	// concurrently (one goroutine per assigned range), exploiting host
+	// cores while preserving bit-exact output: ME/INT ranges are disjoint
+	// writers, SME starts only after the τ1 assembly, and R* is exclusive.
+	Parallel bool
+}
+
+// framePayloads collects the functional work of one frame, organized by
+// the synchronization structure of Fig. 4: everything before τ1 (ME and
+// INT row ranges), the τ1 host assembly, the SME ranges, and R*.
+type framePayloads struct {
+	wave1       []func() // ME and INT row slices
+	completeINT func()
+	wave2       []func() // SME row slices
+	rstar       func() rd.FrameStats
+}
+
+// run executes the payloads honouring the dependency structure; within a
+// wave the slices touch disjoint rows, so they may run concurrently.
+func (p *framePayloads) run(parallel bool) rd.FrameStats {
+	runWave := func(fns []func()) {
+		if !parallel || len(fns) < 2 {
+			for _, fn := range fns {
+				fn()
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for _, fn := range fns {
+			wg.Add(1)
+			go func(fn func()) {
+				defer wg.Done()
+				fn()
+			}(fn)
+		}
+		wg.Wait()
+	}
+	runWave(p.wave1)
+	if p.completeINT != nil {
+		p.completeINT()
+	}
+	runWave(p.wave2)
+	if p.rstar != nil {
+		return p.rstar()
+	}
+	return rd.FrameStats{}
+}
+
+// devResources holds the simulator resources of one device.
+type devResources struct {
+	compute *simclock.Resource
+	ceH2D   *simclock.Resource // nil for CPU cores
+	ceD2H   *simclock.Resource // == ceH2D for single-copy-engine GPUs
+}
+
+// EncodeInterFrame simulates one inter-frame under distribution d and
+// returns the measured timing, updating pm with every observed kernel and
+// transfer time. In Functional mode cf is encoded for real through the
+// manager's Encoder. prevSigmaR is the σʳ vector of the previous frame.
+func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distribution,
+	pm *sched.PerfModel, prevSigmaR []int, cf *h264.Frame) (FrameTiming, error) {
+
+	pl := m.Platform
+	nDev := pl.NumDevices()
+	if err := w.Validate(); err != nil {
+		return FrameTiming{}, err
+	}
+	if err := d.Validate(w.Rows()); err != nil {
+		return FrameTiming{}, err
+	}
+	if len(d.M) != nDev {
+		return FrameTiming{}, fmt.Errorf("vcm: distribution for %d devices on %d-device platform", len(d.M), nDev)
+	}
+	if prevSigmaR == nil {
+		prevSigmaR = make([]int, nDev)
+	}
+	var job *codec.FrameJob
+	var payloads framePayloads
+	if m.Mode == Functional {
+		if m.Enc == nil || cf == nil {
+			return FrameTiming{}, fmt.Errorf("vcm: functional mode needs an encoder and a frame")
+		}
+		if cf.MBHeight() != w.Rows() || cf.MBWidth() != w.MBW {
+			return FrameTiming{}, fmt.Errorf("vcm: frame is %dx%d MBs but workload says %dx%d",
+				cf.MBWidth(), cf.MBHeight(), w.MBW, w.MBH)
+		}
+		job = m.Enc.BeginFrame(cf)
+	}
+
+	sim := simclock.New(0)
+	host := sim.NewResource("host")
+	res := make([]devResources, nDev)
+	for i := 0; i < nDev; i++ {
+		p := pl.Dev(i)
+		r := devResources{compute: sim.NewResource(fmt.Sprintf("%s#%d.compute", p.Name, i))}
+		if p.Class == device.GPU {
+			ce := sim.NewResource(fmt.Sprintf("%s#%d.ce0", p.Name, i))
+			r.ceH2D, r.ceD2H = ce, ce
+			if p.CopyEngines == 2 {
+				r.ceD2H = sim.NewResource(fmt.Sprintf("%s#%d.ce1", p.Name, i))
+			}
+		}
+		res[i] = r
+	}
+
+	offM, offL, offS := sched.Offsets(d.M), sched.Offsets(d.L), sched.Offsets(d.S)
+	rows := w.Rows()
+	rstar := d.RStarDev
+
+	type obs struct {
+		dev  int
+		mod  sched.Module
+		tr   sched.Transfer
+		isTr bool
+		rows int
+		task *simclock.Task
+	}
+	var observations []obs
+	kernel := func(i int, mod sched.Module, nRows int, deps ...*simclock.Task) *simclock.Task {
+		if nRows == 0 {
+			return nil
+		}
+		p := pl.Dev(i)
+		var per float64
+		switch mod {
+		case sched.ModME:
+			per = p.KME(w)
+		case sched.ModINT:
+			per = p.KINT(w)
+		case sched.ModSME:
+			per = p.KSME(w)
+		case sched.ModRStar:
+			per = p.KRStar(w)
+		}
+		dur := float64(nRows) * per * pl.EffectiveFactor(frame, i, int(mod))
+		t := sim.Add(res[i].compute, fmt.Sprintf("%s@%d", mod, i), dur, deps...)
+		observations = append(observations, obs{dev: i, mod: mod, rows: nRows, task: t})
+		return t
+	}
+	xfer := func(i int, tr sched.Transfer, nRows, bytesPerRow int, h2d bool, deps ...*simclock.Task) *simclock.Task {
+		if nRows == 0 || !pl.IsGPU(i) {
+			return nil
+		}
+		p := pl.Dev(i)
+		var dur float64
+		r := res[i].ceH2D
+		if h2d {
+			dur = p.TH2D(nRows * bytesPerRow)
+		} else {
+			dur = p.TD2H(nRows * bytesPerRow)
+			r = res[i].ceD2H
+		}
+		t := sim.Add(r, fmt.Sprintf("%s@%d", tr, i), dur, deps...)
+		observations = append(observations, obs{dev: i, tr: tr, isTr: true, rows: nRows, task: t})
+		return t
+	}
+
+	// --- τ1 phase: RF/CF inputs, INT and ME kernels, SF/MV outputs. -----
+	var tau1Deps []*simclock.Task
+	intTasks := make([]*simclock.Task, nDev)
+	for i := 0; i < nDev; i++ {
+		var rf *simclock.Task
+		if pl.IsGPU(i) && i != rstar {
+			// The R* device reconstructed the RF itself; the others fetch
+			// it from the host (Fig. 5(a), start of τ1).
+			rf = xfer(i, sched.RFh2d, rows, w.RFRowBytes(), true)
+		}
+		cfIn := xfer(i, sched.CFh2d, d.M[i], w.CFRowBytes(), true, rf)
+		sfPrev := xfer(i, sched.SFh2d, prevSigmaR[i], w.SFRowBytes(), true, rf)
+
+		intT := kernel(i, sched.ModINT, d.L[i], rf)
+		if intT != nil && m.Mode == Functional {
+			lo, hi := offL[i], offL[i]+d.L[i]
+			payloads.wave1 = append(payloads.wave1, func() { m.Enc.RunINT(job, lo, hi) })
+		}
+		intTasks[i] = intT
+		meT := kernel(i, sched.ModME, d.M[i], cfIn, rf)
+		if meT != nil && m.Mode == Functional {
+			lo, hi := offM[i], offM[i]+d.M[i]
+			payloads.wave1 = append(payloads.wave1, func() { m.Enc.RunME(job, lo, hi) })
+		}
+		sfOut := xfer(i, sched.SFd2h, d.L[i], w.SFRowBytes(), false, intT)
+		mvOut := xfer(i, sched.MVd2h, d.M[i], w.MVRowBytes(), false, meT)
+		tau1Deps = append(tau1Deps, cfIn, sfPrev, intT, meT, sfOut, mvOut)
+	}
+	tau1 := sim.Add(host, "tau1", 0, tau1Deps...)
+	if m.Mode == Functional {
+		payloads.completeINT = func() { m.Enc.CompleteINT(job) }
+	}
+
+	// --- τ2 phase: Δ transfers, SME kernels, MV outputs, R* prefetch. ---
+	var tau2Deps []*simclock.Task
+	for i := 0; i < nDev; i++ {
+		dlIn := xfer(i, sched.SFh2d, d.DeltaL[i], w.SFRowBytes(), true, tau1)
+		dmIn := xfer(i, sched.MVh2d, d.DeltaM[i], w.MVRowBytes(), true, tau1)
+		smeT := kernel(i, sched.ModSME, d.S[i], tau1, dlIn, dmIn)
+		if smeT != nil && m.Mode == Functional {
+			lo, hi := offS[i], offS[i]+d.S[i]
+			payloads.wave2 = append(payloads.wave2, func() { m.Enc.RunSME(job, lo, hi) })
+		}
+		tau2Deps = append(tau2Deps, smeT)
+		if pl.IsGPU(i) {
+			if i == rstar {
+				// Prefetch the remaining CF and SF so MC can run (Fig. 5(b)).
+				// The counts clamp at zero: with conservative Δ (e.g. the
+				// no-reuse ablation) the device may already hold every row.
+				cfMC := xfer(i, sched.CFh2d, clamp0(rows-d.M[i]-d.DeltaM[i]), w.CFRowBytes(), true, tau1)
+				sfMC := xfer(i, sched.SFh2d, clamp0(rows-d.L[i]-d.DeltaL[i]), w.SFRowBytes(), true, tau1)
+				tau2Deps = append(tau2Deps, cfMC, sfMC)
+			} else {
+				mvOut := xfer(i, sched.MVd2h, d.S[i], w.MVRowBytes(), false, smeT)
+				tau2Deps = append(tau2Deps, mvOut)
+			}
+		}
+	}
+	tau2 := sim.Add(host, "tau2", 0, tau2Deps...)
+
+	// --- τ2 → τtot: R* on its device, σ SF completion on the others. ----
+	var rstarTask *simclock.Task
+	if pl.IsGPU(rstar) {
+		mvIn := xfer(rstar, sched.MVh2d, rows-d.S[rstar], w.MVRowBytes(), true, tau2)
+		rstarTask = kernel(rstar, sched.ModRStar, rows, tau2, mvIn)
+		xfer(rstar, sched.RFd2h, rows, w.RFRowBytes(), false, rstarTask)
+	} else {
+		// CPU-centric: the R* group runs cooperatively on all cores; model
+		// the parallel section as one slice per core.
+		cores := pl.NumDevices() - pl.NumGPUs()
+		per := rows / cores
+		extra := rows % cores
+		for c := pl.NumGPUs(); c < pl.NumDevices(); c++ {
+			share := per
+			if c-pl.NumGPUs() < extra {
+				share++
+			}
+			t := kernel(c, sched.ModRStar, share, tau2)
+			if c == rstar {
+				rstarTask = t
+			}
+		}
+	}
+	if rstarTask != nil && m.Mode == Functional {
+		payloads.rstar = func() rd.FrameStats { return m.Enc.RunRStar(job) }
+	}
+	for i := 0; i < nDev; i++ {
+		if pl.IsGPU(i) && i != rstar {
+			xfer(i, sched.SFh2d, d.Sigma[i], w.SFRowBytes(), true, tau2)
+		}
+	}
+
+	makespan, err := sim.Run()
+	if err != nil {
+		return FrameTiming{}, fmt.Errorf("vcm: schedule execution: %w", err)
+	}
+	var stats rd.FrameStats
+	if m.Mode == Functional {
+		stats = payloads.run(m.Parallel)
+	}
+
+	ft := FrameTiming{
+		Frame:    frame,
+		Tau1:     tau1.End,
+		Tau2:     tau2.End,
+		Tot:      makespan,
+		RStarDev: rstar,
+		Stats:    stats,
+	}
+	for _, t := range sim.Tasks() {
+		ft.Spans = append(ft.Spans, TaskSpan{
+			Resource: t.Res.Name, Label: t.Label, Start: t.Start, End: t.End,
+		})
+	}
+
+	// --- Performance Characterization update (Algorithm 1 lines 5/10). --
+	var rstarTotal float64
+	for _, o := range observations {
+		dur := o.task.End - o.task.Start
+		if o.isTr {
+			pm.ObserveTransfer(o.dev, o.tr, o.rows, dur)
+			continue
+		}
+		ft.ModuleTime[o.mod] += dur
+		if o.mod == sched.ModRStar {
+			rstarTotal += dur
+			continue
+		}
+		pm.ObserveCompute(o.dev, o.mod, o.rows, w.UsableRF, dur)
+	}
+	if rstarTotal > 0 {
+		// For CPU-centric R* the wall time is the parallel section length,
+		// not the summed core time.
+		wall := rstarTotal
+		if !pl.IsGPU(rstar) {
+			cores := pl.NumDevices() - pl.NumGPUs()
+			wall = rstarTotal / float64(cores)
+		}
+		pm.ObserveCompute(rstar, sched.ModRStar, 0, 1, wall)
+	}
+	return ft, nil
+}
+
+func clamp0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,380 @@
+package vcm
+
+import (
+	"testing"
+
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/h264/codec"
+	"feves/internal/sched"
+	"feves/internal/video"
+)
+
+func wl1080p(sa, rf int) device.Workload {
+	return device.Workload{MBW: 120, MBH: 68, SA: sa, NumRF: rf, UsableRF: rf}
+}
+
+// runFrames simulates n inter-frames in timing-only mode: equidistant for
+// the first frame, LP-balanced afterwards — the Algorithm 1 loop.
+func runFrames(t *testing.T, pl *device.Platform, w device.Workload, n int) []FrameTiming {
+	t.Helper()
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	m := &Manager{Platform: pl, Mode: TimingOnly}
+	balancer := &sched.LPBalancer{}
+	prevSigmaR := make([]int, topo.NumDevices())
+	var out []FrameTiming
+	for f := 1; f <= n; f++ {
+		var d sched.Distribution
+		var err error
+		if !pm.Ready() {
+			d = sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+		} else {
+			d, err = balancer.Distribute(pm, topo, w, prevSigmaR)
+			if err != nil {
+				t.Fatalf("frame %d: %v", f, err)
+			}
+		}
+		ft, err := m.EncodeInterFrame(f, w, d, pm, prevSigmaR, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		prevSigmaR = d.SigmaR
+		out = append(out, ft)
+	}
+	return out
+}
+
+func TestTimingOnlySysHK(t *testing.T) {
+	fts := runFrames(t, device.SysHK(), wl1080p(32, 1), 6)
+	for i, ft := range fts {
+		if !(ft.Tau1 > 0 && ft.Tau1 <= ft.Tau2 && ft.Tau2 <= ft.Tot) {
+			t.Fatalf("frame %d: τ1=%v τ2=%v τtot=%v out of order", i+1, ft.Tau1, ft.Tau2, ft.Tot)
+		}
+	}
+	// The LP-balanced frames must beat the equidistant first frame — the
+	// headline behaviour of Fig. 7.
+	if fts[3].Tot >= fts[0].Tot {
+		t.Fatalf("balanced frame (%.1f ms) not faster than equidistant frame (%.1f ms)",
+			fts[3].Tot*1e3, fts[0].Tot*1e3)
+	}
+}
+
+func TestCollaborationBeatsSingleDevice(t *testing.T) {
+	w := wl1080p(32, 1)
+	sysFts := runFrames(t, device.SysHK(), w, 8)
+	gpuFts := runFrames(t, device.GPUOnly("GPU_K", device.GPUKepler()), w, 8)
+	cpuFts := runFrames(t, device.CPUOnly("CPU_H", device.CPUHaswellCore(), 4), w, 8)
+	sys, gpu, cpu := sysFts[7].Tot, gpuFts[7].Tot, cpuFts[7].Tot
+	if sys >= gpu {
+		t.Fatalf("SysHK (%.1f ms) must beat GPU_K alone (%.1f ms)", sys*1e3, gpu*1e3)
+	}
+	if sys >= cpu {
+		t.Fatalf("SysHK (%.1f ms) must beat CPU_H alone (%.1f ms)", sys*1e3, cpu*1e3)
+	}
+	// Paper: SysHK ≈ 1.3× GPU_K and ≈ 3× CPU_H at SA 32.
+	if sp := gpu / sys; sp < 1.1 || sp > 1.7 {
+		t.Errorf("SysHK speedup vs GPU_K = %.2f, expected ≈1.3", sp)
+	}
+	if sp := cpu / sys; sp < 2.2 || sp > 5 {
+		t.Errorf("SysHK speedup vs CPU_H = %.2f, expected ≈3", sp)
+	}
+}
+
+func TestRealTimeCrossoversMatchPaper(t *testing.T) {
+	// Fig. 6(a): at SA 32, 1 RF, both GPUs and all heterogeneous systems
+	// are real-time (≥25 fps); at SA 64 only SysHK stays real-time among
+	// the systems checked here; CPUs are never real-time.
+	check := func(pl *device.Platform, sa int, wantRT bool) {
+		fts := runFrames(t, pl, wl1080p(sa, 1), 6)
+		fps := fts[5].FPS()
+		if (fps >= 25) != wantRT {
+			t.Errorf("%s at SA %d: %.1f fps, want real-time=%v", pl.Name, sa, fps, wantRT)
+		}
+	}
+	check(device.GPUOnly("GPU_F", device.GPUFermi()), 32, true)
+	check(device.GPUOnly("GPU_K", device.GPUKepler()), 32, true)
+	check(device.CPUOnly("CPU_N", device.CPUNehalemCore(), 4), 32, false)
+	check(device.CPUOnly("CPU_H", device.CPUHaswellCore(), 4), 32, false)
+	check(device.SysHK(), 32, true)
+	check(device.SysNF(), 32, true)
+	check(device.SysNFF(), 32, true)
+	check(device.SysHK(), 64, true)
+	check(device.GPUOnly("GPU_K", device.GPUKepler()), 64, false)
+	check(device.SysHK(), 128, false)
+}
+
+func TestPerturbationRecovery(t *testing.T) {
+	// Fig. 7: a sudden slowdown at one frame raises its time; the next
+	// balanced frame recovers.
+	pl := device.SysHK()
+	pl.Perturb = func(frame, dev int) float64 {
+		if frame == 5 && dev == 0 {
+			return 3 // GPU 3× slower during frame 5
+		}
+		return 1
+	}
+	fts := runFrames(t, pl, wl1080p(32, 1), 8)
+	base := fts[3].Tot
+	if fts[4].Tot < base*1.3 {
+		t.Fatalf("perturbed frame 5 (%.1f ms) should be much slower than %.1f ms",
+			fts[4].Tot*1e3, base*1e3)
+	}
+	// Within two frames the distribution re-adapts.
+	if fts[6].Tot > base*1.2 {
+		t.Fatalf("frame 7 (%.1f ms) did not recover to ≈%.1f ms", fts[6].Tot*1e3, base*1e3)
+	}
+}
+
+func TestDualCopyEngineNoSlower(t *testing.T) {
+	w := wl1080p(64, 2)
+	single := &device.Platform{Name: "1ce", GPUs: []device.Profile{device.GPUKepler()},
+		CPUCore: device.CPUHaswellCore(), Cores: 4, Seed: 1}
+	dual := &device.Platform{Name: "2ce", GPUs: []device.Profile{device.GPUKepler().WithCopyEngines(2)},
+		CPUCore: device.CPUHaswellCore(), Cores: 4, Seed: 1}
+	fs := runFrames(t, single, w, 6)
+	fd := runFrames(t, dual, w, 6)
+	if fd[5].Tot > fs[5].Tot*1.02 {
+		t.Fatalf("dual copy engine (%.2f ms) slower than single (%.2f ms)",
+			fd[5].Tot*1e3, fs[5].Tot*1e3)
+	}
+}
+
+func TestCPUCentricPlatform(t *testing.T) {
+	// A platform whose GPU is terrible: R* must run CPU-centric and the
+	// schedule must still be consistent.
+	pl := &device.Platform{Name: "snail",
+		GPUs:    []device.Profile{device.GPUFermi().Scaled(50, "GPU_snail")},
+		CPUCore: device.CPUHaswellCore(), Cores: 4, Seed: 1}
+	fts := runFrames(t, pl, wl1080p(32, 1), 5)
+	last := fts[4]
+	if last.RStarDev == 0 {
+		t.Fatal("R* should have moved off the slow GPU")
+	}
+	if !(last.Tau1 <= last.Tau2 && last.Tau2 <= last.Tot) {
+		t.Fatal("synchronization points out of order")
+	}
+}
+
+func TestFunctionalCollaborativeBitExact(t *testing.T) {
+	// The flagship integration test: a functional VCM encode on a
+	// simulated heterogeneous platform produces exactly the bitstream of
+	// the single-call reference encoder.
+	const wpx, hpx, frames = 64, 64, 5
+	cfg := codec.Config{Width: wpx, Height: hpx, SearchRange: 8, NumRF: 2, IQP: 27, PQP: 28}
+	src := video.NewSynthetic(wpx, hpx, frames, 7)
+
+	ref, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		if _, err := ref.EncodeFrame(src.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := device.SysNF()
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	m := &Manager{Platform: pl, Mode: Functional, Enc: enc}
+	bal := &sched.LPBalancer{}
+
+	if _, err := enc.EncodeIntraFrame(src.FrameAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	prevSigmaR := make([]int, topo.NumDevices())
+	for f := 1; f < frames; f++ {
+		w := device.Workload{MBW: wpx / 16, MBH: hpx / 16, SA: 16, NumRF: cfg.NumRF,
+			UsableRF: min(f, cfg.NumRF)}
+		var d sched.Distribution
+		if !pm.Ready() {
+			d = sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+		} else {
+			d, err = bal.Distribute(pm, topo, w, prevSigmaR)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		ft, err := m.EncodeInterFrame(f, w, d, pm, prevSigmaR, src.FrameAt(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.Stats.Bits <= 0 {
+			t.Fatalf("frame %d: functional stats missing", f)
+		}
+		prevSigmaR = d.SigmaR
+	}
+
+	a, b := ref.Bitstream(), enc.Bitstream()
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bitstreams diverge at byte %d", i)
+		}
+	}
+	if !ref.LastRecon().Equal(enc.LastRecon()) {
+		t.Fatal("reconstructions differ")
+	}
+}
+
+func TestFunctionalModeValidation(t *testing.T) {
+	m := &Manager{Platform: device.SysHK(), Mode: Functional}
+	w := wl1080p(32, 1)
+	d := sched.Equidistant(5, w.Rows(), 0)
+	pm := sched.NewPerfModel(5, 1)
+	if _, err := m.EncodeInterFrame(1, w, d, pm, nil, nil); err == nil {
+		t.Fatal("functional mode without encoder must fail")
+	}
+	cfg := codec.Config{Width: 64, Height: 64, SearchRange: 8, NumRF: 1, IQP: 27, PQP: 28}
+	enc, _ := codec.NewEncoder(cfg)
+	m.Enc = enc
+	if _, err := enc.EncodeIntraFrame(h264.NewFrame(64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Frame geometry mismatch with the 1080p workload.
+	if _, err := m.EncodeInterFrame(1, w, d, pm, nil, h264.NewFrame(64, 64)); err == nil {
+		t.Fatal("geometry mismatch must fail")
+	}
+}
+
+func TestDistributionMismatchRejected(t *testing.T) {
+	m := &Manager{Platform: device.SysHK(), Mode: TimingOnly}
+	w := wl1080p(32, 1)
+	d := sched.Equidistant(3, w.Rows(), 0) // SysHK has 5 devices
+	pm := sched.NewPerfModel(5, 1)
+	if _, err := m.EncodeInterFrame(1, w, d, pm, nil, nil); err == nil {
+		t.Fatal("device-count mismatch must fail")
+	}
+}
+
+func TestModuleTimesPopulated(t *testing.T) {
+	fts := runFrames(t, device.GPUOnly("GPU_K", device.GPUKepler()), wl1080p(32, 1), 2)
+	ft := fts[1]
+	for mod := sched.ModME; mod <= sched.ModRStar; mod++ {
+		if ft.ModuleTime[mod] <= 0 {
+			t.Fatalf("module %v time missing", mod)
+		}
+	}
+	// §II: ME dominates the inter-loop at this SA.
+	if ft.ModuleTime[sched.ModME] < ft.ModuleTime[sched.ModSME] {
+		t.Fatal("ME should dominate SME")
+	}
+}
+
+func TestFPSHelper(t *testing.T) {
+	if (FrameTiming{Tot: 0.04}).FPS() != 25 {
+		t.Fatal("FPS wrong")
+	}
+	if (FrameTiming{}).FPS() != 0 {
+		t.Fatal("zero-time FPS should be 0")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestParallelFunctionalBitExact(t *testing.T) {
+	// Concurrent kernel execution must not change a single bit of output.
+	const wpx, hpx, frames = 64, 64, 4
+	cfg := codec.Config{Width: wpx, Height: hpx, SearchRange: 8, NumRF: 2, IQP: 27, PQP: 28}
+	src := video.NewSynthetic(wpx, hpx, frames, 77)
+	run := func(parallel bool) []byte {
+		enc, err := codec.NewEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := device.SysNFF()
+		topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+		pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+		m := &Manager{Platform: pl, Mode: Functional, Enc: enc, Parallel: parallel}
+		if _, err := enc.EncodeIntraFrame(src.FrameAt(0)); err != nil {
+			t.Fatal(err)
+		}
+		prev := make([]int, topo.NumDevices())
+		bal := &sched.LPBalancer{}
+		for f := 1; f < frames; f++ {
+			w := device.Workload{MBW: wpx / 16, MBH: hpx / 16, SA: 16, NumRF: cfg.NumRF,
+				UsableRF: min(f, cfg.NumRF)}
+			var d sched.Distribution
+			var err error
+			if !pm.Ready() {
+				d = sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+			} else {
+				d, err = bal.Distribute(pm, topo, w, prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := m.EncodeInterFrame(f, w, d, pm, prev, src.FrameAt(f)); err != nil {
+				t.Fatal(err)
+			}
+			prev = d.SigmaR
+		}
+		return enc.Bitstream()
+	}
+	seq := run(false)
+	par := run(true)
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("parallel execution changed byte %d", i)
+		}
+	}
+}
+
+func TestSpansConsistentWithSyncPoints(t *testing.T) {
+	fts := runFrames(t, device.SysNF(), wl1080p(32, 1), 3)
+	ft := fts[2]
+	if len(ft.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	var maxEnd float64
+	tau1Seen, tau2Seen := false, false
+	for _, s := range ft.Spans {
+		if s.End < s.Start {
+			t.Fatalf("span %q ends before it starts", s.Label)
+		}
+		if s.End > maxEnd {
+			maxEnd = s.End
+		}
+		switch s.Label {
+		case "tau1":
+			tau1Seen = true
+			if s.End != ft.Tau1 {
+				t.Fatalf("tau1 span ends at %v, FrameTiming says %v", s.End, ft.Tau1)
+			}
+		case "tau2":
+			tau2Seen = true
+			if s.End != ft.Tau2 {
+				t.Fatalf("tau2 span ends at %v, FrameTiming says %v", s.End, ft.Tau2)
+			}
+		}
+	}
+	if !tau1Seen || !tau2Seen {
+		t.Fatal("synchronization barriers missing from spans")
+	}
+	if maxEnd != ft.Tot {
+		t.Fatalf("latest span ends at %v, τtot is %v", maxEnd, ft.Tot)
+	}
+	// Every resource's spans are serialized.
+	byRes := map[string]float64{}
+	for _, s := range ft.Spans {
+		if s.Start < byRes[s.Resource] {
+			t.Fatalf("resource %s overlaps at %v", s.Resource, s.Start)
+		}
+		byRes[s.Resource] = s.End
+	}
+}

@@ -1,0 +1,261 @@
+// Package video supplies the test content of the FEVES reproduction. The
+// paper evaluates on the 1080p sequences "Toys and Calendar" and "Rolling
+// Tomatoes", which are not redistributable; since FSBM motion estimation
+// makes the encoding workload content-independent (as the paper itself
+// notes), this package substitutes deterministic synthetic sequences —
+// textured backgrounds with moving objects, global pan and sensor noise —
+// plus raw planar YUV 4:2:0 file I/O for encoding real footage.
+package video
+
+import (
+	"fmt"
+	"io"
+
+	"feves/internal/h264"
+)
+
+// Source produces a sequence of frames.
+type Source interface {
+	// Next returns the next frame, or io.EOF when the sequence ends.
+	Next() (*h264.Frame, error)
+	// Size returns the frame dimensions.
+	Size() (w, h int)
+}
+
+// xorshift is a small deterministic PRNG so sequences are reproducible
+// across runs and platforms without pulling in math/rand state semantics.
+type xorshift uint64
+
+func (s *xorshift) next() uint64 {
+	x := uint64(*s)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = xorshift(x)
+	return x
+}
+
+func (s *xorshift) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// Synthetic generates a deterministic scene: a textured background panning
+// globally, several moving rectangles of distinct intensity, and optional
+// per-frame noise. It exercises the same inter-loop load as natural content
+// under full-search ME.
+type Synthetic struct {
+	W, H    int
+	N       int // total frames; 0 means unbounded
+	Noise   int // ± amplitude of per-pixel noise, 0 disables
+	PanX    int // background pan in 1/4 pixels per frame
+	PanY    int
+	seed    uint64
+	frame   int
+	bg      []uint8
+	objects []object
+}
+
+type object struct {
+	x, y, w, h float64
+	vx, vy     float64
+	val        uint8
+}
+
+// NewSynthetic creates a generator for an n-frame w×h sequence. The seed
+// fixes the background texture, object set and noise.
+func NewSynthetic(w, h, n int, seed uint64) *Synthetic {
+	if w <= 0 || h <= 0 || w%h264.MBSize != 0 || h%h264.MBSize != 0 {
+		panic(fmt.Sprintf("video: size %dx%d not a multiple of %d", w, h, h264.MBSize))
+	}
+	s := &Synthetic{W: w, H: h, N: n, Noise: 2, PanX: 2, PanY: 1, seed: seed}
+	rng := xorshift(seed*2654435761 + 1)
+	// Smooth-ish background: random base quantized to gentle blocks so it
+	// has texture but also gradients.
+	s.bg = make([]uint8, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 100 + 40*intSin(x*7/w+y*5/h) + rng.intn(24)
+			if v > 255 {
+				v = 255
+			}
+			s.bg[y*w+x] = uint8(v)
+		}
+	}
+	nObj := 3 + rng.intn(3)
+	for i := 0; i < nObj; i++ {
+		s.objects = append(s.objects, object{
+			x:   float64(rng.intn(w)),
+			y:   float64(rng.intn(h)),
+			w:   float64(8 + rng.intn(w/4)),
+			h:   float64(8 + rng.intn(h/4)),
+			vx:  float64(rng.intn(9)-4) / 2,
+			vy:  float64(rng.intn(9)-4) / 2,
+			val: uint8(30 + rng.intn(200)),
+		})
+	}
+	return s
+}
+
+func intSin(x int) int {
+	// tiny integer pseudo-sine over period 8
+	tab := [8]int{0, 2, 3, 2, 0, -2, -3, -2}
+	return tab[((x%8)+8)%8]
+}
+
+// Size returns the frame dimensions.
+func (s *Synthetic) Size() (int, int) { return s.W, s.H }
+
+// FrameAt deterministically renders frame index t.
+func (s *Synthetic) FrameAt(t int) *h264.Frame {
+	f := h264.NewFrame(s.W, s.H)
+	f.Poc = t
+	panX, panY := t*s.PanX/4, t*s.PanY/4
+	for y := 0; y < s.H; y++ {
+		row := f.Y.Row(y)
+		sy := ((y+panY)%s.H + s.H) % s.H
+		for x := 0; x < s.W; x++ {
+			sx := ((x+panX)%s.W + s.W) % s.W
+			row[x] = s.bg[sy*s.W+sx]
+		}
+	}
+	for _, o := range s.objects {
+		ox := int(o.x + float64(t)*o.vx)
+		oy := int(o.y + float64(t)*o.vy)
+		for y := oy; y < oy+int(o.h); y++ {
+			yy := ((y % s.H) + s.H) % s.H
+			for x := ox; x < ox+int(o.w); x++ {
+				xx := ((x % s.W) + s.W) % s.W
+				f.Y.Set(xx, yy, o.val)
+			}
+		}
+	}
+	if s.Noise > 0 {
+		rng := xorshift(s.seed ^ uint64(t)*0x9E3779B97F4A7C15)
+		for y := 0; y < s.H; y++ {
+			row := f.Y.Row(y)
+			for x := range row {
+				v := int(row[x]) + rng.intn(2*s.Noise+1) - s.Noise
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				row[x] = uint8(v)
+			}
+		}
+	}
+	// Chroma: slow gradients tied to the pan so chroma prediction works too.
+	for y := 0; y < s.H/2; y++ {
+		cb, cr := f.Cb.Row(y), f.Cr.Row(y)
+		for x := 0; x < s.W/2; x++ {
+			cb[x] = uint8(112 + intSin((x+panX/2)*5/(s.W/2))*8)
+			cr[x] = uint8(124 + intSin((y+panY/2)*3/(s.H/2))*8)
+		}
+	}
+	f.ExtendBorders()
+	return f
+}
+
+// Next implements Source.
+func (s *Synthetic) Next() (*h264.Frame, error) {
+	if s.N > 0 && s.frame >= s.N {
+		return nil, io.EOF
+	}
+	f := s.FrameAt(s.frame)
+	s.frame++
+	return f, nil
+}
+
+// Reset rewinds the generator to frame 0.
+func (s *Synthetic) Reset() { s.frame = 0 }
+
+// YUVReader reads raw planar I420 frames from a stream.
+type YUVReader struct {
+	r    io.Reader
+	w, h int
+	buf  []uint8
+	poc  int
+}
+
+// NewYUVReader wraps r as a source of w×h I420 frames.
+func NewYUVReader(r io.Reader, w, h int) (*YUVReader, error) {
+	if w <= 0 || h <= 0 || w%h264.MBSize != 0 || h%h264.MBSize != 0 {
+		return nil, fmt.Errorf("video: size %dx%d not a multiple of %d", w, h, h264.MBSize)
+	}
+	return &YUVReader{r: r, w: w, h: h, buf: make([]uint8, w*h*3/2)}, nil
+}
+
+// Size returns the frame dimensions.
+func (y *YUVReader) Size() (int, int) { return y.w, y.h }
+
+// Next reads the next frame; io.EOF at a clean frame boundary ends the
+// sequence, a partial frame is an error.
+func (y *YUVReader) Next() (*h264.Frame, error) {
+	n, err := io.ReadFull(y.r, y.buf)
+	if err == io.EOF && n == 0 {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("video: short frame read (%d of %d bytes): %w", n, len(y.buf), err)
+	}
+	f := h264.NewFrame(y.w, y.h)
+	f.Poc = y.poc
+	y.poc++
+	if err := f.LoadYUV(y.buf); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteYUV appends a frame as raw planar I420 to w.
+func WriteYUV(w io.Writer, f *h264.Frame) error {
+	_, err := w.Write(f.PackedYUV())
+	return err
+}
+
+// MotionClass parameterizes the synthetic generator to approximate broad
+// content categories.
+type MotionClass int
+
+const (
+	// LowMotion: slow global pan, small object velocities — in the spirit
+	// of the paper's "Toys and Calendar" sequence.
+	LowMotion MotionClass = iota
+	// MediumMotion: the default mixed scene.
+	MediumMotion
+	// HighMotion: fast pan and fast objects — in the spirit of "Rolling
+	// Tomatoes".
+	HighMotion
+)
+
+// NewSyntheticClass builds a generator tuned to the motion class.
+func NewSyntheticClass(w, h, n int, seed uint64, class MotionClass) *Synthetic {
+	s := NewSynthetic(w, h, n, seed)
+	switch class {
+	case LowMotion:
+		s.PanX, s.PanY = 1, 0
+		s.Noise = 1
+		for i := range s.objects {
+			s.objects[i].vx /= 4
+			s.objects[i].vy /= 4
+		}
+	case HighMotion:
+		s.PanX, s.PanY = 9, 5
+		s.Noise = 3
+		for i := range s.objects {
+			s.objects[i].vx *= 3
+			s.objects[i].vy *= 3
+		}
+	}
+	return s
+}
+
+// ToysAndCalendar returns a low-motion stand-in for the paper's "Toys and
+// Calendar" 1080p test sequence (not redistributable; see DESIGN.md).
+func ToysAndCalendar(w, h, n int) *Synthetic {
+	return NewSyntheticClass(w, h, n, 0x7045, LowMotion)
+}
+
+// RollingTomatoes returns a high-motion stand-in for the paper's "Rolling
+// Tomatoes" sequence.
+func RollingTomatoes(w, h, n int) *Synthetic {
+	return NewSyntheticClass(w, h, n, 0x707, HighMotion)
+}
