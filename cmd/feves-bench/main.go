@@ -10,6 +10,12 @@
 //
 // Experiments: fig6a fig6b fig7a fig7b speedups overhead share ablation
 // engines accuracy workload scaling all.
+//
+// Observability: -metrics-addr serves a live Prometheus scrape aggregated
+// over every framework the harness constructs, -events writes the JSONL
+// event stream, -perfetto the combined schedule timeline:
+//
+//	feves-bench -exp accuracy -events bench.jsonl -perfetto bench.trace.json
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 
 	"feves/internal/bench"
+	"feves/internal/teleflag"
 )
 
 // experiment couples an id with lazily computed results.
@@ -50,12 +57,19 @@ func experiments() []experiment {
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see package doc) or 'all'")
 	format := flag.String("format", "text", "output format: text json")
+	tf := teleflag.Register()
 	flag.Parse()
 
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "feves-bench: unknown format %q\n", *format)
 		os.Exit(2)
 	}
+	obs, closeTelemetry, err := tf.Observer()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
+		os.Exit(1)
+	}
+	bench.Observer = obs
 
 	type jsonOut struct {
 		ID     string         `json:"id"`
@@ -102,5 +116,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := closeTelemetry(); err != nil {
+		fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -11,6 +11,13 @@
 //	feves-encode -w 640 -h 352 -synthetic 30 -platform syshk -o out.fvs
 //	feves-encode -w 1920 -h 1088 -in video.yuv -sa 32 -rf 2 -o out.fvs
 //	feves-encode -verify out.fvs
+//
+// Observability (see README §Observability): -metrics-addr serves a live
+// Prometheus scrape, -events writes the JSONL event stream including the
+// per-frame balancer audit, -perfetto writes the whole run's schedule as a
+// Perfetto-loadable timeline:
+//
+//	feves-encode -synthetic 60 -metrics-addr :9090 -events run.jsonl -perfetto run.trace.json
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"feves"
 	"feves/internal/h264"
 	"feves/internal/h264/codec"
+	"feves/internal/teleflag"
 	"feves/internal/video"
 )
 
@@ -52,6 +60,7 @@ func main() {
 		out       = flag.String("o", "", "output bitstream file ('' = discard)")
 		verify    = flag.String("verify", "", "verify a bitstream file and exit")
 	)
+	tf := teleflag.Register()
 	flag.Parse()
 
 	if *verify != "" {
@@ -91,7 +100,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	obs, closeTelemetry, err := tf.Observer()
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := feves.Config{
+		Observer: obs,
 		Width: *width, Height: *height,
 		SearchArea: *sa, RefFrames: *rf, IQP: *iqp, PQP: *pqp,
 		ArithmeticCoding:   *entropy == "arith",
@@ -178,6 +192,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if err := closeTelemetry(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -8,9 +8,12 @@
 //
 //	feves-trace -platform syshk -sa 64 -rf 2 -frame 5
 //	feves-trace -platform sysnff -frame 3 -csv
+//	feves-trace -frame 8 -json                         # FrameTiming for scripting
+//	feves-trace -frame 20 -perfetto run.trace.json     # whole-run timeline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +23,7 @@ import (
 	"feves/internal/core"
 	"feves/internal/h264/codec"
 	"feves/internal/platforms"
+	"feves/internal/teleflag"
 	"feves/internal/trace"
 	"feves/internal/vcm"
 )
@@ -34,11 +38,17 @@ func main() {
 		frame    = flag.Int("frame", 4, "inter-frame index to display (≥1)")
 		width    = flag.Int("width", 100, "gantt width in characters")
 		csv      = flag.Bool("csv", false, "emit raw spans as CSV instead of a gantt")
+		jsonOut  = flag.Bool("json", false, "emit the frame's full timing (spans, τ points, R* device) as JSON")
 		svg      = flag.String("svg", "", "also write the schedule as an SVG gantt to this file")
 	)
+	tf := teleflag.Register()
 	flag.Parse()
 
 	pl, err := platforms.Lookup(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs, closeTelemetry, err := tf.Observer()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +56,8 @@ func main() {
 		Platform: pl,
 		Codec: codec.Config{Width: 1920, Height: 1088, SearchRange: *sa / 2,
 			NumRF: *rf, IQP: 27, PQP: 28},
-		Mode: vcm.TimingOnly,
+		Mode:      vcm.TimingOnly,
+		Telemetry: obs.Sink(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -58,11 +69,22 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if err := closeTelemetry(); err != nil {
+		log.Fatal(err)
+	}
 	if *svg != "" {
 		if err := os.WriteFile(*svg, []byte(trace.SVG(last.Timing, 1200)), 0o644); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *svg)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(last.Timing); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if *csv {
 		fmt.Print(trace.CSV(last.Timing))

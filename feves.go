@@ -90,6 +90,10 @@ type Config struct {
 	// slices (prediction isolation; separate arithmetic chunks). 0/1 =
 	// whole-frame coding.
 	Slices int
+	// Observer, when non-nil, receives the framework's telemetry: metrics,
+	// the JSONL event stream with per-frame balancer audits, and the
+	// whole-run Perfetto timeline. nil (the default) disables every hook.
+	Observer *Observer
 }
 
 // BalancerKind selects a load-balancing strategy.
@@ -343,12 +347,13 @@ func NewEncoder(cfg Config, pl *Platform) (*Encoder, error) {
 		return nil, err
 	}
 	fw, err := core.New(core.Options{
-		Platform: pl.inner,
-		Codec:    cc,
-		Mode:     vcm.Functional,
-		Balancer: cfg.Balancer.build(cfg.BalancerHysteresis),
-		Alpha:    cfg.Alpha,
-		Parallel: cfg.Parallel,
+		Platform:  pl.inner,
+		Codec:     cc,
+		Mode:      vcm.Functional,
+		Balancer:  cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:     cfg.Alpha,
+		Parallel:  cfg.Parallel,
+		Telemetry: cfg.Observer.Sink(),
 	})
 	if err != nil {
 		return nil, err
@@ -422,11 +427,12 @@ func NewSimulation(cfg Config, pl *Platform) (*Simulation, error) {
 		return nil, err
 	}
 	fw, err := core.New(core.Options{
-		Platform: pl.inner,
-		Codec:    cc,
-		Mode:     vcm.TimingOnly,
-		Balancer: cfg.Balancer.build(cfg.BalancerHysteresis),
-		Alpha:    cfg.Alpha,
+		Platform:  pl.inner,
+		Codec:     cc,
+		Mode:      vcm.TimingOnly,
+		Balancer:  cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:     cfg.Alpha,
+		Telemetry: cfg.Observer.Sink(),
 	})
 	if err != nil {
 		return nil, err

@@ -29,11 +29,17 @@ type Table struct {
 	Rows    [][]string
 }
 
+// Observer, when set before running experiments, receives the telemetry of
+// every framework the harness constructs: one aggregated metrics scrape,
+// event stream and Perfetto timeline across the whole experiment run.
+var Observer *feves.Observer
+
 // cfg1080p builds the paper's evaluation configuration.
 func cfg1080p(sa, rf int) feves.Config {
 	// 1080p content is coded as 1920×1088 (68 macroblock rows), as H.264
 	// encoders do.
-	return feves.Config{Width: 1920, Height: 1088, SearchArea: sa, RefFrames: rf}
+	return feves.Config{Width: 1920, Height: 1088, SearchArea: sa, RefFrames: rf,
+		Observer: Observer}
 }
 
 // platformSet returns fresh instances of the seven Fig. 6 configurations.
@@ -375,9 +381,7 @@ func PredictionAccuracy() Table {
 		name string
 		mk   func() *feves.Platform
 	}{{"SysNF", feves.SysNF}, {"SysNFF", feves.SysNFF}, {"SysHK", feves.SysHK}} {
-		sim, err := feves.NewSimulation(feves.Config{
-			Width: 1920, Height: 1088, SearchArea: 32, RefFrames: 2,
-		}, sys.mk())
+		sim, err := feves.NewSimulation(cfg1080p(32, 2), sys.mk())
 		if err != nil {
 			panic(err)
 		}

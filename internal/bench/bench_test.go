@@ -174,6 +174,9 @@ func TestSpeedupsTable(t *testing.T) {
 }
 
 func TestOverheadTable(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock budget: race instrumentation slows the LP ~10x")
+	}
 	tab := Overhead()
 	worst, err := strconv.ParseFloat(tab.Rows[1][1], 64)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"feves/internal/h264/codec"
 	"feves/internal/h264/rd"
 	"feves/internal/sched"
+	"feves/internal/telemetry"
 	"feves/internal/vcm"
 )
 
@@ -35,6 +36,10 @@ type Options struct {
 	// Parallel executes functional kernels of disjoint row ranges on
 	// concurrent goroutines (bit-exact; see vcm.Manager.Parallel).
 	Parallel bool
+	// Telemetry is the observability sink (metrics, JSONL events, Perfetto
+	// spans, balancer audit). nil disables every hook at the cost of one
+	// pointer check per frame, keeping timing reproductions unaffected.
+	Telemetry *telemetry.Telemetry
 }
 
 // Result reports one processed frame.
@@ -94,7 +99,8 @@ func New(opts Options) (*Framework, error) {
 		bal:  opts.Balancer,
 		prev: make([]int, topo.NumDevices()),
 	}
-	f.mgr = &vcm.Manager{Platform: opts.Platform, Mode: opts.Mode, Parallel: opts.Parallel}
+	f.mgr = &vcm.Manager{Platform: opts.Platform, Mode: opts.Mode,
+		Parallel: opts.Parallel, Telemetry: opts.Telemetry}
 	if opts.Mode == vcm.Functional {
 		enc, err := codec.NewEncoder(opts.Codec)
 		if err != nil {
@@ -145,8 +151,10 @@ func (f *Framework) workload(interIdx int) device.Workload {
 // every subsequent frame runs Algorithm 1's iterative phase.
 func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 	idx := f.frame
+	tel := f.opts.Telemetry
 	intra := idx == 0 ||
 		(f.opts.Codec.IntraPeriod > 0 && idx%f.opts.Codec.IntraPeriod == 0)
+	tel.FrameStart(idx, intra)
 	if intra {
 		res := Result{FrameIndex: idx, Intra: true}
 		if f.opts.Mode == vcm.Functional {
@@ -158,6 +166,11 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		}
 		f.lastIntra = idx
 		f.frame++
+		if idx > 0 {
+			tel.Mark("idr", idx)
+		}
+		tel.FrameEnd(telemetry.FrameRecord{Frame: idx, Intra: true,
+			Bits: res.Stats.Bits, PSNRY: res.Stats.PSNRY})
 		return res, nil
 	}
 
@@ -178,19 +191,65 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 	}
 	overhead := time.Since(start)
 
+	// Bracket the Video Coding Manager's EWMA feedback with model
+	// snapshots so the audit can report the drift this frame caused.
+	var before sched.ModelSnapshot
+	if tel.Enabled() {
+		before = f.pm.Snapshot()
+	}
 	ft, err := f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev, cf)
 	if err != nil {
 		return Result{}, err
 	}
 	f.prev = d.SigmaR
 	f.frame++
-	return Result{
+	res := Result{
 		FrameIndex:    idx,
 		Timing:        ft,
 		Distribution:  d,
 		SchedOverhead: overhead,
 		Stats:         ft.Stats,
-	}, nil
+	}
+	if tel.Enabled() {
+		f.emitFrameTelemetry(tel, res, before)
+	}
+	return res, nil
+}
+
+// emitFrameTelemetry converts one inter-frame result into the sink's
+// frame-end record and, for model-driven decisions, the balancer audit
+// pairing the predicted τtot with the measured one.
+func (f *Framework) emitFrameTelemetry(tel *telemetry.Telemetry, r Result, before sched.ModelSnapshot) {
+	if r.Stats.Intra {
+		// The encoder's scene-cut detector switched to intra mid-pipeline.
+		tel.Mark("scene_cut", r.FrameIndex)
+	}
+	if r.Distribution.PredTot > 0 {
+		drifts := before.Drift(f.pm.Snapshot())
+		dd := make([]telemetry.DeviceDrift, len(drifts))
+		for i, d := range drifts {
+			dd[i] = telemetry.DeviceDrift{Device: d.Device, Module: d.Module.String(),
+				Before: d.Before, After: d.After, Rel: d.Rel}
+		}
+		tel.Audit(telemetry.AuditRecord{
+			Frame: r.FrameIndex, Balancer: f.bal.Name(),
+			PredTot: r.Distribution.PredTot, Measured: r.Timing.Tot,
+			Drift: dd,
+		})
+	}
+	tel.FrameEnd(telemetry.FrameRecord{
+		Frame: r.FrameIndex, Intra: false,
+		Tau1: r.Timing.Tau1, Tau2: r.Timing.Tau2, Tot: r.Timing.Tot,
+		PredTau1: r.Distribution.PredTau1, PredTau2: r.Distribution.PredTau2,
+		PredTot:       r.Distribution.PredTot,
+		SchedOverhead: r.SchedOverhead.Seconds(),
+		RStarDev:      r.Distribution.RStarDev,
+		M:             r.Distribution.M, L: r.Distribution.L, S: r.Distribution.S,
+		ModME:  r.Timing.ModuleTime[sched.ModME],
+		ModINT: r.Timing.ModuleTime[sched.ModINT],
+		ModSME: r.Timing.ModuleTime[sched.ModSME], ModRStar: r.Timing.ModuleTime[sched.ModRStar],
+		Bits: r.Stats.Bits, PSNRY: r.Stats.PSNRY,
+	})
 }
 
 // Bitstream returns the functional encoder's coded stream (nil in

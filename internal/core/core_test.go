@@ -74,6 +74,9 @@ func TestAlgorithm1Phases(t *testing.T) {
 }
 
 func TestSchedulingOverheadUnderPaperBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock budget: race instrumentation slows the LP ~10x")
+	}
 	fw, err := New(timingOpts(device.SysNFF(), 32, 4))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"feves/internal/device"
+	"feves/internal/h264/codec"
+	"feves/internal/telemetry"
+	"feves/internal/vcm"
+)
+
+// runFrames simulates n frames on SysHK with the given sink attached.
+func runFrames(t *testing.T, tel *telemetry.Telemetry, n, intraPeriod int) {
+	t.Helper()
+	fw, err := New(Options{
+		Platform: device.SysHK(),
+		Codec: codec.Config{Width: 640, Height: 352, SearchRange: 16,
+			NumRF: 1, IQP: 27, PQP: 28, IntraPeriod: intraPeriod},
+		Mode:      vcm.TimingOnly,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fw.EncodeNext(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFrameLoopEmitsEventsAndMetrics(t *testing.T) {
+	var events bytes.Buffer
+	tel := &telemetry.Telemetry{
+		Metrics: telemetry.NewRegistry(),
+		Events:  telemetry.NewEventLog(&events),
+		Trace:   telemetry.NewTraceWriter(),
+	}
+	const frames = 8
+	runFrames(t, tel, frames, 0)
+
+	var starts, ends, audits int
+	var sawPredVsMeasured bool
+	for _, ln := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		switch m["type"] {
+		case "frame_start":
+			starts++
+		case "frame_end":
+			ends++
+		case "balancer_audit":
+			audits++
+			pred, _ := m["pred_tau_tot"].(float64)
+			meas, _ := m["measured_tau_tot"].(float64)
+			if pred > 0 && meas > 0 {
+				sawPredVsMeasured = true
+			}
+			if _, ok := m["drift"]; !ok {
+				t.Errorf("audit record without drift: %v", m)
+			}
+		}
+	}
+	if starts != frames || ends != frames {
+		t.Errorf("frame_start/frame_end = %d/%d, want %d each", starts, ends, frames)
+	}
+	// Frame 0 is intra and frame 1 is the equidistant initialization, so
+	// audits start once the LP predicts: frames 2..7.
+	if audits != frames-2 {
+		t.Errorf("balancer_audit records = %d, want %d", audits, frames-2)
+	}
+	if !sawPredVsMeasured {
+		t.Error("no audit paired a positive prediction with a positive measurement")
+	}
+
+	metrics := tel.Metrics.Expose()
+	for _, want := range []string{
+		`feves_frames_total{type="intra"} 1`,
+		`feves_frames_total{type="inter"} 7`,
+		"feves_tau_tot_seconds_count 7",
+		"feves_sched_overhead_seconds_count 7",
+		`feves_balancer_decisions_total{balancer="lp"} 6`,
+		"feves_prediction_rel_error_count 6",
+		"feves_model_k_seconds{",
+		"feves_schedule_spans_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// The Perfetto timeline accumulated one entry per inter frame.
+	if got := tel.Trace.Frames(); got != 7 {
+		t.Errorf("trace frames = %d, want 7", got)
+	}
+}
+
+func TestIDRMarkEvents(t *testing.T) {
+	var events bytes.Buffer
+	tel := &telemetry.Telemetry{Events: telemetry.NewEventLog(&events)}
+	runFrames(t, tel, 9, 4) // intra at 0, 4, 8 → idr marks at 4 and 8
+	idr := 0
+	for _, ln := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatal(err)
+		}
+		if m["type"] == "idr" {
+			idr++
+		}
+	}
+	if idr != 2 {
+		t.Errorf("idr marks = %d, want 2", idr)
+	}
+}
+
+// TestNilTelemetryUnchangedResults is the zero-cost contract at the
+// framework level: enabling telemetry must not alter the simulated timing.
+func TestNilTelemetryUnchangedResults(t *testing.T) {
+	run := func(tel *telemetry.Telemetry) []float64 {
+		fw, err := New(Options{
+			Platform: device.SysHK(),
+			Codec: codec.Config{Width: 640, Height: 352, SearchRange: 16,
+				NumRF: 1, IQP: 27, PQP: 28},
+			Mode:      vcm.TimingOnly,
+			Telemetry: tel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tots []float64
+		for i := 0; i < 10; i++ {
+			r, err := fw.EncodeNext(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tots = append(tots, r.Timing.Tot)
+		}
+		return tots
+	}
+	plain := run(nil)
+	observed := run(&telemetry.Telemetry{Metrics: telemetry.NewRegistry(),
+		Events: telemetry.NewEventLog(&bytes.Buffer{}), Trace: telemetry.NewTraceWriter()})
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("frame %d τtot changed with telemetry on: %v vs %v", i, plain[i], observed[i])
+		}
+	}
+}

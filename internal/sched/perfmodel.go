@@ -188,6 +188,63 @@ func (pm *PerfModel) T(dev int, t Transfer) float64 {
 	return v
 }
 
+// ModelSnapshot is a frozen copy of the Performance Characterization's
+// per-device module speeds, taken with PerfModel.Snapshot. Comparing the
+// snapshots bracketing a frame's EWMA update yields the model drift that
+// frame's measurements caused — the telemetry subsystem's audit signal.
+type ModelSnapshot struct {
+	// K[m][dev] is seconds per macroblock row (T^R* whole-frame), NaN when
+	// the device has not been observed running module m yet.
+	K [numModules][]float64
+}
+
+// Snapshot copies the current module speeds.
+func (pm *PerfModel) Snapshot() ModelSnapshot {
+	var s ModelSnapshot
+	for m := range pm.k {
+		s.K[m] = append([]float64(nil), pm.k[m]...)
+	}
+	return s
+}
+
+// KDrift is one device/module speed change between two snapshots.
+type KDrift struct {
+	Device int
+	Module Module
+	// Before is 0 (and Rel 0) when the device gained its first observation
+	// of the module between the snapshots.
+	Before, After float64
+	// Rel is |After-Before|/Before.
+	Rel float64
+}
+
+// Drift lists every device/module speed that changed from s to after,
+// including first observations (Before 0). Unchanged and still-unobserved
+// entries are omitted.
+func (s ModelSnapshot) Drift(after ModelSnapshot) []KDrift {
+	var out []KDrift
+	for m := range s.K {
+		for dev := range s.K[m] {
+			if dev >= len(after.K[m]) {
+				continue
+			}
+			b, a := s.K[m][dev], after.K[m][dev]
+			if math.IsNaN(a) || b == a {
+				continue
+			}
+			d := KDrift{Device: dev, Module: Module(m), After: a}
+			if !math.IsNaN(b) {
+				d.Before = b
+				if b != 0 {
+					d.Rel = math.Abs(a-b) / b
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // TRStar returns the whole-frame R* estimate for a device; devices never
 // observed running R* inherit a conservative estimate from their SME speed
 // (R* ≈ SME-weight × rows), so placement can still compare them.

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotDrift(t *testing.T) {
+	pm := NewPerfModel(2, 0.5)
+	pm.ObserveCompute(0, ModME, 10, 1, 1.0)  // K = 0.1
+	pm.ObserveCompute(1, ModINT, 10, 1, 2.0) // K = 0.2
+	before := pm.Snapshot()
+
+	// EWMA with alpha 0.5: 0.1 → 0.5*0.2 + 0.5*0.1 = 0.15.
+	pm.ObserveCompute(0, ModME, 10, 1, 2.0)
+	// First observation of a new module on device 1.
+	pm.ObserveCompute(1, ModSME, 10, 1, 3.0)
+	after := pm.Snapshot()
+
+	drift := before.Drift(after)
+	if len(drift) != 2 {
+		t.Fatalf("drift entries = %d (%+v), want 2", len(drift), drift)
+	}
+	byKey := map[[2]int]KDrift{}
+	for _, d := range drift {
+		byKey[[2]int{d.Device, int(d.Module)}] = d
+	}
+	me := byKey[[2]int{0, int(ModME)}]
+	if math.Abs(me.Before-0.1) > 1e-12 || math.Abs(me.After-0.15) > 1e-12 {
+		t.Errorf("ME drift = %+v, want before 0.1 after 0.15", me)
+	}
+	if math.Abs(me.Rel-0.5) > 1e-12 {
+		t.Errorf("ME rel drift = %v, want 0.5", me.Rel)
+	}
+	sme := byKey[[2]int{1, int(ModSME)}]
+	if sme.Before != 0 || sme.Rel != 0 || math.Abs(sme.After-0.3) > 1e-12 {
+		t.Errorf("first-observation drift = %+v, want before 0 rel 0 after 0.3", sme)
+	}
+}
+
+func TestSnapshotIsFrozen(t *testing.T) {
+	pm := NewPerfModel(1, 1)
+	pm.ObserveCompute(0, ModME, 10, 1, 1.0)
+	snap := pm.Snapshot()
+	pm.ObserveCompute(0, ModME, 10, 1, 5.0)
+	if got := snap.K[ModME][0]; math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("snapshot mutated by later observation: %v", got)
+	}
+}
+
+func TestDriftIgnoresUnchangedAndUnobserved(t *testing.T) {
+	pm := NewPerfModel(2, 1)
+	pm.ObserveCompute(0, ModME, 10, 1, 1.0)
+	s := pm.Snapshot()
+	if d := s.Drift(pm.Snapshot()); len(d) != 0 {
+		t.Fatalf("identical snapshots drifted: %+v", d)
+	}
+}

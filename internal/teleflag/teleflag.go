@@ -1,0 +1,94 @@
+// Package teleflag wires the standard observability flags shared by every
+// FEVES command-line tool (-metrics-addr, -events, -perfetto) into a
+// feves.Observer, so the CLIs stay one-liner thin and agree on flag names
+// and semantics.
+package teleflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"feves"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	metricsAddr string
+	events      string
+	perfetto    string
+}
+
+// Register declares -metrics-addr, -events and -perfetto on the default
+// flag set. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.metricsAddr, "metrics-addr", "",
+		"serve Prometheus metrics over HTTP at this address, e.g. :9090 ('' = off)")
+	flag.StringVar(&f.events, "events", "",
+		"write the JSONL telemetry event stream (frame timings, balancer audits) to this file ('' = off)")
+	flag.StringVar(&f.perfetto, "perfetto", "",
+		"write the whole run's schedule as Chrome trace-event JSON (Perfetto-loadable) to this file ('' = off)")
+	return f
+}
+
+// Enabled reports whether any observability flag was set.
+func (f *Flags) Enabled() bool {
+	return f.metricsAddr != "" || f.events != "" || f.perfetto != ""
+}
+
+// Observer builds the Observer the flags describe, or nil when none was
+// requested. The returned close function flushes the Perfetto trace, stops
+// the metrics endpoint and closes the opened files; call it once at exit.
+func (f *Flags) Observer() (*feves.Observer, func() error, error) {
+	noop := func() error { return nil }
+	if !f.Enabled() {
+		return nil, noop, nil
+	}
+	var oc feves.ObserverConfig
+	var files []*os.File
+	oc.MetricsAddr = f.metricsAddr
+	if f.events != "" {
+		ef, err := os.Create(f.events)
+		if err != nil {
+			return nil, noop, err
+		}
+		files = append(files, ef)
+		oc.Events = ef
+	}
+	if f.perfetto != "" {
+		pf, err := os.Create(f.perfetto)
+		if err != nil {
+			closeAll(files)
+			return nil, noop, err
+		}
+		files = append(files, pf)
+		oc.Perfetto = pf
+	}
+	obs, err := feves.NewObserver(oc)
+	if err != nil {
+		closeAll(files)
+		return nil, noop, err
+	}
+	if addr := obs.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "telemetry: serving metrics at http://%s/metrics\n", addr)
+	}
+	closeFn := func() error {
+		err := obs.Close()
+		if e := closeAll(files); err == nil {
+			err = e
+		}
+		return err
+	}
+	return obs, closeFn, nil
+}
+
+func closeAll(files []*os.File) error {
+	var err error
+	for _, f := range files {
+		if e := f.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}

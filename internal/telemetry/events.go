@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventLog is a structured event stream: one JSON object per line (JSONL),
+// written as events are emitted. Records are type-tagged; the schema is the
+// exported record structs of this package (FrameStartEvent, FrameEndEvent,
+// AuditEvent, MarkEvent).
+type EventLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int
+}
+
+// NewEventLog writes events to w. The caller owns w's lifetime; EventLog
+// never closes it.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event as a JSON line. Marshalling errors are swallowed:
+// telemetry must never fail the encode.
+func (l *EventLog) Emit(v interface{}) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.enc.Encode(v) == nil {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Count returns the number of events successfully written.
+func (l *EventLog) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// FrameStartEvent opens a frame's event group.
+type FrameStartEvent struct {
+	Type  string `json:"type"` // "frame_start"
+	Frame int    `json:"frame"`
+	Intra bool   `json:"intra"`
+}
+
+// FrameEndEvent is the per-frame summary record: the measured
+// synchronization points, the distribution vectors, the per-module device
+// time and the functional coding outcome.
+type FrameEndEvent struct {
+	Type  string `json:"type"` // "frame_end"
+	Frame int    `json:"frame"`
+	Intra bool   `json:"intra"`
+	// Tau1/Tau2/Tot are the measured synchronization points in seconds
+	// (zero for intra frames, which run outside the balanced inter-loop).
+	Tau1 float64 `json:"tau1"`
+	Tau2 float64 `json:"tau2"`
+	Tot  float64 `json:"tau_tot"`
+	// PredTau1/PredTau2/PredTot are the LP's predictions (zero for non-LP
+	// balancers and the equidistant initialization frame).
+	PredTau1 float64 `json:"pred_tau1,omitempty"`
+	PredTau2 float64 `json:"pred_tau2,omitempty"`
+	PredTot  float64 `json:"pred_tau_tot,omitempty"`
+	// SchedOverhead is the real wall-clock balancing cost in seconds.
+	SchedOverhead float64 `json:"sched_overhead,omitempty"`
+	RStarDev      int     `json:"rstar_dev"`
+	M             []int   `json:"m,omitempty"`
+	L             []int   `json:"l,omitempty"`
+	S             []int   `json:"s,omitempty"`
+	// ModME..ModRStar are summed device-seconds per module group.
+	ModME    float64 `json:"mod_me,omitempty"`
+	ModINT   float64 `json:"mod_int,omitempty"`
+	ModSME   float64 `json:"mod_sme,omitempty"`
+	ModRStar float64 `json:"mod_rstar,omitempty"`
+	Bits     int     `json:"bits,omitempty"`
+	PSNRY    float64 `json:"psnr_y,omitempty"`
+}
+
+// DeviceDrift is one device/module model change caused by a frame's EWMA
+// update of the Performance Characterization.
+type DeviceDrift struct {
+	Device int    `json:"device"`
+	Module string `json:"module"`
+	// Before/After are seconds per macroblock row (T^R* whole-frame);
+	// Before is 0 for a first observation.
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+	// Rel is |After-Before|/Before (0 for a first observation).
+	Rel float64 `json:"rel"`
+}
+
+// AuditEvent is the balancer-decision audit record: the LP's predicted
+// τtot paired with the measured one, plus the per-device model drift the
+// frame's measurements caused — the direct observability of Algorithm 2's
+// feedback loop.
+type AuditEvent struct {
+	Type     string  `json:"type"` // "balancer_audit"
+	Frame    int     `json:"frame"`
+	Balancer string  `json:"balancer,omitempty"`
+	PredTot  float64 `json:"pred_tau_tot"`
+	Measured float64 `json:"measured_tau_tot"`
+	// AbsErr is |measured-predicted| seconds; RelErr normalizes by the
+	// measured value.
+	AbsErr float64       `json:"abs_err"`
+	RelErr float64       `json:"rel_err"`
+	Drift  []DeviceDrift `json:"drift,omitempty"`
+}
+
+// MarkEvent flags a one-off occurrence: an IDR refresh ("idr") or a
+// scene-cut-forced intra switch ("scene_cut").
+type MarkEvent struct {
+	Type  string `json:"type"`
+	Frame int    `json:"frame"`
+}

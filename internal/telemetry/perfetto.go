@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span is one executed schedule task (kernel, transfer or barrier) on a
+// named resource, in seconds relative to the frame's start. It mirrors
+// vcm.TaskSpan without importing it, keeping this package a leaf.
+type Span struct {
+	Resource string
+	Label    string
+	Start    float64
+	End      float64
+}
+
+// traceEvent is one Chrome trace-event record. The format is the JSON
+// "trace event format" that both chrome://tracing and Perfetto's legacy
+// importer load: complete events (ph "X") with microsecond timestamps,
+// instant events (ph "i") and metadata events (ph "M") naming threads.
+type traceEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"` // microseconds
+	Dur   float64                `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"` // instant-event scope
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// TraceWriter accumulates per-frame schedule spans into one whole-run
+// timeline. Each simulated frame starts its own clock at zero; AddFrame
+// shifts it by the caller-supplied offset so consecutive frames abut on a
+// single time axis. Resources become named threads of one process.
+type TraceWriter struct {
+	mu     sync.Mutex
+	events []traceEvent
+	tids   map[string]int
+	order  []string
+}
+
+// NewTraceWriter creates an empty trace.
+func NewTraceWriter() *TraceWriter {
+	return &TraceWriter{tids: map[string]int{}}
+}
+
+const (
+	tracePID = 1 // single simulated process
+	frameTID = 0 // lane for whole-frame bars; resources start at 1
+)
+
+func (w *TraceWriter) tid(resource string) int {
+	id, ok := w.tids[resource]
+	if !ok {
+		id = len(w.order) + 1
+		w.tids[resource] = id
+		w.order = append(w.order, resource)
+	}
+	return id
+}
+
+// AddFrame appends one frame's schedule at the given run-time offset (both
+// in seconds): a whole-frame bar on the frame lane, one complete event per
+// task span on its resource's lane, and τ1/τ2 instant markers.
+func (w *TraceWriter) AddFrame(frame int, offset, tau1, tau2, tot float64, spans []Span) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	us := func(s float64) float64 { return (offset + s) * 1e6 }
+	w.events = append(w.events, traceEvent{
+		Name: "frame", Phase: "X", TS: us(0), Dur: tot * 1e6,
+		PID: tracePID, TID: frameTID,
+		Args: map[string]interface{}{"frame": frame, "tau1_ms": tau1 * 1e3, "tau2_ms": tau2 * 1e3},
+	})
+	for _, s := range spans {
+		dur := (s.End - s.Start) * 1e6
+		if dur < 0 {
+			dur = 0
+		}
+		w.events = append(w.events, traceEvent{
+			Name: s.Label, Phase: "X", TS: us(s.Start), Dur: dur,
+			PID: tracePID, TID: w.tid(s.Resource),
+			Args: map[string]interface{}{"frame": frame},
+		})
+	}
+	for _, m := range []struct {
+		name string
+		t    float64
+	}{{"tau1", tau1}, {"tau2", tau2}} {
+		w.events = append(w.events, traceEvent{
+			Name: m.name, Phase: "i", TS: us(m.t),
+			PID: tracePID, TID: frameTID, Scope: "p",
+			Args: map[string]interface{}{"frame": frame},
+		})
+	}
+}
+
+// Frames returns the number of whole-frame bars recorded.
+func (w *TraceWriter) Frames() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, e := range w.events {
+		if e.TID == frameTID && e.Phase == "X" {
+			n++
+		}
+	}
+	return n
+}
+
+// Export serializes the accumulated trace as a Chrome trace-event JSON
+// object ({"traceEvents": [...], "displayTimeUnit": "ms"}), prefixed with
+// the process/thread-name metadata that makes Perfetto label the lanes.
+func (w *TraceWriter) Export(out io.Writer) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	meta := []traceEvent{
+		{Name: "process_name", Phase: "M", PID: tracePID,
+			Args: map[string]interface{}{"name": "feves"}},
+		{Name: "thread_name", Phase: "M", PID: tracePID, TID: frameTID,
+			Args: map[string]interface{}{"name": "frames"}},
+		{Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: frameTID,
+			Args: map[string]interface{}{"sort_index": 0}},
+	}
+	for _, res := range w.order {
+		tid := w.tids[res]
+		meta = append(meta,
+			traceEvent{Name: "thread_name", Phase: "M", PID: tracePID, TID: tid,
+				Args: map[string]interface{}{"name": res}},
+			traceEvent{Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: tid,
+				Args: map[string]interface{}{"sort_index": tid}})
+	}
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{append(meta, w.events...), "ms"}
+	enc := json.NewEncoder(out)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,351 @@
+// Package telemetry is the observability substrate of the FEVES
+// reproduction: a dependency-free metrics registry with Prometheus
+// text-format exposition, a structured JSONL event stream, a Chrome
+// trace-event (Perfetto-loadable) exporter for whole-run schedule
+// timelines, and the Telemetry sink that the framework's instrumentation
+// hooks feed. Everything is stdlib-only and safe for concurrent use; a nil
+// *Telemetry disables every hook at the cost of a single pointer check, so
+// timing-mode reproductions of the paper's experiments are unaffected when
+// observability is off.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind is the Prometheus metric type of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// Registry is a metrics store: named families of counters, gauges and
+// fixed-bucket histograms, each optionally split into label series.
+// Instruments are get-or-create: asking twice for the same name and labels
+// returns the same instrument, so call sites need no wiring phase.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name, help string
+	kind       metricKind
+	buckets    []float64 // histograms only
+	series     map[string]interface{}
+	order      []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelKey renders k1=v1 pairs as a canonical Prometheus label string
+// ({k1="v1",k2="v2"}) or "" for the unlabelled series.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("telemetry: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// getFamily returns the family, creating it with the given kind; a kind
+// mismatch on an existing name panics (an instrumentation bug, not a
+// runtime condition).
+func (r *Registry) getFamily(name, help string, kind metricKind, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets,
+			series: map[string]interface{}{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter series for name and labels (key/value pairs),
+// creating it at zero on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindCounter, nil)
+	key := labelKey(labels)
+	if c, ok := f.series[key]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	f.series[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Gauge returns the gauge series for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGauge, nil)
+	key := labelKey(labels)
+	if g, ok := f.series[key]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[key] = g
+	f.order = append(f.order, key)
+	return g
+}
+
+// Histogram returns the fixed-bucket histogram series for name and labels.
+// Buckets are upper bounds in ascending order; a +Inf bucket is implicit.
+// The bucket layout is fixed by the first registration of the family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindHistogram, buckets)
+	key := labelKey(labels)
+	if h, ok := f.series[key]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(f.buckets)
+	f.series[key] = h
+	f.order = append(f.order, key)
+	return h
+}
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += v
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a settable float64.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	g.mu.Lock()
+	g.v += v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	counts  []uint64 // per finite bucket, non-cumulative
+	inf     uint64
+	sum     float64
+	samples uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.samples++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	// %g keeps integers clean (1 not 1.000000) and small floats exact
+	// enough for scrape consumers.
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every family in registration order in the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, key := range f.order {
+			switch m := f.series[key].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatValue(m.Value()))
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, key, formatValue(m.Value()))
+			case *Histogram:
+				m.mu.Lock()
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i]
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabels(key, "le", formatValue(b)), cum)
+				}
+				cum += m.inf
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabels(key, "le", "+Inf"), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, key, formatValue(m.sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, m.samples)
+				m.mu.Unlock()
+			}
+		}
+	}
+}
+
+// mergeLabels appends one extra label pair to an already-rendered label
+// string ("" or "{a=\"b\"}").
+func mergeLabels(key, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
+// Expose returns the full Prometheus text exposition as a string.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format, suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Expose()))
+	})
+}
+
+// MetricsServer is a running HTTP exposition endpoint.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server exposing the registry at /metrics (and at /
+// for convenience). It binds synchronously — so address errors surface
+// here — and serves in a background goroutine until Close.
+func Serve(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("feves_frames_total", "Frames processed.", "type", "inter")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	r.Counter("feves_frames_total", "Frames processed.", "type", "intra").Inc()
+	r.Gauge("feves_fps", "Current frame rate.").Set(26.5)
+
+	out := r.Expose()
+	for _, want := range []string{
+		"# HELP feves_frames_total Frames processed.",
+		"# TYPE feves_frames_total counter",
+		`feves_frames_total{type="inter"} 3`,
+		`feves_frames_total{type="intra"} 1`,
+		"# TYPE feves_fps gauge",
+		"feves_fps 26.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h", "k", "v")
+	b := r.Counter("c", "h", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("g", "h", "a", "1", "b", "2")
+	g2 := r.Gauge("g", "h", "b", "2", "a", "1")
+	if g1 != g2 {
+		t.Fatal("label order changed the series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("feves_tau_tot_seconds", "τtot.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	out := r.Expose()
+	for _, want := range []string{
+		"# TYPE feves_tau_tot_seconds histogram",
+		`feves_tau_tot_seconds_bucket{le="0.01"} 1`,
+		`feves_tau_tot_seconds_bucket{le="0.1"} 3`,
+		`feves_tau_tot_seconds_bucket{le="1"} 4`,
+		`feves_tau_tot_seconds_bucket{le="+Inf"} 5`,
+		"feves_tau_tot_seconds_sum 7.605",
+		"feves_tau_tot_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabelsMergeWithLe(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "h.", []float64{1}, "dev", "0").Observe(0.5)
+	out := r.Expose()
+	if !strings.Contains(out, `h_bucket{dev="0",le="1"} 1`) {
+		t.Errorf("labelled histogram bucket malformed:\n%s", out)
+	}
+	if !strings.Contains(out, `h_sum{dev="0"} 0.5`) {
+		t.Errorf("labelled histogram sum malformed:\n%s", out)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c", "h").Inc()
+				r.Histogram("h", "h", []float64{1, 2}).Observe(1.5)
+				r.Gauge("g", "h").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "h").Value(); got != 800 {
+		t.Fatalf("counter = %v, want 800", got)
+	}
+	if got := r.Histogram("h", "h", []float64{1, 2}).Count(); got != 800 {
+		t.Fatalf("histogram count = %v, want 800", got)
+	}
+}
+
+func TestServeMetricsHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("feves_frames_total", "Frames.", "type", "inter").Add(4)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), `feves_frames_total{type="inter"} 4`) {
+		t.Errorf("scrape missing counter:\n%s", body)
+	}
+}

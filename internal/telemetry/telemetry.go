@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Bucket layouts for the standard instruments. Frame times on the paper's
+// platforms range from a few ms (small formats) to seconds (256×256 SA),
+// scheduling overhead is bounded at 2 ms, and prediction error is a
+// relative fraction.
+var (
+	frameTimeBuckets = []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5}
+	overheadBuckets  = []float64{1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3}
+	relErrBuckets    = []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
+)
+
+// FrameRecord is the hook payload of one completed frame; the framework
+// fills it from core.Result.
+type FrameRecord struct {
+	Frame         int
+	Intra         bool
+	Tau1, Tau2    float64
+	Tot           float64
+	PredTau1      float64
+	PredTau2      float64
+	PredTot       float64
+	SchedOverhead float64 // seconds
+	RStarDev      int
+	M, L, S       []int
+	ModME         float64
+	ModINT        float64
+	ModSME        float64
+	ModRStar      float64
+	Bits          int
+	PSNRY         float64
+}
+
+// AuditRecord is the hook payload of one balancer decision: the predicted
+// versus measured τtot and the model drift its measurements caused.
+type AuditRecord struct {
+	Frame    int
+	Balancer string
+	PredTot  float64
+	Measured float64
+	Drift    []DeviceDrift
+}
+
+// Telemetry is the sink the framework's instrumentation hooks feed. Any of
+// the three outputs may be nil to disable it; a nil *Telemetry disables
+// everything — every hook method is safe (and a near-no-op) on the nil
+// receiver, which is the zero-cost fast path the frame loop relies on.
+type Telemetry struct {
+	Metrics *Registry
+	Events  *EventLog
+	Trace   *TraceWriter
+
+	mu     sync.Mutex
+	offset float64 // perfetto run-time offset in seconds
+}
+
+// New returns a Telemetry with every output enabled: a fresh registry, an
+// event log on events, and a trace accumulator. Callers wanting a subset
+// build the struct directly.
+func New(events *EventLog) *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Events: events, Trace: NewTraceWriter()}
+}
+
+// Enabled reports whether any hook will record something.
+func (t *Telemetry) Enabled() bool { return t != nil }
+
+// FrameStart records the beginning of a frame.
+func (t *Telemetry) FrameStart(frame int, intra bool) {
+	if t == nil {
+		return
+	}
+	t.Events.Emit(FrameStartEvent{Type: "frame_start", Frame: frame, Intra: intra})
+}
+
+// FrameEnd records a completed frame: the summary event plus the standard
+// metrics (frame counters, τtot/overhead histograms, throughput gauges).
+func (t *Telemetry) FrameEnd(rec FrameRecord) {
+	if t == nil {
+		return
+	}
+	t.Events.Emit(FrameEndEvent{
+		Type: "frame_end", Frame: rec.Frame, Intra: rec.Intra,
+		Tau1: rec.Tau1, Tau2: rec.Tau2, Tot: rec.Tot,
+		PredTau1: rec.PredTau1, PredTau2: rec.PredTau2, PredTot: rec.PredTot,
+		SchedOverhead: rec.SchedOverhead, RStarDev: rec.RStarDev,
+		M: rec.M, L: rec.L, S: rec.S,
+		ModME: rec.ModME, ModINT: rec.ModINT, ModSME: rec.ModSME, ModRStar: rec.ModRStar,
+		Bits: rec.Bits, PSNRY: rec.PSNRY,
+	})
+	if r := t.Metrics; r != nil {
+		kind := "inter"
+		if rec.Intra {
+			kind = "intra"
+		}
+		r.Counter("feves_frames_total", "Frames processed by the framework.", "type", kind).Inc()
+		if !rec.Intra {
+			r.Histogram("feves_tau_tot_seconds", "Measured inter-loop time per frame (τtot).", frameTimeBuckets).Observe(rec.Tot)
+			r.Histogram("feves_tau1_seconds", "Measured first synchronization point (τ1).", frameTimeBuckets).Observe(rec.Tau1)
+			r.Histogram("feves_sched_overhead_seconds", "Wall-clock cost of each balancing decision.", overheadBuckets).Observe(rec.SchedOverhead)
+			if rec.Tot > 0 {
+				r.Gauge("feves_fps", "Frame rate implied by the last frame's τtot.").Set(1 / rec.Tot)
+			}
+		}
+		if rec.Bits > 0 {
+			r.Counter("feves_coded_bits_total", "Total coded bitstream size.").Add(float64(rec.Bits))
+		}
+		if rec.PSNRY > 0 {
+			r.Gauge("feves_psnr_y_db", "Luma PSNR of the last coded frame.").Set(rec.PSNRY)
+		}
+	}
+}
+
+// Audit records one balancer decision's predicted-vs-measured outcome and
+// the resulting model drift.
+func (t *Telemetry) Audit(rec AuditRecord) {
+	if t == nil {
+		return
+	}
+	absErr := math.Abs(rec.Measured - rec.PredTot)
+	relErr := 0.0
+	if rec.Measured > 0 {
+		relErr = absErr / rec.Measured
+	}
+	t.Events.Emit(AuditEvent{
+		Type: "balancer_audit", Frame: rec.Frame, Balancer: rec.Balancer,
+		PredTot: rec.PredTot, Measured: rec.Measured,
+		AbsErr: absErr, RelErr: relErr, Drift: rec.Drift,
+	})
+	if r := t.Metrics; r != nil {
+		r.Counter("feves_balancer_decisions_total", "Balancer decisions audited.", "balancer", rec.Balancer).Inc()
+		r.Histogram("feves_prediction_abs_error_seconds", "Absolute τtot prediction error per frame.", frameTimeBuckets).Observe(absErr)
+		r.Histogram("feves_prediction_rel_error", "Relative τtot prediction error per frame.", relErrBuckets).Observe(relErr)
+		for _, d := range rec.Drift {
+			dev := fmt.Sprintf("%d", d.Device)
+			r.Gauge("feves_model_k_seconds", "Characterized per-row module time (T^R* whole-frame).",
+				"device", dev, "module", d.Module).Set(d.After)
+			r.Gauge("feves_model_drift_rel", "Relative model change from the last EWMA update.",
+				"device", dev, "module", d.Module).Set(d.Rel)
+		}
+	}
+}
+
+// Mark records a one-off occurrence ("idr", "scene_cut").
+func (t *Telemetry) Mark(typ string, frame int) {
+	if t == nil {
+		return
+	}
+	t.Events.Emit(MarkEvent{Type: typ, Frame: frame})
+	if r := t.Metrics; r != nil {
+		r.Counter("feves_marks_total", "One-off framework events (IDR refreshes, scene cuts).", "type", typ).Inc()
+	}
+}
+
+// FrameSpans records one frame's executed schedule. Spans feed the
+// whole-run Perfetto timeline at the current run offset, which then
+// advances by tot so consecutive frames abut.
+func (t *Telemetry) FrameSpans(frame int, tau1, tau2, tot float64, spans []Span) {
+	if t == nil {
+		return
+	}
+	if r := t.Metrics; r != nil {
+		r.Counter("feves_schedule_spans_total", "Executed schedule tasks (kernels, transfers, barriers).").Add(float64(len(spans)))
+		r.Counter("feves_simulated_seconds_total", "Accumulated simulated inter-loop time.").Add(tot)
+	}
+	if t.Trace == nil {
+		return
+	}
+	t.mu.Lock()
+	off := t.offset
+	t.offset += tot
+	t.mu.Unlock()
+	t.Trace.AddFrame(frame, off, tau1, tau2, tot, spans)
+}

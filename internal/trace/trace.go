@@ -74,7 +74,9 @@ func Gantt(ft vcm.FrameTiming, width int) string {
 }
 
 // CSV renders the spans as comma-separated records sorted by start time:
-// resource,label,start_ms,end_ms.
+// frame,rstar_dev,resource,label,start_ms,end_ms. The frame index and R*
+// placement repeat on every record so per-frame CSVs stay unambiguous when
+// concatenated across a run.
 func CSV(ft vcm.FrameTiming) string {
 	spans := append([]vcm.TaskSpan(nil), ft.Spans...)
 	sort.Slice(spans, func(i, j int) bool {
@@ -84,9 +86,10 @@ func CSV(ft vcm.FrameTiming) string {
 		return spans[i].Resource < spans[j].Resource
 	})
 	var b strings.Builder
-	b.WriteString("resource,label,start_ms,end_ms\n")
+	b.WriteString("frame,rstar_dev,resource,label,start_ms,end_ms\n")
 	for _, s := range spans {
-		fmt.Fprintf(&b, "%s,%s,%.4f,%.4f\n", s.Resource, s.Label, s.Start*1e3, s.End*1e3)
+		fmt.Fprintf(&b, "%d,%d,%s,%s,%.4f,%.4f\n",
+			ft.Frame, ft.RStarDev, s.Resource, s.Label, s.Start*1e3, s.End*1e3)
 	}
 	return b.String()
 }

@@ -45,7 +45,7 @@ func TestGanttClampsWidth(t *testing.T) {
 func TestCSVSortedByStart(t *testing.T) {
 	c := CSV(sample())
 	lines := strings.Split(strings.TrimSpace(c), "\n")
-	if lines[0] != "resource,label,start_ms,end_ms" {
+	if lines[0] != "frame,rstar_dev,resource,label,start_ms,end_ms" {
 		t.Fatalf("header: %s", lines[0])
 	}
 	if len(lines) != 5 {
@@ -53,6 +53,22 @@ func TestCSVSortedByStart(t *testing.T) {
 	}
 	if !strings.Contains(lines[3], "SME@0") {
 		t.Fatalf("spans not sorted by start:\n%s", c)
+	}
+	// Every record carries the frame index and R* device so concatenated
+	// per-frame CSVs stay unambiguous.
+	for _, ln := range lines[1:] {
+		if !strings.HasPrefix(ln, "3,0,") {
+			t.Fatalf("record missing frame/rstar_dev prefix: %s", ln)
+		}
+	}
+}
+
+func TestCSVDistinguishesConcatenatedFrames(t *testing.T) {
+	a, b := sample(), sample()
+	b.Frame, b.RStarDev = 4, 1
+	cat := CSV(a) + CSV(b)
+	if !strings.Contains(cat, "\n3,0,") || !strings.Contains(cat, "\n4,1,") {
+		t.Fatalf("concatenated CSV lost frame identity:\n%s", cat)
 	}
 }
 
@@ -84,6 +100,77 @@ func TestSVGWellFormed(t *testing.T) {
 		if !strings.Contains(svg, want) {
 			t.Errorf("SVG missing %q", want)
 		}
+	}
+}
+
+// TestSVGEscapesHostileLabels feeds resource and task names full of XML
+// metacharacters and requires a still-well-formed document with no raw
+// markup leaking through.
+func TestSVGEscapesHostileLabels(t *testing.T) {
+	ft := vcm.FrameTiming{
+		Frame: 1, Tau1: 0.01, Tau2: 0.02, Tot: 0.04, RStarDev: 0,
+		Spans: []vcm.TaskSpan{
+			{Resource: `<script>alert("x")</script>`, Label: `ME<&>"pwn"@0`, Start: 0, End: 0.01},
+			{Resource: "a&b", Label: "SME&<tag>@1", Start: 0.01, End: 0.03},
+		},
+	}
+	svg := SVG(ft, 640)
+	if strings.Contains(svg, "<script>") || strings.Contains(svg, "<tag>") {
+		t.Fatalf("raw markup leaked into SVG:\n%s", svg)
+	}
+	for _, want := range []string{"&lt;script&gt;", "&quot;pwn&quot;", "SME&amp;&lt;tag&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing escaped form %q", want)
+		}
+	}
+	var node struct{}
+	if err := xml.Unmarshal([]byte(svg), &node); err != nil {
+		t.Fatalf("SVG with hostile labels is not well-formed XML: %v", err)
+	}
+}
+
+// TestGanttMarkerClampedAtRightEdge puts a synchronization point exactly
+// at τtot: its column index equals the chart width and must clamp to the
+// last cell instead of indexing out of bounds.
+func TestGanttMarkerClampedAtRightEdge(t *testing.T) {
+	const width = 40
+	ft := vcm.FrameTiming{
+		Frame: 2, Tau1: 0.02, Tau2: 0.04, Tot: 0.04, RStarDev: 0,
+		Spans: []vcm.TaskSpan{
+			{Resource: "host", Label: "ME@0", Start: 0, End: 0.01},
+		},
+	}
+	g := Gantt(ft, width)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), g)
+	}
+	row := lines[1]
+	open := strings.IndexByte(row, '|')
+	cells := row[open+1 : len(row)-1]
+	if len(cells) != width {
+		t.Fatalf("row is %d cells wide, want %d: %q", len(cells), width, row)
+	}
+	if cells[width-1] != '2' {
+		t.Errorf("τ2 marker at τtot not clamped into last cell: %q", cells)
+	}
+	if !strings.Contains(cells, "1") {
+		t.Errorf("τ1 marker missing: %q", cells)
+	}
+}
+
+// TestBusyEmptyAndZeroTot: an empty timing yields an empty map, and a
+// zero-τtot timing must not divide by zero (busy seconds stay absolute).
+func TestBusyEmptyAndZeroTot(t *testing.T) {
+	if b := Busy(vcm.FrameTiming{}); len(b) != 0 {
+		t.Fatalf("Busy(empty) = %v, want empty", b)
+	}
+	zero := vcm.FrameTiming{ // Tot deliberately 0
+		Spans: []vcm.TaskSpan{{Resource: "host", Label: "ME@0", Start: 0, End: 0.5}},
+	}
+	b := Busy(zero)
+	if v := b["host"]; v != 0.5 {
+		t.Fatalf("zero-τtot busy = %v, want raw 0.5 s", v)
 	}
 }
 

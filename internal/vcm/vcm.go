@@ -23,6 +23,7 @@ import (
 	"feves/internal/h264/rd"
 	"feves/internal/sched"
 	"feves/internal/simclock"
+	"feves/internal/telemetry"
 )
 
 // Mode selects whether kernels actually compute.
@@ -83,6 +84,9 @@ type Manager struct {
 	// cores while preserving bit-exact output: ME/INT ranges are disjoint
 	// writers, SME starts only after the τ1 assembly, and R* is exclusive.
 	Parallel bool
+	// Telemetry receives every frame's executed schedule spans for the
+	// whole-run Perfetto timeline; nil disables the hook.
+	Telemetry *telemetry.Telemetry
 }
 
 // framePayloads collects the functional work of one frame, organized by
@@ -348,6 +352,13 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		ft.Spans = append(ft.Spans, TaskSpan{
 			Resource: t.Res.Name, Label: t.Label, Start: t.Start, End: t.End,
 		})
+	}
+	if m.Telemetry.Enabled() {
+		spans := make([]telemetry.Span, len(ft.Spans))
+		for i, s := range ft.Spans {
+			spans[i] = telemetry.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End}
+		}
+		m.Telemetry.FrameSpans(frame, ft.Tau1, ft.Tau2, ft.Tot, spans)
 	}
 
 	// --- Performance Characterization update (Algorithm 1 lines 5/10). --

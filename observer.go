@@ -1,0 +1,116 @@
+package feves
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"feves/internal/telemetry"
+)
+
+// ObserverConfig selects which telemetry sinks an Observer drives. Any
+// subset may be enabled; the metrics registry is always created so
+// MetricsText works even without an HTTP endpoint.
+type ObserverConfig struct {
+	// MetricsAddr, when non-empty, serves the Prometheus text exposition
+	// over HTTP at this address (host:port; ":0" picks a free port) under
+	// /metrics.
+	MetricsAddr string
+	// Events, when non-nil, receives the structured event stream as JSONL:
+	// frame_start/frame_end records with τ1/τ2/τtot, distribution vectors
+	// and module times, balancer_audit records pairing the LP's predicted
+	// τtot with the measured one (plus per-device model drift), and
+	// idr/scene_cut marks.
+	Events io.Writer
+	// Perfetto, when non-nil, receives the whole run's schedule as Chrome
+	// trace-event JSON (loadable in Perfetto / chrome://tracing) when the
+	// Observer is closed.
+	Perfetto io.Writer
+}
+
+// Observer collects a run's telemetry. Create one with NewObserver, set it
+// on Config.Observer (one Observer may serve several encoders or
+// simulations — metrics and the trace timeline then aggregate), and Close
+// it when the run ends to flush the Perfetto trace and stop the metrics
+// endpoint.
+type Observer struct {
+	tel *telemetry.Telemetry
+	srv *telemetry.MetricsServer
+
+	mu       sync.Mutex
+	perfetto io.Writer
+	closed   bool
+}
+
+// NewObserver builds an Observer from the config. The error is an address
+// bind failure for MetricsAddr.
+func NewObserver(oc ObserverConfig) (*Observer, error) {
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	if oc.Events != nil {
+		tel.Events = telemetry.NewEventLog(oc.Events)
+	}
+	if oc.Perfetto != nil {
+		tel.Trace = telemetry.NewTraceWriter()
+	}
+	o := &Observer{tel: tel, perfetto: oc.Perfetto}
+	if oc.MetricsAddr != "" {
+		srv, err := telemetry.Serve(oc.MetricsAddr, tel.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		o.srv = srv
+	}
+	return o, nil
+}
+
+// Sink returns the underlying telemetry sink (nil on a nil Observer), for
+// wiring internal components directly.
+func (o *Observer) Sink() *telemetry.Telemetry {
+	if o == nil {
+		return nil
+	}
+	return o.tel
+}
+
+// MetricsAddr returns the bound address of the HTTP metrics endpoint, or
+// "" when none was configured.
+func (o *Observer) MetricsAddr() string {
+	if o == nil || o.srv == nil {
+		return ""
+	}
+	return o.srv.Addr()
+}
+
+// MetricsText returns the current Prometheus text exposition.
+func (o *Observer) MetricsText() string {
+	if o == nil {
+		return ""
+	}
+	return o.tel.Metrics.Expose()
+}
+
+// Close flushes the Perfetto trace to the configured writer and shuts the
+// metrics endpoint down. It is idempotent.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	var err error
+	if o.perfetto != nil && o.tel.Trace != nil {
+		if e := o.tel.Trace.Export(o.perfetto); e != nil {
+			err = fmt.Errorf("feves: perfetto export: %w", e)
+		}
+	}
+	if o.srv != nil {
+		if e := o.srv.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}

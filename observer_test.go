@@ -1,0 +1,151 @@
+package feves_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"feves"
+)
+
+// TestObserverEndToEnd runs a simulation with every telemetry sink enabled
+// and checks the three acceptance artifacts: a Prometheus scrape over
+// HTTP, a JSONL event log with predicted-vs-measured audit records, and a
+// Chrome trace-event JSON document.
+func TestObserverEndToEnd(t *testing.T) {
+	var events, perfetto bytes.Buffer
+	obs, err := feves.NewObserver(feves.ObserverConfig{
+		MetricsAddr: "127.0.0.1:0",
+		Events:      &events,
+		Perfetto:    &perfetto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := feves.NewSimulation(feves.Config{
+		Width: 1920, Height: 1088, SearchArea: 32, RefFrames: 1,
+		Observer: obs,
+	}, feves.SysHK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(12); err != nil {
+		t.Fatal(err)
+	}
+
+	// (1) Prometheus scrape over HTTP while the run is live.
+	resp, err := http.Get("http://" + obs.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(body)
+	for _, want := range []string{
+		`feves_frames_total{type="inter"} 11`,
+		"feves_tau_tot_seconds_bucket",
+		"feves_sched_overhead_seconds_bucket",
+		"feves_prediction_rel_error_bucket",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	if err := obs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and stops the endpoint.
+	if err := obs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + obs.MetricsAddr() + "/metrics"); err == nil {
+		t.Error("metrics endpoint still serving after Close")
+	}
+
+	// (2) JSONL event log with audit records.
+	audits := 0
+	for _, ln := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("event log line is not JSON: %q", ln)
+		}
+		if m["type"] == "balancer_audit" {
+			audits++
+			if m["pred_tau_tot"].(float64) <= 0 || m["measured_tau_tot"].(float64) <= 0 {
+				t.Errorf("audit without prediction/measurement: %v", m)
+			}
+		}
+	}
+	if audits == 0 {
+		t.Error("no balancer_audit events recorded")
+	}
+
+	// (3) Perfetto trace with the whole run's schedule.
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(perfetto.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	frames, spans := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" {
+			if e.Name == "frame" {
+				frames++
+			} else {
+				spans++
+			}
+		}
+	}
+	if frames != 11 {
+		t.Errorf("perfetto frame bars = %d, want 11", frames)
+	}
+	if spans == 0 {
+		t.Error("perfetto trace has no task spans")
+	}
+}
+
+// TestObserverSharedAcrossRuns checks that one Observer aggregates several
+// frameworks, the mode feves-bench uses.
+func TestObserverSharedAcrossRuns(t *testing.T) {
+	obs, err := feves.NewObserver(feves.ObserverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	cfg := feves.Config{Width: 640, Height: 352, Observer: obs}
+	for i := 0; i < 2; i++ {
+		sim, err := feves.NewSimulation(cfg, feves.SysNF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(obs.MetricsText(), `feves_frames_total{type="inter"} 8`) {
+		t.Errorf("aggregated metrics wrong:\n%s", obs.MetricsText())
+	}
+}
+
+// TestNilObserverIsInert: the default configuration must tolerate every
+// accessor on a nil Observer.
+func TestNilObserverIsInert(t *testing.T) {
+	var obs *feves.Observer
+	if obs.Sink() != nil || obs.MetricsAddr() != "" || obs.MetricsText() != "" {
+		t.Fatal("nil observer not inert")
+	}
+	if err := obs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
