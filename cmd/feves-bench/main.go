@@ -57,6 +57,7 @@ func experiments() []experiment {
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see package doc) or 'all'")
 	format := flag.String("format", "text", "output format: text json")
+	check := flag.Bool("check", false, "validate every frame's schedule against the Algorithm-2 invariants")
 	tf := teleflag.Register()
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		os.Exit(1)
 	}
 	bench.Observer = obs
+	bench.CheckSchedules = *check
 
 	type jsonOut struct {
 		ID     string         `json:"id"`

@@ -59,6 +59,7 @@ func main() {
 		preset    = flag.String("content", "medium", "synthetic content: low medium high toys tomatoes")
 		out       = flag.String("o", "", "output bitstream file ('' = discard)")
 		verify    = flag.String("verify", "", "verify a bitstream file and exit")
+		check     = flag.Bool("check", false, "validate every frame's schedule against the Algorithm-2 invariants")
 	)
 	tf := teleflag.Register()
 	flag.Parse()
@@ -106,7 +107,7 @@ func main() {
 	}
 	cfg := feves.Config{
 		Observer: obs,
-		Width: *width, Height: *height,
+		Width:    *width, Height: *height,
 		SearchArea: *sa, RefFrames: *rf, IQP: *iqp, PQP: *pqp,
 		ArithmeticCoding:   *entropy == "arith",
 		FastME:             *meAlgo,
@@ -115,6 +116,7 @@ func main() {
 		IntraPeriod:        *intraP,
 		SceneCutThreshold:  *sceneCut,
 		Slices:             *slices,
+		CheckSchedules:     *check,
 	}
 	if *entropy != "vlc" && *entropy != "arith" {
 		log.Fatalf("unknown entropy backend %q", *entropy)

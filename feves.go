@@ -94,6 +94,13 @@ type Config struct {
 	// the JSONL event stream with per-frame balancer audits, and the
 	// whole-run Perfetto timeline. nil (the default) disables every hook.
 	Observer *Observer
+	// CheckSchedules runs the schedule invariant checker on every executed
+	// inter-frame: Algorithm 2's distribution constraints (row sums,
+	// non-negativity, placement rules), the data-access consistency of the
+	// Δ/σ transfer vectors, and the τ1/τ2/τtot dependency ordering of the
+	// executed timeline. A violation fails the frame with a detailed error
+	// listing every broken invariant. Off (the default) costs nothing.
+	CheckSchedules bool
 }
 
 // BalancerKind selects a load-balancing strategy.
@@ -347,13 +354,14 @@ func NewEncoder(cfg Config, pl *Platform) (*Encoder, error) {
 		return nil, err
 	}
 	fw, err := core.New(core.Options{
-		Platform:  pl.inner,
-		Codec:     cc,
-		Mode:      vcm.Functional,
-		Balancer:  cfg.Balancer.build(cfg.BalancerHysteresis),
-		Alpha:     cfg.Alpha,
-		Parallel:  cfg.Parallel,
-		Telemetry: cfg.Observer.Sink(),
+		Platform:       pl.inner,
+		Codec:          cc,
+		Mode:           vcm.Functional,
+		Balancer:       cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:          cfg.Alpha,
+		Parallel:       cfg.Parallel,
+		Telemetry:      cfg.Observer.Sink(),
+		CheckSchedules: cfg.CheckSchedules,
 	})
 	if err != nil {
 		return nil, err
@@ -427,12 +435,13 @@ func NewSimulation(cfg Config, pl *Platform) (*Simulation, error) {
 		return nil, err
 	}
 	fw, err := core.New(core.Options{
-		Platform:  pl.inner,
-		Codec:     cc,
-		Mode:      vcm.TimingOnly,
-		Balancer:  cfg.Balancer.build(cfg.BalancerHysteresis),
-		Alpha:     cfg.Alpha,
-		Telemetry: cfg.Observer.Sink(),
+		Platform:       pl.inner,
+		Codec:          cc,
+		Mode:           vcm.TimingOnly,
+		Balancer:       cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:          cfg.Alpha,
+		Telemetry:      cfg.Observer.Sink(),
+		CheckSchedules: cfg.CheckSchedules,
 	})
 	if err != nil {
 		return nil, err

@@ -34,12 +34,17 @@ type Table struct {
 // event stream and Perfetto timeline across the whole experiment run.
 var Observer *feves.Observer
 
+// CheckSchedules, when set before running experiments, turns on the
+// internal/check schedule invariant validator on every framework the
+// harness constructs — a violation aborts the experiment.
+var CheckSchedules bool
+
 // cfg1080p builds the paper's evaluation configuration.
 func cfg1080p(sa, rf int) feves.Config {
 	// 1080p content is coded as 1920×1088 (68 macroblock rows), as H.264
 	// encoders do.
 	return feves.Config{Width: 1920, Height: 1088, SearchArea: sa, RefFrames: rf,
-		Observer: Observer}
+		Observer: Observer, CheckSchedules: CheckSchedules}
 }
 
 // platformSet returns fresh instances of the seven Fig. 6 configurations.

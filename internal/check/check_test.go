@@ -1,0 +1,292 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"feves/internal/sched"
+)
+
+// hasRule reports whether err is a *check.Error containing a violation of
+// the given rule.
+func hasRule(t *testing.T, err error, rule string) bool {
+	t.Helper()
+	if err == nil {
+		return false
+	}
+	ce, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error is %T, want *check.Error: %v", err, err)
+	}
+	for _, v := range ce.Violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		label string
+		kind  string
+		dev   int
+	}{
+		{"SME@2", "SME", 2},
+		{"ME@0", "ME", 0},
+		{"CF.h2d@10", "CF.h2d", 10},
+		{"R*@1", "R*", 1},
+		{"tau1", "tau1", -1},
+		{"weird@x", "weird@x", -1},
+	}
+	for _, c := range cases {
+		kind, dev := kindOf(c.label)
+		if kind != c.kind || dev != c.dev {
+			t.Errorf("kindOf(%q) = (%q, %d), want (%q, %d)", c.label, kind, dev, c.kind, c.dev)
+		}
+	}
+}
+
+// validDist builds a hand-checked legal distribution on a 1-GPU + 1-core
+// topology with 4 rows: rows split 3/1 for ME and INT, 2/2 for SME, so the
+// GPU's SME range [0,2) sits inside its ME/INT range [0,3) (Δ = 0).
+func validDist(topo sched.Topology) sched.Distribution {
+	d := sched.Distribution{
+		M: []int{3, 1}, L: []int{3, 1}, S: []int{2, 2},
+		RStarDev: 0,
+		Sigma:    []int{0, 0}, SigmaR: []int{0, 0},
+	}
+	d.DeltaM = sched.MSBounds(d.M, d.S, topo.IsGPU)
+	d.DeltaL = sched.LSBounds(d.L, d.S, topo.IsGPU)
+	return d
+}
+
+func TestDistributionAcceptsValid(t *testing.T) {
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(4)
+	if err := Distribution(topo, w, validDist(topo), nil); err != nil {
+		t.Fatalf("valid distribution rejected: %v", err)
+	}
+}
+
+func TestDistributionAcceptsEveryBalancer(t *testing.T) {
+	topo := sched.Topology{NumGPU: 2, Cores: 2}
+	w := tinyWorkload(8)
+	pm := synthModel(topo, w, 1)
+	prev := make([]int, topo.NumDevices())
+	for _, bal := range []sched.Balancer{
+		&sched.LPBalancer{},
+		&sched.LPBalancer{NoReuse: true},
+		sched.EquidistantBalancer{},
+		sched.ProportionalBalancer{},
+		sched.MEOffloadBalancer{},
+	} {
+		d, err := bal.Distribute(pm, topo, w, prev)
+		if err != nil {
+			t.Fatalf("%s: %v", bal.Name(), err)
+		}
+		if err := Distribution(topo, w, d, pm); err != nil {
+			t.Errorf("%s distribution rejected: %v", bal.Name(), err)
+		}
+	}
+	// The initialization-phase distribution must pass too (σʳ on every
+	// device, including the cores, is legal there).
+	d := sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+	if err := Distribution(topo, w, d, nil); err != nil {
+		t.Errorf("equidistant init distribution rejected: %v", err)
+	}
+}
+
+func TestDistributionRejections(t *testing.T) {
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(4)
+	cases := []struct {
+		name   string
+		mutate func(*sched.Distribution)
+		rule   string
+	}{
+		{"short vector", func(d *sched.Distribution) { d.M = d.M[:1] }, "dist.shape"},
+		{"bad sum", func(d *sched.Distribution) { d.L = []int{3, 2} }, "dist.sum"},
+		{"negative rows", func(d *sched.Distribution) { d.S = []int{5, -1} }, "dist.negative"},
+		{"rstar out of range", func(d *sched.Distribution) { d.RStarDev = 7 }, "dist.rstar"},
+		{"delta on cpu", func(d *sched.Distribution) { d.DeltaM = []int{0, 1} }, "dist.cpu-delta"},
+		{"delta out of range", func(d *sched.Distribution) { d.DeltaM = []int{99, 0} }, "dist.delta-range"},
+		{"stale read", func(d *sched.Distribution) {
+			// GPU SME range [0,3) no longer covered by ME range [0,1).
+			d.M = []int{1, 3}
+			d.S = []int{3, 1}
+			// DeltaM stays zero → the GPU would read 2 un-fetched rows.
+		}, "dist.stale-read"},
+		{"stale read with nil delta", func(d *sched.Distribution) {
+			d.M = []int{1, 3}
+			d.S = []int{3, 1}
+			d.DeltaM, d.DeltaL = nil, nil
+		}, "dist.stale-read"},
+		{"sigma on cpu", func(d *sched.Distribution) { d.Sigma = []int{0, 1} }, "dist.sigma-placement"},
+		{"sigma on rstar device", func(d *sched.Distribution) { d.Sigma = []int{1, 0} }, "dist.sigma-placement"},
+		{"sigma overrun", func(d *sched.Distribution) {
+			d.RStarDev = 1 // R* on the core so the GPU may carry σ/σʳ
+			d.Sigma = []int{1, 0}
+			d.SigmaR = []int{2, 0} // GPU holds l=3 of 4 rows: misses 1, completes 3
+		}, "dist.sigma-overrun"},
+		{"negative sigma", func(d *sched.Distribution) { d.SigmaR = []int{0, -2} }, "dist.negative"},
+	}
+	for _, c := range cases {
+		d := validDist(topo)
+		c.mutate(&d)
+		err := Distribution(topo, w, d, nil)
+		if !hasRule(t, err, c.rule) {
+			t.Errorf("%s: want violation of %q, got %v", c.name, c.rule, err)
+		}
+	}
+}
+
+func TestDistributionSigmaSlack(t *testing.T) {
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(4)
+	pm := synthModel(topo, w, 1)
+	// R* on the core; the GPU interpolated 1 of 4 rows so it misses 3 SF
+	// rows, all scheduled as σ.
+	d := sched.Distribution{
+		M: []int{3, 1}, L: []int{1, 3}, S: []int{2, 2},
+		RStarDev: 1,
+		Sigma:    []int{3, 0}, SigmaR: []int{0, 0},
+	}
+	d.DeltaM = sched.MSBounds(d.M, d.S, topo.IsGPU)
+	d.DeltaL = sched.LSBounds(d.L, d.S, topo.IsGPU)
+	d.PredTau2 = 1.0
+	d.PredTot = 1.0 + 0.5*pm.T(0, sched.SFh2d) // slack fits half a row
+	if err := Distribution(topo, w, d, pm); !hasRule(t, err, "dist.sigma-slack") {
+		t.Fatalf("want dist.sigma-slack, got %v", err)
+	}
+	// With enough slack the same σ passes.
+	d.PredTot = 1.0 + 10*pm.T(0, sched.SFh2d)
+	if err := Distribution(topo, w, d, pm); err != nil {
+		t.Fatalf("σ fitting the slack rejected: %v", err)
+	}
+}
+
+// frameSpans builds a minimal legal timeline on the GPU of a 1-GPU + 1-core
+// topology: wave-1 kernels and outputs before τ1, SME in [τ1, τ2], R* after
+// τ2.
+func frameSpans() ([]Span, float64, float64, float64) {
+	tau1, tau2, tot := 1.0, 2.0, 3.0
+	spans := []Span{
+		{Resource: "gpu0", Label: "ME@0", Start: 0, End: 0.5},
+		{Resource: "gpu0", Label: "INT@0", Start: 0.5, End: 0.9},
+		{Resource: "gpu0.h2d", Label: "CF.h2d@0", Start: 0, End: 0.2},
+		{Resource: "gpu0.d2h", Label: "MV.d2h@0", Start: 0.5, End: 0.7},
+		{Resource: "host", Label: "tau1", Start: tau1, End: tau1},
+		{Resource: "gpu0", Label: "SME@0", Start: tau1, End: 1.8},
+		{Resource: "host", Label: "tau2", Start: tau2, End: tau2},
+		{Resource: "gpu0", Label: "R*@0", Start: tau2, End: tot},
+		{Resource: "cpu0", Label: "ME@1", Start: 0, End: 0.8},
+		{Resource: "cpu0", Label: "SME@1", Start: tau1, End: 1.9},
+	}
+	return spans, tau1, tau2, tot
+}
+
+func TestFrameAcceptsValidTimeline(t *testing.T) {
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(4)
+	spans, tau1, tau2, tot := frameSpans()
+	if err := Frame(topo, w, validDist(topo), nil, spans, tau1, tau2, tot); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+}
+
+func TestTimelineRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(spans []Span) ([]Span, float64, float64, float64)
+		rule   string
+	}{
+		{"tau out of order", func(s []Span) ([]Span, float64, float64, float64) {
+			return s, 2.5, 2.0, 3.0
+		}, "time.order"},
+		{"span ends before start", func(s []Span) ([]Span, float64, float64, float64) {
+			s[0].End = -0.5
+			return s, 1, 2, 3
+		}, "time.span"},
+		{"task after makespan", func(s []Span) ([]Span, float64, float64, float64) {
+			s[7].End = 3.5
+			return s, 1, 2, 3
+		}, "time.makespan"},
+		{"ME past tau1", func(s []Span) ([]Span, float64, float64, float64) {
+			s[0].End = 1.2
+			return s, 1, 2, 3
+		}, "time.me-past-tau1"},
+		{"INT past tau1", func(s []Span) ([]Span, float64, float64, float64) {
+			s[1].End = 1.1
+			return s, 1, 2, 3
+		}, "time.int-past-tau1"},
+		{"SME before tau1", func(s []Span) ([]Span, float64, float64, float64) {
+			s[5].Start = 0.8
+			return s, 1, 2, 3
+		}, "time.sme-before-tau1"},
+		{"SME past tau2", func(s []Span) ([]Span, float64, float64, float64) {
+			s[5].End = 2.2
+			return s, 1, 2, 3
+		}, "time.sme-past-tau2"},
+		{"R* before tau2", func(s []Span) ([]Span, float64, float64, float64) {
+			s[7].Start = 1.5
+			return s, 1, 2, 3
+		}, "time.rstar-before-tau2"},
+		{"MV output spans tau1", func(s []Span) ([]Span, float64, float64, float64) {
+			s[3].End = 1.3
+			return s, 1, 2, 3
+		}, "time.output-past-tau1"},
+		{"double booked resource", func(s []Span) ([]Span, float64, float64, float64) {
+			s[1].Start = 0.2 // INT overlaps ME on gpu0
+			return s, 1, 2, 3
+		}, "time.overlap"},
+	}
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(4)
+	for _, c := range cases {
+		spans, _, _, _ := frameSpans()
+		spans, tau1, tau2, tot := c.mutate(spans)
+		err := Frame(topo, w, validDist(topo), nil, spans, tau1, tau2, tot)
+		if !hasRule(t, err, c.rule) {
+			t.Errorf("%s: want violation of %q, got %v", c.name, c.rule, err)
+		}
+	}
+}
+
+func TestErrorAggregatesViolations(t *testing.T) {
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(4)
+	d := validDist(topo)
+	d.M = []int{3, 2}  // bad sum
+	d.S = []int{5, -1} // negative entry
+	err := Distribution(topo, w, d, nil)
+	if err == nil {
+		t.Fatal("corrupted distribution accepted")
+	}
+	ce := err.(*Error)
+	if len(ce.Violations) < 2 {
+		t.Fatalf("want every violation reported, got %d: %v", len(ce.Violations), err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "dist.sum") || !strings.Contains(msg, "dist.negative") {
+		t.Fatalf("error message misses rules: %q", msg)
+	}
+	if !strings.Contains(msg, "violation(s)") {
+		t.Fatalf("error message misses the count: %q", msg)
+	}
+}
+
+func TestZeroDurationBarriersDoNotOverlap(t *testing.T) {
+	// τ barriers share the host resource at identical timestamps; the
+	// exclusivity rule must ignore zero-duration tasks.
+	spans := []Span{
+		{Resource: "host", Label: "tau1", Start: 1, End: 1},
+		{Resource: "host", Label: "tau2", Start: 1, End: 1},
+		{Resource: "host", Label: "assemble", Start: 0.5, End: 1.5},
+	}
+	var vs violations
+	checkTimeline(&vs, spans, 1, 1, 2)
+	if err := vs.err(); err != nil {
+		t.Fatalf("zero-duration barriers flagged: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package check
+
+import (
+	"math"
+
+	"feves/internal/device"
+	"feves/internal/sched"
+)
+
+// BruteForceOptimum enumerates every integer distribution of the frame's
+// macroblock rows over the topology's devices — all compositions of the m,
+// l and s vectors independently — evaluates each candidate's τtot with
+// sched.PredictTimes under the data-reuse Δ terms (MS_BOUNDS/LS_BOUNDS),
+// and returns the true optimum. R* stays on the given device, matching the
+// balancer's PlaceRStar choice, so the comparison isolates Algorithm 2's
+// row-distribution LP.
+//
+// The search space is (C(rows+p-1, p-1))³ candidates, which is why the
+// oracle is only meant for tiny instances (≤3 devices, ≤8 rows ≈ 10⁵
+// candidates); there it certifies that the LP balancer's solution is
+// optimal up to integer rounding.
+func BruteForceOptimum(pm *sched.PerfModel, topo sched.Topology, w device.Workload,
+	rstar int, prevSigmaR []int) (sched.Distribution, float64) {
+
+	p := topo.NumDevices()
+	rows := w.Rows()
+	comps := compositions(rows, p)
+
+	best := math.Inf(1)
+	var bestD sched.Distribution
+	d := sched.Distribution{RStarDev: rstar}
+	for _, m := range comps {
+		d.M = m
+		for _, l := range comps {
+			d.L = l
+			for _, s := range comps {
+				d.S = s
+				d.DeltaM = sched.MSBounds(m, s, topo.IsGPU)
+				d.DeltaL = sched.LSBounds(l, s, topo.IsGPU)
+				t1, t2, tot := sched.PredictTimes(pm, topo, w, d, prevSigmaR)
+				if tot < best {
+					best = tot
+					bestD = sched.Distribution{
+						M:        append([]int(nil), m...),
+						L:        append([]int(nil), l...),
+						S:        append([]int(nil), s...),
+						DeltaM:   append([]int(nil), d.DeltaM...),
+						DeltaL:   append([]int(nil), d.DeltaL...),
+						RStarDev: rstar,
+						PredTau1: t1, PredTau2: t2, PredTot: tot,
+					}
+				}
+			}
+		}
+	}
+	// Complete the optimum with the σ/σʳ split of constraints (14)/(15) so
+	// the returned distribution passes the static validator.
+	bestD.Sigma = make([]int, p)
+	bestD.SigmaR = make([]int, p)
+	slack := bestD.PredTot - bestD.PredTau2
+	for i := 0; i < p; i++ {
+		if !topo.IsGPU(i) || i == rstar {
+			continue
+		}
+		missing := rows - bestD.L[i] - bestD.DeltaL[i]
+		bestD.Sigma[i], bestD.SigmaR[i] = sched.SigmaSplit(missing, slack, pm.T(i, sched.SFh2d))
+	}
+	return bestD, best
+}
+
+// compositions lists every way to write rows as an ordered sum of p
+// non-negative integers.
+func compositions(rows, p int) [][]int {
+	if p == 1 {
+		return [][]int{{rows}}
+	}
+	var out [][]int
+	cur := make([]int, p)
+	var rec func(idx, left int)
+	rec = func(idx, left int) {
+		if idx == p-1 {
+			cur[idx] = left
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := 0; v <= left; v++ {
+			cur[idx] = v
+			rec(idx+1, left-v)
+		}
+	}
+	rec(0, rows)
+	return out
+}
+
+// RoundingTolerance bounds how much τtot may move when the LP's fractional
+// solution is rounded to integer rows: a few rows' worth of the most
+// expensive per-row chain (compute plus every transfer the device's
+// constraints charge per row).
+func RoundingTolerance(pm *sched.PerfModel, topo sched.Topology, w device.Workload) float64 {
+	worst := 0.0
+	for i := 0; i < topo.NumDevices(); i++ {
+		per := pm.KAt(i, sched.ModME, w.UsableRF) + pm.K(i, sched.ModINT) + pm.KAt(i, sched.ModSME, w.UsableRF)
+		if topo.IsGPU(i) {
+			per += pm.T(i, sched.CFh2d) + pm.T(i, sched.RFh2d) + pm.T(i, sched.RFd2h) +
+				2*pm.T(i, sched.SFh2d) + pm.T(i, sched.SFd2h) +
+				2*(pm.T(i, sched.MVh2d)+pm.T(i, sched.MVd2h))
+		}
+		if per > worst {
+			worst = per
+		}
+	}
+	return 3 * worst
+}

@@ -1,0 +1,157 @@
+package check
+
+import (
+	"testing"
+
+	"feves/internal/device"
+	"feves/internal/sched"
+)
+
+// synthModel builds a fully characterized deterministic model: per-device
+// compute speeds and (for accelerators) transfer speeds varied by a small
+// seed so the oracle sweep covers GPU-favoured, CPU-favoured and balanced
+// instances.
+func synthModel(topo sched.Topology, w device.Workload, seed int) *sched.PerfModel {
+	p := topo.NumDevices()
+	pm := sched.NewPerfModel(p, 1)
+	for i := 0; i < p; i++ {
+		// base in {1.0, 1.37, 1.74, 2.11, 2.48}, device- and seed-dependent.
+		base := 1.0 + 0.37*float64((i*7+seed*3)%5)
+		if !topo.IsGPU(i) {
+			base *= 4 // cores are slower than accelerators, as in the paper
+		}
+		pm.ObserveCompute(i, sched.ModME, 1, w.UsableRF, 3e-3*base*float64(w.UsableRF))
+		pm.ObserveCompute(i, sched.ModINT, 1, w.UsableRF, 1e-3*base)
+		pm.ObserveCompute(i, sched.ModSME, 1, w.UsableRF, 2e-3*base*float64(w.UsableRF))
+		pm.ObserveCompute(i, sched.ModRStar, 1, w.UsableRF, 4e-3*base*float64(w.Rows()))
+		if topo.IsGPU(i) {
+			tbase := 1.0 + 0.21*float64((i*5+seed)%4)
+			for t := sched.CFh2d; t <= sched.MVd2h; t++ {
+				pm.ObserveTransfer(i, t, 1, 1e-4*tbase*float64(t+1))
+			}
+		}
+	}
+	return pm
+}
+
+func tinyWorkload(rows int) device.Workload {
+	return device.Workload{MBW: 4, MBH: rows, SA: 8, NumRF: 1, UsableRF: 1}
+}
+
+// TestLPMatchesBruteForceOracle is the optimality cross-check: on every
+// topology of at most 3 devices and every frame of at most 8 MB rows, the
+// LP balancer's distribution (re-scored with PredictTimes) must be within
+// integer-rounding tolerance of the exhaustively enumerated optimum, and
+// the enumerated optimum must never beat a bound the LP claims to satisfy.
+func TestLPMatchesBruteForceOracle(t *testing.T) {
+	topos := []sched.Topology{
+		{NumGPU: 1, Cores: 0},
+		{NumGPU: 2, Cores: 0},
+		{NumGPU: 3, Cores: 0},
+		{NumGPU: 0, Cores: 2},
+		{NumGPU: 0, Cores: 3},
+		{NumGPU: 1, Cores: 1},
+		{NumGPU: 1, Cores: 2},
+		{NumGPU: 2, Cores: 1},
+	}
+	allRows := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	seeds := []int{1, 2}
+	if testing.Short() {
+		allRows = []int{1, 3, 5, 8}
+		seeds = []int{1}
+	}
+	for _, topo := range topos {
+		p := topo.NumDevices()
+		for _, rows := range allRows {
+			for _, seed := range seeds {
+				w := tinyWorkload(rows)
+				pm := synthModel(topo, w, seed)
+				prev := make([]int, p)
+
+				bal := &sched.LPBalancer{}
+				d, err := bal.Distribute(pm, topo, w, prev)
+				if err != nil {
+					t.Fatalf("topo %+v rows %d seed %d: LP: %v", topo, rows, seed, err)
+				}
+				if err := Distribution(topo, w, d, pm); err != nil {
+					t.Errorf("topo %+v rows %d seed %d: LP distribution rejected: %v", topo, rows, seed, err)
+				}
+				_, _, lpTot := sched.PredictTimes(pm, topo, w, d, prev)
+
+				od, best := BruteForceOptimum(pm, topo, w, d.RStarDev, prev)
+				if err := Distribution(topo, w, od, pm); err != nil {
+					t.Errorf("topo %+v rows %d seed %d: oracle distribution rejected: %v", topo, rows, seed, err)
+				}
+				// The LP's integer solution is one of the oracle's candidates
+				// (its converged Δ equals MSBounds/LSBounds of its rounded
+				// rows), so the enumerated optimum can never be worse.
+				if best > lpTot+1e-9 {
+					t.Errorf("topo %+v rows %d seed %d: oracle τtot %.6g worse than LP's %.6g",
+						topo, rows, seed, best, lpTot)
+				}
+				tol := RoundingTolerance(pm, topo, w)
+				if lpTot > best+tol {
+					t.Errorf("topo %+v rows %d seed %d: LP τtot %.6g exceeds oracle %.6g + rounding tolerance %.3g",
+						topo, rows, seed, lpTot, best, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestBruteForceOptimumIsExhaustive pins the enumeration itself: on a
+// 2-device instance the oracle must score every (m, l, s) composition, so
+// its optimum can only improve when the row count shrinks the search space
+// to something directly checkable.
+func TestBruteForceOptimumIsExhaustive(t *testing.T) {
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(2)
+	pm := synthModel(topo, w, 1)
+	prev := make([]int, 2)
+	rstar := sched.PlaceRStar(pm, topo, w.Rows())
+
+	_, best := BruteForceOptimum(pm, topo, w, rstar, prev)
+	// Re-enumerate by hand and confirm no candidate beats the oracle.
+	for m0 := 0; m0 <= 2; m0++ {
+		for l0 := 0; l0 <= 2; l0++ {
+			for s0 := 0; s0 <= 2; s0++ {
+				d := sched.Distribution{
+					M: []int{m0, 2 - m0}, L: []int{l0, 2 - l0}, S: []int{s0, 2 - s0},
+					RStarDev: rstar,
+				}
+				d.DeltaM = sched.MSBounds(d.M, d.S, topo.IsGPU)
+				d.DeltaL = sched.LSBounds(d.L, d.S, topo.IsGPU)
+				_, _, tot := sched.PredictTimes(pm, topo, w, d, prev)
+				if tot < best-1e-12 {
+					t.Fatalf("hand-enumerated candidate m=%d l=%d s=%d beats oracle: %.6g < %.6g",
+						m0, l0, s0, tot, best)
+				}
+			}
+		}
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	got := compositions(2, 2)
+	want := [][]int{{0, 2}, {1, 1}, {2, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("compositions(2,2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("compositions(2,2) = %v, want %v", got, want)
+		}
+	}
+	// C(rows+p-1, p-1) candidates: rows=8, p=3 → C(10,2) = 45.
+	if n := len(compositions(8, 3)); n != 45 {
+		t.Fatalf("compositions(8,3) has %d entries, want 45", n)
+	}
+	for _, c := range compositions(8, 3) {
+		if c[0]+c[1]+c[2] != 8 {
+			t.Fatalf("composition %v does not sum to 8", c)
+		}
+	}
+	if n := len(compositions(5, 1)); n != 1 {
+		t.Fatalf("compositions(5,1) has %d entries, want 1", n)
+	}
+}

@@ -1,0 +1,117 @@
+// Randomized property harness: hundreds of simulated frames across random
+// platforms, geometries, balancers and load perturbations, every one
+// executed with the schedule invariant checker armed. Any violation fails
+// with the instance parameters and the harness seed, so a failure replays
+// exactly with FEVES_CHECK_SEED=<seed> go test ./internal/check.
+//
+// This lives in an external test package because the validator itself is
+// imported by vcm: check_test may close the loop through core without
+// creating an import cycle.
+package check_test
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"feves/internal/core"
+	"feves/internal/h264/codec"
+	"feves/internal/platforms"
+	"feves/internal/sched"
+	"feves/internal/vcm"
+)
+
+func harnessSeed(t *testing.T) int64 {
+	s := os.Getenv("FEVES_CHECK_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("FEVES_CHECK_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+func TestPropertyRandomSchedulesSatisfyInvariants(t *testing.T) {
+	seed := harnessSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("harness seed %d (replay failures with FEVES_CHECK_SEED=%d)", seed, seed)
+
+	names := platforms.Names()
+	instances, framesPer := 24, 14
+	if testing.Short() {
+		instances = 8
+	}
+
+	rowChoices := []int{8, 17, 34, 68}
+	mbwChoices := []int{20, 60, 120}
+	saChoices := []int{16, 32, 64}
+
+	totalInter := 0
+	for run := 0; run < instances; run++ {
+		name := names[rng.Intn(len(names))]
+		pl, err := platforms.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Seed = uint64(rng.Int63())
+		rows := rowChoices[rng.Intn(len(rowChoices))]
+		mbw := mbwChoices[rng.Intn(len(mbwChoices))]
+		sa := saChoices[rng.Intn(len(saChoices))]
+		rf := 1 + rng.Intn(3)
+
+		bals := []sched.Balancer{
+			&sched.LPBalancer{},
+			&sched.LPBalancer{NoReuse: true},
+			&sched.LPBalancer{Hysteresis: 0.03},
+			sched.EquidistantBalancer{},
+			sched.ProportionalBalancer{},
+		}
+		if pl.NumGPUs() >= 1 && pl.Cores >= 1 {
+			bals = append(bals, sched.MEOffloadBalancer{})
+		}
+		bal := bals[rng.Intn(len(bals))]
+
+		// Half the instances suffer a Fig. 7-style load event: one device
+		// slows by 1.5–4.5× for a window of inter frames, so the harness
+		// also covers schedules produced from a drifting model.
+		if rng.Intn(2) == 1 {
+			slowDev := rng.Intn(pl.NumDevices())
+			factor := 1.5 + 3*rng.Float64()
+			from := 4 + rng.Intn(4)
+			to := from + 2 + rng.Intn(4)
+			pl.Perturb = func(frame, dev int) float64 {
+				if dev == slowDev && frame >= from && frame < to {
+					return factor
+				}
+				return 1
+			}
+		}
+
+		fw, err := core.New(core.Options{
+			Platform: pl,
+			Codec: codec.Config{Width: mbw * 16, Height: rows * 16,
+				SearchRange: sa / 2, NumRF: rf, IQP: 27, PQP: 28},
+			Mode:           vcm.TimingOnly,
+			Balancer:       bal,
+			Alpha:          0.5 + 0.5*rng.Float64(),
+			CheckSchedules: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d run %d: %v", seed, run, err)
+		}
+		for f := 0; f < framesPer; f++ {
+			if _, err := fw.EncodeNext(nil); err != nil {
+				t.Fatalf("seed %d run %d (%s, %d rows, %d MB wide, SA %d, %d RF, balancer %s): frame %d: %v\nreplay with FEVES_CHECK_SEED=%d",
+					seed, run, name, rows, mbw, sa, rf, bal.Name(), f, err, seed)
+			}
+		}
+		totalInter += framesPer - 1 // the first frame is intra
+	}
+	if !testing.Short() && totalInter < 200 {
+		t.Fatalf("harness executed only %d inter frames, want ≥ 200", totalInter)
+	}
+	t.Logf("%d inter frames validated across %d random instances", totalInter, instances)
+}

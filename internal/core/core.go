@@ -40,6 +40,10 @@ type Options struct {
 	// spans, balancer audit). nil disables every hook at the cost of one
 	// pointer check per frame, keeping timing reproductions unaffected.
 	Telemetry *telemetry.Telemetry
+	// CheckSchedules validates every executed frame with the internal/check
+	// invariant checker (distribution constraints, data-access consistency,
+	// τ1/τ2/τtot ordering); a violation fails the frame. Zero cost when off.
+	CheckSchedules bool
 }
 
 // Result reports one processed frame.
@@ -100,7 +104,7 @@ func New(opts Options) (*Framework, error) {
 		prev: make([]int, topo.NumDevices()),
 	}
 	f.mgr = &vcm.Manager{Platform: opts.Platform, Mode: opts.Mode,
-		Parallel: opts.Parallel, Telemetry: opts.Telemetry}
+		Parallel: opts.Parallel, Telemetry: opts.Telemetry, Check: opts.CheckSchedules}
 	if opts.Mode == vcm.Functional {
 		enc, err := codec.NewEncoder(opts.Codec)
 		if err != nil {

@@ -1,0 +1,117 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// byteReader decodes the fuzzer's byte stream into bounded problem
+// parameters, yielding zeros once exhausted so every input maps to a
+// well-formed LP.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// decodeLP maps arbitrary bytes onto a tiny LP (≤3 variables, ≤4
+// constraints) with non-negative costs, so the problem is always bounded
+// below over x ≥ 0 and the vertex oracle's optimum is well defined.
+func decodeLP(data []byte) (p *Problem, rows [][]float64, sens []Sense, rhs []float64) {
+	r := &byteReader{data: data}
+	n := 1 + int(r.next())%3
+	m := 1 + int(r.next())%4
+	p = New(n)
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = float64(int(r.next()) % 11)
+	}
+	p.SetObjective(c)
+	rows = make([][]float64, m)
+	sens = make([]Sense, m)
+	rhs = make([]float64, m)
+	for i := 0; i < m; i++ {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = float64(int(r.next())%7 - 3)
+		}
+		sens[i] = Sense(int(r.next()) % 3)
+		rhs[i] = float64(int(r.next())%15 - 5)
+		p.Add(rows[i], sens[i], rhs[i])
+	}
+	return p, rows, sens, rhs
+}
+
+// FuzzLPSolve cross-checks the simplex solver against the exhaustive
+// vertex enumerator on fuzzer-chosen tiny problems: no panics, agreement
+// on feasibility, matching optima, and returned points that satisfy every
+// constraint.
+func FuzzLPSolve(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 1, 1, 0, 2})
+	f.Add([]byte{2, 3, 1, 5, 0, 3, 2, 1, 2, 9, 6, 0, 4, 1, 8})
+	f.Add([]byte{1, 1, 0, 1, 1, 1, 14}) // infeasible-leaning: x ≥ large
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, rows, sens, rhs := decodeLP(data)
+		x, obj, err := p.Solve()
+		oracleObj, oracleFeasible := vertexOracle(p, rows, sens, rhs)
+		switch err {
+		case ErrInfeasible:
+			if oracleFeasible {
+				t.Fatalf("solver infeasible but oracle found optimum %v", oracleObj)
+			}
+			return
+		case ErrUnbounded:
+			// Cannot happen with c ≥ 0 and x ≥ 0: the objective is bounded
+			// below by 0.
+			t.Fatalf("unbounded with non-negative costs")
+		case nil:
+		default:
+			t.Fatalf("solver error: %v", err)
+		}
+		if !oracleFeasible {
+			t.Fatalf("solver found %v but the vertex oracle says infeasible", x)
+		}
+		if math.Abs(obj-oracleObj) > 1e-5 {
+			t.Fatalf("solver objective %v, oracle %v", obj, oracleObj)
+		}
+		var check float64
+		for j, xj := range x {
+			if xj < -1e-7 {
+				t.Fatalf("negative variable x[%d] = %v", j, xj)
+			}
+			check += p.c[j] * xj
+		}
+		if math.Abs(check-obj) > 1e-6*(1+math.Abs(obj)) {
+			t.Fatalf("objective %v inconsistent with point %v (c·x = %v)", obj, x, check)
+		}
+		for i := range rows {
+			dot := 0.0
+			for j := range x {
+				dot += rows[i][j] * x[j]
+			}
+			switch sens[i] {
+			case LE:
+				if dot > rhs[i]+1e-6 {
+					t.Fatalf("constraint %d violated: %v %v %v", i, dot, sens[i], rhs[i])
+				}
+			case GE:
+				if dot < rhs[i]-1e-6 {
+					t.Fatalf("constraint %d violated: %v %v %v", i, dot, sens[i], rhs[i])
+				}
+			case EQ:
+				if math.Abs(dot-rhs[i]) > 1e-6 {
+					t.Fatalf("constraint %d violated: %v %v %v", i, dot, sens[i], rhs[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundPreservingSum checks the LP-solution rounding that turns
+// fractional row vectors into integer distributions: for any input the
+// result is non-negative and sums exactly to the frame's rows, and when
+// the input itself sums to rows (the only case the balancer produces) no
+// entry moves by more than one row.
+func FuzzRoundPreservingSum(f *testing.F) {
+	f.Add([]byte{}, uint8(4))
+	f.Add([]byte{10, 20, 30}, uint8(68))
+	f.Add([]byte{255, 0, 1, 128}, uint8(17))
+	f.Add([]byte{7, 7, 7, 7, 7, 7}, uint8(1))
+	f.Fuzz(func(t *testing.T, weights []byte, rowsByte uint8) {
+		rows := int(rowsByte) % 69 // the paper's 1080p frame has 68 MB rows
+		n := len(weights)
+		if n == 0 || n > 16 {
+			return
+		}
+		// Raw case: arbitrary non-negative fractional input, any total.
+		raw := make([]float64, n)
+		var sum float64
+		for i, b := range weights {
+			raw[i] = float64(b) / 8
+			sum += raw[i]
+		}
+		assertRounded(t, "raw", raw, roundPreservingSum(raw, rows), rows, false)
+
+		// Balancer case: normalize so the input sums to rows; each entry
+		// may then move by at most one row.
+		if sum == 0 {
+			return
+		}
+		norm := make([]float64, n)
+		for i := range raw {
+			norm[i] = raw[i] / sum * float64(rows)
+		}
+		assertRounded(t, "normalized", norm, roundPreservingSum(norm, rows), rows, true)
+	})
+}
+
+func assertRounded(t *testing.T, label string, in []float64, out []int, rows int, tight bool) {
+	t.Helper()
+	total := 0
+	for i, v := range out {
+		if v < 0 {
+			t.Fatalf("%s: out[%d] = %d negative (in %v)", label, i, v, in)
+		}
+		total += v
+		if tight && math.Abs(float64(v)-in[i]) > 1+1e-6 {
+			t.Fatalf("%s: out[%d] = %d moved %.6g rows from %v", label, i, v,
+				math.Abs(float64(v)-in[i]), in[i])
+		}
+	}
+	if total != rows {
+		t.Fatalf("%s: rounded vector sums to %d rows, want %d (in %v, out %v)",
+			label, total, rows, in, out)
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import "testing"
+
+// TestSigmaSplitEdgeCases pins the behaviour of constraints (14)/(15) at
+// the boundaries: whatever the slack looks like, the split must conserve
+// the missing row count (σ + σʳ = missing) and never go negative — the
+// rows a device is missing either transfer now or next frame, they cannot
+// vanish or double.
+func TestSigmaSplitEdgeCases(t *testing.T) {
+	const per = 2e-4 // one SF row's h2d transfer time
+	cases := []struct {
+		name       string
+		missing    int
+		slack      float64
+		perRow     float64
+		wantSigma  int
+		wantSigmaR int
+	}{
+		{"zero slack defers everything", 5, 0, per, 0, 5},
+		{"nothing missing", 0, 1.0, per, 0, 0},
+		{"negative missing clamps to zero", -3, 1.0, per, 0, 0},
+		{"slack below one row defers everything", 4, per / 2, per, 0, 4},
+		{"negative slack defers everything", 4, -1.0, per, 0, 4},
+		{"slack fits exactly one row", 4, per, per, 1, 3},
+		{"slack fits a fraction over two rows", 4, 2.5 * per, per, 2, 2},
+		{"slack fits more than missing", 3, 100 * per, per, 3, 0},
+		{"free transfers send everything now", 7, 0, 0, 7, 0},
+		{"negative per-row treated as free", 7, 0, -per, 7, 0},
+	}
+	for _, c := range cases {
+		sigma, sigmaR := SigmaSplit(c.missing, c.slack, c.perRow)
+		if sigma != c.wantSigma || sigmaR != c.wantSigmaR {
+			t.Errorf("%s: SigmaSplit(%d, %g, %g) = (%d, %d), want (%d, %d)",
+				c.name, c.missing, c.slack, c.perRow, sigma, sigmaR, c.wantSigma, c.wantSigmaR)
+		}
+	}
+}
+
+// TestSigmaSplitConservation sweeps a grid of inputs and asserts the two
+// invariants every caller relies on: non-negativity and σ + σʳ = missing
+// (for missing ≥ 0), with σ's transfer time fitting the slack whenever the
+// transfer is not free.
+func TestSigmaSplitConservation(t *testing.T) {
+	for missing := -2; missing <= 70; missing++ {
+		for _, slack := range []float64{-1, 0, 1e-5, 2e-4, 1e-3, 0.013, 0.2} {
+			for _, per := range []float64{0, 1e-5, 2e-4, 3e-3} {
+				sigma, sigmaR := SigmaSplit(missing, slack, per)
+				if sigma < 0 || sigmaR < 0 {
+					t.Fatalf("SigmaSplit(%d, %g, %g) = (%d, %d): negative part",
+						missing, slack, per, sigma, sigmaR)
+				}
+				want := missing
+				if want < 0 {
+					want = 0
+				}
+				if sigma+sigmaR != want {
+					t.Fatalf("SigmaSplit(%d, %g, %g) = (%d, %d): σ+σʳ = %d, want %d",
+						missing, slack, per, sigma, sigmaR, sigma+sigmaR, want)
+				}
+				if sigma > 0 && per > 0 && float64(sigma)*per > slack+1e-12 {
+					t.Fatalf("SigmaSplit(%d, %g, %g): σ = %d rows take %g, beyond the slack",
+						missing, slack, per, sigma, float64(sigma)*per)
+				}
+			}
+		}
+	}
+}

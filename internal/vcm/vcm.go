@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"feves/internal/check"
 	"feves/internal/device"
 	"feves/internal/h264"
 	"feves/internal/h264/codec"
@@ -87,6 +88,12 @@ type Manager struct {
 	// Telemetry receives every frame's executed schedule spans for the
 	// whole-run Perfetto timeline; nil disables the hook.
 	Telemetry *telemetry.Telemetry
+	// Check runs the internal/check schedule validator on every executed
+	// frame: the Algorithm-2 distribution invariants, the data-access
+	// consistency rules and the τ1/τ2/τtot dependency ordering of the
+	// executed timeline. A violation fails the frame with a check.Error.
+	// Off by default; the cost when on is O(spans²) per frame.
+	Check bool
 }
 
 // framePayloads collects the functional work of one frame, organized by
@@ -352,6 +359,16 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		ft.Spans = append(ft.Spans, TaskSpan{
 			Resource: t.Res.Name, Label: t.Label, Start: t.Start, End: t.End,
 		})
+	}
+	if m.Check {
+		topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+		cs := make([]check.Span, len(ft.Spans))
+		for i, s := range ft.Spans {
+			cs[i] = check.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End}
+		}
+		if err := check.Frame(topo, w, d, pm, cs, ft.Tau1, ft.Tau2, ft.Tot); err != nil {
+			return FrameTiming{}, fmt.Errorf("vcm: frame %d: %w", frame, err)
+		}
 	}
 	if m.Telemetry.Enabled() {
 		spans := make([]telemetry.Span, len(ft.Spans))
