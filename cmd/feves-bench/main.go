@@ -57,6 +57,8 @@ func experiments() []experiment {
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see package doc) or 'all'")
 	format := flag.String("format", "text", "output format: text json")
+	jsonFiles := flag.Bool("json", false,
+		"additionally write each experiment's result to BENCH_<id>.json in the current directory")
 	check := flag.Bool("check", false, "validate every frame's schedule against the Algorithm-2 invariants")
 	tf := teleflag.Register()
 	flag.Parse()
@@ -81,6 +83,25 @@ func main() {
 	}
 	var outputs []jsonOut
 
+	// writeJSON dumps one experiment's machine-readable result next to the
+	// working directory so harnesses can diff runs without parsing text.
+	writeJSON := func(out jsonOut) {
+		if !*jsonFiles {
+			return
+		}
+		name := fmt.Sprintf("BENCH_%s.json", out.ID)
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+	}
+
 	found := false
 	for _, e := range experiments() {
 		if *exp != "all" && *exp != e.id {
@@ -90,20 +111,24 @@ func main() {
 		switch {
 		case e.series != nil:
 			s := e.series()
+			out := jsonOut{ID: e.id, Title: e.title, Series: s}
 			if *format == "json" {
-				outputs = append(outputs, jsonOut{ID: e.id, Title: e.title, Series: s})
+				outputs = append(outputs, out)
 			} else {
 				fmt.Println()
 				fmt.Print(bench.FormatSeries(e.title, e.xName, s))
 			}
+			writeJSON(out)
 		default:
 			t := e.table()
+			out := jsonOut{ID: e.id, Title: t.Title, Table: &t}
 			if *format == "json" {
-				outputs = append(outputs, jsonOut{ID: e.id, Title: t.Title, Table: &t})
+				outputs = append(outputs, out)
 			} else {
 				fmt.Println()
 				fmt.Print(bench.FormatTable(t))
 			}
+			writeJSON(out)
 		}
 	}
 	if !found {

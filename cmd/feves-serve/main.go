@@ -1,0 +1,116 @@
+// Command feves-serve runs the FEVES multi-tenant encode service: an HTTP
+// API in front of a shared device pool that leases disjoint device subsets
+// to concurrent encode/simulate sessions, re-partitioning the platform as
+// tenants arrive and depart (README §Serving).
+//
+// Submit a job, poll it, and follow its per-frame results live:
+//
+//	feves-serve -platform sysnfk -addr :8080 &
+//	curl -d '{"mode":"simulate","width":1920,"height":1088,"frames":300}' localhost:8080/jobs
+//	curl localhost:8080/jobs/job-1
+//	curl -N localhost:8080/jobs/job-1/results        # JSONL stream
+//	curl localhost:8080/metrics                      # Prometheus text
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are rejected with 503
+// while in-flight sessions finish (bounded by -drain-timeout, after which
+// they are cancelled at the next frame boundary).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"feves/internal/platforms"
+	"feves/internal/serve"
+	"feves/internal/teleflag"
+	"feves/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("feves-serve: ")
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		platform = flag.String("platform", "sysnfk",
+			"shared platform to pool: "+strings.Join(platforms.Names(), " "))
+		maxSessions = flag.Int("max-sessions", 0,
+			"concurrent session cap (0 = one per pooled device)")
+		queueDepth = flag.Int("queue-depth", 16,
+			"admitted-but-not-running backlog bound; beyond it submissions get 503")
+		check = flag.Bool("check", false,
+			"validate every frame's schedule in observe mode (violations are counted in feves_check_violations_total, not fatal)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"how long a SIGTERM drain waits for in-flight sessions before cancelling them")
+	)
+	tf := teleflag.Register()
+	flag.Parse()
+
+	pl, err := platforms.Lookup(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs, closeTelemetry, err := tf.Observer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The service always carries a metrics registry so /metrics works out
+	// of the box; the teleflag observer adds the event/trace outputs (and
+	// a second scrape endpoint) when requested.
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	if obs != nil {
+		tel = obs.Sink()
+	}
+
+	s, err := serve.New(serve.Config{
+		Platform:       pl,
+		MaxSessions:    *maxSessions,
+		QueueDepth:     *queueDepth,
+		CheckSchedules: *check,
+		Telemetry:      tel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("draining (up to %v): rejecting new jobs, finishing in-flight sessions", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			log.Printf("drain timed out, cancelled remaining sessions: %v", err)
+		}
+		s.Close()
+		shctx, shcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shcancel()
+		httpSrv.Shutdown(shctx)
+	}()
+
+	sessions := *maxSessions
+	if sessions <= 0 || sessions > pl.NumDevices() {
+		sessions = pl.NumDevices()
+	}
+	log.Printf("pooling %s (%d devices), max %d sessions, queue depth %d",
+		pl.Name, pl.NumDevices(), sessions, s.QueueDepth())
+	log.Printf("serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	if err := closeTelemetry(); err != nil {
+		log.Fatal(err)
+	}
+}

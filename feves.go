@@ -221,6 +221,15 @@ func SysNFF() *Platform { return &Platform{device.SysNFF()} }
 // SysHK is a quad-core Haswell CPU plus one Kepler GPU.
 func SysHK() *Platform { return &Platform{device.SysHK()} }
 
+// SysNFK is a quad-core Nehalem CPU plus one Fermi and one Kepler GPU —
+// the serving experiments' pool platform (six devices: two fast GPUs to
+// lease out plus four cores to split among tenants).
+func SysNFK() *Platform {
+	return &Platform{&device.Platform{Name: "SysNFK",
+		GPUs:    []device.Profile{device.GPUFermi(), device.GPUKepler()},
+		CPUCore: device.CPUNehalemCore(), Cores: 4, Seed: 1}}
+}
+
 // CPUNehalem is the quad-core CPU_N baseline.
 func CPUNehalem() *Platform {
 	return &Platform{device.CPUOnly("CPU_N", device.CPUNehalemCore(), 4)}

@@ -44,6 +44,11 @@ type Options struct {
 	// invariant checker (distribution constraints, data-access consistency,
 	// τ1/τ2/τtot ordering); a violation fails the frame. Zero cost when off.
 	CheckSchedules bool
+	// CheckObserve makes CheckSchedules non-fatal: violations are counted
+	// into the Telemetry sink (feves_check_violations_total) and the frame
+	// proceeds — the serving subsystem's mode, where one tenant's broken
+	// schedule must not take the session down.
+	CheckObserve bool
 }
 
 // Result reports one processed frame.
@@ -104,7 +109,8 @@ func New(opts Options) (*Framework, error) {
 		prev: make([]int, topo.NumDevices()),
 	}
 	f.mgr = &vcm.Manager{Platform: opts.Platform, Mode: opts.Mode,
-		Parallel: opts.Parallel, Telemetry: opts.Telemetry, Check: opts.CheckSchedules}
+		Parallel: opts.Parallel, Telemetry: opts.Telemetry,
+		Check: opts.CheckSchedules, CheckObserve: opts.CheckObserve}
 	if opts.Mode == vcm.Functional {
 		enc, err := codec.NewEncoder(opts.Codec)
 		if err != nil {
@@ -118,6 +124,29 @@ func New(opts Options) (*Framework, error) {
 
 // Topology returns the scheduled device topology.
 func (f *Framework) Topology() sched.Topology { return f.topo }
+
+// SetPlatform re-targets the framework onto a different device set
+// between frames — the multi-tenant pool's lease-change path. The
+// functional encoder (DPB, bitstream, rate-control state) carries over
+// untouched, so coding continuity and bit-exactness are preserved; the
+// Performance Characterization is rebuilt for the new device count and
+// Algorithm 1's initialization phase re-runs (the next inter-frame is
+// partitioned equidistantly until the fresh model is characterized),
+// exactly as the paper bootstraps an unknown platform.
+func (f *Framework) SetPlatform(pl *device.Platform) error {
+	if pl == nil {
+		return fmt.Errorf("core: no platform given")
+	}
+	if err := pl.Validate(); err != nil {
+		return err
+	}
+	f.opts.Platform = pl
+	f.topo = sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	f.pm = sched.NewPerfModel(f.topo.NumDevices(), f.opts.Alpha)
+	f.prev = make([]int, f.topo.NumDevices())
+	f.mgr.Platform = pl
+	return nil
+}
 
 // Model exposes the live Performance Characterization (read-mostly; used
 // by experiments and traces).

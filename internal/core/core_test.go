@@ -206,3 +206,72 @@ func TestTimingBitstreamNil(t *testing.T) {
 		t.Fatal("model must exist")
 	}
 }
+
+// TestSetPlatformRePlatformsMidRun moves a functional encode from SysNF
+// onto a single-GPU platform mid-sequence: the Performance
+// Characterization re-runs its initialization phase on the new device
+// set while the coded stream stays continuous and decodable.
+func TestSetPlatformRePlatformsMidRun(t *testing.T) {
+	const w, h, n = 64, 48, 7
+	cfg := codec.Config{Width: w, Height: h, SearchRange: 8, NumRF: 1, IQP: 27, PQP: 28}
+	fw, err := New(Options{Platform: device.SysNF(), Codec: cfg, Mode: vcm.Functional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := video.NewSynthetic(w, h, n, 3)
+	for i := 0; i < 4; i++ {
+		if _, err := fw.EncodeNext(src.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := device.GPUOnly("GPU_K", device.GPUKepler())
+	if err := fw.SetPlatform(next); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Topology().NumDevices() != 1 || fw.Model().NumDevices() != 1 {
+		t.Fatalf("topology not re-targeted: %+v", fw.Topology())
+	}
+	// First frame after the move must be the equidistant init frame
+	// (PredTot 0: the fresh model is not characterized yet).
+	r, err := fw.EncodeNext(src.FrameAt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distribution.PredTot != 0 {
+		t.Fatalf("frame after SetPlatform used the LP (pred %v), want equidistant init", r.Distribution.PredTot)
+	}
+	for i := 5; i < n; i++ {
+		if _, err := fw.EncodeNext(src.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := codec.NewDecoder(fw.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		if _, err := dec.DecodeFrame(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("decoded %d frames, want %d", count, n)
+	}
+}
+
+func TestSetPlatformValidation(t *testing.T) {
+	fw, err := New(timingOpts(device.SysHK(), 32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.SetPlatform(nil); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+	if err := fw.SetPlatform(&device.Platform{Name: "empty"}); err == nil {
+		t.Fatal("deviceless platform accepted")
+	}
+}

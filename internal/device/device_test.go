@@ -264,3 +264,62 @@ func TestGPUTeslaProfile(t *testing.T) {
 		t.Fatal("Tesla link should be narrower than Fermi's")
 	}
 }
+
+func TestSubplatform(t *testing.T) {
+	base := SysNFF() // 2 GPUs + 4 cores
+	sub, err := base.Subplatform("lease-a", []int{5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumGPUs() != 1 || sub.Cores != 2 || sub.NumDevices() != 3 {
+		t.Fatalf("subplatform shape: %d GPUs, %d cores", sub.NumGPUs(), sub.Cores)
+	}
+	want := []int{1, 2, 5}
+	for i, b := range want {
+		if sub.BaseIndex[i] != b {
+			t.Fatalf("BaseIndex = %v, want %v", sub.BaseIndex, want)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A leased device keeps its parent jitter identity: subplatform device 0
+	// (parent GPU 1) must reproduce the parent's factor for device 1.
+	for frame := 1; frame <= 5; frame++ {
+		for mod := 0; mod < 4; mod++ {
+			if got, wantF := sub.EffectiveFactor(frame, 0, mod), base.EffectiveFactor(frame, 1, mod); got != wantF {
+				t.Fatalf("frame %d mod %d: leased factor %v, parent factor %v", frame, mod, got, wantF)
+			}
+		}
+	}
+
+	// Perturbations installed on the parent follow the lease.
+	base.Perturb = func(frame, dev int) float64 {
+		if dev == 1 {
+			return 3
+		}
+		return 1
+	}
+	sub2, err := base.Subplatform("lease-b", []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, wantF := sub2.EffectiveFactor(2, 0, 0), base.EffectiveFactor(2, 1, 0); got != wantF {
+		t.Fatalf("perturbed leased factor %v, parent %v", got, wantF)
+	}
+}
+
+func TestSubplatformRejectsBadSubsets(t *testing.T) {
+	base := SysNF()
+	for name, devs := range map[string][]int{
+		"empty":     {},
+		"dup":       {0, 0},
+		"range-neg": {-1},
+		"range-hi":  {5},
+	} {
+		if _, err := base.Subplatform(name, devs); err == nil {
+			t.Errorf("%s subset accepted", name)
+		}
+	}
+}

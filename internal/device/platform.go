@@ -1,6 +1,9 @@
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Platform describes a heterogeneous system: an ordered device list with
 // GPUs first (device p_1 … p_nw) followed by CPU cores (p_{nw+1} …
@@ -21,6 +24,13 @@ type Platform struct {
 	// (1-based). A factor of 2 halves the device's speed for that frame —
 	// the "other processes started running" events of Fig. 7.
 	Perturb func(frame, devIndex int) float64
+
+	// BaseIndex, when non-nil, maps this platform's device indices to the
+	// indices of the parent platform it was leased from (see Subplatform).
+	// Jitter and perturbation are evaluated under the parent index, so a
+	// leased device keeps its physical identity: host-level load events on
+	// the parent hit the same silicon regardless of which tenant holds it.
+	BaseIndex []int
 }
 
 // Validate checks the platform description.
@@ -47,6 +57,10 @@ func (pl *Platform) Validate() error {
 			return err
 		}
 	}
+	if pl.BaseIndex != nil && len(pl.BaseIndex) != pl.NumDevices() {
+		return fmt.Errorf("device: platform %q maps %d of %d devices",
+			pl.Name, len(pl.BaseIndex), pl.NumDevices())
+	}
 	return nil
 }
 
@@ -69,15 +83,65 @@ func (pl *Platform) IsGPU(i int) bool { return i < len(pl.GPUs) }
 
 // EffectiveFactor combines jitter and perturbation for device i's kernels
 // while encoding the given inter-frame. Module indexes: 0 ME, 1 INT,
-// 2 SME, 3 R*.
+// 2 SME, 3 R*. On a leased subplatform both are evaluated under the
+// parent's device index.
 func (pl *Platform) EffectiveFactor(frame, devIndex, module int) float64 {
-	f := pl.Dev(devIndex).JitterFactor(pl.Seed, frame, devIndex, module)
+	base := devIndex
+	if pl.BaseIndex != nil {
+		base = pl.BaseIndex[devIndex]
+	}
+	f := pl.Dev(devIndex).JitterFactor(pl.Seed, frame, base, module)
 	if pl.Perturb != nil {
-		if m := pl.Perturb(frame, devIndex); m > 0 {
+		if m := pl.Perturb(frame, base); m > 0 {
 			f *= m
 		}
 	}
 	return f
+}
+
+// Subplatform carves the named subset of this platform's devices (parent
+// indices, GPUs first then cores, matching Dev's numbering) into a new
+// Platform that a framework can run standalone — the lease unit of the
+// multi-tenant device pool. The subset must be non-empty, in range and
+// duplicate-free. The child inherits the seed and perturbation schedule
+// and records the index mapping in BaseIndex, so the leased devices
+// behave exactly as they would inside the parent.
+func (pl *Platform) Subplatform(name string, devices []int) (*Platform, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("device: subplatform %q needs at least one device", name)
+	}
+	sub := &Platform{Name: name, Seed: pl.Seed, Perturb: pl.Perturb}
+	var gpus, cores []int
+	seen := make(map[int]bool, len(devices))
+	for _, d := range devices {
+		if d < 0 || d >= pl.NumDevices() {
+			return nil, fmt.Errorf("device: subplatform %q: device %d out of range [0,%d)",
+				name, d, pl.NumDevices())
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("device: subplatform %q: device %d listed twice", name, d)
+		}
+		seen[d] = true
+		if pl.IsGPU(d) {
+			gpus = append(gpus, d)
+		} else {
+			cores = append(cores, d)
+		}
+	}
+	sort.Ints(gpus)
+	sort.Ints(cores)
+	for _, d := range gpus {
+		sub.GPUs = append(sub.GPUs, pl.GPUs[d])
+	}
+	sub.BaseIndex = append(append([]int{}, gpus...), cores...)
+	if len(cores) > 0 {
+		sub.CPUCore = pl.CPUCore
+		sub.Cores = len(cores)
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	return sub, nil
 }
 
 // The paper's three heterogeneous test systems and the four single-device

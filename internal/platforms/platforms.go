@@ -29,6 +29,14 @@ var builders = map[string]func() *device.Platform{
 		return &device.Platform{Name: "SysNT", GPUs: []device.Profile{device.GPUTesla()},
 			CPUCore: device.CPUNehalemCore(), Cores: 4, Seed: 1}
 	},
+	// SysNFK: CPU_N's quad-core paired with both discrete GPUs — the
+	// serving experiments' pool platform (6 devices, two fast GPUs to
+	// lease out plus four cores to split among tenants).
+	"sysnfk": func() *device.Platform {
+		return &device.Platform{Name: "SysNFK",
+			GPUs:    []device.Profile{device.GPUFermi(), device.GPUKepler()},
+			CPUCore: device.CPUNehalemCore(), Cores: 4, Seed: 1}
+	},
 }
 
 // Lookup returns a fresh instance of the named platform (names are

@@ -44,7 +44,7 @@ func TestLookupUnknown(t *testing.T) {
 
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 9 {
+	if len(names) != 10 {
 		t.Fatalf("%d names registered: %v", len(names), names)
 	}
 	for i := 1; i < len(names); i++ {

@@ -1,0 +1,178 @@
+// Package pool is the multi-tenant device-pool manager of the FEVES
+// serving subsystem: it leases disjoint, non-empty device subsets of one
+// physical platform to concurrent encode sessions and re-partitions the
+// pool on every session arrival and departure, equalizing the predicted
+// per-session τtot with a second LP layer above the per-frame Algorithm 2
+// (the fractional min-max partitioning LP of partition.go).
+//
+// A session holds a Lease. The lease's Snapshot returns a standalone
+// device.Platform carved out of the pool (device.Subplatform), plus an
+// epoch counter; when another session arrives or departs the pool
+// re-partitions, the epoch advances, and the session is expected to
+// re-target its framework onto the new subset at the next frame boundary
+// (core.Framework.SetPlatform). Leased subsets are disjoint at every
+// epoch, so tenants never contend for a device.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"feves/internal/device"
+)
+
+// ErrExhausted is returned by Acquire when every device is already leased
+// to a session; disjoint non-empty leases cap the session count at the
+// device count. Callers queue and retry after a Release.
+var ErrExhausted = errors.New("pool: all devices leased")
+
+// Pool manages leases over one platform's devices.
+type Pool struct {
+	mu     sync.Mutex
+	base   *device.Platform
+	leases map[int]*Lease
+	nextID int
+	epoch  uint64
+}
+
+// New creates a pool over the platform. The pool owns the platform's
+// partitioning; callers must not run frameworks on base directly while
+// the pool is in use.
+func New(base *device.Platform) (*Pool, error) {
+	if base == nil {
+		return nil, fmt.Errorf("pool: no platform given")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pool{base: base, leases: map[int]*Lease{}}, nil
+}
+
+// Capacity returns the maximum number of concurrent leases (the device
+// count).
+func (p *Pool) Capacity() int { return p.base.NumDevices() }
+
+// Sessions returns the number of active leases.
+func (p *Pool) Sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.leases)
+}
+
+// Epoch returns the current partition epoch; it advances on every
+// arrival and departure.
+func (p *Pool) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Lease is one session's claim on a disjoint device subset.
+type Lease struct {
+	pool *Pool
+	id   int
+	w    device.Workload
+
+	// Guarded by pool.mu.
+	devices  []int
+	sub      *device.Platform
+	epoch    uint64
+	predTau  float64
+	released bool
+}
+
+// Acquire admits a session with the given standing workload (frame
+// geometry, search area, reference count — the weight the partitioner
+// equalizes with) and re-partitions the pool. It fails with ErrExhausted
+// when the pool already runs one session per device.
+func (p *Pool) Acquire(w device.Workload) (*Lease, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.leases) >= p.base.NumDevices() {
+		return nil, ErrExhausted
+	}
+	l := &Lease{pool: p, id: p.nextID, w: w}
+	p.nextID++
+	p.leases[l.id] = l
+	p.repartition()
+	return l, nil
+}
+
+// repartition rebalances the device subsets across the active leases and
+// advances the epoch. Called with p.mu held; the partitioner guarantees
+// disjoint non-empty subsets whenever sessions ≤ devices, so Subplatform
+// cannot fail here.
+func (p *Pool) repartition() {
+	p.epoch++
+	if len(p.leases) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(p.leases))
+	for id := range p.leases {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	ds := make([]demand, len(ids))
+	for i, id := range ids {
+		ds[i] = demand{id: id, w: p.leases[id].w}
+	}
+	sets, taus := partitionDevices(p.base, ds)
+	for i, id := range ids {
+		l := p.leases[id]
+		sub, err := p.base.Subplatform(fmt.Sprintf("%s/lease%d", p.base.Name, id), sets[i])
+		if err != nil {
+			panic(fmt.Sprintf("pool: invariant broken: %v", err))
+		}
+		l.devices = sets[i]
+		l.sub = sub
+		l.epoch = p.epoch
+		l.predTau = taus[i]
+	}
+}
+
+// ID returns the lease's session identifier (unique within the pool).
+func (l *Lease) ID() int { return l.id }
+
+// Devices returns the currently leased device indices of the parent
+// platform, sorted ascending.
+func (l *Lease) Devices() []int {
+	l.pool.mu.Lock()
+	defer l.pool.mu.Unlock()
+	return append([]int(nil), l.devices...)
+}
+
+// Snapshot returns the leased subset as a standalone platform together
+// with the partition epoch it belongs to. Sessions compare the epoch at
+// each frame boundary and re-target their framework when it advanced.
+func (l *Lease) Snapshot() (*device.Platform, uint64) {
+	l.pool.mu.Lock()
+	defer l.pool.mu.Unlock()
+	return l.sub, l.epoch
+}
+
+// PredictedTau returns the pool partitioner's τtot estimate for this
+// session under the current lease — the quantity the second LP layer
+// equalizes across tenants.
+func (l *Lease) PredictedTau() float64 {
+	l.pool.mu.Lock()
+	defer l.pool.mu.Unlock()
+	return l.predTau
+}
+
+// Release returns the devices to the pool and re-partitions the remaining
+// sessions. It is idempotent.
+func (l *Lease) Release() {
+	l.pool.mu.Lock()
+	defer l.pool.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	delete(l.pool.leases, l.id)
+	l.pool.repartition()
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs               submit a JobSpec, 202 + JobStatus
+//	GET    /jobs               list every job's JobStatus
+//	GET    /jobs/{id}          one job's JobStatus
+//	DELETE /jobs/{id}          cancel (a running session stops between frames)
+//	GET    /jobs/{id}/results  stream per-frame FrameResults as JSONL
+//	GET    /jobs/{id}/bitstream coded stream of a finished encode job
+//	GET    /healthz            200 while serving, 503 while draining
+//	GET    /metrics            Prometheus text exposition (when telemetry is on)
+//
+// Submission failures map to the service's backpressure semantics: a full
+// queue or a draining server answer 503 with a Retry-After hint, a
+// malformed spec answers 400.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /jobs/{id}/bitstream", s.handleBitstream)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.cfg.Telemetry != nil && s.cfg.Telemetry.Metrics != nil {
+		mux.Handle("GET /metrics", s.cfg.Telemetry.Metrics.Handler())
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleResults streams the job's per-frame results as JSONL, one
+// FrameResult per line, flushing after each line so tenants can follow a
+// running session live. The stream ends when the job reaches a terminal
+// state or the client disconnects.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for {
+		results, done := job.Next(n)
+		for _, fr := range results {
+			if enc.Encode(fr) != nil {
+				return // client gone
+			}
+		}
+		n += len(results)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+	}
+}
+
+func (s *Server) handleBitstream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st := job.Status()
+	if st.Mode != ModeEncode {
+		writeError(w, http.StatusBadRequest, "job is not an encode job")
+		return
+	}
+	if st.Status != StatusDone {
+		writeError(w, http.StatusConflict,
+			"bitstream not available: job is "+strings.ToLower(string(st.Status)))
+		return
+	}
+	w.Header().Set("Content-Type", "video/h264")
+	w.WriteHeader(http.StatusOK)
+	w.Write(job.Bitstream())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   "ok",
+		"sessions": s.pool.Sessions(),
+		"capacity": s.pool.Capacity(),
+	})
+}

@@ -120,3 +120,11 @@ type MarkEvent struct {
 	Type  string `json:"type"`
 	Frame int    `json:"frame"`
 }
+
+// CheckEvent reports the schedule-invariant rules a frame broke when the
+// checker runs in non-fatal (observe) mode.
+type CheckEvent struct {
+	Type  string   `json:"type"` // "check_violation"
+	Frame int      `json:"frame"`
+	Rules []string `json:"rules"`
+}

@@ -146,6 +146,25 @@ func (t *Telemetry) Audit(rec AuditRecord) {
 	}
 }
 
+// CheckViolations records schedule-invariant violations observed in
+// non-fatal (serving) mode: one feves_check_violations_total increment
+// per broken rule, plus a check_violation event naming them. The strict
+// path (Config.CheckSchedules on the library API) still fails the frame
+// instead.
+func (t *Telemetry) CheckViolations(frame int, rules []string) {
+	if t == nil || len(rules) == 0 {
+		return
+	}
+	t.Events.Emit(CheckEvent{Type: "check_violation", Frame: frame, Rules: rules})
+	if r := t.Metrics; r != nil {
+		for _, rule := range rules {
+			r.Counter("feves_check_violations_total",
+				"Schedule invariant violations observed (non-fatal check mode).",
+				"rule", rule).Inc()
+		}
+	}
+}
+
 // Mark records a one-off occurrence ("idr", "scene_cut").
 func (t *Telemetry) Mark(typ string, frame int) {
 	if t == nil {

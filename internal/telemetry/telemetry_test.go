@@ -163,3 +163,33 @@ func TestTraceWriterTimeline(t *testing.T) {
 		t.Errorf("span counter missing:\n%s", tel.Metrics.Expose())
 	}
 }
+
+func TestCheckViolationsCounterAndEvent(t *testing.T) {
+	var buf bytes.Buffer
+	tel := New(NewEventLog(&buf))
+	tel.CheckViolations(3, []string{"dist.sum", "time.order", "dist.sum"})
+	tel.CheckViolations(4, nil) // no rules: no event, no counters
+
+	text := tel.Metrics.Expose()
+	if !strings.Contains(text, `feves_check_violations_total{rule="dist.sum"} 2`) {
+		t.Fatalf("dist.sum counted wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `feves_check_violations_total{rule="time.order"} 1`) {
+		t.Fatalf("time.order counted wrong:\n%s", text)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("%d events emitted, want 1", len(lines))
+	}
+	var ev CheckEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != "check_violation" || ev.Frame != 3 || len(ev.Rules) != 3 {
+		t.Fatalf("bad event: %+v", ev)
+	}
+
+	// Nil receiver must be a no-op.
+	var nilTel *Telemetry
+	nilTel.CheckViolations(1, []string{"x"})
+}

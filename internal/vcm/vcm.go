@@ -14,6 +14,7 @@
 package vcm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -94,6 +95,11 @@ type Manager struct {
 	// executed timeline. A violation fails the frame with a check.Error.
 	// Off by default; the cost when on is O(spans²) per frame.
 	Check bool
+	// CheckObserve softens Check for the serving path: instead of failing
+	// the frame, violations are counted into the Telemetry sink's
+	// feves_check_violations_total counter (per rule) and the frame
+	// proceeds — a tenant's bad schedule becomes an alert, not an outage.
+	CheckObserve bool
 }
 
 // framePayloads collects the functional work of one frame, organized by
@@ -367,7 +373,15 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 			cs[i] = check.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End}
 		}
 		if err := check.Frame(topo, w, d, pm, cs, ft.Tau1, ft.Tau2, ft.Tot); err != nil {
-			return FrameTiming{}, fmt.Errorf("vcm: frame %d: %w", frame, err)
+			var ce *check.Error
+			if !m.CheckObserve || !errors.As(err, &ce) {
+				return FrameTiming{}, fmt.Errorf("vcm: frame %d: %w", frame, err)
+			}
+			rules := make([]string, len(ce.Violations))
+			for i, v := range ce.Violations {
+				rules[i] = v.Rule
+			}
+			m.Telemetry.CheckViolations(frame, rules)
 		}
 	}
 	if m.Telemetry.Enabled() {

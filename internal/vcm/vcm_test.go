@@ -3,10 +3,13 @@ package vcm
 import (
 	"testing"
 
+	"strings"
+
 	"feves/internal/device"
 	"feves/internal/h264"
 	"feves/internal/h264/codec"
 	"feves/internal/sched"
+	"feves/internal/telemetry"
 	"feves/internal/video"
 )
 
@@ -376,5 +379,39 @@ func TestSpansConsistentWithSyncPoints(t *testing.T) {
 			t.Fatalf("resource %s overlaps at %v", s.Resource, s.Start)
 		}
 		byRes[s.Resource] = s.End
+	}
+}
+
+// TestCheckObserveMode tampers a distribution so the invariant checker
+// fires, and verifies the two wirings: fatal by default, counted into the
+// telemetry sink (feves_check_violations_total) in observe mode — the
+// serving path, where one tenant's broken schedule must not kill the
+// session.
+func TestCheckObserveMode(t *testing.T) {
+	pl := device.SysHK()
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	w := wl1080p(32, 1)
+	pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	d := sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+	// Prefetch more SF rows than the device can possibly miss — passes the
+	// row-sum validation vcm itself does, but breaks the checker's σ
+	// accounting (dist.sigma-overrun).
+	d.Sigma[0] = w.Rows()
+
+	fatal := &Manager{Platform: pl, Mode: TimingOnly, Check: true}
+	if _, err := fatal.EncodeInterFrame(1, w, d, pm, make([]int, topo.NumDevices()), nil); err == nil {
+		t.Fatal("broken distribution passed the fatal checker")
+	}
+
+	tel := telemetry.New(nil)
+	obs := &Manager{Platform: pl, Mode: TimingOnly, Check: true,
+		CheckObserve: true, Telemetry: tel}
+	pm2 := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	if _, err := obs.EncodeInterFrame(1, w, d, pm2, make([]int, topo.NumDevices()), nil); err != nil {
+		t.Fatalf("observe mode must not fail the frame: %v", err)
+	}
+	text := tel.Metrics.Expose()
+	if !strings.Contains(text, "feves_check_violations_total") {
+		t.Fatalf("violation not counted:\n%s", text)
 	}
 }

@@ -1,0 +1,180 @@
+package feves
+
+import (
+	"fmt"
+
+	"feves/internal/core"
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/pool"
+	"feves/internal/vcm"
+)
+
+// Pool shares one platform among several concurrent encode or simulation
+// sessions. Every session leases a disjoint, non-empty subset of the
+// devices; on each arrival or departure the pool re-partitions the
+// platform with a second-level LP that equalizes the sessions' predicted
+// frame times, and running sessions pick up their new lease at the next
+// frame boundary. Functional encoding stays bit-exact through every
+// re-partition — output never depends on which devices a session held.
+type Pool struct {
+	p *pool.Pool
+}
+
+// NewPool creates a pool over the platform's devices.
+func NewPool(pl *Platform) (*Pool, error) {
+	p, err := pool.New(pl.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{p: p}, nil
+}
+
+// Capacity returns the device count — the maximum number of concurrent
+// sessions (each lease must hold at least one device).
+func (p *Pool) Capacity() int { return p.p.Capacity() }
+
+// Sessions returns the number of live sessions.
+func (p *Pool) Sessions() int { return p.p.Sessions() }
+
+// Session is one tenant of a Pool: a framework bound to the session's
+// current device lease. A Session is not safe for concurrent use; run
+// each session on its own goroutine.
+type Session struct {
+	pool   *Pool
+	lease  *pool.Lease
+	fw     *core.Framework
+	cfg    Config
+	mode   vcm.Mode
+	epoch  uint64
+	closed bool
+	repart int
+}
+
+// NewSimulationSession joins the pool with a timing-only session.
+func (p *Pool) NewSimulationSession(cfg Config) (*Session, error) {
+	return p.newSession(cfg, vcm.TimingOnly)
+}
+
+// NewEncoderSession joins the pool with a functional encoding session.
+func (p *Pool) NewEncoderSession(cfg Config) (*Session, error) {
+	return p.newSession(cfg, vcm.Functional)
+}
+
+func (p *Pool) newSession(cfg Config, mode vcm.Mode) (*Session, error) {
+	cfg = cfg.withDefaults()
+	cc, err := cfg.codecConfig()
+	if err != nil {
+		return nil, err
+	}
+	w := device.Workload{
+		MBW: cfg.Width / h264.MBSize, MBH: cfg.Height / h264.MBSize,
+		SA: cfg.SearchArea, NumRF: cfg.RefFrames, UsableRF: cfg.RefFrames,
+	}
+	lease, err := p.p.Acquire(w)
+	if err != nil {
+		return nil, err
+	}
+	sub, epoch := lease.Snapshot()
+	fw, err := core.New(core.Options{
+		Platform:       sub,
+		Codec:          cc,
+		Mode:           mode,
+		Balancer:       cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:          cfg.Alpha,
+		Parallel:       cfg.Parallel,
+		Telemetry:      cfg.Observer.Sink(),
+		CheckSchedules: cfg.CheckSchedules,
+	})
+	if err != nil {
+		lease.Release()
+		return nil, err
+	}
+	return &Session{pool: p, lease: lease, fw: fw, cfg: cfg, mode: mode, epoch: epoch}, nil
+}
+
+// maybeReplatform re-targets the framework when the pool re-partitioned
+// since the last frame.
+func (s *Session) maybeReplatform() error {
+	sub, epoch := s.lease.Snapshot()
+	if epoch == s.epoch {
+		return nil
+	}
+	if err := s.fw.SetPlatform(sub); err != nil {
+		return err
+	}
+	s.epoch = epoch
+	s.repart++
+	return nil
+}
+
+// Step simulates the next frame on the session's current lease
+// (simulation sessions only).
+func (s *Session) Step() (FrameReport, error) {
+	if s.closed {
+		return FrameReport{}, fmt.Errorf("feves: session closed")
+	}
+	if s.mode != vcm.TimingOnly {
+		return FrameReport{}, fmt.Errorf("feves: Step on an encoder session (use EncodeYUV)")
+	}
+	if err := s.maybeReplatform(); err != nil {
+		return FrameReport{}, err
+	}
+	r, err := s.fw.EncodeNext(nil)
+	if err != nil {
+		return FrameReport{}, err
+	}
+	return report(r), nil
+}
+
+// EncodeYUV encodes the next packed I420 frame on the session's current
+// lease (encoder sessions only).
+func (s *Session) EncodeYUV(yuv []byte) (FrameReport, error) {
+	if s.closed {
+		return FrameReport{}, fmt.Errorf("feves: session closed")
+	}
+	if s.mode != vcm.Functional {
+		return FrameReport{}, fmt.Errorf("feves: EncodeYUV on a simulation session (use Step)")
+	}
+	if err := s.maybeReplatform(); err != nil {
+		return FrameReport{}, err
+	}
+	f := h264.NewFrame(s.cfg.Width, s.cfg.Height)
+	f.Poc = s.fw.FramesProcessed()
+	if err := f.LoadYUV(yuv); err != nil {
+		return FrameReport{}, err
+	}
+	r, err := s.fw.EncodeNext(f)
+	if err != nil {
+		return FrameReport{}, err
+	}
+	return report(r), nil
+}
+
+// Bitstream returns an encoder session's coded stream so far.
+func (s *Session) Bitstream() []byte { return s.fw.Bitstream() }
+
+// Devices names the devices of the session's current lease (in the
+// lease's scheduling order, GPUs first).
+func (s *Session) Devices() []string {
+	sub, _ := s.lease.Snapshot()
+	out := make([]string, sub.NumDevices())
+	for i := range out {
+		out[i] = sub.Dev(i).Name
+	}
+	return out
+}
+
+// Repartitions returns how many lease changes the session has absorbed
+// at frame boundaries.
+func (s *Session) Repartitions() int { return s.repart }
+
+// Close releases the session's lease back to the pool, re-partitioning
+// the freed devices among the remaining sessions. Idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.lease.Release()
+}

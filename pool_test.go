@@ -1,0 +1,231 @@
+package feves
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func poolYUV(w, h, frames int) []byte {
+	fb := w * h * 3 / 2
+	buf := make([]byte, frames*fb)
+	for i := range buf {
+		buf[i] = byte((i*13 + i/fb*41) % 253)
+	}
+	return buf
+}
+
+// TestPoolSingleSessionMatchesPlainSimulation checks that a lone tenant
+// gets the whole platform and reproduces the plain Simulation timings
+// exactly.
+func TestPoolSingleSessionMatchesPlainSimulation(t *testing.T) {
+	cfg := Config{Width: 1920, Height: 1088}
+	const frames = 8
+
+	sim, err := NewSimulation(cfg, SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewPool(SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSimulationSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Devices(); len(got) != 6 {
+		t.Fatalf("lone session leased %v, want all 6 devices", got)
+	}
+	for i := 0; i < frames; i++ {
+		got, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seconds != want[i].Seconds || got.Tau1 != want[i].Tau1 {
+			t.Fatalf("frame %d: pool session τtot %v, plain simulation %v",
+				i, got.Seconds, want[i].Seconds)
+		}
+	}
+}
+
+// TestPoolConcurrentEncodersBitExact runs several encoder sessions over
+// one pool concurrently — with arrivals re-partitioning the leases under
+// the running sessions — and requires every coded stream to be
+// byte-identical to a solo encode of the same sequence.
+func TestPoolConcurrentEncodersBitExact(t *testing.T) {
+	const w, h, frames = 64, 64, 4
+	cfg := Config{Width: w, Height: h}
+	yuv := poolYUV(w, h, frames)
+	fb := w * h * 3 / 2
+
+	enc, err := NewEncoder(cfg, SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		if _, err := enc.EncodeYUV(yuv[i*fb : (i+1)*fb]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := enc.Bitstream()
+	if n, err := Verify(want); err != nil || n != frames {
+		t.Fatalf("solo reference stream broken: %d frames, %v", n, err)
+	}
+
+	p, err := NewPool(SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 4
+	streams := make([][]byte, tenants)
+	errs := make([]error, tenants)
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			s, err := p.NewEncoderSession(cfg)
+			if err != nil {
+				errs[ti] = err
+				return
+			}
+			defer s.Close()
+			for i := 0; i < frames; i++ {
+				if _, err := s.EncodeYUV(yuv[i*fb : (i+1)*fb]); err != nil {
+					errs[ti] = err
+					return
+				}
+			}
+			streams[ti] = s.Bitstream()
+		}(ti)
+	}
+	wg.Wait()
+	for ti := 0; ti < tenants; ti++ {
+		if errs[ti] != nil {
+			t.Fatalf("tenant %d: %v", ti, errs[ti])
+		}
+		if !bytes.Equal(streams[ti], want) {
+			t.Errorf("tenant %d: bitstream differs from solo encode (%d vs %d bytes)",
+				ti, len(streams[ti]), len(want))
+		}
+	}
+	if got := p.Sessions(); got != 0 {
+		t.Fatalf("%d sessions still leased after close", got)
+	}
+}
+
+// TestPoolSessionsSeeDisjointLeases verifies that concurrently live
+// sessions never share a device name beyond the physical multiplicity
+// (each CPU core appears once; the two GPUs are distinct profiles).
+func TestPoolSessionsSeeDisjointLeases(t *testing.T) {
+	p, err := NewPool(SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Width: 1920, Height: 1088}
+	var sessions []*Session
+	for i := 0; i < 3; i++ {
+		s, err := p.NewSimulationSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	total := 0
+	gpus := map[string]int{}
+	for _, s := range sessions {
+		ds := s.Devices()
+		if len(ds) == 0 {
+			t.Fatal("session with an empty lease")
+		}
+		total += len(ds)
+		for _, d := range ds {
+			if d == "GPU_F" || d == "GPU_K" {
+				gpus[d]++
+			}
+		}
+	}
+	if total != 6 {
+		t.Fatalf("leases cover %d device slots, want all 6", total)
+	}
+	for name, n := range gpus {
+		if n > 1 {
+			t.Fatalf("%s leased to %d sessions at once", name, n)
+		}
+	}
+	// Every session must still step on its (possibly shrunken) lease.
+	for i, s := range sessions {
+		if _, err := s.Step(); err != nil {
+			t.Fatalf("session %d step: %v", i, err)
+		}
+		s.Close()
+	}
+}
+
+// TestPoolSessionAbsorbsRepartitions drives a session across another
+// tenant's arrival and departure and checks it keeps stepping, absorbing
+// at least one lease change.
+func TestPoolSessionAbsorbsRepartitions(t *testing.T) {
+	p, err := NewPool(SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Width: 1920, Height: 1088}
+	s, err := p.NewSimulationSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other, err := p.NewSimulationSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Repartitions() == 0 {
+		t.Fatal("session did not pick up the arrival's re-partition")
+	}
+	if len(s.Devices()) >= 6 {
+		t.Fatalf("session kept %v despite a second tenant", s.Devices())
+	}
+	other.Close()
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Devices()); got != 6 {
+		t.Fatalf("lease has %d devices after the other tenant left, want 6", got)
+	}
+}
+
+func TestPoolModeMisuse(t *testing.T) {
+	p, err := NewPool(SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Width: 64, Height: 64}
+	sim, err := p.NewSimulationSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.EncodeYUV(make([]byte, 64*64*3/2)); err == nil {
+		t.Fatal("EncodeYUV accepted on a simulation session")
+	}
+	sim.Close()
+	sim.Close() // idempotent
+	if _, err := sim.Step(); err == nil {
+		t.Fatal("Step accepted on a closed session")
+	}
+}
