@@ -9,7 +9,14 @@
 //	feves-bench -exp fig7b -format json
 //
 // Experiments: fig6a fig6b fig7a fig7b speedups overhead share ablation
-// engines accuracy workload scaling all.
+// engines accuracy workload scaling failover all.
+//
+// Fault injection: -inject-faults applies a deterministic fault schedule
+// to every platform and -deadline-slack arms the autonomous failover
+// machinery, e.g.
+//
+//	feves-bench -exp failover -check
+//	feves-bench -exp fig7a -inject-faults "slow:GPU_K@40x8+3" -deadline-slack 3
 //
 // Observability: -metrics-addr serves a live Prometheus scrape aggregated
 // over every framework the harness constructs, -events writes the JSONL
@@ -51,6 +58,7 @@ func experiments() []experiment {
 		{id: "accuracy", table: bench.PredictionAccuracy},
 		{id: "workload", table: bench.WorkloadPredictability},
 		{id: "scaling", table: bench.GPUScaling},
+		{id: "failover", title: "V3: per-frame time [ms], SysNFK, GPU_F dies at frame 20", xName: "frame", series: bench.Failover},
 	}
 }
 
@@ -60,6 +68,10 @@ func main() {
 	jsonFiles := flag.Bool("json", false,
 		"additionally write each experiment's result to BENCH_<id>.json in the current directory")
 	check := flag.Bool("check", false, "validate every frame's schedule against the Algorithm-2 invariants")
+	faults := flag.String("inject-faults", "",
+		"deterministic fault spec applied to every platform (die:DEV@F stall:DEV@F[+K] slow:DEV@FxR[+K] chaos:SEEDxRATE, ';'-separated)")
+	slack := flag.Float64("deadline-slack", 0,
+		"arm autonomous failover: per-sync-point deadlines at LP prediction x slack (0 = off)")
 	tf := teleflag.Register()
 	flag.Parse()
 
@@ -74,6 +86,11 @@ func main() {
 	}
 	bench.Observer = obs
 	bench.CheckSchedules = *check
+	bench.FaultSpec = *faults
+	bench.DeadlineSlack = *slack
+	if *faults != "" && *slack == 0 {
+		fmt.Fprintln(os.Stderr, "feves-bench: note: -inject-faults without -deadline-slack slows frames but never fails over")
+	}
 
 	type jsonOut struct {
 		ID     string         `json:"id"`

@@ -60,6 +60,11 @@ func main() {
 		out       = flag.String("o", "", "output bitstream file ('' = discard)")
 		verify    = flag.String("verify", "", "verify a bitstream file and exit")
 		check     = flag.Bool("check", false, "validate every frame's schedule against the Algorithm-2 invariants")
+		faults    = flag.String("inject-faults", "",
+			"deterministic fault spec (die:DEV@F stall:DEV@F[+K] slow:DEV@FxR[+K] chaos:SEEDxRATE, ';'-separated)")
+		slack = flag.Float64("deadline-slack", 0,
+			"arm autonomous failover: per-sync-point deadlines at LP prediction x slack (0 = off)")
+		retries = flag.Int("max-retries", 0, "failover attempts per frame (0 = default 3)")
 	)
 	tf := teleflag.Register()
 	flag.Parse()
@@ -101,6 +106,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := pl.InjectFaults(*faults); err != nil {
+		log.Fatal(err)
+	}
 	obs, closeTelemetry, err := tf.Observer()
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +125,8 @@ func main() {
 		SceneCutThreshold:  *sceneCut,
 		Slices:             *slices,
 		CheckSchedules:     *check,
+		DeadlineSlack:      *slack,
+		MaxFrameRetries:    *retries,
 	}
 	if *entropy != "vlc" && *entropy != "arith" {
 		log.Fatalf("unknown entropy backend %q", *entropy)

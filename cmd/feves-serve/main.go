@@ -49,6 +49,10 @@ func main() {
 			"validate every frame's schedule in observe mode (violations are counted in feves_check_violations_total, not fatal)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long a SIGTERM drain waits for in-flight sessions before cancelling them")
+		faults = flag.String("inject-faults", "",
+			"deterministic fault spec for the pooled platform (die:DEV@F stall:DEV@F[+K] slow:DEV@FxR[+K] chaos:SEEDxRATE, ';'-separated)")
+		slack = flag.Float64("deadline-slack", 0,
+			"arm autonomous failover in every session: deadlines at LP prediction x slack; excluded devices leave the pool (0 = off)")
 	)
 	tf := teleflag.Register()
 	flag.Parse()
@@ -75,6 +79,8 @@ func main() {
 		QueueDepth:     *queueDepth,
 		CheckSchedules: *check,
 		Telemetry:      tel,
+		DeadlineSlack:  *slack,
+		FaultSpec:      *faults,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,163 @@
+package feves_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"feves"
+	"feves/internal/video"
+)
+
+// failoverEncode encodes a short synthetic sequence on SysNFK with the
+// given fault spec and deadline slack, returning the bitstream.
+func failoverEncode(t *testing.T, faults string, slack float64, obs *feves.Observer) []byte {
+	t.Helper()
+	const w, h, frames = 320, 176, 14
+	pl := feves.SysNFK()
+	if err := pl.InjectFaults(faults); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := feves.NewEncoder(feves.Config{
+		Width: w, Height: h, SearchArea: 32, RefFrames: 1,
+		DeadlineSlack: slack, Observer: obs,
+	}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := video.NewSynthetic(w, h, frames, 1)
+	for {
+		frame, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := enc.EncodeYUV(frame.PackedYUV()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return enc.Bitstream()
+}
+
+// TestFailoverBitExactOnGPUDeath is the tentpole acceptance check: killing
+// either GPU of SysNFK mid-run must complete the encode bit-exactly on the
+// reduced platform, with the exclusion visible in the telemetry events and
+// the feves_device_excluded_total counter.
+func TestFailoverBitExactOnGPUDeath(t *testing.T) {
+	clean := failoverEncode(t, "", 0, nil)
+	if n, err := feves.Verify(clean); err != nil || n != 14 {
+		t.Fatalf("clean stream: %d frames, %v", n, err)
+	}
+	for _, tc := range []struct {
+		gpu string
+		dev int
+	}{
+		{"GPU_F", 0},
+		{"GPU_K", 1},
+	} {
+		t.Run(tc.gpu, func(t *testing.T) {
+			var events bytes.Buffer
+			obs, err := feves.NewObserver(feves.ObserverConfig{
+				MetricsAddr: "127.0.0.1:0",
+				Events:      &events,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := failoverEncode(t, fmt.Sprintf("die:%s@6", tc.gpu), 3, obs)
+			if !bytes.Equal(stream, clean) {
+				t.Fatalf("faulted stream differs from clean run (%d vs %d bytes)",
+					len(stream), len(clean))
+			}
+
+			var excluded, retried bool
+			dec := json.NewDecoder(&events)
+			for dec.More() {
+				var ev struct {
+					Type   string `json:"type"`
+					Device int    `json:"device"`
+					To     string `json:"to"`
+				}
+				if err := dec.Decode(&ev); err != nil {
+					t.Fatal(err)
+				}
+				if ev.Type == "health_transition" && ev.To == "excluded" && ev.Device == tc.dev {
+					excluded = true
+				}
+				if ev.Type == "frame_retry" {
+					retried = true
+				}
+			}
+			if !excluded {
+				t.Errorf("no health_transition event excluding device %d", tc.dev)
+			}
+			if !retried {
+				t.Errorf("no frame_retry event recorded")
+			}
+
+			resp, err := http.Get("http://" + obs.MetricsAddr() + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf(`feves_device_excluded_total{device="%d"} 1`, tc.dev)
+			if !strings.Contains(string(body), want) {
+				t.Errorf("metrics scrape missing %q", want)
+			}
+		})
+	}
+}
+
+// TestFailoverDeathDuringInitialization kills a GPU on the very first
+// inter-frame, before any LP prediction exists: the per-task stall budget
+// must catch it and the encode still finishes bit-exactly.
+func TestFailoverDeathDuringInitialization(t *testing.T) {
+	clean := failoverEncode(t, "", 0, nil)
+	stream := failoverEncode(t, "die:GPU_F@1", 3, nil)
+	if !bytes.Equal(stream, clean) {
+		t.Fatalf("stream after init-phase death differs from clean run")
+	}
+}
+
+// TestArmedSlackWithoutFaultsIsByteIdentical pins the no-fault guarantee:
+// arming DeadlineSlack without injecting anything must not change a single
+// byte of output or any scheduling decision.
+func TestArmedSlackWithoutFaultsIsByteIdentical(t *testing.T) {
+	plain := failoverEncode(t, "", 0, nil)
+	armed := failoverEncode(t, "", 3, nil)
+	if !bytes.Equal(plain, armed) {
+		t.Fatalf("DeadlineSlack changed the bitstream with no faults injected")
+	}
+
+	run := func(slack float64) []feves.FrameReport {
+		sim, err := feves.NewSimulation(feves.Config{
+			Width: 1920, Height: 1088, SearchArea: 32, RefFrames: 2,
+			DeadlineSlack: slack,
+		}, feves.SysNFK())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := sim.Run(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reports {
+			reports[i].SchedOverhead = 0 // real wall-clock, never reproducible
+		}
+		return reports
+	}
+	if a, b := run(0), run(3); !reflect.DeepEqual(a, b) {
+		t.Fatalf("DeadlineSlack changed the simulated schedule with no faults injected")
+	}
+}

@@ -101,6 +101,19 @@ type Config struct {
 	// executed timeline. A violation fails the frame with a detailed error
 	// listing every broken invariant. Off (the default) costs nothing.
 	CheckSchedules bool
+	// DeadlineSlack arms autonomous failover: every inter-frame must meet
+	// per-sync-point deadlines of the LP-predicted timeline times this
+	// factor (e.g. 3 = three times the predicted τ1/τ2/τtot). A blown
+	// deadline degrades the blamed device, a repeat excludes it — the
+	// balancer then re-solves without it, its model samples are
+	// quarantined, and the frame is retried bit-exactly on the reduced
+	// platform. 0 (the default) disables enforcement entirely; schedules
+	// are then byte-identical to earlier releases. Exclusion events are
+	// visible through the Observer (feves_device_excluded_total).
+	DeadlineSlack float64
+	// MaxFrameRetries bounds the failover attempts per frame (0 → default
+	// 3: first strike, exclusion strike, reduced-platform re-run).
+	MaxFrameRetries int
 }
 
 // BalancerKind selects a load-balancing strategy.
@@ -208,6 +221,25 @@ func (p *Platform) Devices() []string {
 // system events). A nil function removes perturbations.
 func (p *Platform) Perturb(factor func(frame, deviceIndex int) float64) {
 	p.inner.Perturb = factor
+}
+
+// InjectFaults installs a deterministic fault schedule from a spec string
+// (see the fault-spec grammar: "die:DEV@F", "stall:DEV@F[+K]",
+// "slow:DEV@FxR[+K]", "chaos:SEEDxRATE", ";"-separated). Faults replay
+// identically for a given spec and platform seed. An empty spec removes
+// injection. Pair with Config.DeadlineSlack to exercise the failover
+// path; without it, faults slow frames down but nothing is excluded.
+func (p *Platform) InjectFaults(spec string) error {
+	if spec == "" {
+		p.inner.Faults = nil
+		return nil
+	}
+	fp, err := device.ParseFaults(spec, p.inner)
+	if err != nil {
+		return err
+	}
+	p.inner.Faults = fp
+	return nil
 }
 
 // The paper's platforms.
@@ -363,14 +395,16 @@ func NewEncoder(cfg Config, pl *Platform) (*Encoder, error) {
 		return nil, err
 	}
 	fw, err := core.New(core.Options{
-		Platform:       pl.inner,
-		Codec:          cc,
-		Mode:           vcm.Functional,
-		Balancer:       cfg.Balancer.build(cfg.BalancerHysteresis),
-		Alpha:          cfg.Alpha,
-		Parallel:       cfg.Parallel,
-		Telemetry:      cfg.Observer.Sink(),
-		CheckSchedules: cfg.CheckSchedules,
+		Platform:        pl.inner,
+		Codec:           cc,
+		Mode:            vcm.Functional,
+		Balancer:        cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:           cfg.Alpha,
+		Parallel:        cfg.Parallel,
+		Telemetry:       cfg.Observer.Sink(),
+		CheckSchedules:  cfg.CheckSchedules,
+		DeadlineSlack:   cfg.DeadlineSlack,
+		MaxFrameRetries: cfg.MaxFrameRetries,
 	})
 	if err != nil {
 		return nil, err
@@ -444,13 +478,15 @@ func NewSimulation(cfg Config, pl *Platform) (*Simulation, error) {
 		return nil, err
 	}
 	fw, err := core.New(core.Options{
-		Platform:       pl.inner,
-		Codec:          cc,
-		Mode:           vcm.TimingOnly,
-		Balancer:       cfg.Balancer.build(cfg.BalancerHysteresis),
-		Alpha:          cfg.Alpha,
-		Telemetry:      cfg.Observer.Sink(),
-		CheckSchedules: cfg.CheckSchedules,
+		Platform:        pl.inner,
+		Codec:           cc,
+		Mode:            vcm.TimingOnly,
+		Balancer:        cfg.Balancer.build(cfg.BalancerHysteresis),
+		Alpha:           cfg.Alpha,
+		Telemetry:       cfg.Observer.Sink(),
+		CheckSchedules:  cfg.CheckSchedules,
+		DeadlineSlack:   cfg.DeadlineSlack,
+		MaxFrameRetries: cfg.MaxFrameRetries,
 	})
 	if err != nil {
 		return nil, err

@@ -39,12 +39,35 @@ var Observer *feves.Observer
 // harness constructs — a violation aborts the experiment.
 var CheckSchedules bool
 
+// FaultSpec, when set before running experiments, injects the given
+// deterministic fault schedule (device.ParseFaults grammar) into every
+// platform the harness constructs. Pair with DeadlineSlack to watch the
+// failover machinery react; empty runs fault-free.
+var FaultSpec string
+
+// DeadlineSlack, when set before running experiments, arms autonomous
+// failover on every framework the harness constructs (per-sync-point
+// deadlines at LP prediction × slack). 0 keeps the paper's fault-free
+// operation.
+var DeadlineSlack float64
+
 // cfg1080p builds the paper's evaluation configuration.
 func cfg1080p(sa, rf int) feves.Config {
 	// 1080p content is coded as 1920×1088 (68 macroblock rows), as H.264
 	// encoders do.
 	return feves.Config{Width: 1920, Height: 1088, SearchArea: sa, RefFrames: rf,
-		Observer: Observer, CheckSchedules: CheckSchedules}
+		Observer: Observer, CheckSchedules: CheckSchedules, DeadlineSlack: DeadlineSlack}
+}
+
+// withFaults installs the package-level fault spec on a freshly built
+// platform (a no-op when FaultSpec is empty).
+func withFaults(pl *feves.Platform) *feves.Platform {
+	if FaultSpec != "" {
+		if err := pl.InjectFaults(FaultSpec); err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+	}
+	return pl
 }
 
 // platformSet returns fresh instances of the seven Fig. 6 configurations.
@@ -69,7 +92,7 @@ func platformSet() []struct {
 }
 
 func steady(cfg feves.Config, pl *feves.Platform) float64 {
-	fps, err := feves.SteadyFPS(cfg, pl)
+	fps, err := feves.SteadyFPS(cfg, withFaults(pl))
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
 	}
@@ -110,7 +133,7 @@ func Fig6b() []Series {
 // perFrame runs n inter-frames on a platform and returns their times in
 // milliseconds, indexed from inter-frame 1.
 func perFrame(cfg feves.Config, pl *feves.Platform, n int) Series {
-	sim, err := feves.NewSimulation(cfg, pl)
+	sim, err := feves.NewSimulation(cfg, withFaults(pl))
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
 	}
@@ -503,4 +526,50 @@ func GPUScaling() Table {
 		})
 	}
 	return t
+}
+
+// Failover is the V3 experiment of this reproduction: per-frame encoding
+// time on SysNFK while the Fermi GPU dies at inter-frame 20 with
+// autonomous failover armed (deadline slack 3), against an uninterrupted
+// baseline. The faulted curve tracks the baseline before the loss, spikes
+// for the frame that blew its deadline and was retried, and settles on
+// the reduced platform's (slower but steady) level afterwards —
+// throughput before/during/after device loss. FaultSpec, when set,
+// overrides the built-in death schedule.
+func Failover() []Series {
+	const frames, dieAt = 50, 20
+	// Built inline rather than via perFrame so the baseline run stays
+	// fault-free even when the package-level FaultSpec is set.
+	run := func(label string, spec string, slack float64) Series {
+		pl := feves.SysNFK()
+		cfg := cfg1080p(32, 2)
+		cfg.DeadlineSlack = slack
+		if spec != "" {
+			if err := pl.InjectFaults(spec); err != nil {
+				panic(fmt.Sprintf("bench: %v", err))
+			}
+		}
+		sim, err := feves.NewSimulation(cfg, pl)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		reports, err := sim.Run(frames + 1) // +1 intra frame
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		s := Series{Label: label}
+		for _, r := range reports[1:] {
+			s.X = append(s.X, float64(r.Frame))
+			s.Y = append(s.Y, r.Seconds*1e3)
+		}
+		return s
+	}
+	spec := FaultSpec
+	if spec == "" {
+		spec = fmt.Sprintf("die:GPU_F@%d", dieAt)
+	}
+	return []Series{
+		run("SysNFK", "", 0),
+		run("SysNFK+fault", spec, 3),
+	}
 }

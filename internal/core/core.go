@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -49,7 +50,30 @@ type Options struct {
 	// proceeds — the serving subsystem's mode, where one tenant's broken
 	// schedule must not take the session down.
 	CheckObserve bool
+	// DeadlineSlack arms fault detection and autonomous failover: each
+	// inter-frame must finish within the LP's predicted τ1/τ2/τtot times
+	// this factor (plus a stall safety net for frames without
+	// predictions). A blown budget marks the blamed device, the health
+	// tracker degrades/excludes it, and the frame is retried bit-exactly
+	// on the reduced topology. Zero (the default) disables enforcement
+	// entirely — the frame loop is byte-identical to the slack-free code.
+	DeadlineSlack float64
+	// MaxFrameRetries bounds the failover retries of one frame (default 3
+	// — first strike, exclusion strike, and the run on the reduced
+	// topology). Ignored while DeadlineSlack is zero.
+	MaxFrameRetries int
+	// OnDeviceExcluded, when non-nil, is invoked synchronously (between
+	// retry attempts, on the encoding goroutine) each time the health
+	// tracker excludes a device, with the framework's device index — the
+	// device pool's re-partition hook.
+	OnDeviceExcluded func(dev int)
 }
+
+// stallTaskBudget is the per-kernel simulated-seconds safety net used when
+// no LP prediction exists (initialization frames, non-LP balancers): far
+// above any honest kernel on the paper's platforms and parameter sweeps,
+// far below the ×1e9 stall factor of a dead device.
+const stallTaskBudget = 1e5
 
 // Result reports one processed frame.
 type Result struct {
@@ -77,9 +101,11 @@ type Framework struct {
 	mgr       *vcm.Manager
 	bal       sched.Balancer
 	enc       *codec.Encoder
-	prev      []int // σʳ carried between frames
-	frame     int   // frames processed (display order)
-	lastIntra int   // display index of the most recent intra frame
+	health    *sched.Health // nil unless DeadlineSlack > 0
+	prev      []int         // σʳ carried between frames
+	frame     int           // frames processed (display order)
+	lastIntra int           // display index of the most recent intra frame
+	retries   int           // frames re-run by the failover path
 }
 
 // New builds a framework for the given options — Algorithm 1 lines 1–2:
@@ -101,12 +127,18 @@ func New(opts Options) (*Framework, error) {
 		opts.Alpha = 0.8
 	}
 	topo := sched.Topology{NumGPU: opts.Platform.NumGPUs(), Cores: opts.Platform.Cores}
+	if opts.MaxFrameRetries <= 0 {
+		opts.MaxFrameRetries = 3
+	}
 	f := &Framework{
 		opts: opts,
 		topo: topo,
 		pm:   sched.NewPerfModel(topo.NumDevices(), opts.Alpha),
 		bal:  opts.Balancer,
 		prev: make([]int, topo.NumDevices()),
+	}
+	if opts.DeadlineSlack > 0 {
+		f.health = sched.NewHealth(topo.NumDevices())
 	}
 	f.mgr = &vcm.Manager{Platform: opts.Platform, Mode: opts.Mode,
 		Parallel: opts.Parallel, Telemetry: opts.Telemetry,
@@ -145,8 +177,22 @@ func (f *Framework) SetPlatform(pl *device.Platform) error {
 	f.pm = sched.NewPerfModel(f.topo.NumDevices(), f.opts.Alpha)
 	f.prev = make([]int, f.topo.NumDevices())
 	f.mgr.Platform = pl
+	f.mgr.Down = nil
+	if f.opts.DeadlineSlack > 0 {
+		// The new lease consists of devices the pool believes are up;
+		// health restarts clean for the new numbering.
+		f.health = sched.NewHealth(f.topo.NumDevices())
+	}
 	return nil
 }
+
+// Health exposes the failover health tracker (nil while DeadlineSlack is
+// zero). Safe for concurrent reads; the serving layer surfaces it in
+// status output.
+func (f *Framework) Health() *sched.Health { return f.health }
+
+// FrameRetries returns the number of failover re-runs so far.
+func (f *Framework) FrameRetries() int { return f.retries }
 
 // Model exposes the live Performance Characterization (read-mostly; used
 // by experiments and traces).
@@ -209,30 +255,66 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 
 	w := f.workload(idx)
 	// Load Balancing (lines 3 and 8): equidistant until the model is
-	// characterized, LP afterwards. The decision cost is the framework's
-	// scheduling overhead.
-	start := time.Now()
-	var d sched.Distribution
-	var err error
-	if !f.pm.Ready() {
-		d = sched.Equidistant(f.topo.NumDevices(), w.Rows(), 0)
-	} else {
-		d, err = f.bal.Distribute(f.pm, f.topo, w, f.prev)
-		if err != nil {
+	// characterized, LP afterwards; with failover armed the topology
+	// carries the health tracker's exclusion mask and a blown deadline
+	// re-enters the loop on the reduced topology. The decision cost
+	// (accumulated over retries) is the framework's scheduling overhead.
+	var (
+		d        sched.Distribution
+		ft       vcm.FrameTiming
+		overhead time.Duration
+		before   sched.ModelSnapshot
+	)
+	for attempt := 0; ; attempt++ {
+		if f.health != nil {
+			f.topo.Down = f.health.Down()
+			f.mgr.Down = f.topo.Down
+		}
+		start := time.Now()
+		var err error
+		if !f.pm.Ready() {
+			d = sched.EquidistantExcluding(f.topo.NumDevices(), w.Rows(), firstUp(f.topo), f.topo.Down)
+		} else {
+			d, err = f.bal.Distribute(f.pm, f.topo, w, f.prev)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		f.mgr.Deadline = f.deadline(d)
+		overhead += time.Since(start)
+
+		// Bracket the Video Coding Manager's EWMA feedback with model
+		// snapshots so the audit can report the drift this frame caused.
+		if tel.Enabled() {
+			before = f.pm.Snapshot()
+		}
+		ft, err = f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev, cf)
+		if err == nil {
+			break
+		}
+		var de *vcm.DeadlineError
+		if f.health == nil || !errors.As(err, &de) || attempt+1 >= f.opts.MaxFrameRetries {
 			return Result{}, err
 		}
+		// The functional encoder state is untouched (the deadline trips
+		// before the kernels run), so the frame replays bit-exactly once
+		// the sick device is out of the schedule.
+		f.retries++
+		tel.FrameRetry(idx, attempt+1, de.Point, de.Blamed)
+		for _, dev := range de.Blamed {
+			f.reportMiss(idx, dev, de.Point)
+		}
 	}
-	overhead := time.Since(start)
-
-	// Bracket the Video Coding Manager's EWMA feedback with model
-	// snapshots so the audit can report the drift this frame caused.
-	var before sched.ModelSnapshot
-	if tel.Enabled() {
-		before = f.pm.Snapshot()
-	}
-	ft, err := f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev, cf)
-	if err != nil {
-		return Result{}, err
+	if f.health != nil {
+		// Devices that met their budgets this frame work toward the
+		// degraded → healthy recovery streak.
+		for i := 0; i < f.topo.NumDevices(); i++ {
+			if !f.topo.IsDown(i) {
+				if from, to, changed := f.health.Clean(i); changed {
+					tel.HealthTransition(idx, i, from.String(), to.String(), "recovered")
+				}
+			}
+		}
 	}
 	f.prev = d.SigmaR
 	f.frame++
@@ -247,6 +329,49 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		f.emitFrameTelemetry(tel, res, before)
 	}
 	return res, nil
+}
+
+// deadline derives one frame's budgets from the balancer's predicted
+// timeline times the slack factor; frames without predictions (the
+// equidistant initialization, non-LP balancers) keep only the stall
+// safety net. Nil while failover is unarmed.
+func (f *Framework) deadline(d sched.Distribution) *vcm.Deadline {
+	if f.opts.DeadlineSlack <= 0 {
+		return nil
+	}
+	dl := &vcm.Deadline{TaskBudget: stallTaskBudget}
+	if d.PredTot > 0 {
+		s := f.opts.DeadlineSlack
+		dl.Tau1, dl.Tau2, dl.Tot = d.PredTau1*s, d.PredTau2*s, d.PredTot*s
+	}
+	return dl
+}
+
+// reportMiss feeds one blamed device into the health tracker and acts on
+// the transition: telemetry, model quarantine, and the pool's exclusion
+// hook.
+func (f *Framework) reportMiss(frame, dev int, point string) {
+	from, to, changed := f.health.Miss(dev)
+	if !changed {
+		return
+	}
+	f.opts.Telemetry.HealthTransition(frame, dev, from.String(), to.String(), point)
+	if to == sched.Excluded {
+		f.pm.Quarantine(dev)
+		if f.opts.OnDeviceExcluded != nil {
+			f.opts.OnDeviceExcluded(dev)
+		}
+	}
+}
+
+// firstUp returns the lowest schedulable device index.
+func firstUp(topo sched.Topology) int {
+	for i := 0; i < topo.NumDevices(); i++ {
+		if !topo.IsDown(i) {
+			return i
+		}
+	}
+	return 0
 }
 
 // emitFrameTelemetry converts one inter-frame result into the sink's

@@ -25,6 +25,12 @@ type Platform struct {
 	// the "other processes started running" events of Fig. 7.
 	Perturb func(frame, devIndex int) float64
 
+	// Faults, when non-nil, is the deterministic fault-injection schedule
+	// (stalls, slowdowns, deaths). Like Perturb it multiplies kernel
+	// times and is evaluated under the parent device index, so a fault on
+	// physical device k follows the silicon through any lease.
+	Faults *FaultPlan
+
 	// BaseIndex, when non-nil, maps this platform's device indices to the
 	// indices of the parent platform it was leased from (see Subplatform).
 	// Jitter and perturbation are evaluated under the parent index, so a
@@ -96,6 +102,9 @@ func (pl *Platform) EffectiveFactor(frame, devIndex, module int) float64 {
 			f *= m
 		}
 	}
+	if pl.Faults != nil {
+		f *= pl.Faults.Factor(frame, base)
+	}
 	return f
 }
 
@@ -110,7 +119,7 @@ func (pl *Platform) Subplatform(name string, devices []int) (*Platform, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("device: subplatform %q needs at least one device", name)
 	}
-	sub := &Platform{Name: name, Seed: pl.Seed, Perturb: pl.Perturb}
+	sub := &Platform{Name: name, Seed: pl.Seed, Perturb: pl.Perturb, Faults: pl.Faults}
 	var gpus, cores []int
 	seen := make(map[int]bool, len(devices))
 	for _, d := range devices {

@@ -47,6 +47,45 @@ var ErrUnbounded = errors.New("lp: unbounded")
 
 const eps = 1e-9
 
+// The solver's fixed tolerances (eps, feasTol) assume coefficients of
+// roughly unit magnitude. Rows and objectives whose largest coefficient
+// falls outside [scaleLo, scaleHi] are equilibrated by a power of two —
+// exact in binary floating point — which makes the fixed tolerances
+// effectively relative to each row's scale. Rows inside the band (all
+// the balancer's problems) are left untouched, bit for bit.
+const (
+	scaleLo = 1e-6
+	scaleHi = 1e6
+)
+
+// feasTol bounds the phase-1 objective (sum of artificial variables) of
+// a feasible problem. Applied after row equilibration, it is a relative
+// infeasibility measure, not an absolute one.
+const feasTol = 1e-6
+
+// equilibrate scales v (and the paired rhs values) by the power of two
+// that brings its largest magnitude into [1, 2) — only when that
+// magnitude lies outside the well-scaled band.
+func equilibrate(v []float64, rhs ...*float64) {
+	maxc := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxc {
+			maxc = a
+		}
+	}
+	if maxc == 0 || (maxc >= scaleLo && maxc <= scaleHi) {
+		return
+	}
+	_, e := math.Frexp(maxc)
+	f := math.Ldexp(1, 1-e)
+	for j := range v {
+		v[j] *= f
+	}
+	for _, r := range rhs {
+		*r *= f
+	}
+}
+
 // Problem is a linear program under construction.
 type Problem struct {
 	n    int
@@ -130,6 +169,7 @@ func (p *Problem) Solve() ([]float64, float64, error) {
 				sens[i] = LE
 			}
 		}
+		equilibrate(rows[i], &rhs[i])
 	}
 	nSlack, nArt := 0, 0
 	for _, s := range sens {
@@ -185,7 +225,7 @@ func (p *Problem) Solve() ([]float64, float64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		if obj > 1e-6 {
+		if obj > feasTol {
 			return nil, 0, ErrInfeasible
 		}
 		// Drive remaining artificials out of the basis.
@@ -217,9 +257,13 @@ func (p *Problem) Solve() ([]float64, float64, error) {
 		}
 	}
 
-	// Phase 2: the real objective (zero cost on slack columns).
+	// Phase 2: the real objective (zero cost on slack columns). The cost
+	// vector is equilibrated like the rows — scaling the objective by a
+	// positive constant moves no vertex, and the returned objective value
+	// is recomputed from the caller's coefficients below.
 	c2 := make([]float64, ncols)
 	copy(c2, p.c)
+	equilibrate(c2[:p.n])
 	if _, err := simplex(t, basis, c2); err != nil {
 		return nil, 0, err
 	}

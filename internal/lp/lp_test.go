@@ -467,3 +467,64 @@ func TestLargeRandomProblemsSolveCleanly(t *testing.T) {
 		}
 	}
 }
+
+// TestMixedMagnitudeScales pins the solver's scale awareness: constraint
+// rows whose coefficients live at wildly different magnitudes (~1e9 next
+// to ~1, and ~1e-10) must neither trip the absolute pivot/feasibility
+// tolerances nor distort the solution. The tiny-coefficient case is the
+// historical failure: with a fixed eps = 1e-9 the only eligible pivot
+// entry (5e-10) was treated as zero and a bounded problem was reported
+// unbounded.
+func TestMixedMagnitudeScales(t *testing.T) {
+	t.Run("tiny pivot entry", func(t *testing.T) {
+		// maximize x subject to 5e-10·x ≤ 1 → x = 2e9.
+		p := New(1)
+		p.Coef(0, -1)
+		p.Add([]float64{5e-10}, LE, 1)
+		x, obj, err := p.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if want := 2e9; math.Abs(x[0]-want) > 1e-6*want {
+			t.Fatalf("x = %v, want %v", x[0], want)
+		}
+		if want := -2e9; math.Abs(obj-want) > 1e-6*math.Abs(want) {
+			t.Fatalf("obj = %v, want %v", obj, want)
+		}
+	})
+
+	t.Run("huge and unit rows", func(t *testing.T) {
+		// minimize x+y s.t. 1.1e9·x + 2.3e9·y = 3.4e9, x − y = 0 → x = y = 1.
+		p := New(2)
+		p.SetObjective([]float64{1, 1})
+		p.Add([]float64{1.1e9, 2.3e9}, EQ, 3.4e9)
+		p.Add([]float64{1, -1}, EQ, 0)
+		x, _, err := p.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		for j := range x {
+			if math.Abs(x[j]-1) > 1e-9 {
+				t.Fatalf("x = %v, want [1 1]", x)
+			}
+		}
+	})
+
+	t.Run("tiny rows stay feasible", func(t *testing.T) {
+		// The same balanced system shrunk to ~1e-10 scale: a fixed absolute
+		// tolerance treats every coefficient as zero.
+		p := New(2)
+		p.SetObjective([]float64{1, 1})
+		p.Add([]float64{1.1e-10, 2.3e-10}, EQ, 3.4e-10)
+		p.Add([]float64{1e-10, -1e-10}, EQ, 0)
+		x, _, err := p.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		for j := range x {
+			if math.Abs(x[j]-1) > 1e-6 {
+				t.Fatalf("x = %v, want [1 1]", x)
+			}
+		}
+	})
+}

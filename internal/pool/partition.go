@@ -29,20 +29,21 @@ func rowRate(p device.Profile, w device.Workload) float64 {
 	return 1 / per
 }
 
-// partitionDevices splits the platform's devices into disjoint non-empty
-// subsets, one per demand, minimizing the worst predicted per-session
-// τtot ≈ rows / Σ leased row-rates. It first solves the fractional
-// relaxation as a linear program — the second LP layer above the
-// per-frame Algorithm 2 — and rounds device-wise; if the LP fails or the
-// rounding starves a session, a deterministic LPT-style greedy takes
-// over. Requires 1 ≤ len(ds) ≤ NumDevices.
-func partitionDevices(base *device.Platform, ds []demand) (sets [][]int, taus []float64) {
-	nd := base.NumDevices()
-	rates := make([][]float64, len(ds)) // rates[s][d]
+// partitionDevices splits the platform's up devices (the base indices in
+// up, ascending) into disjoint non-empty subsets, one per demand,
+// minimizing the worst predicted per-session τtot ≈ rows / Σ leased
+// row-rates. It first solves the fractional relaxation as a linear
+// program — the second LP layer above the per-frame Algorithm 2 — and
+// rounds device-wise; if the LP fails or the rounding starves a session,
+// a deterministic LPT-style greedy takes over. Requires
+// 1 ≤ len(ds) ≤ len(up). The returned sets hold base platform indices.
+func partitionDevices(base *device.Platform, ds []demand, up []int) (sets [][]int, taus []float64) {
+	nd := len(up)
+	rates := make([][]float64, len(ds)) // rates[s][j] over up[j]
 	for s, dm := range ds {
 		rates[s] = make([]float64, nd)
-		for d := 0; d < nd; d++ {
-			rates[s][d] = rowRate(base.Dev(d), dm.w)
+		for j, d := range up {
+			rates[s][j] = rowRate(base.Dev(d), dm.w)
 		}
 	}
 	sets = partitionLP(ds, rates, nd)
@@ -52,11 +53,15 @@ func partitionDevices(base *device.Platform, ds []demand) (sets [][]int, taus []
 	taus = make([]float64, len(ds))
 	for s, set := range sets {
 		var rate float64
-		for _, d := range set {
-			rate += rates[s][d]
+		for _, j := range set {
+			rate += rates[s][j]
 		}
 		if rate > 0 {
 			taus[s] = float64(ds[s].w.Rows()) / rate
+		}
+		// Translate the partitioner's compact indices back to base ones.
+		for k, j := range set {
+			set[k] = up[j]
 		}
 	}
 	return sets, taus

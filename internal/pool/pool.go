@@ -17,6 +17,7 @@ package pool
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -32,6 +33,7 @@ var ErrExhausted = errors.New("pool: all devices leased")
 type Pool struct {
 	mu     sync.Mutex
 	base   *device.Platform
+	down   []bool // base-index devices lost to faults (MarkDown)
 	leases map[int]*Lease
 	nextID int
 	epoch  uint64
@@ -47,12 +49,77 @@ func New(base *device.Platform) (*Pool, error) {
 	if err := base.Validate(); err != nil {
 		return nil, err
 	}
-	return &Pool{base: base, leases: map[int]*Lease{}}, nil
+	return &Pool{base: base, down: make([]bool, base.NumDevices()), leases: map[int]*Lease{}}, nil
 }
 
-// Capacity returns the maximum number of concurrent leases (the device
-// count).
+// Capacity returns the maximum number of concurrent leases over the full
+// physical platform (the device count). Devices currently marked down
+// reduce the admittable session count below this — see UpDevices.
 func (p *Pool) Capacity() int { return p.base.NumDevices() }
+
+// UpDevices returns the number of devices currently available for
+// leasing (not marked down).
+func (p *Pool) UpDevices() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.upLocked())
+}
+
+// Down returns a copy of the per-device down mask (base platform
+// indices).
+func (p *Pool) Down() []bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]bool(nil), p.down...)
+}
+
+// upLocked lists the base indices of devices not marked down. Called
+// with p.mu held.
+func (p *Pool) upLocked() []int {
+	up := make([]int, 0, len(p.down))
+	for d, isDown := range p.down {
+		if !isDown {
+			up = append(up, d)
+		}
+	}
+	return up
+}
+
+// MarkDown removes a base-platform device from the leasable set — the
+// failover hook sessions call when their framework excluded the device —
+// and re-partitions the remaining devices across the active leases.
+// Sessions pick the shrunk subsets up at their next frame boundary. The
+// last up device is never taken away (the pool stays serviceable), and
+// marking an unknown or already-down device is a no-op; both return
+// false.
+func (p *Pool) MarkDown(dev int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dev < 0 || dev >= len(p.down) || p.down[dev] {
+		return false
+	}
+	if len(p.upLocked()) <= 1 {
+		return false
+	}
+	p.down[dev] = true
+	p.repartition()
+	return true
+}
+
+// MarkUp returns a previously lost device to the leasable set and
+// re-partitions, growing the active leases (and re-serving any orphaned
+// ones) at the next frame boundary. Returns false if the device is
+// unknown or already up.
+func (p *Pool) MarkUp(dev int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dev < 0 || dev >= len(p.down) || !p.down[dev] {
+		return false
+	}
+	p.down[dev] = false
+	p.repartition()
+	return true
+}
 
 // Sessions returns the number of active leases.
 func (p *Pool) Sessions() int {
@@ -93,7 +160,7 @@ func (p *Pool) Acquire(w device.Workload) (*Lease, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.leases) >= p.base.NumDevices() {
+	if len(p.leases) >= len(p.upLocked()) {
 		return nil, ErrExhausted
 	}
 	l := &Lease{pool: p, id: p.nextID, w: w}
@@ -103,26 +170,34 @@ func (p *Pool) Acquire(w device.Workload) (*Lease, error) {
 	return l, nil
 }
 
-// repartition rebalances the device subsets across the active leases and
+// repartition rebalances the up devices across the active leases and
 // advances the epoch. Called with p.mu held; the partitioner guarantees
-// disjoint non-empty subsets whenever sessions ≤ devices, so Subplatform
-// cannot fail here.
+// disjoint non-empty subsets whenever served sessions ≤ up devices, so
+// Subplatform cannot fail here. Device loss can leave fewer up devices
+// than sessions; then the oldest sessions keep service and the newest
+// are orphaned — nil snapshot, infinite predicted τ — until a device
+// recovers or a lease departs.
 func (p *Pool) repartition() {
 	p.epoch++
 	if len(p.leases) == 0 {
 		return
 	}
+	up := p.upLocked()
 	ids := make([]int, 0, len(p.leases))
 	for id := range p.leases {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	ds := make([]demand, len(ids))
-	for i, id := range ids {
+	served := ids
+	if len(served) > len(up) {
+		served = ids[:len(up)]
+	}
+	ds := make([]demand, len(served))
+	for i, id := range served {
 		ds[i] = demand{id: id, w: p.leases[id].w}
 	}
-	sets, taus := partitionDevices(p.base, ds)
-	for i, id := range ids {
+	sets, taus := partitionDevices(p.base, ds, up)
+	for i, id := range served {
 		l := p.leases[id]
 		sub, err := p.base.Subplatform(fmt.Sprintf("%s/lease%d", p.base.Name, id), sets[i])
 		if err != nil {
@@ -132,6 +207,13 @@ func (p *Pool) repartition() {
 		l.sub = sub
 		l.epoch = p.epoch
 		l.predTau = taus[i]
+	}
+	for _, id := range ids[len(served):] {
+		l := p.leases[id]
+		l.devices = nil
+		l.sub = nil
+		l.epoch = p.epoch
+		l.predTau = math.Inf(1)
 	}
 }
 
@@ -148,7 +230,10 @@ func (l *Lease) Devices() []int {
 
 // Snapshot returns the leased subset as a standalone platform together
 // with the partition epoch it belongs to. Sessions compare the epoch at
-// each frame boundary and re-target their framework when it advanced.
+// each frame boundary and re-target their framework when it advanced. A
+// nil platform means the lease is orphaned: device loss left fewer up
+// devices than sessions and this session drew the short straw until a
+// device recovers or another lease departs.
 func (l *Lease) Snapshot() (*device.Platform, uint64) {
 	l.pool.mu.Lock()
 	defer l.pool.mu.Unlock()

@@ -185,3 +185,151 @@ func TestConcurrentAcquireRelease(t *testing.T) {
 		t.Fatalf("%d sessions leaked", p.Sessions())
 	}
 }
+
+// TestMarkDownRepartitionsAwayFromLostDevice: losing a device shrinks the
+// active leases onto the survivors, keeps them disjoint, and advances the
+// epoch; recovery re-expands them.
+func TestMarkDownRepartitionsAwayFromLostDevice(t *testing.T) {
+	base := device.SysNFF() // 6 devices
+	p, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leases []*Lease
+	for i := 0; i < 3; i++ {
+		l, err := p.Acquire(wl1080p(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, l)
+	}
+	before := p.Epoch()
+	if !p.MarkDown(0) {
+		t.Fatal("MarkDown(0) returned false")
+	}
+	if p.Epoch() == before {
+		t.Fatal("MarkDown did not advance the epoch")
+	}
+	if got := p.UpDevices(); got != 5 {
+		t.Fatalf("UpDevices = %d after one loss, want 5", got)
+	}
+	assertDisjoint(t, base, leases)
+	for _, l := range leases {
+		for _, d := range l.Devices() {
+			if d == 0 {
+				t.Fatalf("lease %d still holds the lost device", l.ID())
+			}
+		}
+	}
+	if p.MarkDown(0) {
+		t.Fatal("second MarkDown(0) should be a no-op")
+	}
+	if !p.MarkUp(0) {
+		t.Fatal("MarkUp(0) returned false")
+	}
+	if got := p.UpDevices(); got != 6 {
+		t.Fatalf("UpDevices = %d after recovery, want 6", got)
+	}
+	assertDisjoint(t, base, leases)
+}
+
+// TestMarkDownOrphansNewestLease: with every up device leased, losing one
+// orphans the newest session (nil snapshot) while older sessions keep
+// service; recovery re-serves it.
+func TestMarkDownOrphansNewestLease(t *testing.T) {
+	base := device.SysNFF()
+	p, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leases []*Lease
+	for i := 0; i < 6; i++ {
+		l, err := p.Acquire(wl1080p(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, l)
+	}
+	if !p.MarkDown(3) {
+		t.Fatal("MarkDown(3) returned false")
+	}
+	newest := leases[len(leases)-1]
+	if sub, _ := newest.Snapshot(); sub != nil {
+		t.Fatalf("newest lease still has platform %q, want orphaned", sub.Name)
+	}
+	if tau := newest.PredictedTau(); !math.IsInf(tau, 1) {
+		t.Fatalf("orphaned lease predicted tau = %v, want +Inf", tau)
+	}
+	assertDisjoint(t, base, leases[:5])
+	if _, err := p.Acquire(wl1080p(1)); err != ErrExhausted {
+		t.Fatalf("acquire on a full degraded pool: err = %v, want ErrExhausted", err)
+	}
+	if !p.MarkUp(3) {
+		t.Fatal("MarkUp(3) returned false")
+	}
+	if sub, _ := newest.Snapshot(); sub == nil {
+		t.Fatal("recovery did not re-serve the orphaned lease")
+	}
+	assertDisjoint(t, base, leases)
+}
+
+// TestMarkDownNeverTakesLastDevice: the pool refuses to lose its last up
+// device, so it stays serviceable no matter what sessions report.
+func TestMarkDownNeverTakesLastDevice(t *testing.T) {
+	p, err := New(device.SysNF()) // 5 devices
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		if !p.MarkDown(d) {
+			t.Fatalf("MarkDown(%d) returned false", d)
+		}
+	}
+	if p.MarkDown(4) {
+		t.Fatal("pool gave away its last up device")
+	}
+	if got := p.UpDevices(); got != 1 {
+		t.Fatalf("UpDevices = %d, want 1", got)
+	}
+	if p.MarkDown(-1) || p.MarkDown(99) {
+		t.Fatal("out-of-range MarkDown returned true")
+	}
+}
+
+// TestConcurrentMarkDownAndLeaseChurn hammers device loss/recovery against
+// session arrivals and departures — the race-detector coverage for the
+// failover re-partition path.
+func TestConcurrentMarkDownAndLeaseChurn(t *testing.T) {
+	p, err := New(device.SysNFF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if l, err := p.Acquire(wl1080p(1)); err == nil {
+					l.Snapshot()
+					l.PredictedTau()
+					l.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			dev := i % 3
+			if p.MarkDown(dev) {
+				p.MarkUp(dev)
+			}
+		}
+	}()
+	wg.Wait()
+	if got := p.UpDevices(); got != 6 {
+		t.Fatalf("UpDevices = %d after churn, want 6", got)
+	}
+}

@@ -13,6 +13,12 @@ import (
 type Topology struct {
 	NumGPU int
 	Cores  int
+
+	// Down, when non-nil, marks devices excluded by the health tracker:
+	// the balancers force their rows to zero, skip their constraint
+	// chains, and never place R* on them. Indexing follows the device
+	// enumeration; a nil slice means every device is up.
+	Down []bool
 }
 
 // NumDevices returns the total device count.
@@ -20,6 +26,20 @@ func (t Topology) NumDevices() int { return t.NumGPU + t.Cores }
 
 // IsGPU reports whether device i is an accelerator.
 func (t Topology) IsGPU(i int) bool { return i < t.NumGPU }
+
+// IsDown reports whether device i is excluded.
+func (t Topology) IsDown(i int) bool { return t.Down != nil && i < len(t.Down) && t.Down[i] }
+
+// NumUp counts devices not excluded.
+func (t Topology) NumUp() int {
+	up := 0
+	for i := 0; i < t.NumDevices(); i++ {
+		if !t.IsDown(i) {
+			up++
+		}
+	}
+	return up
+}
 
 // Balancer produces one frame's distribution from the performance model.
 type Balancer interface {
@@ -107,9 +127,11 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 	d.DeltaM, d.DeltaL = deltaM, deltaL
 
 	// Hysteresis: prefer the incumbent distribution when the new solution
-	// is not a real improvement under the current measurements.
+	// is not a real improvement under the current measurements. An
+	// incumbent that assigns rows to a since-excluded device is dead —
+	// keeping it would schedule work onto silicon that is gone.
 	if b.Hysteresis > 0 && b.prev != nil && b.prevRows == rows &&
-		len(b.prev.M) == p && b.prev.RStarDev == rstar {
+		len(b.prev.M) == p && b.prev.RStarDev == rstar && !assignsToDown(b.prev, topo) {
 		_, _, prevTot := PredictTimes(pm, topo, w, *b.prev, prevSigmaR)
 		if prevTot <= d.PredTot*(1+b.Hysteresis) {
 			d.M = append([]int(nil), b.prev.M...)
@@ -129,7 +151,7 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 	d.SigmaR = make([]int, p)
 	slack := d.PredTot - d.PredTau2
 	for i := 0; i < p; i++ {
-		if !topo.IsGPU(i) || i == rstar {
+		if !topo.IsGPU(i) || i == rstar || topo.IsDown(i) {
 			continue
 		}
 		missing := rows - d.L[i] - deltaL[i]
@@ -187,6 +209,17 @@ func solveLP(pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM,
 
 	trs := pm.TRStar(rstar, rows)
 	for i := 0; i < p; i++ {
+		if topo.IsDown(i) {
+			// Excluded device: rows forced to zero, and every one of its
+			// constraint chains — including the N·K^rfhd RF-broadcast
+			// terms that do not depend on assigned rows — drops out.
+			for _, v := range []int{vm(i), vl(i), vs(i)} {
+				a = row()
+				a[v] = 1
+				prob.Add(a, lp.EQ, 0)
+			}
+			continue
+		}
 		km, kl, ks := pm.KAt(i, ModME, w.UsableRF), pm.K(i, ModINT), pm.KAt(i, ModSME, w.UsableRF)
 		switch {
 		case !topo.IsGPU(i):
@@ -302,6 +335,20 @@ func fullFetch(s []int, isGPU func(int) bool) []int {
 	return out
 }
 
+// assignsToDown reports whether a distribution gives any rows (or R*) to
+// an excluded device.
+func assignsToDown(d *Distribution, topo Topology) bool {
+	if topo.IsDown(d.RStarDev) {
+		return true
+	}
+	for i := 0; i < topo.NumDevices(); i++ {
+		if topo.IsDown(i) && (d.M[i] > 0 || d.L[i] > 0 || d.S[i] > 0) {
+			return true
+		}
+	}
+	return false
+}
+
 func intsEqual(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
@@ -324,11 +371,11 @@ func (EquidistantBalancer) Name() string { return "equidistant" }
 // Distribute implements Balancer.
 func (EquidistantBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload, prevSigmaR []int) (Distribution, error) {
 	rows := w.Rows()
-	rstar := 0
+	rstar := firstUpIndex(topo)
 	if pm != nil && pm.Ready() {
 		rstar = PlaceRStar(pm, topo, rows)
 	}
-	return Equidistant(topo.NumDevices(), rows, rstar), nil
+	return EquidistantExcluding(topo.NumDevices(), rows, rstar, topo.Down), nil
 }
 
 // ProportionalBalancer splits each module's rows proportionally to the
@@ -350,6 +397,9 @@ func (ProportionalBalancer) Distribute(pm *PerfModel, topo Topology, w device.Wo
 		w := make([]float64, p)
 		var sum float64
 		for i := 0; i < p; i++ {
+			if topo.IsDown(i) {
+				continue
+			}
 			w[i] = 1 / pm.K(i, m)
 			sum += w[i]
 		}
@@ -367,7 +417,7 @@ func (ProportionalBalancer) Distribute(pm *PerfModel, topo Topology, w device.Wo
 	d.Sigma = make([]int, p)
 	d.SigmaR = make([]int, p)
 	for i := 0; i < p; i++ {
-		if topo.IsGPU(i) && i != d.RStarDev {
+		if topo.IsGPU(i) && i != d.RStarDev && !topo.IsDown(i) {
 			d.SigmaR[i] = rows - d.L[i] - d.DeltaL[i]
 			if d.SigmaR[i] < 0 {
 				d.SigmaR[i] = 0

@@ -61,17 +61,39 @@ func Offsets(v []int) []int {
 // line 3: rows split as evenly as possible across all n devices, with R*
 // on device rstarDev.
 func Equidistant(n, rows, rstarDev int) Distribution {
+	return EquidistantExcluding(n, rows, rstarDev, nil)
+}
+
+// EquidistantExcluding is Equidistant restricted to the devices not marked
+// down: rows split evenly across the surviving devices, zero everywhere
+// else. With a nil (or all-false) mask it is exactly Equidistant.
+func EquidistantExcluding(n, rows, rstarDev int, down []bool) Distribution {
 	if n <= 0 || rows <= 0 {
 		panic("sched: Equidistant needs positive devices and rows")
 	}
+	isDown := func(i int) bool { return down != nil && i < len(down) && down[i] }
+	up := 0
+	for i := 0; i < n; i++ {
+		if !isDown(i) {
+			up++
+		}
+	}
+	if up == 0 {
+		panic("sched: Equidistant with every device excluded")
+	}
 	split := func() []int {
 		v := make([]int, n)
-		base, rem := rows/n, rows%n
+		base, rem := rows/up, rows%up
+		k := 0
 		for i := range v {
+			if isDown(i) {
+				continue
+			}
 			v[i] = base
-			if i < rem {
+			if k < rem {
 				v[i]++
 			}
+			k++
 		}
 		return v
 	}
@@ -89,6 +111,9 @@ func Equidistant(n, rows, rstarDev int) Distribution {
 	// first iterative frame handles through σʳ: every device is missing
 	// all rows it did not interpolate itself.
 	for i := range d.SigmaR {
+		if isDown(i) {
+			continue
+		}
 		d.SigmaR[i] = rows - d.L[i]
 	}
 	return d

@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"feves/internal/device"
+)
+
+func TestHealthTransitions(t *testing.T) {
+	h := NewHealth(3)
+	for i := 0; i < 3; i++ {
+		if h.State(i) != Healthy {
+			t.Fatalf("device %d starts %v", i, h.State(i))
+		}
+	}
+	// First miss degrades, second excludes.
+	if from, to, ch := h.Miss(1); from != Healthy || to != Degraded || !ch {
+		t.Fatalf("first miss: %v -> %v (%v)", from, to, ch)
+	}
+	if from, to, ch := h.Miss(1); from != Degraded || to != Excluded || !ch {
+		t.Fatalf("second miss: %v -> %v (%v)", from, to, ch)
+	}
+	// Further misses on an excluded device are no-ops.
+	if _, _, ch := h.Miss(1); ch {
+		t.Fatal("miss on excluded device must not transition")
+	}
+	down := h.Down()
+	if !down[1] || down[0] || down[2] {
+		t.Fatalf("down mask %v", down)
+	}
+	if h.NumUp() != 2 {
+		t.Fatalf("NumUp = %d", h.NumUp())
+	}
+}
+
+func TestHealthRecovery(t *testing.T) {
+	h := NewHealth(2)
+	h.Miss(0)
+	// One clean frame is not enough with the default RecoverAfter = 2.
+	if _, to, ch := h.Clean(0); ch || to != Degraded {
+		t.Fatalf("premature recovery to %v", to)
+	}
+	if from, to, ch := h.Clean(0); !ch || from != Degraded || to != Healthy {
+		t.Fatalf("recovery: %v -> %v (%v)", from, to, ch)
+	}
+	// A miss resets the clean streak.
+	h.Miss(0)
+	h.Clean(0)
+	h.Miss(0) // degraded again (still only strike while degraded → excluded)
+	if h.State(0) != Excluded {
+		t.Fatalf("repeat miss while degraded should exclude, got %v", h.State(0))
+	}
+}
+
+func TestHealthNeverExcludesLastDevice(t *testing.T) {
+	h := NewHealth(2)
+	h.Miss(0)
+	h.Miss(0) // excluded
+	h.Miss(1)
+	if _, to, _ := h.Miss(1); to != Degraded {
+		t.Fatalf("last surviving device must stay schedulable, got %v", to)
+	}
+	if h.NumUp() != 1 {
+		t.Fatalf("NumUp = %d", h.NumUp())
+	}
+	// Readmission puts an excluded device on probation.
+	if from, to, ch := h.Readmit(0); from != Excluded || to != Degraded || !ch {
+		t.Fatalf("readmit: %v -> %v (%v)", from, to, ch)
+	}
+}
+
+func TestHealthConcurrentAccess(t *testing.T) {
+	h := NewHealth(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dev := (g + i) % 4
+				switch i % 4 {
+				case 0:
+					h.Miss(dev)
+				case 1:
+					h.Clean(dev)
+				case 2:
+					h.Down()
+				default:
+					h.NumUp()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.NumUp() < 1 {
+		t.Fatal("last-device guard violated under concurrency")
+	}
+}
+
+func TestLPBalancerExcludesDownDevice(t *testing.T) {
+	pl := device.SysNFF() // 2 GPUs + 4 cores
+	w := wl(32, 1)
+	pm, topo := modelFor(pl, w)
+	var b LPBalancer
+	base, err := b.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.M[1]+base.L[1]+base.S[1] == 0 {
+		t.Skip("GPU 1 idle even when healthy; exclusion test is vacuous")
+	}
+
+	topo.Down = make([]bool, topo.NumDevices())
+	topo.Down[1] = true // second GPU gone
+	var b2 LPBalancer
+	d, err := b2.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M[1] != 0 || d.L[1] != 0 || d.S[1] != 0 || d.Sigma[1] != 0 || d.SigmaR[1] != 0 {
+		t.Fatalf("excluded device still assigned: m=%d l=%d s=%d σ=%d σʳ=%d",
+			d.M[1], d.L[1], d.S[1], d.Sigma[1], d.SigmaR[1])
+	}
+	if d.RStarDev == 1 {
+		t.Fatal("R* placed on an excluded device")
+	}
+	if err := d.Validate(w.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	// The reduced platform must still be predicted slower or equal, never
+	// faster, than the full one.
+	if d.PredTot < base.PredTot-1e-9 {
+		t.Fatalf("losing a device sped up the prediction: %g < %g", d.PredTot, base.PredTot)
+	}
+}
+
+func TestLPBalancerHysteresisDropsDownIncumbent(t *testing.T) {
+	pl := device.SysNFF()
+	w := wl(32, 1)
+	pm, topo := modelFor(pl, w)
+	b := LPBalancer{Hysteresis: 0.5}
+	if _, err := b.Distribute(pm, topo, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Device 1 dies; the incumbent distribution references it and must not
+	// be kept.
+	topo.Down = make([]bool, topo.NumDevices())
+	topo.Down[1] = true
+	d, err := b.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M[1]+d.L[1]+d.S[1] != 0 {
+		t.Fatalf("hysteresis kept rows on a dead device: %v %v %v", d.M, d.L, d.S)
+	}
+}
+
+func TestEquidistantExcluding(t *testing.T) {
+	down := []bool{false, true, false, false}
+	d := EquidistantExcluding(4, 10, 0, down)
+	if d.M[1] != 0 || d.L[1] != 0 || d.S[1] != 0 || d.SigmaR[1] != 0 {
+		t.Fatalf("down device assigned rows: %+v", d)
+	}
+	if err := d.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range [][]int{d.M, d.L, d.S} {
+		if v[0]+v[2]+v[3] != 10 {
+			t.Fatalf("up devices carry %v", v)
+		}
+	}
+	// Nil mask reproduces Equidistant exactly.
+	a, bD := Equidistant(4, 10, 0), EquidistantExcluding(4, 10, 0, nil)
+	if !intsEqual(a.M, bD.M) || !intsEqual(a.SigmaR, bD.SigmaR) {
+		t.Fatal("nil-mask EquidistantExcluding diverges from Equidistant")
+	}
+}
+
+func TestPerfModelQuarantine(t *testing.T) {
+	pm := NewPerfModel(2, 1)
+	pm.ObserveCompute(0, ModME, 1, 1, 1)
+	pm.ObserveCompute(0, ModINT, 1, 1, 1)
+	pm.ObserveCompute(0, ModSME, 1, 1, 1)
+	// Device 1 was never characterized; quarantining it must unblock Ready.
+	if pm.Ready() {
+		t.Fatal("device 1 unobserved, model cannot be ready")
+	}
+	pm.Quarantine(1)
+	if !pm.Quarantined(1) {
+		t.Fatal("Quarantined(1) = false")
+	}
+	if !pm.Ready() {
+		t.Fatal("quarantined device must not block readiness")
+	}
+	// Quarantined observations are dropped.
+	pm.ObserveCompute(1, ModME, 1, 1, 99)
+	pm.ObserveTransfer(1, CFh2d, 1, 99)
+	pm.Unquarantine(1)
+	if !math.IsNaN(pm.K(1, ModME)) {
+		t.Fatal("quarantined compute observation leaked into the model")
+	}
+	if pm.T(1, CFh2d) != 0 {
+		t.Fatal("quarantined transfer observation leaked into the model")
+	}
+	// All-quarantined model is not ready.
+	pm.Quarantine(0)
+	pm.Quarantine(1)
+	if pm.Ready() {
+		t.Fatal("model with every device quarantined cannot be ready")
+	}
+}
+
+func TestMEOffloadCarriesReuseVectors(t *testing.T) {
+	pl := device.SysNF()
+	w := wl(32, 1)
+	pm, topo := modelFor(pl, w)
+	d, err := MEOffloadBalancer{}.Distribute(pm, topo, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := w.Rows()
+	// The GPU interpolates nothing and prefetches nothing, so the entire
+	// SF completion is deferred: σʳ = rows − l − Δl = rows.
+	if d.SigmaR[0] != rows {
+		t.Fatalf("GPU σʳ = %d, want %d", d.SigmaR[0], rows)
+	}
+	if d.Sigma[0] != 0 {
+		t.Fatalf("GPU σ = %d with no predicted slack", d.Sigma[0])
+	}
+	// Cores never carry σ/σʳ and the Δ vectors match MS/LS_BOUNDS.
+	for i := topo.NumGPU; i < topo.NumDevices(); i++ {
+		if d.Sigma[i] != 0 || d.SigmaR[i] != 0 {
+			t.Fatalf("core %d carries σ/σʳ", i)
+		}
+	}
+	if !intsEqual(d.DeltaM, MSBounds(d.M, d.S, topo.IsGPU)) ||
+		!intsEqual(d.DeltaL, LSBounds(d.L, d.S, topo.IsGPU)) {
+		t.Fatal("Δ vectors do not match MS_BOUNDS/LS_BOUNDS")
+	}
+}

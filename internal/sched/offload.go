@@ -49,5 +49,26 @@ func (MEOffloadBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workl
 		d.L[topo.NumGPU+c] = share
 		d.S[topo.NumGPU+c] = share
 	}
+	// Data Access Management bookkeeping, same as the LP path: Δ is what
+	// SME needs beyond the rows already on-device (zero here — the cores
+	// hold everything and the GPU runs no SME), and each non-R* accelerator
+	// still owes the SF rows it did not interpolate, deferred entirely to
+	// σʳ because this balancer predicts no τ2→τtot slack to prefetch into.
+	// Leaving these at zero undercharges the scheme's data traffic and
+	// breaks the σ/σʳ carry-over invariant the stale-read check assumes.
+	d.DeltaM = MSBounds(d.M, d.S, topo.IsGPU)
+	d.DeltaL = LSBounds(d.L, d.S, topo.IsGPU)
+	for i := 0; i < p; i++ {
+		if topo.IsGPU(i) && i != d.RStarDev {
+			d.SigmaR[i] = clamp0i(rows - d.L[i] - d.DeltaL[i])
+		}
+	}
 	return d, d.Validate(rows)
+}
+
+func clamp0i(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
 }

@@ -74,6 +74,7 @@ type PerfModel struct {
 	k     [numModules][]float64 // sec per MB row (T^R* stored whole-frame)
 	tr    [numTransfers][]float64
 	seen  []bool // device has at least one compute observation
+	quar  []bool // excluded device: samples dropped, Ready() ignores it
 }
 
 // NewPerfModel creates a model for n devices. alpha in (0, 1] is the EWMA
@@ -86,7 +87,7 @@ func NewPerfModel(n int, alpha float64) *PerfModel {
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("sched: alpha %v out of (0,1]", alpha))
 	}
-	pm := &PerfModel{n: n, alpha: alpha, seen: make([]bool, n)}
+	pm := &PerfModel{n: n, alpha: alpha, seen: make([]bool, n), quar: make([]bool, n)}
 	for m := range pm.k {
 		pm.k[m] = nan(n)
 	}
@@ -107,19 +108,37 @@ func nan(n int) []float64 {
 // NumDevices returns the device count.
 func (pm *PerfModel) NumDevices() int { return pm.n }
 
-// Ready reports whether every device has compute observations for ME, INT
-// and SME — the precondition for invoking the LP balancer (before that,
-// Algorithm 1 uses the equidistant distribution).
+// Ready reports whether every non-quarantined device has compute
+// observations for ME, INT and SME — the precondition for invoking the LP
+// balancer (before that, Algorithm 1 uses the equidistant distribution).
+// A device excluded before it was ever characterized no longer blocks
+// readiness; at least one live device must be characterized.
 func (pm *PerfModel) Ready() bool {
+	live := 0
 	for i := 0; i < pm.n; i++ {
+		if pm.quar[i] {
+			continue
+		}
+		live++
 		for _, m := range []Module{ModME, ModINT, ModSME} {
 			if math.IsNaN(pm.k[m][i]) {
 				return false
 			}
 		}
 	}
-	return true
+	return live > 0
 }
+
+// Quarantine drops device dev from the model: its future observations are
+// ignored (a sick device's timings would poison the EWMA) and Ready() no
+// longer waits for it.
+func (pm *PerfModel) Quarantine(dev int) { pm.quar[dev] = true }
+
+// Unquarantine readmits device dev's observations (pool recovery path).
+func (pm *PerfModel) Unquarantine(dev int) { pm.quar[dev] = false }
+
+// Quarantined reports whether device dev's samples are being dropped.
+func (pm *PerfModel) Quarantined(dev int) bool { return pm.quar[dev] }
 
 // ObserveCompute records that device dev processed `rows` macroblock rows
 // of a module in `seconds`, with `usableRF` reference frames searched. ME
@@ -129,6 +148,9 @@ func (pm *PerfModel) Ready() bool {
 // (Fig. 7(b)). For ModRStar, rows is ignored and seconds is the
 // whole-frame T^R*.
 func (pm *PerfModel) ObserveCompute(dev int, m Module, rows, usableRF int, seconds float64) {
+	if pm.quar[dev] {
+		return // quarantined: a sick device's timings are not evidence
+	}
 	if m != ModRStar && rows <= 0 {
 		return // nothing was assigned; no information
 	}
@@ -149,7 +171,7 @@ func (pm *PerfModel) ObserveCompute(dev int, m Module, rows, usableRF int, secon
 // ObserveTransfer records a transfer of `rows` buffer rows taking
 // `seconds` on device dev's link.
 func (pm *PerfModel) ObserveTransfer(dev int, t Transfer, rows int, seconds float64) {
-	if rows <= 0 {
+	if pm.quar[dev] || rows <= 0 {
 		return
 	}
 	pm.fold(&pm.tr[t][dev], seconds/float64(rows))

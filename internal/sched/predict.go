@@ -26,6 +26,9 @@ func PredictTimes(pm *PerfModel, topo Topology, w device.Workload, d Distributio
 	trs := pm.TRStar(rstar, rows)
 
 	for i := 0; i < p; i++ {
+		if topo.IsDown(i) {
+			continue
+		}
 		km := pm.KAt(i, ModME, w.UsableRF)
 		kl := pm.K(i, ModINT)
 		m, l := float64(d.M[i]), float64(d.L[i])
@@ -55,6 +58,9 @@ func PredictTimes(pm *PerfModel, topo Topology, w device.Workload, d Distributio
 
 	t2 = t1
 	for i := 0; i < p; i++ {
+		if topo.IsDown(i) {
+			continue
+		}
 		ks := pm.KAt(i, ModSME, w.UsableRF)
 		s := float64(d.S[i])
 		switch {

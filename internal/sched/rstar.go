@@ -29,6 +29,9 @@ func RStarPath(pm *PerfModel, topo Topology, rows int) (devs [4]int, cost float6
 	prev := make([][4]int, p) // back-pointers per device
 
 	stageTime := func(stage, dev int) float64 {
+		if topo.IsDown(dev) {
+			return math.Inf(1)
+		}
 		return pm.TRStar(dev, rows) * rStarStages[stage]
 	}
 	migrate := func(from, to int) float64 {
@@ -79,14 +82,28 @@ func RStarPath(pm *PerfModel, topo Topology, rows int) (devs [4]int, cost float6
 	return prev[best], dist[best]
 }
 
+// firstUpIndex returns the lowest non-excluded device index (0 if all
+// devices are down, which callers prevent).
+func firstUpIndex(topo Topology) int {
+	for i := 0; i < topo.NumDevices(); i++ {
+		if !topo.IsDown(i) {
+			return i
+		}
+	}
+	return 0
+}
+
 // PlaceRStar selects the single device that runs the whole R* group: the
 // one minimizing the characterized R* time plus its input/output transfer
 // overhead (missing SME vectors in, reconstructed reference out). Ties go
 // to the lower index, so an equally fast GPU yields the paper's GPU-centric
 // configuration.
 func PlaceRStar(pm *PerfModel, topo Topology, rows int) int {
-	best, bestCost := 0, math.Inf(1)
+	best, bestCost := firstUpIndex(topo), math.Inf(1)
 	for i := 0; i < topo.NumDevices(); i++ {
+		if topo.IsDown(i) {
+			continue
+		}
 		c := pm.TRStar(i, rows)
 		if topo.IsGPU(i) {
 			c += float64(rows) * (pm.T(i, MVh2d) + pm.T(i, RFd2h))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -55,7 +56,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After",
+			strconv.Itoa(s.retryAfterSeconds(errors.Is(err, ErrDraining))))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
@@ -157,6 +159,7 @@ func (s *Server) handleBitstream(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(true)))
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -164,5 +167,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":   "ok",
 		"sessions": s.pool.Sessions(),
 		"capacity": s.pool.Capacity(),
+		"up":       s.pool.UpDevices(),
 	})
+}
+
+// retryAfterSeconds turns the live backlog into the Retry-After hint on
+// the 503 responses. A merely busy server clears roughly one queued job
+// per session-slot turnover, so the hint grows with the number of jobs
+// ahead (queued plus running) instead of the old constant "1". A
+// draining server never accepts again; its hint is the longer drain
+// horizon, steering well-behaved clients away until a load balancer has
+// rotated the replica out.
+func (s *Server) retryAfterSeconds(draining bool) int {
+	ahead := len(s.queue) + len(s.slots)
+	secs, floor := ahead, 1
+	if draining {
+		secs, floor = 2*ahead, 5
+	}
+	if secs < floor {
+		secs = floor
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -198,8 +199,10 @@ func TestHTTPRejectsWhenDrainingWith503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("POST while draining = %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("503 without Retry-After")
+	// The drain hint is derived from the drain horizon, never the old
+	// constant "1": with nothing in flight it sits at the 5 s floor.
+	if ra := retryAfterValue(t, resp); ra < 5 {
+		t.Fatalf("draining Retry-After = %d, want >= 5", ra)
 	}
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -208,6 +211,52 @@ func TestHTTPRejectsWhenDrainingWith503(t *testing.T) {
 	hresp.Body.Close()
 	if hresp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz while draining = %d, want 503", hresp.StatusCode)
+	}
+	if ra := retryAfterValue(t, hresp); ra < 5 {
+		t.Fatalf("draining healthz Retry-After = %d, want >= 5", ra)
+	}
+}
+
+// retryAfterValue parses the integer Retry-After header of a 503.
+func retryAfterValue(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	v, err := strconv.Atoi(h)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", h, err)
+	}
+	return v
+}
+
+// TestHTTPRetryAfterGrowsWithBacklog fills a one-slot server's queue and
+// checks the busy 503's Retry-After reflects the jobs ahead of the caller
+// instead of the old constant "1".
+func TestHTTPRetryAfterGrowsWithBacklog(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 1, QueueDepth: 2})
+
+	// Saturate: long jobs occupy the single slot and then the queue.
+	// The scheduler drains asynchronously, so submit until rejected.
+	var rejected *http.Response
+	for i := 0; i < 10; i++ {
+		_, resp := postJob(t, ts, simSpec(100000))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			rejected = resp
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST = %d", resp.StatusCode)
+		}
+	}
+	if rejected == nil {
+		t.Fatal("never got a 503 despite a full queue")
+	}
+	// At rejection the queue is full (2 jobs) plus whatever is running,
+	// so the hint must exceed the old constant.
+	if ra := retryAfterValue(t, rejected); ra < 2 || ra > 300 {
+		t.Fatalf("busy Retry-After = %d, want in [2, 300]", ra)
 	}
 }
 

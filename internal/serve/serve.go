@@ -49,6 +49,21 @@ type Config struct {
 	// Telemetry is the shared observability sink for every session
 	// (metrics aggregate across tenants); nil disables the hooks.
 	Telemetry *telemetry.Telemetry
+	// DeadlineSlack arms fault tolerance in every session: per-sync-point
+	// deadlines at the LP-predicted timeline times this factor, device
+	// health tracking, bounded frame retries, and — on exclusion — pool
+	// re-partitioning so all tenants absorb the shrunk platform at their
+	// next frame boundary. 0 disables failover entirely (byte-identical
+	// schedules to a slack-less server).
+	DeadlineSlack float64
+	// MaxFrameRetries bounds per-frame failover attempts per session
+	// (default 3); meaningful only with DeadlineSlack > 0.
+	MaxFrameRetries int
+	// FaultSpec injects deterministic faults into the shared platform
+	// (grammar of device.ParseFaults, e.g. "die:GPU_F@40"); empty runs
+	// fault-free. Fault frames are interpreted per session-local frame
+	// counter.
+	FaultSpec string
 }
 
 // Server is the multi-tenant encode service.
@@ -73,6 +88,13 @@ type Server struct {
 
 // New builds a server and starts its scheduler.
 func New(cfg Config) (*Server, error) {
+	if cfg.FaultSpec != "" && cfg.Platform != nil {
+		fp, err := device.ParseFaults(cfg.FaultSpec, cfg.Platform)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Platform.Faults = fp // inherited by every lease subplatform
+	}
 	p, err := pool.New(cfg.Platform)
 	if err != nil {
 		return nil, err
@@ -286,18 +308,41 @@ func (s *Server) run(job *Job, lease *pool.Lease) {
 func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte) {
 	spec := job.spec
 	pl, epoch := lease.Snapshot()
+	if pl == nil {
+		return StatusFailed, "lease orphaned: no devices available", nil
+	}
 	mode := vcm.TimingOnly
 	if spec.Mode == ModeEncode {
 		mode = vcm.Functional
 	}
-	fw, err := core.New(core.Options{
-		Platform:       pl,
-		Codec:          spec.codecConfig(),
-		Mode:           mode,
-		Telemetry:      s.cfg.Telemetry,
-		CheckSchedules: s.cfg.CheckSchedules,
-		CheckObserve:   true,
-	})
+	opts := core.Options{
+		Platform:        pl,
+		Codec:           spec.codecConfig(),
+		Mode:            mode,
+		Telemetry:       s.cfg.Telemetry,
+		CheckSchedules:  s.cfg.CheckSchedules,
+		CheckObserve:    true,
+		DeadlineSlack:   s.cfg.DeadlineSlack,
+		MaxFrameRetries: s.cfg.MaxFrameRetries,
+	}
+	if s.cfg.DeadlineSlack > 0 {
+		// When this session's framework excludes a device, report the loss
+		// to the pool under the parent platform's numbering so every tenant
+		// re-partitions away from it at the next frame boundary. pl tracks
+		// the lease's current subplatform: the callback fires synchronously
+		// inside EncodeNext, after any SetPlatform re-target below.
+		opts.OnDeviceExcluded = func(dev int) {
+			parent := dev
+			if pl.BaseIndex != nil && dev < len(pl.BaseIndex) {
+				parent = pl.BaseIndex[dev]
+			}
+			if s.pool.MarkDown(parent) {
+				s.metric("feves_serve_devices_lost_total",
+					"Devices removed from the pool after a session excluded them.").Inc()
+			}
+		}
+	}
+	fw, err := core.New(opts)
 	if err != nil {
 		return StatusFailed, err.Error(), nil
 	}
@@ -305,11 +350,19 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 
 	frames := spec.frameCount()
 	fb := spec.frameBytes()
+	maxRetries := s.cfg.MaxFrameRetries
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	retries := 0
 	for i := 0; i < frames; i++ {
 		if job.ctx.Err() != nil {
 			return StatusCanceled, "canceled", nil
 		}
 		if sub, e := lease.Snapshot(); e != epoch {
+			if sub == nil {
+				return StatusFailed, "lease orphaned: device loss left no devices for this session", nil
+			}
 			if err := fw.SetPlatform(sub); err != nil {
 				return StatusFailed, err.Error(), nil
 			}
@@ -327,8 +380,36 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 		}
 		r, err := fw.EncodeNext(cf)
 		if err != nil {
+			// A session whose lease is a single device cannot fail over by
+			// itself (the health tracker never excludes the last device).
+			// Report the blamed devices to the pool so every tenant
+			// re-partitions away from them, and — if the pool actually
+			// removed one — replay the frame on the session's re-lease: the
+			// deadline trips before any kernel mutates encoder state, so
+			// the replay is bit-exact.
+			var de *vcm.DeadlineError
+			if s.cfg.DeadlineSlack > 0 && errors.As(err, &de) {
+				lost := false
+				for _, dev := range de.Blamed {
+					parent := dev
+					if pl.BaseIndex != nil && dev < len(pl.BaseIndex) {
+						parent = pl.BaseIndex[dev]
+					}
+					if s.pool.MarkDown(parent) {
+						lost = true
+						s.metric("feves_serve_devices_lost_total",
+							"Devices removed from the pool after a session excluded them.").Inc()
+					}
+				}
+				if lost && retries < maxRetries {
+					retries++
+					i--
+					continue
+				}
+			}
 			return StatusFailed, err.Error(), nil
 		}
+		retries = 0
 		fr := FrameResult{
 			Frame: r.FrameIndex, Intra: r.Intra || r.Stats.Intra,
 			Seconds:          r.Timing.Tot,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"feves/internal/device"
 	"feves/internal/h264"
 	"feves/internal/platforms"
+	"feves/internal/telemetry"
 	"feves/internal/vcm"
 )
 
@@ -273,6 +275,73 @@ func TestSubmitValidation(t *testing.T) {
 	for i, spec := range bad {
 		if _, err := s.Submit(spec); err == nil {
 			t.Errorf("spec %d accepted, want validation error", i)
+		}
+	}
+}
+
+// TestFailoverSharedPoolExcludesDeadDevice runs two concurrent tenants on
+// a pooled SysNFK while the Fermi GPU dies: the session leasing it must
+// fail over onto its remaining devices and finish, the pool must remove
+// the device for every tenant, and the loss must be visible in the shared
+// metrics.
+func TestFailoverSharedPoolExcludesDeadDevice(t *testing.T) {
+	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	s, err := New(Config{
+		Platform:      testPlatform(t),
+		MaxSessions:   2,
+		QueueDepth:    8,
+		Telemetry:     tel,
+		DeadlineSlack: 3,
+		FaultSpec:     "die:GPU_F@8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	jobs := make([]*Job, 2)
+	for i := range jobs {
+		j, err := s.Submit(simSpec(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		if st := j.Wait(); st != StatusDone {
+			t.Fatalf("job %d finished %q (%s)", i, st, j.Status().Error)
+		}
+	}
+	if down := s.Pool().Down(); !down[0] {
+		t.Fatalf("pool down mask = %v, want device 0 (GPU_F) down", down)
+	}
+	if got := s.Pool().UpDevices(); got != 5 {
+		t.Fatalf("UpDevices = %d after GPU death, want 5", got)
+	}
+	scrape := tel.Metrics.Expose()
+	for _, want := range []string{
+		"feves_serve_devices_lost_total 1",
+		"feves_frame_retries_total",
+		"feves_serve_repartitions_total",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+
+	// The shrunk pool still serves new tenants, on up devices only.
+	j, err := s.Submit(simSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Wait(); st != StatusDone {
+		t.Fatalf("post-loss job finished %q (%s)", st, j.Status().Error)
+	}
+	for _, r := range j.Results() {
+		for _, name := range r.Devices {
+			if name == "GPU_F" {
+				t.Fatal("post-loss session was leased the dead GPU")
+			}
 		}
 	}
 }

@@ -121,6 +121,30 @@ type MarkEvent struct {
 	Frame int    `json:"frame"`
 }
 
+// HealthEvent reports one device health-state transition of the failover
+// state machine.
+type HealthEvent struct {
+	Type   string `json:"type"` // "health_transition"
+	Frame  int    `json:"frame"`
+	Device int    `json:"device"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	// Reason is the deadline point that tripped ("tau1", "tau2",
+	// "tau_tot", "task") or "recovered" for the clean-streak return path.
+	Reason string `json:"reason,omitempty"`
+}
+
+// RetryEvent reports a frame being re-run after a blown deadline.
+type RetryEvent struct {
+	Type    string `json:"type"` // "frame_retry"
+	Frame   int    `json:"frame"`
+	Attempt int    `json:"attempt"`
+	// Point is the synchronization point whose budget was exceeded.
+	Point string `json:"point,omitempty"`
+	// Blamed lists the devices the deadline check held responsible.
+	Blamed []int `json:"blamed,omitempty"`
+}
+
 // CheckEvent reports the schedule-invariant rules a frame broke when the
 // checker runs in non-fatal (observe) mode.
 type CheckEvent struct {

@@ -165,6 +165,41 @@ func (t *Telemetry) CheckViolations(frame int, rules []string) {
 	}
 }
 
+// HealthTransition records a device health-state change (healthy →
+// degraded → excluded and back): the event, a per-transition counter, and
+// — for exclusions — the feves_device_excluded_total counter the failover
+// acceptance criteria key on. reason is the deadline point that tripped
+// ("tau1", "tau_tot", "task", …) or "recovered".
+func (t *Telemetry) HealthTransition(frame, device int, from, to, reason string) {
+	if t == nil {
+		return
+	}
+	t.Events.Emit(HealthEvent{Type: "health_transition", Frame: frame,
+		Device: device, From: from, To: to, Reason: reason})
+	if r := t.Metrics; r != nil {
+		dev := fmt.Sprintf("%d", device)
+		r.Counter("feves_health_transitions_total", "Device health-state transitions.",
+			"device", dev, "to", to).Inc()
+		if to == "excluded" {
+			r.Counter("feves_device_excluded_total", "Devices excluded from scheduling by the health tracker.",
+				"device", dev).Inc()
+		}
+	}
+}
+
+// FrameRetry records one failover retry: a frame blew a deadline and is
+// being re-run on the (possibly reduced) topology.
+func (t *Telemetry) FrameRetry(frame, attempt int, point string, blamed []int) {
+	if t == nil {
+		return
+	}
+	t.Events.Emit(RetryEvent{Type: "frame_retry", Frame: frame,
+		Attempt: attempt, Point: point, Blamed: blamed})
+	if r := t.Metrics; r != nil {
+		r.Counter("feves_frame_retries_total", "Frames re-run after a blown deadline.").Inc()
+	}
+}
+
 // Mark records a one-off occurrence ("idr", "scene_cut").
 func (t *Telemetry) Mark(typ string, frame int) {
 	if t == nil {

@@ -100,7 +100,20 @@ type Manager struct {
 	// feves_check_violations_total counter (per rule) and the frame
 	// proceeds — a tenant's bad schedule becomes an alert, not an outage.
 	CheckObserve bool
+	// Down marks devices excluded by the health tracker: no tasks at all
+	// (kernels or transfers, including the RF broadcast that otherwise
+	// reaches every accelerator) are scheduled for them. The distribution
+	// must assign such devices zero rows.
+	Down []bool
+	// Deadline, when non-nil, enforces per-sync-point budgets on every
+	// frame: a breach aborts the frame *before* the functional kernels
+	// run, so the core layer can retry it bit-exactly on a reduced
+	// topology. Nil preserves the original never-fail behaviour.
+	Deadline *Deadline
 }
+
+// isDown reports whether device i is excluded from scheduling.
+func (m *Manager) isDown(i int) bool { return m.Down != nil && i < len(m.Down) && m.Down[i] }
 
 // framePayloads collects the functional work of one frame, organized by
 // the synchronization structure of Fig. 4: everything before τ1 (ME and
@@ -171,6 +184,14 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 	if prevSigmaR == nil {
 		prevSigmaR = make([]int, nDev)
 	}
+	for i := 0; i < nDev; i++ {
+		if m.isDown(i) && (d.M[i] != 0 || d.L[i] != 0 || d.S[i] != 0) {
+			return FrameTiming{}, fmt.Errorf("vcm: distribution assigns rows to excluded device %d", i)
+		}
+	}
+	if m.isDown(d.RStarDev) {
+		return FrameTiming{}, fmt.Errorf("vcm: R* placed on excluded device %d", d.RStarDev)
+	}
 	var job *codec.FrameJob
 	var payloads framePayloads
 	if m.Mode == Functional {
@@ -213,8 +234,12 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		task *simclock.Task
 	}
 	var observations []obs
+	// maxFac/maxDur collect per-device blame evidence for the deadline
+	// check: the worst kernel slowdown factor and the longest kernel.
+	maxFac := make([]float64, nDev)
+	maxDur := make([]float64, nDev)
 	kernel := func(i int, mod sched.Module, nRows int, deps ...*simclock.Task) *simclock.Task {
-		if nRows == 0 {
+		if nRows == 0 || m.isDown(i) {
 			return nil
 		}
 		p := pl.Dev(i)
@@ -229,13 +254,20 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		case sched.ModRStar:
 			per = p.KRStar(w)
 		}
-		dur := float64(nRows) * per * pl.EffectiveFactor(frame, i, int(mod))
+		fac := pl.EffectiveFactor(frame, i, int(mod))
+		if fac > maxFac[i] {
+			maxFac[i] = fac
+		}
+		dur := float64(nRows) * per * fac
+		if dur > maxDur[i] {
+			maxDur[i] = dur
+		}
 		t := sim.Add(res[i].compute, fmt.Sprintf("%s@%d", mod, i), dur, deps...)
 		observations = append(observations, obs{dev: i, mod: mod, rows: nRows, task: t})
 		return t
 	}
 	xfer := func(i int, tr sched.Transfer, nRows, bytesPerRow int, h2d bool, deps ...*simclock.Task) *simclock.Task {
-		if nRows == 0 || !pl.IsGPU(i) {
+		if nRows == 0 || !pl.IsGPU(i) || m.isDown(i) {
 			return nil
 		}
 		p := pl.Dev(i)
@@ -319,16 +351,21 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		rstarTask = kernel(rstar, sched.ModRStar, rows, tau2, mvIn)
 		xfer(rstar, sched.RFd2h, rows, w.RFRowBytes(), false, rstarTask)
 	} else {
-		// CPU-centric: the R* group runs cooperatively on all cores; model
-		// the parallel section as one slice per core.
-		cores := pl.NumDevices() - pl.NumGPUs()
+		// CPU-centric: the R* group runs cooperatively on the surviving
+		// cores; model the parallel section as one slice per core.
+		cores := m.upCores()
 		per := rows / cores
 		extra := rows % cores
+		k := 0
 		for c := pl.NumGPUs(); c < pl.NumDevices(); c++ {
+			if m.isDown(c) {
+				continue
+			}
 			share := per
-			if c-pl.NumGPUs() < extra {
+			if k < extra {
 				share++
 			}
+			k++
 			t := kernel(c, sched.ModRStar, share, tau2)
 			if c == rstar {
 				rstarTask = t
@@ -347,6 +384,13 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 	makespan, err := sim.Run()
 	if err != nil {
 		return FrameTiming{}, fmt.Errorf("vcm: schedule execution: %w", err)
+	}
+	// Deadline enforcement happens on the *simulated* timeline, before any
+	// functional kernel touches encoder state: an aborted frame leaves the
+	// codec exactly as BeginFrame found it, so the core layer's retry on a
+	// reduced topology reproduces the bitstream bit-exactly.
+	if derr := m.Deadline.check(frame, tau1.End, tau2.End, makespan, maxFac, maxDur); derr != nil {
+		return FrameTiming{}, derr
 	}
 	var stats rd.FrameStats
 	if m.Mode == Functional {
@@ -367,7 +411,7 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		})
 	}
 	if m.Check {
-		topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+		topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores, Down: m.Down}
 		cs := make([]check.Span, len(ft.Spans))
 		for i, s := range ft.Spans {
 			cs[i] = check.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End}
@@ -412,12 +456,23 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		// not the summed core time.
 		wall := rstarTotal
 		if !pl.IsGPU(rstar) {
-			cores := pl.NumDevices() - pl.NumGPUs()
-			wall = rstarTotal / float64(cores)
+			wall = rstarTotal / float64(m.upCores())
 		}
 		pm.ObserveCompute(rstar, sched.ModRStar, 0, 1, wall)
 	}
 	return ft, nil
+}
+
+// upCores counts the CPU cores not marked down.
+func (m *Manager) upCores() int {
+	pl := m.Platform
+	n := 0
+	for c := pl.NumGPUs(); c < pl.NumDevices(); c++ {
+		if !m.isDown(c) {
+			n++
+		}
+	}
+	return n
 }
 
 func clamp0(v int) int {
