@@ -9,7 +9,14 @@
 //	feves-bench -exp fig7b -format json
 //
 // Experiments: fig6a fig6b fig7a fig7b speedups overhead share ablation
-// engines accuracy workload scaling failover all.
+// engines accuracy workload scaling failover perf all.
+//
+// Performance regression gate: -exp perf measures the V4 control-path
+// metrics (steady fps, allocs/frame, LP warm rate); -compare diffs them
+// against a committed baseline and exits non-zero on regression:
+//
+//	feves-bench -exp perf -json -json-file BENCH_5.json         # refresh baseline
+//	feves-bench -exp perf -compare BENCH_5.json -tol 0.15       # CI gate
 //
 // Fault injection: -inject-faults applies a deterministic fault schedule
 // to every platform and -deadline-slack arms the autonomous failover
@@ -42,6 +49,7 @@ type experiment struct {
 	xName  string // non-empty for series experiments
 	series func() []bench.Series
 	table  func() bench.Table
+	perf   func() bench.PerfReport
 }
 
 func experiments() []experiment {
@@ -59,6 +67,7 @@ func experiments() []experiment {
 		{id: "workload", table: bench.WorkloadPredictability},
 		{id: "scaling", table: bench.GPUScaling},
 		{id: "failover", title: "V3: per-frame time [ms], SysNFK, GPU_F dies at frame 20", xName: "frame", series: bench.Failover},
+		{id: "perf", title: "V4: control-path performance (regression-gated)", perf: bench.Perf},
 	}
 }
 
@@ -67,6 +76,11 @@ func main() {
 	format := flag.String("format", "text", "output format: text json")
 	jsonFiles := flag.Bool("json", false,
 		"additionally write each experiment's result to BENCH_<id>.json in the current directory")
+	jsonFile := flag.String("json-file", "",
+		"override the BENCH_<id>.json filename (single experiment only; implies -json)")
+	compare := flag.String("compare", "",
+		"baseline BENCH_*.json to diff the perf experiment against; exit 1 on regression")
+	tol := flag.Float64("tol", 0.15, "relative tolerance for -compare")
 	check := flag.Bool("check", false, "validate every frame's schedule against the Algorithm-2 invariants")
 	faults := flag.String("inject-faults", "",
 		"deterministic fault spec applied to every platform (die:DEV@F stall:DEV@F[+K] slow:DEV@FxR[+K] chaos:SEEDxRATE, ';'-separated)")
@@ -93,12 +107,20 @@ func main() {
 	}
 
 	type jsonOut struct {
-		ID     string         `json:"id"`
-		Title  string         `json:"title,omitempty"`
-		Series []bench.Series `json:"series,omitempty"`
-		Table  *bench.Table   `json:"table,omitempty"`
+		ID     string            `json:"id"`
+		Title  string            `json:"title,omitempty"`
+		Series []bench.Series    `json:"series,omitempty"`
+		Table  *bench.Table      `json:"table,omitempty"`
+		Perf   *bench.PerfReport `json:"perf,omitempty"`
 	}
 	var outputs []jsonOut
+	if *jsonFile != "" {
+		if *exp == "all" {
+			fmt.Fprintln(os.Stderr, "feves-bench: -json-file needs a single -exp")
+			os.Exit(2)
+		}
+		*jsonFiles = true
+	}
 
 	// writeJSON dumps one experiment's machine-readable result next to the
 	// working directory so harnesses can diff runs without parsing text.
@@ -107,6 +129,9 @@ func main() {
 			return
 		}
 		name := fmt.Sprintf("BENCH_%s.json", out.ID)
+		if *jsonFile != "" {
+			name = *jsonFile
+		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
@@ -126,6 +151,39 @@ func main() {
 		}
 		found = true
 		switch {
+		case e.perf != nil:
+			p := e.perf()
+			out := jsonOut{ID: e.id, Title: e.title, Perf: &p}
+			if *format == "json" {
+				outputs = append(outputs, out)
+			} else {
+				fmt.Println()
+				fmt.Print(bench.FormatTable(bench.PerfTable(p)))
+			}
+			writeJSON(out)
+			if *compare != "" {
+				data, err := os.ReadFile(*compare)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "feves-bench: %v\n", err)
+					os.Exit(1)
+				}
+				var base jsonOut
+				if err := json.Unmarshal(data, &base); err != nil {
+					fmt.Fprintf(os.Stderr, "feves-bench: %s: %v\n", *compare, err)
+					os.Exit(1)
+				}
+				if base.Perf == nil {
+					fmt.Fprintf(os.Stderr, "feves-bench: %s has no perf report\n", *compare)
+					os.Exit(1)
+				}
+				if fails := bench.ComparePerf(*base.Perf, p, *tol); len(fails) > 0 {
+					for _, f := range fails {
+						fmt.Fprintf(os.Stderr, "feves-bench: perf regression: %s\n", f)
+					}
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "perf gate green vs %s (tol %.0f%%)\n", *compare, 100**tol)
+			}
 		case e.series != nil:
 			s := e.series()
 			out := jsonOut{ID: e.id, Title: e.title, Series: s}

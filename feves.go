@@ -362,10 +362,13 @@ func report(r core.Result) FrameReport {
 		Seconds:          r.Timing.Tot,
 		Tau1:             r.Timing.Tau1,
 		Tau2:             r.Timing.Tau2,
-		SchedOverhead:    r.SchedOverhead,
-		MERows:           r.Distribution.M,
-		INTRows:          r.Distribution.L,
-		SMERows:          r.Distribution.S,
+		SchedOverhead: r.SchedOverhead,
+		// The distribution slices alias balancer-owned storage that is
+		// recycled a frame later; reports are long-lived API values, so
+		// copy them.
+		MERows:           append([]int(nil), r.Distribution.M...),
+		INTRows:          append([]int(nil), r.Distribution.L...),
+		SMERows:          append([]int(nil), r.Distribution.S...),
 		RStarDevice:      r.Distribution.RStarDev,
 		PredictedSeconds: r.Distribution.PredTot,
 		Bits:             r.Stats.Bits,

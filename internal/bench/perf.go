@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"feves"
+	"feves/internal/core"
+	"feves/internal/device"
+	"feves/internal/h264/codec"
+	"feves/internal/vcm"
+)
+
+// PerfMetric is one measured performance number of the control path,
+// annotated with its regression-gate semantics. Direction states which
+// way is better: "higher" and "lower" metrics are gated by ComparePerf,
+// "info" metrics are recorded but never fail a comparison (wall-clock
+// noise on shared CI machines makes absolute times ungateable). Slop is
+// an absolute allowance added on top of the relative tolerance so
+// near-zero baselines (0 allocs/frame) don't turn measurement jitter
+// into failures.
+type PerfMetric struct {
+	Name      string  `json:"name"`
+	Value     float64 `json:"value"`
+	Unit      string  `json:"unit"`
+	Direction string  `json:"direction"`
+	Slop      float64 `json:"slop,omitempty"`
+}
+
+// PerfReport is the perf experiment's machine-readable result — the
+// committed BENCH_5.json baseline and the shape CI compares against it.
+type PerfReport struct {
+	Metrics []PerfMetric `json:"metrics"`
+}
+
+// perfFrames is the steady-state measurement window of the frame-loop
+// metrics; perfWarmup frames run first so every retained buffer is sized
+// and the EWMA model has converged.
+const (
+	perfWarmup = 60
+	perfFrames = 200
+)
+
+// Perf measures the V4 control-path metrics: simulated steady-state
+// throughput on the two headline systems, the allocation footprint and
+// scheduling overhead of the steady-state frame loop, and the LP
+// warm-start hit rate. Simulated fps and allocation counts are
+// deterministic; wall-clock overhead is informational only.
+func Perf() PerfReport {
+	var r PerfReport
+	add := func(name string, value float64, unit, dir string, slop float64) {
+		r.Metrics = append(r.Metrics, PerfMetric{Name: name, Value: value, Unit: unit, Direction: dir, Slop: slop})
+	}
+
+	add("steady_fps_syshk", steady(cfg1080p(32, 1), feves.SysHK()), "fps", "higher", 0)
+	add("steady_fps_sysnff", steady(cfg1080p(32, 1), feves.SysNFF()), "fps", "higher", 0)
+
+	fw, err := core.New(core.Options{
+		Platform: device.SysNFF(),
+		Codec: codec.Config{Width: 1920, Height: 1088, SearchRange: 16,
+			NumRF: 1, IQP: 27, PQP: 28},
+		Mode: vcm.TimingOnly,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	step := func() core.Result {
+		res, err := fw.EncodeNext(nil)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		return res
+	}
+	for i := 0; i < perfWarmup; i++ {
+		step()
+	}
+	statsBefore := fw.SolverStats()
+	var overhead time.Duration
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < perfFrames; i++ {
+		overhead += step().SchedOverhead
+	}
+	runtime.ReadMemStats(&ms1)
+	st := fw.SolverStats()
+
+	// Half an allocation (and a cache line of bytes) of absolute slop: the
+	// loop itself is allocation-free, but runtime background work can land
+	// a stray object inside the window on a busy CI machine.
+	add("frame_allocs", float64(ms1.Mallocs-ms0.Mallocs)/perfFrames, "allocs/frame", "lower", 0.5)
+	add("frame_bytes", float64(ms1.TotalAlloc-ms0.TotalAlloc)/perfFrames, "B/frame", "lower", 64)
+
+	solves := st.Solves - statsBefore.Solves
+	warm := st.WarmSolves - statsBefore.WarmSolves
+	if solves > 0 {
+		add("lp_warm_rate", float64(warm)/float64(solves), "ratio", "higher", 0.02)
+		add("lp_pivots_per_solve", float64(st.Pivots-statsBefore.Pivots)/float64(solves), "pivots", "lower", 1)
+	}
+	add("sched_overhead_us", float64(overhead.Microseconds())/perfFrames, "us/frame", "info", 0)
+	return r
+}
+
+// PerfTable renders a PerfReport for human consumption.
+func PerfTable(r PerfReport) Table {
+	t := Table{
+		Title:   "V4 control-path performance (gated metrics regress CI)",
+		Columns: []string{"metric", "value", "unit", "better"},
+	}
+	for _, m := range r.Metrics {
+		t.Rows = append(t.Rows, []string{m.Name, fmt.Sprintf("%.4g", m.Value), m.Unit, m.Direction})
+	}
+	return t
+}
+
+// ComparePerf checks current against a committed baseline with a
+// relative tolerance (plus each metric's absolute slop) and returns one
+// message per regression; an empty slice means the gate is green.
+// Metrics present in the baseline must exist in the current run —
+// silently dropping a gate would hide exactly the regressions the
+// harness is for. "info" metrics never fail.
+func ComparePerf(baseline, current PerfReport, tol float64) []string {
+	cur := make(map[string]PerfMetric, len(current.Metrics))
+	for _, m := range current.Metrics {
+		cur[m.Name] = m
+	}
+	var fails []string
+	for _, b := range baseline.Metrics {
+		c, ok := cur[b.Name]
+		if !ok {
+			if b.Direction != "info" {
+				fails = append(fails, fmt.Sprintf("%s: gated metric missing from current run", b.Name))
+			}
+			continue
+		}
+		switch b.Direction {
+		case "higher":
+			if floor := b.Value*(1-tol) - b.Slop; c.Value < floor {
+				fails = append(fails, fmt.Sprintf("%s: %.4g %s is below the baseline %.4g (floor %.4g at %.0f%% tolerance)",
+					b.Name, c.Value, b.Unit, b.Value, floor, 100*tol))
+			}
+		case "lower":
+			if ceil := b.Value*(1+tol) + b.Slop; c.Value > ceil {
+				fails = append(fails, fmt.Sprintf("%s: %.4g %s is above the baseline %.4g (ceiling %.4g at %.0f%% tolerance)",
+					b.Name, c.Value, b.Unit, b.Value, ceil, 100*tol))
+			}
+		}
+	}
+	return fails
+}

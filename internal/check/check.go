@@ -21,7 +21,13 @@
 //   - the executed timeline honours the τ1/τ2/τtot dependency ordering: no
 //     SME kernel before its ME motion vectors landed at τ1, no R* work
 //     before τ2, all wave-1 work and outputs complete by τ1, and no two
-//     tasks overlap on the same simulated resource.
+//     tasks overlap on the same simulated resource;
+//   - the deferred-transfer structure of Fig. 5: SF uploads never straddle
+//     τ2 (they are Δl/σʳ/MC-prefetch work completing by τ2 or σ
+//     completions starting at it), every σ promised by the distribution
+//     appears on the wire in the τ2→τtot slack, and the R* device
+//     prefetches its MC inputs inside [τ1, τ2] and its missing best-MV
+//     field after τ2 but before the R* kernel launches.
 //
 // Validation is wired behind vcm.Manager.Check / core.Options.CheckSchedules
 // / feves.Config.CheckSchedules and the -check CLI flag, so it runs in
@@ -251,7 +257,127 @@ func Frame(topo sched.Topology, w device.Workload, d sched.Distribution,
 		vs.list = append(vs.list, err.(*Error).Violations...)
 	}
 	checkTimeline(&vs, spans, tau1, tau2, tot)
+	checkDeferredTransfers(&vs, topo, w, d, spans, tau1, tau2)
 	return vs.err()
+}
+
+// checkDeferredTransfers asserts the σ-window and R*-prefetch structure
+// of Fig. 5 on the executed timeline. The single copy engine serializes
+// every SF upload into one of two disjoint windows — Δl/σʳ/MC-prefetch
+// work completing by τ2, σ completions at or after τ2 — and the R*
+// device must prefetch its MC inputs (CF/SF) inside the τ1→τ2 slack and
+// its missing best-MV field after τ2 but before the R* kernel launches.
+func checkDeferredTransfers(vs *violations, topo sched.Topology, w device.Workload,
+	d sched.Distribution, spans []Span, tau1, tau2 float64) {
+
+	if len(spans) == 0 || len(d.M) != topo.NumDevices() {
+		return // distribution-only validation, or shape already flagged
+	}
+	p := topo.NumDevices()
+	rows := w.Rows()
+	rstar := d.RStarDev
+
+	// Per-device evidence gathered in one pass over the spans.
+	type devEv struct {
+		sigmaSF    bool    // SF.h2d starting at/after τ2
+		mcCF, mcSF bool    // CF/SF.h2d inside [τ1, τ2] (R* MC prefetch window)
+		mvPrefetch bool    // MV.h2d starting at/after τ2
+		mvPreEnd   float64 // latest end of such an MV.h2d
+		rstarStart float64 // R* kernel start (NaN if absent)
+	}
+	ev := make([]devEv, p)
+	for i := range ev {
+		ev[i].rstarStart = -1
+	}
+	for _, s := range spans {
+		kind, dev := kindOf(s.Label)
+		if dev < 0 || dev >= p {
+			continue
+		}
+		dur := s.End - s.Start
+		switch kind {
+		case "SF.h2d":
+			if s.Start < tau2-eps && s.End > tau2+eps {
+				vs.addf("time.sf-straddle-tau2",
+					"SF.h2d on device %d spans τ2 (%.6g → %.6g, τ2 %.6g): SF uploads either complete by τ2 or are σ completions after it",
+					dev, s.Start, s.End, tau2)
+			}
+			if s.Start >= tau2-eps && dur > eps {
+				ev[dev].sigmaSF = true
+				if len(d.Sigma) == p && d.Sigma[dev] == 0 {
+					vs.addf("time.sigma-unexpected",
+						"SF.h2d on device %d starts at %.6g in the τ2→τtot slack but σ[%d] = 0", dev, s.Start, dev)
+				}
+			}
+			if s.Start >= tau1-eps && s.End <= tau2+eps {
+				ev[dev].mcSF = true
+			}
+		case "CF.h2d":
+			if s.Start >= tau1-eps && s.End <= tau2+eps {
+				ev[dev].mcCF = true
+			}
+			if dev == rstar && s.Start >= tau1-eps && s.End > tau2+eps {
+				vs.addf("time.rstar-mc-prefetch",
+					"CF MC prefetch on R* device %d runs %.6g → %.6g past τ2 %.6g (MC would stall in the R* window)",
+					dev, s.Start, s.End, tau2)
+			}
+		case "MV.h2d":
+			if dev == rstar {
+				if s.Start < tau2-eps && s.End > tau2+eps {
+					vs.addf("time.rstar-mv-prefetch",
+						"MV.h2d on R* device %d spans τ2 (%.6g → %.6g, τ2 %.6g)", dev, s.Start, s.End, tau2)
+				}
+				if s.Start >= tau2-eps && dur > eps {
+					ev[dev].mvPrefetch = true
+					if s.End > ev[dev].mvPreEnd {
+						ev[dev].mvPreEnd = s.End
+					}
+				}
+			}
+		case "R*":
+			if ev[dev].rstarStart < 0 || s.Start < ev[dev].rstarStart {
+				ev[dev].rstarStart = s.Start
+			}
+		}
+	}
+
+	// σ completions promised by the distribution must appear on the wire.
+	if len(d.Sigma) == p {
+		for i, x := range d.Sigma {
+			if x > 0 && !ev[i].sigmaSF {
+				vs.addf("time.sigma-missing",
+					"σ[%d] = %d SF rows deferred to the τ2→τtot slack but device %d runs no SF.h2d at/after τ2 %.6g",
+					i, x, i, tau2)
+			}
+		}
+	}
+
+	// R* prefetch structure (GPU-centric placement only: CPU cores read
+	// host memory directly and transfer nothing).
+	if topo.IsGPU(rstar) && ev[rstar].rstarStart >= 0 {
+		if len(d.DeltaM) == p && rows-d.M[rstar]-d.DeltaM[rstar] > 0 && !ev[rstar].mcCF {
+			vs.addf("time.rstar-mc-prefetch",
+				"R* device %d misses %d CF rows for MC but runs no CF.h2d inside [τ1 %.6g, τ2 %.6g]",
+				rstar, rows-d.M[rstar]-d.DeltaM[rstar], tau1, tau2)
+		}
+		if len(d.DeltaL) == p && rows-d.L[rstar]-d.DeltaL[rstar] > 0 && !ev[rstar].mcSF {
+			vs.addf("time.rstar-mc-prefetch",
+				"R* device %d misses %d SF rows for MC but runs no SF.h2d inside [τ1 %.6g, τ2 %.6g]",
+				rstar, rows-d.L[rstar]-d.DeltaL[rstar], tau1, tau2)
+		}
+		if rows-d.S[rstar] > 0 {
+			switch {
+			case !ev[rstar].mvPrefetch:
+				vs.addf("time.rstar-mv-prefetch",
+					"R* device %d misses %d best-MV rows but runs no MV.h2d at/after τ2 %.6g",
+					rstar, rows-d.S[rstar], tau2)
+			case ev[rstar].mvPreEnd > ev[rstar].rstarStart+eps:
+				vs.addf("time.rstar-mv-prefetch",
+					"R* kernel on device %d starts at %.6g before its MV prefetch lands at %.6g",
+					rstar, ev[rstar].rstarStart, ev[rstar].mvPreEnd)
+			}
+		}
+	}
 }
 
 // kindOf splits a task label ("SME@2", "CF.h2d@0", "tau1") into its kind

@@ -167,8 +167,8 @@ func TestDistributionSigmaSlack(t *testing.T) {
 }
 
 // frameSpans builds a minimal legal timeline on the GPU of a 1-GPU + 1-core
-// topology: wave-1 kernels and outputs before τ1, SME in [τ1, τ2], R* after
-// τ2.
+// topology: wave-1 kernels and outputs before τ1, SME and the R* MC
+// prefetches in [τ1, τ2], the best-MV prefetch and R* after τ2.
 func frameSpans() ([]Span, float64, float64, float64) {
 	tau1, tau2, tot := 1.0, 2.0, 3.0
 	spans := []Span{
@@ -179,9 +179,12 @@ func frameSpans() ([]Span, float64, float64, float64) {
 		{Resource: "host", Label: "tau1", Start: tau1, End: tau1},
 		{Resource: "gpu0", Label: "SME@0", Start: tau1, End: 1.8},
 		{Resource: "host", Label: "tau2", Start: tau2, End: tau2},
-		{Resource: "gpu0", Label: "R*@0", Start: tau2, End: tot},
+		{Resource: "gpu0", Label: "R*@0", Start: 2.2, End: tot},
 		{Resource: "cpu0", Label: "ME@1", Start: 0, End: 0.8},
 		{Resource: "cpu0", Label: "SME@1", Start: tau1, End: 1.9},
+		{Resource: "gpu0.h2d", Label: "CF.h2d@0", Start: 1.2, End: 1.4}, // MC prefetch
+		{Resource: "gpu0.h2d", Label: "SF.h2d@0", Start: 1.4, End: 1.6}, // MC prefetch
+		{Resource: "gpu0.h2d", Label: "MV.h2d@0", Start: 2.0, End: 2.2}, // best-MV prefetch
 	}
 	return spans, tau1, tau2, tot
 }
@@ -240,6 +243,28 @@ func TestTimelineRejections(t *testing.T) {
 			s[1].Start = 0.2 // INT overlaps ME on gpu0
 			return s, 1, 2, 3
 		}, "time.overlap"},
+		{"SF upload straddles tau2", func(s []Span) ([]Span, float64, float64, float64) {
+			s[11].Start, s[11].End = 1.9, 2.1
+			return s, 1, 2, 3
+		}, "time.sf-straddle-tau2"},
+		{"missing MC prefetch", func(s []Span) ([]Span, float64, float64, float64) {
+			return append(s[:10], s[11:]...), 1, 2, 3 // drop the CF MC prefetch
+		}, "time.rstar-mc-prefetch"},
+		{"MC prefetch past tau2", func(s []Span) ([]Span, float64, float64, float64) {
+			s[10].Start, s[10].End = 1.8, 2.4
+			return s, 1, 2, 3
+		}, "time.rstar-mc-prefetch"},
+		{"missing MV prefetch", func(s []Span) ([]Span, float64, float64, float64) {
+			return s[:12], 1, 2, 3 // drop the best-MV prefetch
+		}, "time.rstar-mv-prefetch"},
+		{"MV prefetch lands after R* launch", func(s []Span) ([]Span, float64, float64, float64) {
+			s[12].End = 2.5 // R* starts at 2.2
+			return s, 1, 2, 3
+		}, "time.rstar-mv-prefetch"},
+		{"MV prefetch straddles tau2", func(s []Span) ([]Span, float64, float64, float64) {
+			s[12].Start = 1.7
+			return s, 1, 2, 3
+		}, "time.rstar-mv-prefetch"},
 	}
 	topo := sched.Topology{NumGPU: 1, Cores: 1}
 	w := tinyWorkload(4)
@@ -250,6 +275,49 @@ func TestTimelineRejections(t *testing.T) {
 		if !hasRule(t, err, c.rule) {
 			t.Errorf("%s: want violation of %q, got %v", c.name, c.rule, err)
 		}
+	}
+}
+
+// TestSigmaWindowRules pins the deferred-SF-completion timeline rules on
+// a CPU-centric frame: the GPU misses one SF row, completed as σ in the
+// τ2→τtot slack. The promised transfer must appear there — and an SF
+// upload in that window without a σ promise is equally illegal.
+func TestSigmaWindowRules(t *testing.T) {
+	topo := sched.Topology{NumGPU: 1, Cores: 1}
+	w := tinyWorkload(4)
+	dist := func(sigma int) sched.Distribution {
+		d := sched.Distribution{
+			M: []int{3, 1}, L: []int{3, 1}, S: []int{2, 2},
+			RStarDev: 1, // R* on the core: no R* prefetch rules apply
+			Sigma:    []int{sigma, 0}, SigmaR: []int{1 - sigma, 0},
+		}
+		d.DeltaM = sched.MSBounds(d.M, d.S, topo.IsGPU)
+		d.DeltaL = sched.LSBounds(d.L, d.S, topo.IsGPU)
+		return d
+	}
+	tau1, tau2, tot := 1.0, 2.0, 3.0
+	spans := func(withSigma bool) []Span {
+		s := []Span{
+			{Resource: "gpu0", Label: "ME@0", Start: 0, End: 0.5},
+			{Resource: "gpu0", Label: "INT@0", Start: 0.5, End: 0.9},
+			{Resource: "gpu0", Label: "SME@0", Start: tau1, End: 1.8},
+			{Resource: "cpu0", Label: "ME@1", Start: 0, End: 0.8},
+			{Resource: "cpu0", Label: "SME@1", Start: tau1, End: 1.9},
+			{Resource: "cpu0", Label: "R*@1", Start: tau2, End: tot},
+		}
+		if withSigma {
+			s = append(s, Span{Resource: "gpu0.h2d", Label: "SF.h2d@0", Start: 2.0, End: 2.3})
+		}
+		return s
+	}
+	if err := Frame(topo, w, dist(1), nil, spans(true), tau1, tau2, tot); err != nil {
+		t.Fatalf("valid σ completion rejected: %v", err)
+	}
+	if err := Frame(topo, w, dist(1), nil, spans(false), tau1, tau2, tot); !hasRule(t, err, "time.sigma-missing") {
+		t.Fatalf("want time.sigma-missing, got %v", err)
+	}
+	if err := Frame(topo, w, dist(0), nil, spans(true), tau1, tau2, tot); !hasRule(t, err, "time.sigma-unexpected") {
+		t.Fatalf("want time.sigma-unexpected, got %v", err)
 	}
 }
 

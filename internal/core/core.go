@@ -16,6 +16,7 @@ import (
 	"feves/internal/h264"
 	"feves/internal/h264/codec"
 	"feves/internal/h264/rd"
+	"feves/internal/lp"
 	"feves/internal/sched"
 	"feves/internal/telemetry"
 	"feves/internal/vcm"
@@ -82,7 +83,9 @@ type Result struct {
 	// Timing is the simulated inter-loop execution (zero for intra frames,
 	// which the paper excludes from the balanced inter-loop).
 	Timing vcm.FrameTiming
-	// Distribution is the row assignment used.
+	// Distribution is the row assignment used. Its slices alias storage the
+	// balancer reuses across frames; they stay valid until the second
+	// following EncodeNext call. Callers keeping them longer must copy.
 	Distribution sched.Distribution
 	// SchedOverhead is the real wall-clock cost of the balancing decision
 	// (the paper's <2 ms claim, experiment E6).
@@ -102,10 +105,17 @@ type Framework struct {
 	bal       sched.Balancer
 	enc       *codec.Encoder
 	health    *sched.Health // nil unless DeadlineSlack > 0
-	prev      []int         // σʳ carried between frames
+	prev      []int         // σʳ carried between frames (framework-owned copy)
 	frame     int           // frames processed (display order)
 	lastIntra int           // display index of the most recent intra frame
 	retries   int           // frames re-run by the failover path
+
+	// Per-frame audit scratch, reused so the telemetry path adds no
+	// steady-state allocations to the frame loop.
+	snapBefore sched.ModelSnapshot
+	snapAfter  sched.ModelSnapshot
+	drifts     []sched.KDrift
+	dd         []telemetry.DeviceDrift
 }
 
 // New builds a framework for the given options — Algorithm 1 lines 1–2:
@@ -156,6 +166,16 @@ func New(opts Options) (*Framework, error) {
 
 // Topology returns the scheduled device topology.
 func (f *Framework) Topology() sched.Topology { return f.topo }
+
+// SolverStats returns the cumulative LP solver counters of the
+// framework's balancer — warm/cold solves, pivots — for the benchmark
+// harness and telemetry. Non-LP balancers report zero stats.
+func (f *Framework) SolverStats() lp.Stats {
+	if b, ok := f.bal.(*sched.LPBalancer); ok {
+		return b.SolverStats()
+	}
+	return lp.Stats{}
+}
 
 // SetPlatform re-targets the framework onto a different device set
 // between frames — the multi-tenant pool's lease-change path. The
@@ -263,7 +283,6 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		d        sched.Distribution
 		ft       vcm.FrameTiming
 		overhead time.Duration
-		before   sched.ModelSnapshot
 	)
 	for attempt := 0; ; attempt++ {
 		if f.health != nil {
@@ -286,7 +305,7 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		// Bracket the Video Coding Manager's EWMA feedback with model
 		// snapshots so the audit can report the drift this frame caused.
 		if tel.Enabled() {
-			before = f.pm.Snapshot()
+			f.pm.SnapshotInto(&f.snapBefore)
 		}
 		ft, err = f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev, cf)
 		if err == nil {
@@ -316,7 +335,9 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 			}
 		}
 	}
-	f.prev = d.SigmaR
+	// d.SigmaR aliases balancer-owned double-buffered storage; copy it into
+	// the framework's own carry buffer so next frame's read is safe.
+	f.prev = append(f.prev[:0], d.SigmaR...)
 	f.frame++
 	res := Result{
 		FrameIndex:    idx,
@@ -326,7 +347,7 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		Stats:         ft.Stats,
 	}
 	if tel.Enabled() {
-		f.emitFrameTelemetry(tel, res, before)
+		f.emitFrameTelemetry(tel, res)
 	}
 	return res, nil
 }
@@ -377,22 +398,25 @@ func firstUp(topo sched.Topology) int {
 // emitFrameTelemetry converts one inter-frame result into the sink's
 // frame-end record and, for model-driven decisions, the balancer audit
 // pairing the predicted τtot with the measured one.
-func (f *Framework) emitFrameTelemetry(tel *telemetry.Telemetry, r Result, before sched.ModelSnapshot) {
+func (f *Framework) emitFrameTelemetry(tel *telemetry.Telemetry, r Result) {
 	if r.Stats.Intra {
 		// The encoder's scene-cut detector switched to intra mid-pipeline.
 		tel.Mark("scene_cut", r.FrameIndex)
 	}
 	if r.Distribution.PredTot > 0 {
-		drifts := before.Drift(f.pm.Snapshot())
-		dd := make([]telemetry.DeviceDrift, len(drifts))
-		for i, d := range drifts {
-			dd[i] = telemetry.DeviceDrift{Device: d.Device, Module: d.Module.String(),
-				Before: d.Before, After: d.After, Rel: d.Rel}
+		// The sink serializes records synchronously, so the drift scratch
+		// can be reused next frame.
+		f.pm.SnapshotInto(&f.snapAfter)
+		f.drifts = f.snapBefore.DriftInto(f.drifts, f.snapAfter)
+		f.dd = f.dd[:0]
+		for _, d := range f.drifts {
+			f.dd = append(f.dd, telemetry.DeviceDrift{Device: d.Device, Module: d.Module.String(),
+				Before: d.Before, After: d.After, Rel: d.Rel})
 		}
 		tel.Audit(telemetry.AuditRecord{
 			Frame: r.FrameIndex, Balancer: f.bal.Name(),
 			PredTot: r.Distribution.PredTot, Measured: r.Timing.Tot,
-			Drift: dd,
+			Drift: f.dd,
 		})
 	}
 	tel.FrameEnd(telemetry.FrameRecord{

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"feves/internal/device"
+)
+
+// TestFrameLoopZeroAllocs asserts the tentpole's end-to-end contract:
+// once the model has converged, a full timing-only EncodeNext — LP
+// balance with a warm solver, schedule build on the recycled simulator,
+// model update, result assembly — allocates nothing per frame.
+func TestFrameLoopZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	fw, err := New(timingOpts(device.SysNFF(), 32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		if _, err := fw.EncodeNext(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The EWMA model keeps shifting the distribution — and with it the
+	// per-frame task shapes — for a few dozen frames; every new shape can
+	// grow a retained buffer once. Steady state needs the model converged.
+	for i := 0; i < 40; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Fatalf("steady-state EncodeNext allocates %v per frame, want 0", n)
+	}
+}
+
+// BenchmarkSimulatedFrame measures the whole per-frame framework cost in
+// timing-only mode: Algorithm 1's iterative phase end to end. This is
+// the headline number of the benchmark-regression harness.
+func BenchmarkSimulatedFrame(b *testing.B) {
+	fw, err := New(timingOpts(device.SysNFF(), 32, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := fw.EncodeNext(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.EncodeNext(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,10 +6,17 @@
 //	subject to  A_i·x {≤,=,≥} b_i,   x ≥ 0
 //
 // Phase 1 finds a basic feasible solution with artificial variables;
-// phase 2 optimizes the real objective. Bland's rule guarantees
-// termination. The solver is stdlib-only and sized for the small problems
-// the balancer produces (tens of variables and constraints per frame),
-// where its runtime is far below the paper's 2 ms scheduling budget.
+// phase 2 optimizes the real objective. Pricing is Dantzig's rule
+// (steepest reduced cost) with an automatic switch to Bland's rule after
+// a bounded run of degenerate pivots, which guarantees termination. The
+// solver is stdlib-only and sized for the small problems the balancer
+// produces (tens of variables and constraints per frame), where its
+// runtime is far below the paper's 2 ms scheduling budget.
+//
+// The balancer re-solves a near-identical LP every frame, so Solver
+// retains its tableau, basis, and scratch vectors across calls and
+// warm-starts from the previous optimal basis when the problem shape is
+// unchanged; Problem.Solve remains a one-shot convenience wrapper.
 package lp
 
 import (
@@ -86,11 +93,13 @@ func equilibrate(v []float64, rhs ...*float64) {
 	}
 }
 
-// Problem is a linear program under construction.
+// Problem is a linear program under construction. Constraint storage is
+// a single flat row-major slice so that a Problem reset and rebuilt every
+// frame reaches a steady state with no per-frame allocations.
 type Problem struct {
 	n    int
 	c    []float64
-	rows [][]float64
+	a    []float64 // m rows × n coefficients, row-major
 	sens []Sense
 	rhs  []float64
 }
@@ -98,10 +107,26 @@ type Problem struct {
 // New creates a problem with nvars non-negative variables and a zero
 // objective.
 func New(nvars int) *Problem {
+	p := &Problem{}
+	p.Reset(nvars)
+	return p
+}
+
+// Reset clears the problem back to nvars variables, a zero objective and
+// no constraints, retaining the underlying storage so a rebuilt problem
+// of the same shape allocates nothing.
+func (p *Problem) Reset(nvars int) {
 	if nvars <= 0 {
 		panic("lp: need at least one variable")
 	}
-	return &Problem{n: nvars, c: make([]float64, nvars)}
+	p.n = nvars
+	p.c = growF(p.c, nvars)
+	for i := range p.c {
+		p.c[i] = 0
+	}
+	p.a = p.a[:0]
+	p.sens = p.sens[:0]
+	p.rhs = p.rhs[:0]
 }
 
 // NumVars returns the number of variables.
@@ -125,242 +150,54 @@ func (p *Problem) Add(a []float64, s Sense, b float64) {
 	if len(a) > p.n {
 		panic(fmt.Sprintf("lp: constraint has %d coefficients for %d variables", len(a), p.n))
 	}
-	row := make([]float64, p.n)
-	copy(row, a)
-	p.rows = append(p.rows, row)
+	off := len(p.a)
+	if cap(p.a) >= off+p.n {
+		p.a = p.a[:off+p.n]
+		for i := off; i < off+p.n; i++ {
+			p.a[i] = 0
+		}
+	} else {
+		p.a = append(p.a, make([]float64, p.n)...)
+	}
+	copy(p.a[off:], a)
 	p.sens = append(p.sens, s)
 	p.rhs = append(p.rhs, b)
 }
 
 // NumConstraints returns the number of constraints added so far.
-func (p *Problem) NumConstraints() int { return len(p.rows) }
+func (p *Problem) NumConstraints() int { return len(p.sens) }
+
+// row returns constraint i's coefficient vector.
+func (p *Problem) row(i int) []float64 { return p.a[i*p.n : (i+1)*p.n] }
 
 // Solve runs two-phase simplex and returns an optimal x and objective.
+// It is a one-shot wrapper over a fresh Solver; callers solving a
+// sequence of related problems should hold a Solver to reuse scratch
+// memory and warm-start from the previous basis.
 func (p *Problem) Solve() ([]float64, float64, error) {
-	m := len(p.rows)
-	if m == 0 {
-		// Unconstrained: x = 0 is optimal unless some cost is negative,
-		// in which case the problem is unbounded below.
-		for _, ci := range p.c {
-			if ci < -eps {
-				return nil, 0, ErrUnbounded
-			}
-		}
-		return make([]float64, p.n), 0, nil
-	}
-
-	// Normalize to b >= 0 and count extra columns.
-	rows := make([][]float64, m)
-	sens := make([]Sense, m)
-	rhs := make([]float64, m)
-	for i := range p.rows {
-		rows[i] = append([]float64(nil), p.rows[i]...)
-		sens[i] = p.sens[i]
-		rhs[i] = p.rhs[i]
-		if rhs[i] < 0 {
-			for j := range rows[i] {
-				rows[i][j] = -rows[i][j]
-			}
-			rhs[i] = -rhs[i]
-			switch sens[i] {
-			case LE:
-				sens[i] = GE
-			case GE:
-				sens[i] = LE
-			}
-		}
-		equilibrate(rows[i], &rhs[i])
-	}
-	nSlack, nArt := 0, 0
-	for _, s := range sens {
-		switch s {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-	ncols := p.n + nSlack + nArt
-	t := make([][]float64, m) // tableau rows, last entry is rhs
-	for i := range t {
-		t[i] = make([]float64, ncols+1)
-		copy(t[i], rows[i])
-		t[i][ncols] = rhs[i]
-	}
-	basis := make([]int, m)
-	artCol := p.n + nSlack // first artificial column
-	si, ai := p.n, artCol
-	isArt := make([]bool, ncols)
-	for i, s := range sens {
-		switch s {
-		case LE:
-			t[i][si] = 1
-			basis[i] = si
-			si++
-		case GE:
-			t[i][si] = -1
-			si++
-			t[i][ai] = 1
-			basis[i] = ai
-			isArt[ai] = true
-			ai++
-		case EQ:
-			t[i][ai] = 1
-			basis[i] = ai
-			isArt[ai] = true
-			ai++
-		}
-	}
-
-	// Phase 1: minimize the sum of artificials.
-	if nArt > 0 {
-		c1 := make([]float64, ncols)
-		for j := artCol; j < ncols; j++ {
-			c1[j] = 1
-		}
-		obj, err := simplex(t, basis, c1)
-		if err != nil {
-			return nil, 0, err
-		}
-		if obj > feasTol {
-			return nil, 0, ErrInfeasible
-		}
-		// Drive remaining artificials out of the basis.
-		for i, b := range basis {
-			if b < artCol {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < artCol; j++ {
-				if math.Abs(t[i][j]) > eps {
-					pivot(t, basis, i, j)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row: zero it so it never pivots again.
-				for j := range t[i] {
-					t[i][j] = 0
-				}
-				basis[i] = -1
-			}
-		}
-		// Forbid artificial columns in phase 2.
-		for i := range t {
-			for j := artCol; j < ncols; j++ {
-				t[i][j] = 0
-			}
-		}
-	}
-
-	// Phase 2: the real objective (zero cost on slack columns). The cost
-	// vector is equilibrated like the rows — scaling the objective by a
-	// positive constant moves no vertex, and the returned objective value
-	// is recomputed from the caller's coefficients below.
-	c2 := make([]float64, ncols)
-	copy(c2, p.c)
-	equilibrate(c2[:p.n])
-	if _, err := simplex(t, basis, c2); err != nil {
-		return nil, 0, err
-	}
-
-	x := make([]float64, p.n)
-	for i, b := range basis {
-		if b >= 0 && b < p.n {
-			x[b] = t[i][ncols]
-		}
-	}
-	var obj float64
-	for j, cj := range p.c {
-		obj += cj * x[j]
-	}
-	return x, obj, nil
+	var s Solver
+	return s.Solve(p)
 }
 
-// simplex optimizes the tableau in place for cost vector c, returning the
-// achieved objective. Bland's rule (smallest eligible index) prevents
-// cycling.
-func simplex(t [][]float64, basis []int, c []float64) (float64, error) {
-	m := len(t)
-	ncols := len(c)
-	red := make([]float64, ncols)
-	for iter := 0; ; iter++ {
-		if iter > 20000 {
-			return 0, errors.New("lp: iteration limit exceeded")
-		}
-		// Reduced costs: c_j − c_B·B⁻¹A_j, computed from the tableau.
-		copy(red, c)
-		for i, b := range basis {
-			if b < 0 {
-				continue
-			}
-			cb := c[b]
-			if cb == 0 {
-				continue
-			}
-			for j := 0; j < ncols; j++ {
-				red[j] -= cb * t[i][j]
-			}
-		}
-		// Entering column: smallest index with negative reduced cost.
-		enter := -1
-		for j := 0; j < ncols; j++ {
-			if red[j] < -eps {
-				enter = j
-				break
-			}
-		}
-		if enter < 0 {
-			var obj float64
-			for i, b := range basis {
-				if b >= 0 {
-					obj += c[b] * t[i][ncols]
-				}
-			}
-			return obj, nil
-		}
-		// Leaving row: minimum ratio, ties by smallest basis index.
-		leave := -1
-		best := math.Inf(1)
-		for i := 0; i < m; i++ {
-			if basis[i] < 0 || t[i][enter] <= eps {
-				continue
-			}
-			ratio := t[i][ncols] / t[i][enter]
-			if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave < 0 || basis[i] < basis[leave])) {
-				best = ratio
-				leave = i
-			}
-		}
-		if leave < 0 {
-			return 0, ErrUnbounded
-		}
-		pivot(t, basis, leave, enter)
+// growF returns s resized to n entries, reusing its backing array when
+// large enough. Contents are unspecified.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
+	return s[:n]
 }
 
-// pivot makes column enter basic in row leave.
-func pivot(t [][]float64, basis []int, leave, enter int) {
-	row := t[leave]
-	pv := row[enter]
-	for j := range row {
-		row[j] /= pv
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
-	for i := range t {
-		if i == leave {
-			continue
-		}
-		f := t[i][enter]
-		if f == 0 {
-			continue
-		}
-		for j := range t[i] {
-			t[i][j] -= f * row[j]
-		}
+	return s[:n]
+}
+
+func growSens(s []Sense, n int) []Sense {
+	if cap(s) < n {
+		return make([]Sense, n)
 	}
-	basis[leave] = enter
+	return s[:n]
 }

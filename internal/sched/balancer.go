@@ -72,6 +72,45 @@ type LPBalancer struct {
 
 	prev     *Distribution
 	prevRows int
+
+	// Retained scratch. Distribute is called every frame, so everything
+	// below — the LP problems and solvers, the rounding/bounds work
+	// vectors, and the distribution buffers themselves — persists across
+	// calls; the steady state allocates nothing. The output buffers are
+	// double-buffered (gen/genIdx) so the Distribution returned by one
+	// call stays intact while the next call computes its successor.
+	//
+	// One solver per Δ fixed-point iteration: the Δ vectors restart from
+	// zero every frame and may cycle instead of converging, so the LP of
+	// iteration i resembles iteration i of the *previous frame* far more
+	// than the solve immediately before it. Indexing solvers by iteration
+	// lets every one of them warm-start from its own counterpart.
+	solvers        []lp.Solver
+	prob           *lp.Problem
+	rowBuf         []float64
+	deltaM, deltaL []int
+	nm, nl         []int
+	zeroSR         []int
+	rs             roundScratch
+	bs             boundsScratch
+	gen            [2]distBufs
+	genIdx         int
+	hprev          Distribution // hysteresis incumbent (owns its slices)
+}
+
+// distBufs is one generation of output buffers for a Distribution.
+type distBufs struct {
+	m, l, s, sigma, sigmaR, dm, dl []int
+}
+
+func (g *distBufs) size(p int) {
+	g.m = growInts(g.m, p)
+	g.l = growInts(g.l, p)
+	g.s = growInts(g.s, p)
+	g.sigma = growInts(g.sigma, p)
+	g.sigmaR = growInts(g.sigmaR, p)
+	g.dm = growInts(g.dm, p)
+	g.dl = growInts(g.dl, p)
 }
 
 // Name implements Balancer.
@@ -82,7 +121,28 @@ func (b *LPBalancer) Name() string {
 	return "lp"
 }
 
-// Distribute implements Balancer.
+// SolverStats returns the cumulative counters of the balancer's LP
+// solvers — total, warm and cold solves, pivots — summed across the
+// per-iteration solver slots, for telemetry and the benchmark harness.
+func (b *LPBalancer) SolverStats() lp.Stats {
+	var s lp.Stats
+	for i := range b.solvers {
+		st := b.solvers[i].Stats()
+		s.Solves += st.Solves
+		s.WarmSolves += st.WarmSolves
+		s.ColdSolves += st.ColdSolves
+		s.WarmRejects += st.WarmRejects
+		s.Pivots += st.Pivots
+		s.DegeneratePivots += st.DegeneratePivots
+		s.BlandPivots += st.BlandPivots
+	}
+	return s
+}
+
+// Distribute implements Balancer. The returned Distribution's slices
+// alias buffers owned by the balancer and double-buffered across calls:
+// a result stays valid while the *next* frame is being distributed, but
+// no longer — callers retaining a distribution must copy its vectors.
 func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload, prevSigmaR []int) (Distribution, error) {
 	rows := w.Rows()
 	if !pm.Ready() {
@@ -93,38 +153,74 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 		return Distribution{}, fmt.Errorf("sched: model has %d devices, topology %d", pm.NumDevices(), p)
 	}
 	if prevSigmaR == nil {
-		prevSigmaR = make([]int, p)
+		b.zeroSR = growInts(b.zeroSR, p)
+		for i := range b.zeroSR {
+			b.zeroSR[i] = 0
+		}
+		prevSigmaR = b.zeroSR
 	}
 	iters := b.MaxIters
 	if iters <= 0 {
 		iters = 4
 	}
+	if len(b.solvers) < iters {
+		ns := make([]lp.Solver, iters)
+		copy(ns, b.solvers)
+		for i := len(b.solvers); i < iters; i++ {
+			// The balancer's LPs are riddled with alternative optima
+			// (identical devices make whole variable blocks symmetric),
+			// and the executed schedule is sensitive to which tied vertex
+			// the solver returns. Bland pricing keeps the solver's
+			// canonical vertex choice stable across solver versions;
+			// per-frame speed comes from warm-starting, not from pricing.
+			ns[i].Pricing = lp.PricingBland
+		}
+		b.solvers = ns
+	}
 	rstar := PlaceRStar(pm, topo, rows)
 
-	deltaM := make([]int, p)
-	deltaL := make([]int, p)
+	g := &b.gen[b.genIdx]
+	b.genIdx = 1 - b.genIdx
+	g.size(p)
+	b.deltaM = growInts(b.deltaM, p)
+	b.deltaL = growInts(b.deltaL, p)
+	b.nm = growInts(b.nm, p)
+	b.nl = growInts(b.nl, p)
+	deltaM, deltaL := b.deltaM, b.deltaL
+	for i := 0; i < p; i++ {
+		deltaM[i], deltaL[i] = 0, 0
+	}
+
 	var d Distribution
 	for it := 0; it < iters; it++ {
-		x, err := solveLP(pm, topo, w, rstar, deltaM, deltaL, prevSigmaR)
+		x, err := b.solveLP(it, pm, topo, w, rstar, deltaM, deltaL, prevSigmaR)
 		if err != nil {
 			return Distribution{}, err
 		}
-		d = roundSolution(x, p, rows, rstar)
-		var nm, nl []int
-		if b.NoReuse {
-			nm = fullFetch(d.S, topo.IsGPU)
-			nl = fullFetch(d.S, topo.IsGPU)
-		} else {
-			nm = MSBounds(d.M, d.S, topo.IsGPU)
-			nl = LSBounds(d.L, d.S, topo.IsGPU)
+		roundPreservingSumInto(g.m, x[0:p], rows, &b.rs)
+		roundPreservingSumInto(g.l, x[p:2*p], rows, &b.rs)
+		roundPreservingSumInto(g.s, x[2*p:3*p], rows, &b.rs)
+		d = Distribution{
+			M: g.m, L: g.l, S: g.s,
+			RStarDev: rstar,
+			PredTau1: x[3*p], PredTau2: x[3*p+1], PredTot: x[3*p+2],
 		}
-		if intsEqual(nm, deltaM) && intsEqual(nl, deltaL) {
-			deltaM, deltaL = nm, nl
+		if b.NoReuse {
+			fullFetchInto(b.nm, g.s, topo.IsGPU)
+			fullFetchInto(b.nl, g.s, topo.IsGPU)
+		} else {
+			boundsBetweenInto(b.nm, g.m, g.s, topo.IsGPU, &b.bs)
+			boundsBetweenInto(b.nl, g.l, g.s, topo.IsGPU, &b.bs)
+		}
+		if intsEqual(b.nm, deltaM) && intsEqual(b.nl, deltaL) {
 			break
 		}
-		deltaM, deltaL = nm, nl
+		copy(deltaM, b.nm)
+		copy(deltaL, b.nl)
 	}
-	d.DeltaM, d.DeltaL = deltaM, deltaL
+	copy(g.dm, b.nm)
+	copy(g.dl, b.nl)
+	d.DeltaM, d.DeltaL = g.dm, g.dl
 
 	// Hysteresis: prefer the incumbent distribution when the new solution
 	// is not a real improvement under the current measurements. An
@@ -134,43 +230,58 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 		len(b.prev.M) == p && b.prev.RStarDev == rstar && !assignsToDown(b.prev, topo) {
 		_, _, prevTot := PredictTimes(pm, topo, w, *b.prev, prevSigmaR)
 		if prevTot <= d.PredTot*(1+b.Hysteresis) {
-			d.M = append([]int(nil), b.prev.M...)
-			d.L = append([]int(nil), b.prev.L...)
-			d.S = append([]int(nil), b.prev.S...)
-			d.DeltaM = MSBounds(d.M, d.S, topo.IsGPU)
-			d.DeltaL = LSBounds(d.L, d.S, topo.IsGPU)
+			copy(g.m, b.prev.M)
+			copy(g.l, b.prev.L)
+			copy(g.s, b.prev.S)
+			boundsBetweenInto(g.dm, g.m, g.s, topo.IsGPU, &b.bs)
+			boundsBetweenInto(g.dl, g.l, g.s, topo.IsGPU, &b.bs)
 			t1, t2, tot := PredictTimes(pm, topo, w, d, prevSigmaR)
 			d.PredTau1, d.PredTau2, d.PredTot = t1, t2, tot
-			deltaM, deltaL = d.DeltaM, d.DeltaL
 		}
 	}
 
 	// Constraints (14)/(15): size the deferred SF completion transfers to
 	// fit the τ2→τtot slack.
-	d.Sigma = make([]int, p)
-	d.SigmaR = make([]int, p)
+	for i := 0; i < p; i++ {
+		g.sigma[i], g.sigmaR[i] = 0, 0
+	}
+	d.Sigma, d.SigmaR = g.sigma, g.sigmaR
 	slack := d.PredTot - d.PredTau2
 	for i := 0; i < p; i++ {
 		if !topo.IsGPU(i) || i == rstar || topo.IsDown(i) {
 			continue
 		}
-		missing := rows - d.L[i] - deltaL[i]
-		d.Sigma[i], d.SigmaR[i] = SigmaSplit(missing, slack, pm.T(i, SFh2d))
+		missing := rows - d.L[i] - d.DeltaL[i]
+		g.sigma[i], g.sigmaR[i] = SigmaSplit(missing, slack, pm.T(i, SFh2d))
 	}
 	if err := d.Validate(rows); err != nil {
 		return Distribution{}, err
 	}
 	if b.Hysteresis > 0 {
-		keep := d
-		b.prev = &keep
+		b.hprev.M = append(b.hprev.M[:0], d.M...)
+		b.hprev.L = append(b.hprev.L[:0], d.L...)
+		b.hprev.S = append(b.hprev.S[:0], d.S...)
+		b.hprev.Sigma = append(b.hprev.Sigma[:0], d.Sigma...)
+		b.hprev.SigmaR = append(b.hprev.SigmaR[:0], d.SigmaR...)
+		b.hprev.DeltaM = append(b.hprev.DeltaM[:0], d.DeltaM...)
+		b.hprev.DeltaL = append(b.hprev.DeltaL[:0], d.DeltaL...)
+		b.hprev.RStarDev = d.RStarDev
+		b.hprev.PredTau1, b.hprev.PredTau2, b.hprev.PredTot = d.PredTau1, d.PredTau2, d.PredTot
+		b.prev = &b.hprev
 		b.prevRows = rows
 	}
 	return d, nil
 }
 
 // solveLP builds and solves one instance of Algorithm 2's linear program
-// with the Δ terms held constant.
-func solveLP(pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM, deltaL, prevSigmaR []int) ([]float64, error) {
+// with the Δ terms held constant. The problem is rebuilt into retained
+// storage and handed to the retained solver for fixed-point iteration
+// `it`, which warm-starts from the same iteration's optimal basis of the
+// previous frame whenever the problem shape is unchanged (health
+// exclusions change the constraint senses, forcing — correctly — a cold
+// solve). The returned vector aliases solver scratch valid until that
+// solver's next solve.
+func (b *LPBalancer) solveLP(it int, pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM, deltaL, prevSigmaR []int) ([]float64, error) {
 	p := topo.NumDevices()
 	rows := w.Rows()
 	n := float64(rows)
@@ -181,7 +292,12 @@ func solveLP(pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM,
 	t1, t2, tot := 3*p, 3*p+1, 3*p+2
 	nv := 3*p + 3
 
-	prob := lp.New(nv)
+	if b.prob == nil {
+		b.prob = lp.New(nv)
+	} else {
+		b.prob.Reset(nv)
+	}
+	prob := b.prob
 	// Objective: minimize τtot. The tiny weights on τ1 and τ2 break ties
 	// among alternative optima toward schedules with early synchronization
 	// points, which also overlap better in the measured execution.
@@ -189,13 +305,19 @@ func solveLP(pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM,
 	prob.Coef(t1, 1e-3)
 	prob.Coef(t2, 1e-3)
 
-	row := func() []float64 { return make([]float64, nv) }
+	b.rowBuf = growFloats(b.rowBuf, nv)
+	row := func() []float64 {
+		for i := range b.rowBuf {
+			b.rowBuf[i] = 0
+		}
+		return b.rowBuf
+	}
 
 	// (1) ∑m = ∑l = ∑s = N.
-	for _, vf := range []func(int) int{vm, vl, vs} {
+	for blk := 0; blk < 3; blk++ {
 		a := row()
 		for i := 0; i < p; i++ {
-			a[vf(i)] = 1
+			a[blk*p+i] = 1
 		}
 		prob.Add(a, lp.EQ, n)
 	}
@@ -302,37 +424,24 @@ func solveLP(pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM,
 			prob.Add(a, lp.LE, -dl*ksfh-dm*kmvh)
 		}
 	}
-	x, _, err := prob.Solve()
+	x, _, err := b.solvers[it].Solve(prob)
 	if err != nil {
 		return nil, fmt.Errorf("sched: load-balancing LP: %w", err)
 	}
 	return x, nil
 }
 
-// roundSolution converts the LP's fractional solution to integer row
-// counts preserving the per-module totals.
-func roundSolution(x []float64, p, rows, rstar int) Distribution {
-	return Distribution{
-		M:        roundPreservingSum(x[0:p], rows),
-		L:        roundPreservingSum(x[p:2*p], rows),
-		S:        roundPreservingSum(x[2*p:3*p], rows),
-		RStarDev: rstar,
-		PredTau1: x[3*p],
-		PredTau2: x[3*p+1],
-		PredTot:  x[3*p+2],
-	}
-}
-
-// fullFetch returns Δ = s_i for every accelerator: the no-data-reuse
-// baseline, where SME inputs are always transferred in full.
-func fullFetch(s []int, isGPU func(int) bool) []int {
-	out := make([]int, len(s))
+// fullFetchInto writes Δ = s_i for every accelerator into out: the
+// no-data-reuse baseline, where SME inputs are always transferred in
+// full.
+func fullFetchInto(out, s []int, isGPU func(int) bool) {
 	for i, v := range s {
 		if isGPU(i) {
 			out[i] = v
+		} else {
+			out[i] = 0
 		}
 	}
-	return out
 }
 
 // assignsToDown reports whether a distribution gives any rows (or R*) to

@@ -48,13 +48,36 @@ func (d *Distribution) Validate(rows int) error {
 // rows [off[i], off[i]+v[i]). Devices are enumerated in platform order, as
 // the paper's Data Access Management assumes.
 func Offsets(v []int) []int {
-	off := make([]int, len(v))
+	return OffsetsInto(nil, v)
+}
+
+// OffsetsInto writes the prefix offsets of v into dst (reusing its backing
+// array when large enough) and returns it — the zero-allocation variant
+// for per-frame callers.
+func OffsetsInto(dst []int, v []int) []int {
+	dst = growInts(dst, len(v))
 	acc := 0
 	for i, x := range v {
-		off[i] = acc
+		dst[i] = acc
 		acc += x
 	}
-	return off
+	return dst
+}
+
+// growInts returns s resized to n entries, reusing its backing array
+// when large enough. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Equidistant returns the initialization-phase distribution of Algorithm 1
@@ -119,14 +142,32 @@ func EquidistantExcluding(n, rows, rstarDev int, down []bool) Distribution {
 	return d
 }
 
+// roundScratch holds the work vectors of roundPreservingSumInto so a
+// caller rounding every frame reaches a steady state with no
+// allocations.
+type roundScratch struct {
+	fracIdx []int
+	fracs   []float64
+}
+
 // roundPreservingSum rounds a fractional row vector to integers that sum
 // exactly to rows, assigning the leftover units to the largest fractional
 // parts (deterministic ties by lower index).
 func roundPreservingSum(x []float64, rows int) []int {
+	var sc roundScratch
+	out := make([]int, len(x))
+	roundPreservingSumInto(out, x, rows, &sc)
+	return out
+}
+
+// roundPreservingSumInto is roundPreservingSum writing into out
+// (len(out) == len(x)) with caller-retained scratch.
+func roundPreservingSumInto(out []int, x []float64, rows int, sc *roundScratch) {
 	n := len(x)
-	out := make([]int, n)
-	fracIdx := make([]int, n)
-	fracs := make([]float64, n)
+	sc.fracIdx = growInts(sc.fracIdx, n)
+	sc.fracs = growFloats(sc.fracs, n)
+	fracIdx := sc.fracIdx
+	fracs := sc.fracs
 	total := 0
 	for i, v := range x {
 		if v < 0 {
@@ -168,7 +209,6 @@ func roundPreservingSum(x []float64, rows int) []int {
 		out[big]--
 		rem++
 	}
-	return out
 }
 
 // overlap returns the length of the intersection of [a0, a1) and [b0, b1).
@@ -202,19 +242,34 @@ func LSBounds(l, s []int, isGPU func(int) bool) []int {
 }
 
 func boundsBetween(have, need []int, isGPU func(int) bool) []int {
+	var sc boundsScratch
+	out := make([]int, len(have))
+	boundsBetweenInto(out, have, need, isGPU, &sc)
+	return out
+}
+
+// boundsScratch holds the prefix-offset vectors of boundsBetweenInto.
+type boundsScratch struct {
+	offH, offN []int
+}
+
+// boundsBetweenInto is boundsBetween writing into out with
+// caller-retained scratch. Non-GPU entries are zeroed.
+func boundsBetweenInto(out, have, need []int, isGPU func(int) bool, sc *boundsScratch) {
 	if len(have) != len(need) {
 		panic("sched: bounds vectors of different lengths")
 	}
-	offH, offN := Offsets(have), Offsets(need)
-	out := make([]int, len(have))
+	sc.offH = OffsetsInto(sc.offH, have)
+	sc.offN = OffsetsInto(sc.offN, need)
+	offH, offN := sc.offH, sc.offN
 	for i := range have {
 		if !isGPU(i) {
+			out[i] = 0
 			continue
 		}
 		ov := overlap(offN[i], offN[i]+need[i], offH[i], offH[i]+have[i])
 		out[i] = need[i] - ov
 	}
-	return out
 }
 
 // SigmaSplit implements constraints (14) and (15): given the τ2→τtot slack

@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"feves/internal/device"
+)
+
+// driftModel nudges every characterized speed by a small deterministic
+// factor, as frame-to-frame jitter does, so successive Distribute calls
+// see a near-identical but not identical model.
+func driftModel(pm *PerfModel, w device.Workload, f float64) {
+	for i := 0; i < pm.NumDevices(); i++ {
+		for _, m := range []Module{ModME, ModINT, ModSME} {
+			if v := pm.K(i, m); !math.IsNaN(v) {
+				rows := 1
+				if m == ModME || m == ModSME {
+					pm.ObserveCompute(i, m, rows, w.UsableRF, v*float64(w.UsableRF)*f)
+				} else {
+					pm.ObserveCompute(i, m, rows, 1, v*f)
+				}
+			}
+		}
+	}
+}
+
+// TestBalancerStepZeroAllocs asserts the tentpole's steady-state
+// contract at the scheduling layer: after the first two frames size every
+// retained buffer, one full LP balancing step — warm LP solve, rounding,
+// bounds, σ/σʳ split, double-buffered result — allocates nothing.
+func TestBalancerStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	w := wl(32, 1)
+	pm, topo := modelFor(device.SysNFF(), w)
+	b := &LPBalancer{}
+	var prev []int
+	step := func() {
+		d, err := b.Distribute(pm, topo, w, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = append(prev[:0], d.SigmaR...)
+	}
+	step() // sizes the scratch (cold LP, buffer growth)
+	step() // first warm frame
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Fatalf("steady-state balancer step allocates %v per call, want 0", n)
+	}
+	if st := b.SolverStats(); st.WarmSolves == 0 {
+		t.Fatalf("steady-state loop never warm-solved: %+v", st)
+	}
+}
+
+// TestBalancerWarmRate pins the warm-start hit rate on a drifting model:
+// on a fixed topology every LP after the first must reuse the previous
+// basis (the whole point of retaining the solver).
+func TestBalancerWarmRate(t *testing.T) {
+	w := wl(32, 2)
+	pm, topo := modelFor(device.SysHK(), w)
+	b := &LPBalancer{}
+	var prev []int
+	for frame := 0; frame < 50; frame++ {
+		driftModel(pm, w, 1+0.02*float64(frame%5-2))
+		d, err := b.Distribute(pm, topo, w, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(w.Rows()); err != nil {
+			t.Fatal(err)
+		}
+		prev = append(prev[:0], d.SigmaR...)
+	}
+	st := b.SolverStats()
+	if st.Solves == 0 || float64(st.WarmSolves) < 0.9*float64(st.Solves-1) {
+		t.Fatalf("warm rate too low: %+v", st)
+	}
+}
+
+// TestWarmAgreesWithColdUnderChurn drives a long-lived (warm-starting)
+// balancer through pool churn — devices dropping out and recovering via
+// the Down mask — and checks every frame against a freshly built balancer
+// that can only solve cold: identical predicted τtot (both use Bland
+// pricing, so the vertex choice is canonical) and valid distributions.
+// Exclusion changes the LP's equation pattern, so those frames also
+// exercise the warm→cold decline path.
+func TestWarmAgreesWithColdUnderChurn(t *testing.T) {
+	w := wl(32, 1)
+	pm, topo := modelFor(device.SysNFF(), w)
+	warm := &LPBalancer{}
+	var prevW, prevC []int
+	down := make([]bool, topo.NumDevices())
+	for frame := 0; frame < 60; frame++ {
+		driftModel(pm, w, 1+0.01*float64(frame%7-3))
+		// Churn: GPU 1 is down for frames 20–39.
+		down[1] = frame >= 20 && frame < 40
+		topo.Down = down
+
+		dw, err := warm.Distribute(pm, topo, w, prevW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := &LPBalancer{}
+		dc, err := cold.Distribute(pm, topo, w, prevC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dw.Validate(w.Rows()); err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		if down[1] && (dw.M[1] != 0 || dw.L[1] != 0 || dw.S[1] != 0) {
+			t.Fatalf("frame %d: rows assigned to excluded device: %v %v %v", frame, dw.M, dw.L, dw.S)
+		}
+		if math.Abs(dw.PredTot-dc.PredTot) > 1e-6*(1+dc.PredTot) {
+			t.Fatalf("frame %d: warm PredTot %v vs cold %v", frame, dw.PredTot, dc.PredTot)
+		}
+		prevW = append(prevW[:0], dw.SigmaR...)
+		prevC = append(prevC[:0], dc.SigmaR...)
+	}
+	if st := warm.SolverStats(); st.WarmSolves == 0 || st.ColdSolves < 3 {
+		t.Fatalf("churn test did not exercise both paths: %+v", st)
+	}
+}
+
+// TestConcurrentBalancersUnderChurn runs several independent balancers
+// concurrently on churning topologies — the serving layer's shape, one
+// LP session per tenant — so `go test -race` can catch any accidental
+// sharing introduced by the retained-scratch rework.
+func TestConcurrentBalancersUnderChurn(t *testing.T) {
+	w := wl(32, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pm, topo := modelFor(device.SysNFF(), w)
+			b := &LPBalancer{}
+			down := make([]bool, topo.NumDevices())
+			var prev []int
+			for frame := 0; frame < 30; frame++ {
+				driftModel(pm, w, 1+0.01*float64((frame+g)%5-2))
+				down[1] = frame%10 >= 5 && g%2 == 0
+				topo.Down = down
+				d, err := b.Distribute(pm, topo, w, prev)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := d.Validate(w.Rows()); err != nil {
+					t.Error(err)
+					return
+				}
+				prev = append(prev[:0], d.SigmaR...)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRoundingNegativeAndExclusionPinned pins roundPreservingSum on the
+// inputs the satellite audit flagged: tiny negative LP outputs (solver
+// epsilons) and zero shares from excluded devices must clamp to zero
+// while the vector still sums exactly to rows; clamping-induced
+// over-assignment must shave from the largest entry.
+func TestRoundingNegativeAndExclusionPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		rows int
+		want []int
+	}{
+		{"epsilon-negatives", []float64{-1e-9, 30.5, 37.5, -1e-12}, 68, []int{0, 31, 37, 0}},
+		{"excluded-zero-shares", []float64{34, 0, 34, 0}, 68, []int{34, 0, 34, 0}},
+		{"clamp-overassign-shaves-largest", []float64{40, 29, -0.5}, 68, []int{39, 29, 0}},
+		{"all-negative-underassign", []float64{-1, -2}, 3, []int{2, 1}},
+	}
+	for _, c := range cases {
+		got := roundPreservingSum(c.in, c.rows)
+		sum := 0
+		for i, v := range got {
+			if v < 0 {
+				t.Fatalf("%s: negative output %v", c.name, got)
+			}
+			sum += v
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+			}
+		}
+		if sum != c.rows {
+			t.Fatalf("%s: sums to %d, want %d", c.name, sum, c.rows)
+		}
+	}
+}
+
+func BenchmarkLPBalancerStep(b *testing.B) {
+	w := wl(32, 1)
+	pm, topo := modelFor(device.SysNFF(), w)
+	bal := &LPBalancer{}
+	var prev []int
+	for i := 0; i < 2; i++ {
+		d, err := bal.Distribute(pm, topo, w, prev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = append(prev[:0], d.SigmaR...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := bal.Distribute(pm, topo, w, prev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = append(prev[:0], d.SigmaR...)
+	}
+}

@@ -223,10 +223,16 @@ type ModelSnapshot struct {
 // Snapshot copies the current module speeds.
 func (pm *PerfModel) Snapshot() ModelSnapshot {
 	var s ModelSnapshot
-	for m := range pm.k {
-		s.K[m] = append([]float64(nil), pm.k[m]...)
-	}
+	pm.SnapshotInto(&s)
 	return s
+}
+
+// SnapshotInto copies the current module speeds into s, reusing its
+// existing slices — the zero-allocation variant for per-frame audits.
+func (pm *PerfModel) SnapshotInto(s *ModelSnapshot) {
+	for m := range pm.k {
+		s.K[m] = append(s.K[m][:0], pm.k[m]...)
+	}
 }
 
 // KDrift is one device/module speed change between two snapshots.
@@ -244,7 +250,13 @@ type KDrift struct {
 // including first observations (Before 0). Unchanged and still-unobserved
 // entries are omitted.
 func (s ModelSnapshot) Drift(after ModelSnapshot) []KDrift {
-	var out []KDrift
+	return s.DriftInto(nil, after)
+}
+
+// DriftInto appends the drift entries to out[:0] and returns it, reusing
+// out's backing array when large enough.
+func (s ModelSnapshot) DriftInto(out []KDrift, after ModelSnapshot) []KDrift {
+	out = out[:0]
 	for m := range s.K {
 		for dev := range s.K[m] {
 			if dev >= len(after.K[m]) {

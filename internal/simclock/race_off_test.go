@@ -1,0 +1,5 @@
+//go:build !race
+
+package simclock
+
+const raceEnabled = false

@@ -54,6 +54,7 @@ func (t *Task) Done() bool { return t.done }
 type Sim struct {
 	resources []*Resource
 	tasks     []*Task
+	free      []*Task // recycled by Reset, reissued by Add
 	now       Time
 }
 
@@ -63,6 +64,23 @@ func New(origin Time) *Sim { return &Sim{now: origin} }
 
 // Origin returns the simulation start time.
 func (s *Sim) Origin() Time { return s.now }
+
+// Reset rewinds the simulation to an empty state at the given origin,
+// keeping every registered resource (with an empty queue) and recycling
+// all task objects into a free list that Add draws from — so a caller
+// running one simulation per frame reaches a steady state with no
+// allocations. Task pointers obtained before the Reset are invalid
+// afterwards: they may be reissued, re-labelled, by later Adds.
+func (s *Sim) Reset(origin Time) {
+	s.free = append(s.free, s.tasks...)
+	s.tasks = s.tasks[:0]
+	for _, r := range s.resources {
+		r.queue = r.queue[:0]
+		r.head = 0
+		r.avail = origin
+	}
+	s.now = origin
+}
 
 // NewResource registers a serial resource.
 func (s *Sim) NewResource(name string) *Resource {
@@ -81,7 +99,17 @@ func (s *Sim) Add(res *Resource, label string, dur Time, deps ...*Task) *Task {
 	if dur < 0 {
 		panic(fmt.Sprintf("simclock: negative duration %v for %q", dur, label))
 	}
-	t := &Task{Label: label, Res: res, Dur: dur}
+	var t *Task
+	if n := len(s.free); n > 0 {
+		t = s.free[n-1]
+		s.free = s.free[:n-1]
+		// Keep the recycled deps backing array; the struct literal below
+		// would discard it.
+		deps0 := t.deps[:0]
+		*t = Task{Label: label, Res: res, Dur: dur, deps: deps0}
+	} else {
+		t = &Task{Label: label, Res: res, Dur: dur}
+	}
 	for _, d := range deps {
 		if d != nil {
 			t.deps = append(t.deps, d)

@@ -235,3 +235,60 @@ func TestInvariantsQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestResetRecyclesTasks(t *testing.T) {
+	s := New(0)
+	r := s.NewResource("r")
+	a := s.Add(r, "a", 2)
+	b := s.Add(r, "b", 3, a)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset(5)
+	if s.Origin() != 5 {
+		t.Fatalf("origin %v after Reset(5)", s.Origin())
+	}
+	if len(s.Tasks()) != 0 {
+		t.Fatalf("%d tasks survive Reset", len(s.Tasks()))
+	}
+	// The recycled objects must come back clean: no stale deps, done flag
+	// or payload from their previous life.
+	c := s.Add(r, "c", 1)
+	d := s.Add(r, "d", 1, c)
+	if c != b || d != a {
+		t.Fatal("free list not reissuing recycled tasks (LIFO)")
+	}
+	if c.Done() || len(c.deps) != 0 || c.fn != nil {
+		t.Fatal("recycled task carries stale state")
+	}
+	mk, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Start != 5 || d.End != 7 || mk != 7 {
+		t.Fatalf("post-Reset schedule c=[%v,%v] d=[%v,%v] mk=%v",
+			c.Start, c.End, d.Start, d.End, mk)
+	}
+}
+
+func TestResetSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	s := New(0)
+	r1 := s.NewResource("compute")
+	r2 := s.NewResource("copy")
+	frame := func() {
+		in := s.Add(r2, "h2d", 1)
+		k := s.Add(r1, "kernel", 3, in)
+		s.Add(r2, "d2h", 1, k)
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		s.Reset(0)
+	}
+	frame() // warm the free list and queues
+	if n := testing.AllocsPerRun(50, frame); n != 0 {
+		t.Fatalf("steady-state Reset/Add/Run loop allocates %v per frame, want 0", n)
+	}
+}

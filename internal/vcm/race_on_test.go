@@ -1,0 +1,7 @@
+//go:build race
+
+package vcm
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race, which inflates counts.
+const raceEnabled = true

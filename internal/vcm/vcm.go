@@ -55,7 +55,9 @@ type FrameTiming struct {
 	// Stats holds the functional encoding result (zero in TimingOnly mode).
 	Stats rd.FrameStats
 	// Spans lists every executed task (kernels, transfers, barriers) for
-	// Gantt-style inspection of the Fig. 4 schedule.
+	// Gantt-style inspection of the Fig. 4 schedule. The slice aliases
+	// storage the Manager reuses: it is valid until the next
+	// EncodeInterFrame call on the same Manager; copy to keep it longer.
 	Spans []TaskSpan
 }
 
@@ -110,6 +112,83 @@ type Manager struct {
 	// run, so the core layer can retry it bit-exactly on a reduced
 	// topology. Nil preserves the original never-fail behaviour.
 	Deadline *Deadline
+
+	// Per-frame scratch, retained across EncodeInterFrame calls so the
+	// steady-state frame loop allocates nothing: the discrete-event
+	// simulator (task free-list included), the per-device resources and
+	// precomputed task labels (rebuilt only when Platform changes), and
+	// every work slice the schedule build fills.
+	sim      *simclock.Sim
+	host     *simclock.Resource
+	res      []devResources
+	builtFor *device.Platform
+	modLabel [4][]string // [Module][dev] "ME@3"
+	trLabel  [7][]string // [Transfer][dev] "SF.h2d@3"
+	zeroSR   []int
+	offM     []int
+	offL     []int
+	offS     []int
+	obsBuf   []obsRec
+	maxFac   []float64
+	maxDur   []float64
+	tau1Deps []*simclock.Task
+	tau2Deps []*simclock.Task
+	spans    []TaskSpan
+	chkSpans []check.Span
+	telSpans []telemetry.Span
+}
+
+// obsRec is one schedule task pending a Performance Characterization
+// observation after the simulation runs.
+type obsRec struct {
+	dev  int
+	mod  sched.Module
+	tr   sched.Transfer
+	isTr bool
+	rows int
+	task *simclock.Task
+}
+
+// ensureSim (re)builds the simulator, device resources and label tables
+// when the platform changed, and otherwise just rewinds the retained
+// simulator to time zero. Health exclusions (Down) do not affect the
+// resource set, so pool churn on a fixed lease stays allocation-free.
+func (m *Manager) ensureSim() {
+	pl := m.Platform
+	if m.sim != nil && m.builtFor == pl {
+		m.sim.Reset(0)
+		return
+	}
+	nDev := pl.NumDevices()
+	m.sim = simclock.New(0)
+	m.host = m.sim.NewResource("host")
+	m.res = make([]devResources, nDev)
+	for i := 0; i < nDev; i++ {
+		p := pl.Dev(i)
+		r := devResources{compute: m.sim.NewResource(fmt.Sprintf("%s#%d.compute", p.Name, i))}
+		if p.Class == device.GPU {
+			ce := m.sim.NewResource(fmt.Sprintf("%s#%d.ce0", p.Name, i))
+			r.ceH2D, r.ceD2H = ce, ce
+			if p.CopyEngines == 2 {
+				r.ceD2H = m.sim.NewResource(fmt.Sprintf("%s#%d.ce1", p.Name, i))
+			}
+		}
+		m.res[i] = r
+	}
+	for mod := range m.modLabel {
+		m.modLabel[mod] = make([]string, nDev)
+		for i := 0; i < nDev; i++ {
+			m.modLabel[mod][i] = fmt.Sprintf("%s@%d", sched.Module(mod), i)
+		}
+	}
+	for tr := range m.trLabel {
+		m.trLabel[tr] = make([]string, nDev)
+		for i := 0; i < nDev; i++ {
+			m.trLabel[tr][i] = fmt.Sprintf("%s@%d", sched.Transfer(tr), i)
+		}
+	}
+	m.zeroSR = make([]int, nDev)
+	m.builtFor = pl
 }
 
 // isDown reports whether device i is excluded from scheduling.
@@ -163,6 +242,22 @@ type devResources struct {
 	ceD2H   *simclock.Resource // == ceH2D for single-copy-engine GPUs
 }
 
+// beginFunctionalFrame validates the functional-mode inputs and opens the
+// encoder's frame job; in timing-only mode it returns nil without error.
+func (m *Manager) beginFunctionalFrame(w device.Workload, cf *h264.Frame) (*codec.FrameJob, error) {
+	if m.Mode != Functional {
+		return nil, nil
+	}
+	if m.Enc == nil || cf == nil {
+		return nil, fmt.Errorf("vcm: functional mode needs an encoder and a frame")
+	}
+	if cf.MBHeight() != w.Rows() || cf.MBWidth() != w.MBW {
+		return nil, fmt.Errorf("vcm: frame is %dx%d MBs but workload says %dx%d",
+			cf.MBWidth(), cf.MBHeight(), w.MBW, w.MBH)
+	}
+	return m.Enc.BeginFrame(cf), nil
+}
+
 // EncodeInterFrame simulates one inter-frame under distribution d and
 // returns the measured timing, updating pm with every observed kernel and
 // transfer time. In Functional mode cf is encoded for real through the
@@ -181,8 +276,9 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 	if len(d.M) != nDev {
 		return FrameTiming{}, fmt.Errorf("vcm: distribution for %d devices on %d-device platform", len(d.M), nDev)
 	}
+	m.ensureSim()
 	if prevSigmaR == nil {
-		prevSigmaR = make([]int, nDev)
+		prevSigmaR = m.zeroSR
 	}
 	for i := 0; i < nDev; i++ {
 		if m.isDown(i) && (d.M[i] != 0 || d.L[i] != 0 || d.S[i] != 0) {
@@ -192,52 +288,36 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 	if m.isDown(d.RStarDev) {
 		return FrameTiming{}, fmt.Errorf("vcm: R* placed on excluded device %d", d.RStarDev)
 	}
-	var job *codec.FrameJob
+	// job must be assigned exactly once at its declaration: the payload
+	// closures capture it, and a variable reassigned after declaration is
+	// captured by reference — heap-allocating its cell on every call, even
+	// in timing-only mode where no closure is ever created.
+	job, err := m.beginFunctionalFrame(w, cf)
+	if err != nil {
+		return FrameTiming{}, err
+	}
 	var payloads framePayloads
-	if m.Mode == Functional {
-		if m.Enc == nil || cf == nil {
-			return FrameTiming{}, fmt.Errorf("vcm: functional mode needs an encoder and a frame")
-		}
-		if cf.MBHeight() != w.Rows() || cf.MBWidth() != w.MBW {
-			return FrameTiming{}, fmt.Errorf("vcm: frame is %dx%d MBs but workload says %dx%d",
-				cf.MBWidth(), cf.MBHeight(), w.MBW, w.MBH)
-		}
-		job = m.Enc.BeginFrame(cf)
-	}
 
-	sim := simclock.New(0)
-	host := sim.NewResource("host")
-	res := make([]devResources, nDev)
-	for i := 0; i < nDev; i++ {
-		p := pl.Dev(i)
-		r := devResources{compute: sim.NewResource(fmt.Sprintf("%s#%d.compute", p.Name, i))}
-		if p.Class == device.GPU {
-			ce := sim.NewResource(fmt.Sprintf("%s#%d.ce0", p.Name, i))
-			r.ceH2D, r.ceD2H = ce, ce
-			if p.CopyEngines == 2 {
-				r.ceD2H = sim.NewResource(fmt.Sprintf("%s#%d.ce1", p.Name, i))
-			}
-		}
-		res[i] = r
-	}
+	sim := m.sim
+	host := m.host
+	res := m.res
 
-	offM, offL, offS := sched.Offsets(d.M), sched.Offsets(d.L), sched.Offsets(d.S)
+	m.offM = sched.OffsetsInto(m.offM, d.M)
+	m.offL = sched.OffsetsInto(m.offL, d.L)
+	m.offS = sched.OffsetsInto(m.offS, d.S)
+	offM, offL, offS := m.offM, m.offL, m.offS
 	rows := w.Rows()
 	rstar := d.RStarDev
 
-	type obs struct {
-		dev  int
-		mod  sched.Module
-		tr   sched.Transfer
-		isTr bool
-		rows int
-		task *simclock.Task
-	}
-	var observations []obs
+	m.obsBuf = m.obsBuf[:0]
 	// maxFac/maxDur collect per-device blame evidence for the deadline
 	// check: the worst kernel slowdown factor and the longest kernel.
-	maxFac := make([]float64, nDev)
-	maxDur := make([]float64, nDev)
+	m.maxFac = growFloats(m.maxFac, nDev)
+	m.maxDur = growFloats(m.maxDur, nDev)
+	maxFac, maxDur := m.maxFac, m.maxDur
+	for i := range maxFac {
+		maxFac[i], maxDur[i] = 0, 0
+	}
 	kernel := func(i int, mod sched.Module, nRows int, deps ...*simclock.Task) *simclock.Task {
 		if nRows == 0 || m.isDown(i) {
 			return nil
@@ -262,8 +342,8 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		if dur > maxDur[i] {
 			maxDur[i] = dur
 		}
-		t := sim.Add(res[i].compute, fmt.Sprintf("%s@%d", mod, i), dur, deps...)
-		observations = append(observations, obs{dev: i, mod: mod, rows: nRows, task: t})
+		t := sim.Add(res[i].compute, m.modLabel[mod][i], dur, deps...)
+		m.obsBuf = append(m.obsBuf, obsRec{dev: i, mod: mod, rows: nRows, task: t})
 		return t
 	}
 	xfer := func(i int, tr sched.Transfer, nRows, bytesPerRow int, h2d bool, deps ...*simclock.Task) *simclock.Task {
@@ -279,14 +359,13 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 			dur = p.TD2H(nRows * bytesPerRow)
 			r = res[i].ceD2H
 		}
-		t := sim.Add(r, fmt.Sprintf("%s@%d", tr, i), dur, deps...)
-		observations = append(observations, obs{dev: i, tr: tr, isTr: true, rows: nRows, task: t})
+		t := sim.Add(r, m.trLabel[tr][i], dur, deps...)
+		m.obsBuf = append(m.obsBuf, obsRec{dev: i, tr: tr, isTr: true, rows: nRows, task: t})
 		return t
 	}
 
 	// --- τ1 phase: RF/CF inputs, INT and ME kernels, SF/MV outputs. -----
-	var tau1Deps []*simclock.Task
-	intTasks := make([]*simclock.Task, nDev)
+	m.tau1Deps = m.tau1Deps[:0]
 	for i := 0; i < nDev; i++ {
 		var rf *simclock.Task
 		if pl.IsGPU(i) && i != rstar {
@@ -302,7 +381,6 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 			lo, hi := offL[i], offL[i]+d.L[i]
 			payloads.wave1 = append(payloads.wave1, func() { m.Enc.RunINT(job, lo, hi) })
 		}
-		intTasks[i] = intT
 		meT := kernel(i, sched.ModME, d.M[i], cfIn, rf)
 		if meT != nil && m.Mode == Functional {
 			lo, hi := offM[i], offM[i]+d.M[i]
@@ -310,15 +388,15 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		}
 		sfOut := xfer(i, sched.SFd2h, d.L[i], w.SFRowBytes(), false, intT)
 		mvOut := xfer(i, sched.MVd2h, d.M[i], w.MVRowBytes(), false, meT)
-		tau1Deps = append(tau1Deps, cfIn, sfPrev, intT, meT, sfOut, mvOut)
+		m.tau1Deps = append(m.tau1Deps, cfIn, sfPrev, intT, meT, sfOut, mvOut)
 	}
-	tau1 := sim.Add(host, "tau1", 0, tau1Deps...)
+	tau1 := sim.Add(host, "tau1", 0, m.tau1Deps...)
 	if m.Mode == Functional {
 		payloads.completeINT = func() { m.Enc.CompleteINT(job) }
 	}
 
 	// --- τ2 phase: Δ transfers, SME kernels, MV outputs, R* prefetch. ---
-	var tau2Deps []*simclock.Task
+	m.tau2Deps = m.tau2Deps[:0]
 	for i := 0; i < nDev; i++ {
 		dlIn := xfer(i, sched.SFh2d, d.DeltaL[i], w.SFRowBytes(), true, tau1)
 		dmIn := xfer(i, sched.MVh2d, d.DeltaM[i], w.MVRowBytes(), true, tau1)
@@ -327,7 +405,7 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 			lo, hi := offS[i], offS[i]+d.S[i]
 			payloads.wave2 = append(payloads.wave2, func() { m.Enc.RunSME(job, lo, hi) })
 		}
-		tau2Deps = append(tau2Deps, smeT)
+		m.tau2Deps = append(m.tau2Deps, smeT)
 		if pl.IsGPU(i) {
 			if i == rstar {
 				// Prefetch the remaining CF and SF so MC can run (Fig. 5(b)).
@@ -335,14 +413,14 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 				// no-reuse ablation) the device may already hold every row.
 				cfMC := xfer(i, sched.CFh2d, clamp0(rows-d.M[i]-d.DeltaM[i]), w.CFRowBytes(), true, tau1)
 				sfMC := xfer(i, sched.SFh2d, clamp0(rows-d.L[i]-d.DeltaL[i]), w.SFRowBytes(), true, tau1)
-				tau2Deps = append(tau2Deps, cfMC, sfMC)
+				m.tau2Deps = append(m.tau2Deps, cfMC, sfMC)
 			} else {
 				mvOut := xfer(i, sched.MVd2h, d.S[i], w.MVRowBytes(), false, smeT)
-				tau2Deps = append(tau2Deps, mvOut)
+				m.tau2Deps = append(m.tau2Deps, mvOut)
 			}
 		}
 	}
-	tau2 := sim.Add(host, "tau2", 0, tau2Deps...)
+	tau2 := sim.Add(host, "tau2", 0, m.tau2Deps...)
 
 	// --- τ2 → τtot: R* on its device, σ SF completion on the others. ----
 	var rstarTask *simclock.Task
@@ -405,17 +483,20 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		RStarDev: rstar,
 		Stats:    stats,
 	}
+	m.spans = m.spans[:0]
 	for _, t := range sim.Tasks() {
-		ft.Spans = append(ft.Spans, TaskSpan{
+		m.spans = append(m.spans, TaskSpan{
 			Resource: t.Res.Name, Label: t.Label, Start: t.Start, End: t.End,
 		})
 	}
+	ft.Spans = m.spans
 	if m.Check {
 		topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores, Down: m.Down}
-		cs := make([]check.Span, len(ft.Spans))
-		for i, s := range ft.Spans {
-			cs[i] = check.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End}
+		m.chkSpans = m.chkSpans[:0]
+		for _, s := range ft.Spans {
+			m.chkSpans = append(m.chkSpans, check.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End})
 		}
+		cs := m.chkSpans
 		if err := check.Frame(topo, w, d, pm, cs, ft.Tau1, ft.Tau2, ft.Tot); err != nil {
 			var ce *check.Error
 			if !m.CheckObserve || !errors.As(err, &ce) {
@@ -429,16 +510,18 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		}
 	}
 	if m.Telemetry.Enabled() {
-		spans := make([]telemetry.Span, len(ft.Spans))
-		for i, s := range ft.Spans {
-			spans[i] = telemetry.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End}
+		// The trace writer copies the spans it keeps, so the conversion
+		// scratch can be reused next frame.
+		m.telSpans = m.telSpans[:0]
+		for _, s := range ft.Spans {
+			m.telSpans = append(m.telSpans, telemetry.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End})
 		}
-		m.Telemetry.FrameSpans(frame, ft.Tau1, ft.Tau2, ft.Tot, spans)
+		m.Telemetry.FrameSpans(frame, ft.Tau1, ft.Tau2, ft.Tot, m.telSpans)
 	}
 
 	// --- Performance Characterization update (Algorithm 1 lines 5/10). --
 	var rstarTotal float64
-	for _, o := range observations {
+	for _, o := range m.obsBuf {
 		dur := o.task.End - o.task.Start
 		if o.isTr {
 			pm.ObserveTransfer(o.dev, o.tr, o.rows, dur)
@@ -480,4 +563,13 @@ func clamp0(v int) int {
 		return 0
 	}
 	return v
+}
+
+// growFloats returns s resized to n entries, reusing its backing array
+// when large enough. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
