@@ -10,10 +10,14 @@
 //	curl localhost:8080/jobs/job-1
 //	curl -N localhost:8080/jobs/job-1/results        # JSONL stream
 //	curl localhost:8080/metrics                      # Prometheus text
+//	curl localhost:8080/debug/state                  # pool/lease/health topology
+//	curl localhost:8080/debug/flight                 # flight recorder + bundles
+//	curl localhost:8080/debug/trace                  # live Perfetto snapshot
 //
 // SIGINT/SIGTERM drains gracefully: new submissions are rejected with 503
 // while in-flight sessions finish (bounded by -drain-timeout, after which
-// they are cancelled at the next frame boundary).
+// they are cancelled at the next frame boundary). SIGQUIT snapshots the
+// live trace ring to -trace-snapshot without stopping the service.
 package main
 
 import (
@@ -53,6 +57,8 @@ func main() {
 			"deterministic fault spec for the pooled platform (die:DEV@F stall:DEV@F[+K] slow:DEV@FxR[+K] chaos:SEEDxRATE, ';'-separated)")
 		slack = flag.Float64("deadline-slack", 0,
 			"arm autonomous failover in every session: deadlines at LP prediction x slack; excluded devices leave the pool (0 = off)")
+		traceSnapshot = flag.String("trace-snapshot", "feves-serve.trace.json",
+			"file the SIGQUIT handler writes the live Perfetto trace ring to, without stopping the service ('' = disabled)")
 	)
 	tf := teleflag.Register()
 	flag.Parse()
@@ -65,12 +71,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The service always carries a metrics registry so /metrics works out
-	// of the box; the teleflag observer adds the event/trace outputs (and
-	// a second scrape endpoint) when requested.
-	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	// The service always carries a metrics registry, a bounded trace ring
+	// and a flight recorder so /metrics, /debug/trace and /debug/flight
+	// work out of the box; the teleflag observer adds the event/trace file
+	// outputs (and a second scrape endpoint) when requested.
+	tel := &telemetry.Telemetry{
+		Metrics: telemetry.NewRegistry(),
+		Trace:   telemetry.NewTraceWriterCap(tf.TraceEventCap()),
+		Flight:  telemetry.NewFlightRecorder(tf.FlightFrames()),
+	}
 	if obs != nil {
 		tel = obs.Sink()
+		if tel.Trace == nil {
+			// Keep /debug/trace live even when no -perfetto file was asked
+			// for; the ring is bounded either way.
+			tel.Trace = telemetry.NewTraceWriterCap(tf.TraceEventCap())
+		}
 	}
 
 	s, err := serve.New(serve.Config{
@@ -84,6 +100,33 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// SIGQUIT snapshots the live trace ring to a Perfetto-loadable file
+	// without disturbing the service — the file-free counterpart of
+	// GET /debug/trace for operators at the terminal.
+	if *traceSnapshot != "" && tel.Trace != nil {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				f, err := os.Create(*traceSnapshot)
+				if err != nil {
+					log.Printf("SIGQUIT: trace snapshot: %v", err)
+					continue
+				}
+				err = tel.Trace.Export(f)
+				if e := f.Close(); err == nil {
+					err = e
+				}
+				if err != nil {
+					log.Printf("SIGQUIT: trace snapshot: %v", err)
+					continue
+				}
+				log.Printf("SIGQUIT: wrote trace snapshot to %s (%d frames in ring, %d events dropped)",
+					*traceSnapshot, tel.Trace.Frames(), tel.Trace.Dropped())
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

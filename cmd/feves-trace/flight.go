@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"feves/internal/telemetry"
+	"feves/internal/trace"
+	"feves/internal/vcm"
+)
+
+// flightOpts carries the parsed flags of -flight mode.
+type flightOpts struct {
+	path     string
+	bundle   int
+	frame    int
+	frameSet bool
+	width    int
+	csv      bool
+	jsonOut  bool
+	svg      string
+	perfetto string
+	traceCap int
+}
+
+// flightFile decodes both document shapes the recorder produces: a full
+// /debug/flight snapshot (frames + incidents + bundles) and a single
+// post-mortem Bundle (reason + frames + incidents).
+type flightFile struct {
+	Reason    string                  `json:"reason"`
+	Session   string                  `json:"session"`
+	Frame     int                     `json:"frame"`
+	Detail    string                  `json:"detail"`
+	Frames    []telemetry.FlightEntry `json:"frames"`
+	Incidents []telemetry.Incident    `json:"incidents"`
+	Bundles   []telemetry.Bundle      `json:"bundles"`
+}
+
+// runFlight renders a flight-recorder document: picks the window (a bundle
+// or the live ring), prints the post-mortem header and incident log, and
+// reuses the simulation path's Gantt/CSV/SVG/JSON views on the recorded
+// schedule of the selected frame. With -perfetto it additionally replays
+// the whole window into a trace timeline, one lane per session.
+func runFlight(o flightOpts) {
+	raw, err := os.ReadFile(o.path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ff flightFile
+	if err := json.Unmarshal(raw, &ff); err != nil {
+		log.Fatalf("%s: %v", o.path, err)
+	}
+
+	window := telemetry.Bundle{
+		Reason: ff.Reason, Session: ff.Session, Frame: ff.Frame,
+		Detail: ff.Detail, Frames: ff.Frames, Incidents: ff.Incidents,
+	}
+	switch {
+	case o.bundle >= 0:
+		found := false
+		for _, b := range ff.Bundles {
+			if b.ID == o.bundle {
+				window, found = b, true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("%s: no bundle with id %d (have %s)", o.path, o.bundle, bundleIDs(ff.Bundles))
+		}
+	case ff.Reason == "" && len(ff.Bundles) > 0:
+		window = ff.Bundles[len(ff.Bundles)-1]
+	}
+	if len(window.Frames) == 0 {
+		log.Fatalf("%s: selected window holds no recorded frames", o.path)
+	}
+
+	if window.Reason != "" {
+		fmt.Printf("post-mortem bundle %d: %s\n", window.ID, window.Reason)
+		if window.Session != "" {
+			fmt.Printf("  session:  %s\n", window.Session)
+		}
+		fmt.Printf("  frame:    %d\n", window.Frame)
+		if window.Detail != "" {
+			fmt.Printf("  detail:   %s\n", window.Detail)
+		}
+		if !window.Captured.IsZero() {
+			fmt.Printf("  captured: %s\n", window.Captured.Format("2006-01-02 15:04:05 MST"))
+		}
+	} else {
+		fmt.Printf("live flight ring: %d frames, %d incidents, %d bundles\n",
+			len(window.Frames), len(window.Incidents), len(ff.Bundles))
+	}
+	if len(window.Incidents) > 0 {
+		fmt.Printf("\nincidents (oldest first):\n")
+		for _, in := range window.Incidents {
+			s := in.Session
+			if s == "" {
+				s = "-"
+			}
+			fmt.Printf("  #%-4d %-18s session=%-12s frame=%-4d dev=%-3d %s\n",
+				in.Seq, in.Kind, s, in.Frame, in.Device, in.Detail)
+		}
+	}
+
+	entry := pickEntry(window, o)
+	fmt.Printf("\nframe %d", entry.Frame)
+	if entry.Session != "" {
+		fmt.Printf(" (session %s)", entry.Session)
+	}
+	if entry.Attempt > 0 {
+		fmt.Printf(" attempt %d", entry.Attempt)
+	}
+	if entry.PredTot > 0 {
+		fmt.Printf(": τtot %.4fs measured vs %.4fs predicted", entry.Tot, entry.PredTot)
+	} else {
+		fmt.Printf(": τtot %.4fs", entry.Tot)
+	}
+	fmt.Println()
+
+	timing := entryTiming(entry)
+	if o.svg != "" {
+		if err := os.WriteFile(o.svg, []byte(trace.SVG(timing, 1200)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", o.svg)
+	}
+	if o.perfetto != "" {
+		if err := writeWindowPerfetto(o.perfetto, o.traceCap, window.Frames); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d frames)\n", o.perfetto, len(window.Frames))
+	}
+	switch {
+	case o.jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entry); err != nil {
+			log.Fatal(err)
+		}
+	case o.csv:
+		fmt.Print(trace.CSV(timing))
+	case len(timing.Spans) > 0:
+		fmt.Println()
+		fmt.Print(trace.Gantt(timing, o.width))
+		fmt.Printf("\ndistribution: ME=%v INT=%v SME=%v Δm=%v Δl=%v σ=%v σʳ=%v\n",
+			entry.M, entry.L, entry.S, entry.DeltaM, entry.DeltaL,
+			entry.Sigma, entry.SigmaR)
+	default:
+		fmt.Println("no spans recorded for this frame (intra or re-characterization frame)")
+	}
+}
+
+// pickEntry selects the frame to render: an explicit -frame, else the
+// bundle's blamed frame when it is still in the window, else the newest
+// recorded frame.
+func pickEntry(window telemetry.Bundle, o flightOpts) telemetry.FlightEntry {
+	want, required := window.Frame, false
+	if o.frameSet {
+		want, required = o.frame, true
+	}
+	for i := len(window.Frames) - 1; i >= 0; i-- {
+		if window.Frames[i].Frame == want {
+			return window.Frames[i]
+		}
+	}
+	if required {
+		log.Fatalf("frame %d is not in the recorded window (frames %d..%d)",
+			want, window.Frames[0].Frame, window.Frames[len(window.Frames)-1].Frame)
+	}
+	return window.Frames[len(window.Frames)-1]
+}
+
+// entryTiming rebuilds the vcm.FrameTiming view of a recorded frame so the
+// existing Gantt/CSV/SVG renderers apply unchanged.
+func entryTiming(e telemetry.FlightEntry) vcm.FrameTiming {
+	t := vcm.FrameTiming{
+		Frame: e.Frame, Tau1: e.Tau1, Tau2: e.Tau2, Tot: e.Tot,
+		RStarDev: e.RStarDev,
+		Spans:    make([]vcm.TaskSpan, len(e.Spans)),
+	}
+	for i, s := range e.Spans {
+		t.Spans[i] = vcm.TaskSpan{
+			Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End,
+		}
+	}
+	return t
+}
+
+// writeWindowPerfetto replays every recorded frame into a fresh trace
+// writer — one process lane per session, frames laid back-to-back per lane
+// — and writes the Perfetto-loadable timeline.
+func writeWindowPerfetto(path string, capEvents int, frames []telemetry.FlightEntry) error {
+	w := telemetry.NewTraceWriterCap(capEvents)
+	offsets := map[string]float64{}
+	for _, e := range frames {
+		pid := 0
+		if e.Session != "" {
+			pid = w.SessionPID(e.Session)
+		}
+		off := offsets[e.Session]
+		w.AddFrame(pid, e.Frame, e.Attempt, off, e.Tau1, e.Tau2, e.Tot, e.Spans)
+		adv := e.Tot
+		for _, s := range e.Spans {
+			if s.End > adv {
+				adv = s.End
+			}
+		}
+		offsets[e.Session] = off + adv
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = w.Export(f)
+	if e := f.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// bundleIDs lists the available bundle ids for the -bundle error message.
+func bundleIDs(bs []telemetry.Bundle) string {
+	if len(bs) == 0 {
+		return "none"
+	}
+	ids := make([]int, len(bs))
+	for i, b := range bs {
+		ids[i] = b.ID
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}

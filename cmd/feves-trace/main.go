@@ -10,6 +10,18 @@
 //	feves-trace -platform sysnff -frame 3 -csv
 //	feves-trace -frame 8 -json                         # FrameTiming for scripting
 //	feves-trace -frame 20 -perfetto run.trace.json     # whole-run timeline
+//
+// With -flight it switches from running a simulation to reading a flight
+// recorder document — a post-mortem bundle or the /debug/flight JSON of a
+// live feves-serve — and renders the recorded window instead: the incident
+// log, the captured frames, and the same Gantt/CSV/SVG/Perfetto views of
+// any recorded schedule:
+//
+//	curl localhost:8080/debug/flight > flight.json
+//	feves-trace -flight flight.json                    # newest bundle, blamed frame
+//	feves-trace -flight flight.json -bundle 2 -frame 7
+//	feves-trace -flight flight.json -svg dead-gpu.svg
+//	feves-trace -flight flight.json -perfetto window.trace.json
 package main
 
 import (
@@ -40,9 +52,29 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit raw spans as CSV instead of a gantt")
 		jsonOut  = flag.Bool("json", false, "emit the frame's full timing (spans, τ points, R* device) as JSON")
 		svg      = flag.String("svg", "", "also write the schedule as an SVG gantt to this file")
+		flight   = flag.String("flight", "",
+			"read a flight-recorder document (a /debug/flight snapshot or a single bundle) instead of running a simulation")
+		bundleID = flag.Int("bundle", -1,
+			"with -flight: post-mortem bundle id to inspect (-1 = the newest bundle, or the live ring when none was captured)")
 	)
 	tf := teleflag.Register()
 	flag.Parse()
+
+	if *flight != "" {
+		frameSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "frame" {
+				frameSet = true
+			}
+		})
+		runFlight(flightOpts{
+			path: *flight, bundle: *bundleID,
+			frame: *frame, frameSet: frameSet,
+			width: *width, csv: *csv, jsonOut: *jsonOut, svg: *svg,
+			perfetto: tf.PerfettoPath(), traceCap: tf.TraceEventCap(),
+		})
+		return
+	}
 
 	pl, err := platforms.Lookup(*platform)
 	if err != nil {

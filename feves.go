@@ -94,6 +94,12 @@ type Config struct {
 	// the JSONL event stream with per-frame balancer audits, and the
 	// whole-run Perfetto timeline. nil (the default) disables every hook.
 	Observer *Observer
+	// SessionLabel names this run's tenant lane when several sessions share
+	// one Observer: every event, metric sample and trace slice carries it
+	// as the session label, and the Perfetto timeline shows one process
+	// lane per label. Empty leaves a standalone run unscoped; pool sessions
+	// default to "session-<lease id>".
+	SessionLabel string
 	// CheckSchedules runs the schedule invariant checker on every executed
 	// inter-frame: Algorithm 2's distribution constraints (row sums,
 	// non-negativity, placement rules), the data-access consistency of the
@@ -404,7 +410,7 @@ func NewEncoder(cfg Config, pl *Platform) (*Encoder, error) {
 		Balancer:        cfg.Balancer.build(cfg.BalancerHysteresis),
 		Alpha:           cfg.Alpha,
 		Parallel:        cfg.Parallel,
-		Telemetry:       cfg.Observer.Sink(),
+		Telemetry:       cfg.Observer.Sink().ForSession(cfg.SessionLabel),
 		CheckSchedules:  cfg.CheckSchedules,
 		DeadlineSlack:   cfg.DeadlineSlack,
 		MaxFrameRetries: cfg.MaxFrameRetries,
@@ -486,7 +492,7 @@ func NewSimulation(cfg Config, pl *Platform) (*Simulation, error) {
 		Mode:            vcm.TimingOnly,
 		Balancer:        cfg.Balancer.build(cfg.BalancerHysteresis),
 		Alpha:           cfg.Alpha,
-		Telemetry:       cfg.Observer.Sink(),
+		Telemetry:       cfg.Observer.Sink().ForSession(cfg.SessionLabel),
 		CheckSchedules:  cfg.CheckSchedules,
 		DeadlineSlack:   cfg.DeadlineSlack,
 		MaxFrameRetries: cfg.MaxFrameRetries,

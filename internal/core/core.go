@@ -10,6 +10,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"feves/internal/device"
@@ -79,7 +82,10 @@ const stallTaskBudget = 1e5
 // Result reports one processed frame.
 type Result struct {
 	FrameIndex int // 0-based display index
-	Intra      bool
+	// Attempt is the successful attempt index (0 = first try; >0 when the
+	// failover path re-ran the frame on a reduced topology).
+	Attempt int
+	Intra   bool
 	// Timing is the simulated inter-loop execution (zero for intra frames,
 	// which the paper excludes from the balanced inter-loop).
 	Timing vcm.FrameTiming
@@ -104,11 +110,13 @@ type Framework struct {
 	mgr       *vcm.Manager
 	bal       sched.Balancer
 	enc       *codec.Encoder
+	healthMu  sync.Mutex    // guards the health pointer against debug readers
 	health    *sched.Health // nil unless DeadlineSlack > 0
-	prev      []int         // σʳ carried between frames (framework-owned copy)
-	frame     int           // frames processed (display order)
-	lastIntra int           // display index of the most recent intra frame
-	retries   int           // frames re-run by the failover path
+	prev      []int        // σʳ carried between frames (framework-owned copy)
+	frame     int          // frames processed (display order)
+	lastIntra int          // display index of the most recent intra frame
+	retries   atomic.Int64 // frames re-run by the failover path (read by debug endpoints)
+	lastLP    lp.Stats     // solver counters at the last frame-end emit
 
 	// Per-frame audit scratch, reused so the telemetry path adds no
 	// steady-state allocations to the frame loop.
@@ -201,7 +209,9 @@ func (f *Framework) SetPlatform(pl *device.Platform) error {
 	if f.opts.DeadlineSlack > 0 {
 		// The new lease consists of devices the pool believes are up;
 		// health restarts clean for the new numbering.
+		f.healthMu.Lock()
 		f.health = sched.NewHealth(f.topo.NumDevices())
+		f.healthMu.Unlock()
 	}
 	return nil
 }
@@ -209,10 +219,30 @@ func (f *Framework) SetPlatform(pl *device.Platform) error {
 // Health exposes the failover health tracker (nil while DeadlineSlack is
 // zero). Safe for concurrent reads; the serving layer surfaces it in
 // status output.
-func (f *Framework) Health() *sched.Health { return f.health }
+func (f *Framework) Health() *sched.Health {
+	f.healthMu.Lock()
+	defer f.healthMu.Unlock()
+	return f.health
+}
 
-// FrameRetries returns the number of failover re-runs so far.
-func (f *Framework) FrameRetries() int { return f.retries }
+// HealthStates names each device's current health state ("healthy",
+// "degraded", "excluded"), or nil while failover is unarmed. Safe to call
+// from the debug endpoints while the session goroutine encodes.
+func (f *Framework) HealthStates() []string {
+	h := f.Health()
+	if h == nil {
+		return nil
+	}
+	out := make([]string, h.NumDevices())
+	for i := range out {
+		out[i] = h.State(i).String()
+	}
+	return out
+}
+
+// FrameRetries returns the number of failover re-runs so far. Safe to
+// call from the debug endpoints while the session goroutine encodes.
+func (f *Framework) FrameRetries() int { return int(f.retries.Load()) }
 
 // Model exposes the live Performance Characterization (read-mostly; used
 // by experiments and traces).
@@ -283,8 +313,10 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		d        sched.Distribution
 		ft       vcm.FrameTiming
 		overhead time.Duration
+		okTry    int // attempt index that finally succeeded
 	)
 	for attempt := 0; ; attempt++ {
+		f.mgr.Attempt = attempt
 		if f.health != nil {
 			f.topo.Down = f.health.Down()
 			f.mgr.Down = f.topo.Down
@@ -309,16 +341,22 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		}
 		ft, err = f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev, cf)
 		if err == nil {
+			okTry = attempt
 			break
 		}
 		var de *vcm.DeadlineError
 		if f.health == nil || !errors.As(err, &de) || attempt+1 >= f.opts.MaxFrameRetries {
+			if errors.As(err, &de) {
+				// The deadline error is escaping to the caller — snapshot
+				// the flight window while the evidence is still in the ring.
+				tel.CaptureBundle("deadline_error", idx, de.Error())
+			}
 			return Result{}, err
 		}
 		// The functional encoder state is untouched (the deadline trips
 		// before the kernels run), so the frame replays bit-exactly once
 		// the sick device is out of the schedule.
-		f.retries++
+		f.retries.Add(1)
 		tel.FrameRetry(idx, attempt+1, de.Point, de.Blamed)
 		for _, dev := range de.Blamed {
 			f.reportMiss(idx, dev, de.Point)
@@ -341,6 +379,7 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 	f.frame++
 	res := Result{
 		FrameIndex:    idx,
+		Attempt:       okTry,
 		Timing:        ft,
 		Distribution:  d,
 		SchedOverhead: overhead,
@@ -379,6 +418,8 @@ func (f *Framework) reportMiss(frame, dev int, point string) {
 	f.opts.Telemetry.HealthTransition(frame, dev, from.String(), to.String(), point)
 	if to == sched.Excluded {
 		f.pm.Quarantine(dev)
+		f.opts.Telemetry.CaptureBundle("device_excluded", frame,
+			"device "+strconv.Itoa(dev)+" excluded after deadline misses at "+point)
 		if f.opts.OnDeviceExcluded != nil {
 			f.opts.OnDeviceExcluded(dev)
 		}
@@ -419,17 +460,33 @@ func (f *Framework) emitFrameTelemetry(tel *telemetry.Telemetry, r Result) {
 			Drift: f.dd,
 		})
 	}
+	// The per-frame LP work is the delta of the solver's cumulative
+	// counters since the last emit (zero for non-LP balancers).
+	cur := f.SolverStats()
+	lpd := telemetry.LPSolveStats{
+		Solves:           cur.Solves - f.lastLP.Solves,
+		WarmSolves:       cur.WarmSolves - f.lastLP.WarmSolves,
+		ColdSolves:       cur.ColdSolves - f.lastLP.ColdSolves,
+		WarmRejects:      cur.WarmRejects - f.lastLP.WarmRejects,
+		Pivots:           cur.Pivots - f.lastLP.Pivots,
+		DegeneratePivots: cur.DegeneratePivots - f.lastLP.DegeneratePivots,
+		BlandPivots:      cur.BlandPivots - f.lastLP.BlandPivots,
+	}
+	f.lastLP = cur
 	tel.FrameEnd(telemetry.FrameRecord{
-		Frame: r.FrameIndex, Intra: false,
+		Frame: r.FrameIndex, Attempt: r.Attempt, Intra: false,
 		Tau1: r.Timing.Tau1, Tau2: r.Timing.Tau2, Tot: r.Timing.Tot,
 		PredTau1: r.Distribution.PredTau1, PredTau2: r.Distribution.PredTau2,
 		PredTot:       r.Distribution.PredTot,
 		SchedOverhead: r.SchedOverhead.Seconds(),
 		RStarDev:      r.Distribution.RStarDev,
 		M:             r.Distribution.M, L: r.Distribution.L, S: r.Distribution.S,
-		ModME:  r.Timing.ModuleTime[sched.ModME],
-		ModINT: r.Timing.ModuleTime[sched.ModINT],
-		ModSME: r.Timing.ModuleTime[sched.ModSME], ModRStar: r.Timing.ModuleTime[sched.ModRStar],
+		Sigma:         r.Distribution.Sigma, SigmaR: r.Distribution.SigmaR,
+		DeltaM:        r.Distribution.DeltaM, DeltaL: r.Distribution.DeltaL,
+		LP:            lpd,
+		ModME:         r.Timing.ModuleTime[sched.ModME],
+		ModINT:        r.Timing.ModuleTime[sched.ModINT],
+		ModSME:        r.Timing.ModuleTime[sched.ModSME], ModRStar: r.Timing.ModuleTime[sched.ModRStar],
 		Bits: r.Stats.Bits, PSNRY: r.Stats.PSNRY,
 	})
 }

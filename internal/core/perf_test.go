@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"feves/internal/device"
+	"feves/internal/telemetry"
 )
 
 // TestFrameLoopZeroAllocs asserts the tentpole's end-to-end contract:
@@ -31,6 +32,48 @@ func TestFrameLoopZeroAllocs(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(100, step); n != 0 {
 		t.Fatalf("steady-state EncodeNext allocates %v per frame, want 0", n)
+	}
+}
+
+// TestFrameLoopZeroAllocsObserved extends the zero-alloc contract to a
+// fully observed, session-scoped frame loop: metrics registry, bounded
+// trace ring (sized to wrap mid-run) and flight recorder all enabled.
+// Steady-state observability must be free — the cached instruments, the
+// slot-reusing rings and the nil-Events guards leave EncodeNext at zero
+// allocations per frame with everything on.
+func TestFrameLoopZeroAllocsObserved(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	tel := &telemetry.Telemetry{
+		Metrics: telemetry.NewRegistry(),
+		Trace:   telemetry.NewTraceWriterCap(512), // wraps during warmup
+		Flight:  telemetry.NewFlightRecorder(0),
+	}
+	opts := timingOpts(device.SysNFF(), 32, 1)
+	opts.Telemetry = tel.ForSession("tenant-0")
+	fw, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		if _, err := fw.EncodeNext(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		step()
+	}
+	// The ring must already have wrapped so the measurement exercises the
+	// overwrite path, not the initial append growth.
+	if tel.Trace.Dropped() == 0 {
+		t.Fatal("trace ring did not wrap during warmup; enlarge the warmup or shrink the cap")
+	}
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Fatalf("observed steady-state EncodeNext allocates %v per frame, want 0", n)
+	}
+	if tel.Flight.Depth() == 0 || len(tel.Flight.Doc().Frames) == 0 {
+		t.Fatal("flight recorder committed no frames despite being enabled")
 	}
 }
 

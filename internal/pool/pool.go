@@ -136,6 +136,79 @@ func (p *Pool) Epoch() uint64 {
 	return p.epoch
 }
 
+// DeviceState describes one base-platform device for introspection.
+type DeviceState struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Down  bool   `json:"down"`
+	// Lease is the id of the lease currently holding the device, or -1.
+	Lease int `json:"lease"`
+}
+
+// LeaseState describes one active lease for introspection.
+type LeaseState struct {
+	ID      int   `json:"id"`
+	Devices []int `json:"devices"`
+	Epoch   uint64 `json:"epoch"`
+	// PredTau is the partitioner's equalized τtot estimate; +Inf (rendered
+	// as orphaned=true) when device loss left the lease without devices.
+	PredTau  float64 `json:"pred_tau,omitempty"`
+	Orphaned bool    `json:"orphaned,omitempty"`
+}
+
+// State describes the pool's live topology — the /debug/state document's
+// pool section.
+type State struct {
+	Epoch    uint64        `json:"epoch"`
+	Capacity int           `json:"capacity"`
+	Up       int           `json:"up"`
+	Devices  []DeviceState `json:"devices"`
+	Leases   []LeaseState  `json:"leases"`
+}
+
+// State snapshots the pool topology: every base device with its down flag
+// and holding lease, and every active lease with its devices, epoch and
+// predicted τ. Safe for concurrent use.
+func (p *Pool) State() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := State{
+		Epoch:    p.epoch,
+		Capacity: p.base.NumDevices(),
+		Up:       len(p.upLocked()),
+		Devices:  make([]DeviceState, p.base.NumDevices()),
+	}
+	holder := make(map[int]int, p.base.NumDevices())
+	ids := make([]int, 0, len(p.leases))
+	for id := range p.leases {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := p.leases[id]
+		for _, d := range l.devices {
+			holder[d] = id
+		}
+		ls := LeaseState{ID: id, Devices: append([]int(nil), l.devices...), Epoch: l.epoch}
+		if math.IsInf(l.predTau, 1) {
+			ls.Orphaned = true
+		} else {
+			ls.PredTau = l.predTau
+		}
+		s.Leases = append(s.Leases, ls)
+	}
+	for i := range s.Devices {
+		lease := -1
+		if id, ok := holder[i]; ok {
+			lease = id
+		}
+		s.Devices[i] = DeviceState{
+			Index: i, Name: p.base.Dev(i).Name, Down: p.down[i], Lease: lease,
+		}
+	}
+	return s
+}
+
 // Lease is one session's claim on a disjoint device subset.
 type Lease struct {
 	pool *Pool

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 )
@@ -18,6 +19,10 @@ import (
 //	GET    /jobs/{id}/bitstream coded stream of a finished encode job
 //	GET    /healthz            200 while serving, 503 while draining
 //	GET    /metrics            Prometheus text exposition (when telemetry is on)
+//	GET    /debug/state        live topology: pool, leases, health, queue, drain
+//	GET    /debug/flight       flight recorder: live ring + captured bundles
+//	GET    /debug/trace        Perfetto snapshot of the live trace ring
+//	GET    /debug/pprof/...    net/http/pprof profiles
 //
 // Submission failures map to the service's backpressure semantics: a full
 // queue or a draining server answer 503 with a Retry-After hint, a
@@ -34,7 +39,45 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Telemetry != nil && s.cfg.Telemetry.Metrics != nil {
 		mux.Handle("GET /metrics", s.cfg.Telemetry.Metrics.Handler())
 	}
+	mux.HandleFunc("GET /debug/state", s.handleDebugState)
+	mux.HandleFunc("GET /debug/flight", s.handleDebugFlight)
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleDebugState serves the live introspection document: pool topology
+// and leases, per-session device health, queue depth and drain status.
+func (s *Server) handleDebugState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.State())
+}
+
+// handleDebugFlight serves the flight recorder: the current frame ring,
+// the incident ring, and every captured post-mortem bundle.
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Telemetry == nil || s.cfg.Telemetry.Flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.cfg.Telemetry.Flight.WriteDoc(w)
+}
+
+// handleDebugTrace snapshots the live Perfetto ring without shutting the
+// service down — load the response straight into ui.perfetto.dev.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Telemetry == nil || s.cfg.Telemetry.Trace == nil {
+		writeError(w, http.StatusNotFound, "trace writer not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.cfg.Telemetry.Trace.Export(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

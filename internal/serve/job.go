@@ -138,8 +138,11 @@ func (s Status) terminal() bool {
 // FrameResult is the per-frame record streamed to clients, one JSONL line
 // each.
 type FrameResult struct {
-	Frame int  `json:"frame"`
-	Intra bool `json:"intra"`
+	Frame int `json:"frame"`
+	// Attempt is the successful failover attempt index (omitted for
+	// first-try frames).
+	Attempt int  `json:"attempt,omitempty"`
+	Intra   bool `json:"intra"`
 	// Seconds is the simulated inter-loop time τtot (0 for intra frames).
 	Seconds float64 `json:"tau_tot"`
 	FPS     float64 `json:"fps,omitempty"`

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"feves/internal/telemetry"
+)
+
+var updateSurface = flag.Bool("update", false, "rewrite the metrics-surface golden file")
+
+// TestMetricsSurfaceGolden pins the service's metrics surface: the name,
+// kind, help string and label set of every family a fully exercised run
+// registers. Dashboards and alerts key on these — renaming a family or
+// dropping a label is a breaking change this golden makes explicit.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/serve -run MetricsSurface -update
+func TestMetricsSurfaceGolden(t *testing.T) {
+	tel := &telemetry.Telemetry{
+		Metrics: telemetry.NewRegistry(),
+		Trace:   telemetry.NewTraceWriterCap(1024),
+		Flight:  telemetry.NewFlightRecorder(16),
+	}
+	// One run that walks every registration path: multi-tenant sessions
+	// (session-labeled families), the schedule checker, an armed deadline
+	// with a device death (retry/health/exclusion/failover families), and
+	// the bounded trace ring (drop counter).
+	s, err := New(Config{
+		Platform:       testPlatform(t),
+		MaxSessions:    2,
+		QueueDepth:     8,
+		Telemetry:      tel,
+		CheckSchedules: true,
+		DeadlineSlack:  3,
+		FaultSpec:      "die:GPU_F@8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	jobs := make([]*Job, 2)
+	for i := range jobs {
+		j, err := s.Submit(simSpec(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		if st := j.Wait(); st != StatusDone {
+			t.Fatalf("job %d finished %q (%s)", i, st, j.Status().Error)
+		}
+	}
+
+	var b strings.Builder
+	for _, f := range tel.Metrics.Describe() {
+		labels := strings.Join(f.Labels, ",")
+		if labels == "" {
+			labels = "-"
+		}
+		fmt.Fprintf(&b, "%s|%s|%s|%s\n", f.Name, f.Kind, labels, f.Help)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "metrics_surface.golden")
+	if *updateSurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("metrics surface drifted from the golden file.\ngot:\n%s\nwant:\n%s\n(if the change is intentional, regenerate with -update)",
+			got, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -81,6 +82,7 @@ type Server struct {
 	order    []string
 	seq      int
 	draining bool
+	active   map[string]*sessionRef // running sessions by job id
 
 	inflight sync.WaitGroup // accepted jobs not yet terminal
 	loopDone chan struct{}
@@ -116,6 +118,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:  ctx,
 		stop:     cancel,
 		jobs:     map[string]*Job{},
+		active:   map[string]*sessionRef{},
 		loopDone: make(chan struct{}),
 	}
 	go s.schedule()
@@ -304,7 +307,10 @@ func (s *Server) run(job *Job, lease *pool.Lease) {
 
 // runSession drives the framework frame by frame, re-targeting the
 // platform when the pool re-partitioned and honouring cancellation
-// between frames.
+// between frames. Every telemetry record of the session carries the job
+// id as its causal session label (minted at submission), so events,
+// metrics, trace lanes and flight-recorder entries attribute to the
+// tenant.
 func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte) {
 	spec := job.spec
 	pl, epoch := lease.Snapshot()
@@ -315,11 +321,17 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 	if spec.Mode == ModeEncode {
 		mode = vcm.Functional
 	}
+	tel := s.cfg.Telemetry.ForSession(job.id)
+	// pendingFailover marks that this session pushed a device out of the
+	// pool; the post-mortem bundle is captured once the failover completes
+	// — when the session picks up its re-partitioned lease below — so the
+	// bundle contains the re-lease incident too.
+	curFrame, pendingFailover := 0, false
 	opts := core.Options{
 		Platform:        pl,
 		Codec:           spec.codecConfig(),
 		Mode:            mode,
-		Telemetry:       s.cfg.Telemetry,
+		Telemetry:       tel,
 		CheckSchedules:  s.cfg.CheckSchedules,
 		CheckObserve:    true,
 		DeadlineSlack:   s.cfg.DeadlineSlack,
@@ -337,6 +349,9 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 				parent = pl.BaseIndex[dev]
 			}
 			if s.pool.MarkDown(parent) {
+				pendingFailover = true
+				tel.Incident("device_down", curFrame, parent,
+					fmt.Sprintf("pool removed device %d (%s) after session exclusion", parent, s.cfg.Platform.Dev(parent).Name))
 				s.metric("feves_serve_devices_lost_total",
 					"Devices removed from the pool after a session excluded them.").Inc()
 			}
@@ -346,6 +361,8 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 	if err != nil {
 		return StatusFailed, err.Error(), nil
 	}
+	s.trackSession(job, lease, fw)
+	defer s.untrackSession(job.id)
 	job.start(deviceNames(pl))
 
 	frames := spec.frameCount()
@@ -356,6 +373,7 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 	}
 	retries := 0
 	for i := 0; i < frames; i++ {
+		curFrame = i
 		if job.ctx.Err() != nil {
 			return StatusCanceled, "canceled", nil
 		}
@@ -367,6 +385,13 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 				return StatusFailed, err.Error(), nil
 			}
 			pl, epoch = sub, e
+			tel.Incident("re_lease", i, -1,
+				fmt.Sprintf("picked up epoch %d: %v", e, deviceNames(sub)))
+			if pendingFailover {
+				pendingFailover = false
+				tel.CaptureBundle("pool_failover", i,
+					fmt.Sprintf("failover complete: session re-leased onto %v at epoch %d", deviceNames(sub), e))
+			}
 			s.metric("feves_serve_repartitions_total",
 				"Lease changes picked up by sessions at frame boundaries.").Inc()
 		}
@@ -397,6 +422,9 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 					}
 					if s.pool.MarkDown(parent) {
 						lost = true
+						pendingFailover = true
+						tel.Incident("device_down", i, parent,
+							fmt.Sprintf("pool removed device %d (%s): %s", parent, s.cfg.Platform.Dev(parent).Name, de.Error()))
 						s.metric("feves_serve_devices_lost_total",
 							"Devices removed from the pool after a session excluded them.").Inc()
 					}
@@ -407,11 +435,16 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 					continue
 				}
 			}
+			if pendingFailover {
+				// The session is failing before it could pick up a re-lease;
+				// capture what we have.
+				tel.CaptureBundle("session_failed", i, err.Error())
+			}
 			return StatusFailed, err.Error(), nil
 		}
 		retries = 0
 		fr := FrameResult{
-			Frame: r.FrameIndex, Intra: r.Intra || r.Stats.Intra,
+			Frame: r.FrameIndex, Attempt: r.Attempt, Intra: r.Intra || r.Stats.Intra,
 			Seconds:          r.Timing.Tot,
 			PredictedSeconds: r.Distribution.PredTot,
 			SchedOverhead:    r.SchedOverhead.Seconds(),
@@ -427,6 +460,87 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 		return StatusDone, "", fw.Bitstream()
 	}
 	return StatusDone, "", nil
+}
+
+// sessionRef tracks one running session for live introspection.
+type sessionRef struct {
+	job   *Job
+	lease *pool.Lease
+	fw    *core.Framework
+}
+
+func (s *Server) trackSession(job *Job, lease *pool.Lease, fw *core.Framework) {
+	s.mu.Lock()
+	s.active[job.id] = &sessionRef{job: job, lease: lease, fw: fw}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrackSession(id string) {
+	s.mu.Lock()
+	delete(s.active, id)
+	s.mu.Unlock()
+}
+
+// SessionState describes one running session for /debug/state.
+type SessionState struct {
+	Job     string   `json:"job"`
+	Name    string   `json:"name,omitempty"`
+	Mode    string   `json:"mode"`
+	Lease   int      `json:"lease"`
+	Epoch   uint64   `json:"epoch"`
+	Devices []string `json:"devices"`
+	// Health names each lease device's failover state (nil while
+	// DeadlineSlack is 0).
+	Health []string `json:"health,omitempty"`
+	// Frames/Completed mirror the job status document.
+	Frames    int `json:"frames"`
+	Completed int `json:"completed"`
+	Retries   int `json:"retries,omitempty"`
+}
+
+// State is the live introspection document served at /debug/state: pool
+// topology and leases, per-session health, queue depth and drain status.
+type State struct {
+	Draining    bool           `json:"draining"`
+	QueueLen    int            `json:"queue_len"`
+	QueueCap    int            `json:"queue_cap"`
+	MaxSessions int            `json:"max_sessions"`
+	Pool        pool.State     `json:"pool"`
+	Sessions    []SessionState `json:"sessions"`
+}
+
+// State snapshots the server for the debug endpoint. Safe to call while
+// sessions encode.
+func (s *Server) State() State {
+	s.mu.Lock()
+	draining := s.draining
+	refs := make([]*sessionRef, 0, len(s.active))
+	for _, ref := range s.active {
+		refs = append(refs, ref)
+	}
+	s.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].job.id < refs[j].job.id })
+	st := State{
+		Draining:    draining,
+		QueueLen:    len(s.queue),
+		QueueCap:    cap(s.queue),
+		MaxSessions: cap(s.slots),
+		Pool:        s.pool.State(),
+	}
+	for _, ref := range refs {
+		js := ref.job.Status()
+		ss := SessionState{
+			Job: ref.job.id, Name: js.Name, Mode: js.Mode,
+			Lease:   ref.lease.ID(),
+			Devices: js.Devices,
+			Frames:  js.Frames, Completed: js.Completed,
+			Health:  ref.fw.HealthStates(),
+			Retries: ref.fw.FrameRetries(),
+		}
+		_, ss.Epoch = ref.lease.Snapshot()
+		st.Sessions = append(st.Sessions, ss)
+	}
+	return st
 }
 
 func deviceNames(pl *device.Platform) []string {

@@ -14,13 +14,15 @@ import (
 
 // Flags holds the parsed observability flag values.
 type Flags struct {
-	metricsAddr string
-	events      string
-	perfetto    string
+	metricsAddr  string
+	events       string
+	perfetto     string
+	traceEvents  int
+	flightFrames int
 }
 
-// Register declares -metrics-addr, -events and -perfetto on the default
-// flag set. Call before flag.Parse.
+// Register declares -metrics-addr, -events, -perfetto, -trace-events and
+// -flight-frames on the default flag set. Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.metricsAddr, "metrics-addr", "",
@@ -29,8 +31,22 @@ func Register() *Flags {
 		"write the JSONL telemetry event stream (frame timings, balancer audits) to this file ('' = off)")
 	flag.StringVar(&f.perfetto, "perfetto", "",
 		"write the whole run's schedule as Chrome trace-event JSON (Perfetto-loadable) to this file ('' = off)")
+	flag.IntVar(&f.traceEvents, "trace-events", 0,
+		"trace ring capacity in events; the oldest are overwritten beyond it and counted in feves_trace_events_dropped_total (0 = 65536)")
+	flag.IntVar(&f.flightFrames, "flight-frames", 0,
+		"flight recorder depth: how many recent frames a post-mortem bundle captures (0 = 64)")
 	return f
 }
+
+// PerfettoPath returns the -perfetto flag value ('' when unset), for tools
+// that render trace output themselves instead of going through Observer.
+func (f *Flags) PerfettoPath() string { return f.perfetto }
+
+// TraceEventCap returns the -trace-events flag value (0 = default cap).
+func (f *Flags) TraceEventCap() int { return f.traceEvents }
+
+// FlightFrames returns the -flight-frames flag value (0 = default depth).
+func (f *Flags) FlightFrames() int { return f.flightFrames }
 
 // Enabled reports whether any observability flag was set.
 func (f *Flags) Enabled() bool {
@@ -48,6 +64,8 @@ func (f *Flags) Observer() (*feves.Observer, func() error, error) {
 	var oc feves.ObserverConfig
 	var files []*os.File
 	oc.MetricsAddr = f.metricsAddr
+	oc.TraceEventCap = f.traceEvents
+	oc.FlightFrames = f.flightFrames
 	if f.events != "" {
 		ef, err := os.Create(f.events)
 		if err != nil {

@@ -47,18 +47,23 @@ func (l *EventLog) Count() int {
 
 // FrameStartEvent opens a frame's event group.
 type FrameStartEvent struct {
-	Type  string `json:"type"` // "frame_start"
-	Frame int    `json:"frame"`
-	Intra bool   `json:"intra"`
+	Type    string `json:"type"` // "frame_start"
+	Session string `json:"session,omitempty"`
+	Frame   int    `json:"frame"`
+	Intra   bool   `json:"intra"`
 }
 
 // FrameEndEvent is the per-frame summary record: the measured
 // synchronization points, the distribution vectors, the per-module device
 // time and the functional coding outcome.
 type FrameEndEvent struct {
-	Type  string `json:"type"` // "frame_end"
-	Frame int    `json:"frame"`
-	Intra bool   `json:"intra"`
+	Type    string `json:"type"` // "frame_end"
+	Session string `json:"session,omitempty"`
+	Frame   int    `json:"frame"`
+	// Attempt is the successful attempt index (omitted for first-try
+	// frames; >0 after failover retries).
+	Attempt int  `json:"attempt,omitempty"`
+	Intra   bool `json:"intra"`
 	// Tau1/Tau2/Tot are the measured synchronization points in seconds
 	// (zero for intra frames, which run outside the balanced inter-loop).
 	Tau1 float64 `json:"tau1"`
@@ -82,6 +87,9 @@ type FrameEndEvent struct {
 	ModRStar float64 `json:"mod_rstar,omitempty"`
 	Bits     int     `json:"bits,omitempty"`
 	PSNRY    float64 `json:"psnr_y,omitempty"`
+	// LPSolve is the frame's LP-solver work delta (absent when the
+	// balancer solved no LP this frame).
+	LPSolve *LPSolveStats `json:"lp_solve,omitempty"`
 }
 
 // DeviceDrift is one device/module model change caused by a frame's EWMA
@@ -103,6 +111,7 @@ type DeviceDrift struct {
 // feedback loop.
 type AuditEvent struct {
 	Type     string  `json:"type"` // "balancer_audit"
+	Session  string  `json:"session,omitempty"`
 	Frame    int     `json:"frame"`
 	Balancer string  `json:"balancer,omitempty"`
 	PredTot  float64 `json:"pred_tau_tot"`
@@ -117,15 +126,17 @@ type AuditEvent struct {
 // MarkEvent flags a one-off occurrence: an IDR refresh ("idr") or a
 // scene-cut-forced intra switch ("scene_cut").
 type MarkEvent struct {
-	Type  string `json:"type"`
-	Frame int    `json:"frame"`
+	Type    string `json:"type"`
+	Session string `json:"session,omitempty"`
+	Frame   int    `json:"frame"`
 }
 
 // HealthEvent reports one device health-state transition of the failover
 // state machine.
 type HealthEvent struct {
-	Type   string `json:"type"` // "health_transition"
-	Frame  int    `json:"frame"`
+	Type    string `json:"type"` // "health_transition"
+	Session string `json:"session,omitempty"`
+	Frame   int    `json:"frame"`
 	Device int    `json:"device"`
 	From   string `json:"from"`
 	To     string `json:"to"`
@@ -137,6 +148,7 @@ type HealthEvent struct {
 // RetryEvent reports a frame being re-run after a blown deadline.
 type RetryEvent struct {
 	Type    string `json:"type"` // "frame_retry"
+	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	Attempt int    `json:"attempt"`
 	// Point is the synchronization point whose budget was exceeded.
@@ -148,7 +160,19 @@ type RetryEvent struct {
 // CheckEvent reports the schedule-invariant rules a frame broke when the
 // checker runs in non-fatal (observe) mode.
 type CheckEvent struct {
-	Type  string   `json:"type"` // "check_violation"
-	Frame int      `json:"frame"`
-	Rules []string `json:"rules"`
+	Type    string   `json:"type"` // "check_violation"
+	Session string   `json:"session,omitempty"`
+	Frame   int      `json:"frame"`
+	Rules   []string `json:"rules"`
+}
+
+// CaptureEvent marks a post-mortem flight bundle being captured, with the
+// bundle id it can be retrieved by at /debug/flight.
+type CaptureEvent struct {
+	Type    string `json:"type"` // "flight_capture"
+	Session string `json:"session,omitempty"`
+	Frame   int    `json:"frame"`
+	Reason  string `json:"reason"`
+	Bundle  int    `json:"bundle"`
+	Detail  string `json:"detail,omitempty"`
 }

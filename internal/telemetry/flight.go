@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightEntry is one frame's full schedule record as the flight recorder
+// keeps it: the causal identity {session, frame, attempt}, the measured
+// and predicted synchronization points, the distribution vectors of
+// Algorithm 2, the LP solver work the decision cost, and the executed
+// task spans — everything needed to reconstruct the frame's Fig. 4
+// timeline after the fact.
+type FlightEntry struct {
+	Seq     uint64 `json:"seq"`
+	Session string `json:"session,omitempty"`
+	Frame   int    `json:"frame"`
+	Attempt int    `json:"attempt,omitempty"`
+	Intra   bool   `json:"intra,omitempty"`
+
+	Tau1     float64 `json:"tau1,omitempty"`
+	Tau2     float64 `json:"tau2,omitempty"`
+	Tot      float64 `json:"tau_tot,omitempty"`
+	PredTau1 float64 `json:"pred_tau1,omitempty"`
+	PredTau2 float64 `json:"pred_tau2,omitempty"`
+	PredTot  float64 `json:"pred_tau_tot,omitempty"`
+
+	RStarDev      int     `json:"rstar_dev,omitempty"`
+	SchedOverhead float64 `json:"sched_overhead,omitempty"`
+
+	M      []int `json:"m,omitempty"`
+	L      []int `json:"l,omitempty"`
+	S      []int `json:"s,omitempty"`
+	Sigma  []int `json:"sigma,omitempty"`
+	SigmaR []int `json:"sigma_r,omitempty"`
+	DeltaM []int `json:"delta_m,omitempty"`
+	DeltaL []int `json:"delta_l,omitempty"`
+
+	// LP is the solver work of this frame's balancing decision (zero for
+	// equidistant/initialization frames).
+	LP LPSolveStats `json:"lp_solve"`
+
+	// Spans is the executed schedule of the successful attempt.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// LPSolveStats is the per-frame delta of the LP solver's cumulative
+// counters (lp.Stats without importing it — telemetry stays a leaf).
+type LPSolveStats struct {
+	Solves           int `json:"solves,omitempty"`
+	WarmSolves       int `json:"warm,omitempty"`
+	ColdSolves       int `json:"cold,omitempty"`
+	WarmRejects      int `json:"warm_rejects,omitempty"`
+	Pivots           int `json:"pivots,omitempty"`
+	DegeneratePivots int `json:"degenerate_pivots,omitempty"`
+	BlandPivots      int `json:"bland_pivots,omitempty"`
+}
+
+func (s LPSolveStats) zero() bool { return s == LPSolveStats{} }
+
+// Incident is one exceptional occurrence the recorder keeps alongside the
+// frame ring: a deadline retry, a health-state transition, a device loss,
+// a failover re-lease. Incidents are the causal breadcrumbs a post-mortem
+// bundle is read by.
+type Incident struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"` // "frame_retry", "health_transition", "device_down", "re_lease", ...
+	Session string `json:"session,omitempty"`
+	Frame   int    `json:"frame"`
+	Device  int    `json:"device,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Bundle is an inspectable post-mortem snapshot: the frame ring and the
+// incident ring as they stood when a capture trigger fired (a
+// DeadlineError escaping retries, a device exclusion, a pool failover).
+type Bundle struct {
+	ID       int       `json:"id"`
+	Reason   string    `json:"reason"`
+	Session  string    `json:"session,omitempty"`
+	Frame    int       `json:"frame"`
+	Detail   string    `json:"detail,omitempty"`
+	Captured time.Time `json:"captured"`
+	// Frames is the recorded window, oldest first.
+	Frames []FlightEntry `json:"frames"`
+	// Incidents is the incident window, oldest first.
+	Incidents []Incident `json:"incidents"`
+}
+
+// FlightDoc is the document served at /debug/flight and consumed by
+// feves-trace -flight: the live ring plus every captured bundle.
+type FlightDoc struct {
+	Frames    []FlightEntry `json:"frames"`
+	Incidents []Incident    `json:"incidents"`
+	Bundles   []Bundle      `json:"bundles"`
+}
+
+// defaultFlightFrames is the frame-ring depth when NewFlightRecorder is
+// given a non-positive size.
+const defaultFlightFrames = 64
+
+// maxFlightBundles bounds retained post-mortem bundles; beyond it the
+// oldest is dropped (the newest failure is the one being debugged).
+const maxFlightBundles = 16
+
+// FlightRecorder is a bounded, allocation-free record of the last N
+// frames' schedules plus a small incident log. Commit reuses ring-slot
+// storage, so the steady-state frame loop adds no allocations; Capture —
+// the exceptional path — snapshots copies into a Bundle. All methods are
+// safe for concurrent use across tenants.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	ring      []FlightEntry // fixed-size slot array, slices reused in place
+	next      int           // next slot to overwrite
+	count     int           // committed entries, ≤ len(ring)
+	seq       uint64        // global commit sequence
+	incidents []Incident    // ring, same discipline
+	incNext   int
+	incCount  int
+	bundles   []Bundle
+	bundleSeq int
+}
+
+// NewFlightRecorder creates a recorder holding the last n frames
+// (defaultFlightFrames when n <= 0) and an equally deep incident ring.
+// Every slot is allocated up front so steady-state commits are free.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = defaultFlightFrames
+	}
+	return &FlightRecorder{
+		ring:      make([]FlightEntry, n),
+		incidents: make([]Incident, n),
+	}
+}
+
+// Depth returns the frame-ring capacity.
+func (r *FlightRecorder) Depth() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Commit copies e into the next ring slot, reusing the slot's slice
+// storage. e may alias caller scratch — the recorder owns only the copy.
+// Nil-receiver safe.
+func (r *FlightRecorder) Commit(e *FlightEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	slot := &r.ring[r.next]
+	slot.Seq = r.seq
+	slot.Session = e.Session
+	slot.Frame = e.Frame
+	slot.Attempt = e.Attempt
+	slot.Intra = e.Intra
+	slot.Tau1, slot.Tau2, slot.Tot = e.Tau1, e.Tau2, e.Tot
+	slot.PredTau1, slot.PredTau2, slot.PredTot = e.PredTau1, e.PredTau2, e.PredTot
+	slot.RStarDev = e.RStarDev
+	slot.SchedOverhead = e.SchedOverhead
+	slot.M = append(slot.M[:0], e.M...)
+	slot.L = append(slot.L[:0], e.L...)
+	slot.S = append(slot.S[:0], e.S...)
+	slot.Sigma = append(slot.Sigma[:0], e.Sigma...)
+	slot.SigmaR = append(slot.SigmaR[:0], e.SigmaR...)
+	slot.DeltaM = append(slot.DeltaM[:0], e.DeltaM...)
+	slot.DeltaL = append(slot.DeltaL[:0], e.DeltaL...)
+	slot.LP = e.LP
+	slot.Spans = append(slot.Spans[:0], e.Spans...)
+	r.next = (r.next + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// Incident appends one incident record to the incident ring. This is the
+// exceptional path; it needs no allocation discipline beyond the ring
+// bound itself.
+func (r *FlightRecorder) Incident(kind, session string, frame, device int, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	r.incidents[r.incNext] = Incident{
+		Seq: r.seq, Kind: kind, Session: session,
+		Frame: frame, Device: device, Detail: detail,
+	}
+	r.incNext = (r.incNext + 1) % len(r.incidents)
+	if r.incCount < len(r.incidents) {
+		r.incCount++
+	}
+	r.mu.Unlock()
+}
+
+// framesLocked copies the committed window, oldest first. Called with
+// r.mu held.
+func (r *FlightRecorder) framesLocked() []FlightEntry {
+	out := make([]FlightEntry, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.count; i++ {
+		e := r.ring[(start+i)%len(r.ring)]
+		e.M = append([]int(nil), e.M...)
+		e.L = append([]int(nil), e.L...)
+		e.S = append([]int(nil), e.S...)
+		e.Sigma = append([]int(nil), e.Sigma...)
+		e.SigmaR = append([]int(nil), e.SigmaR...)
+		e.DeltaM = append([]int(nil), e.DeltaM...)
+		e.DeltaL = append([]int(nil), e.DeltaL...)
+		e.Spans = append([]Span(nil), e.Spans...)
+		out = append(out, e)
+	}
+	return out
+}
+
+// incidentsLocked copies the incident window, oldest first. Called with
+// r.mu held.
+func (r *FlightRecorder) incidentsLocked() []Incident {
+	out := make([]Incident, 0, r.incCount)
+	start := r.incNext - r.incCount
+	if start < 0 {
+		start += len(r.incidents)
+	}
+	for i := 0; i < r.incCount; i++ {
+		out = append(out, r.incidents[(start+i)%len(r.incidents)])
+	}
+	return out
+}
+
+// Capture snapshots the current window into a post-mortem Bundle and
+// retains it (dropping the oldest beyond maxFlightBundles). It returns a
+// copy of the captured bundle. Nil-receiver safe (returns a zero bundle).
+func (r *FlightRecorder) Capture(reason, session string, frame int, detail string) Bundle {
+	if r == nil {
+		return Bundle{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bundleSeq++
+	b := Bundle{
+		ID: r.bundleSeq, Reason: reason, Session: session, Frame: frame,
+		Detail: detail, Captured: time.Now().UTC(),
+		Frames:    r.framesLocked(),
+		Incidents: r.incidentsLocked(),
+	}
+	r.bundles = append(r.bundles, b)
+	if len(r.bundles) > maxFlightBundles {
+		r.bundles = r.bundles[len(r.bundles)-maxFlightBundles:]
+	}
+	return b
+}
+
+// Bundles returns the captured bundles, oldest first.
+func (r *FlightRecorder) Bundles() []Bundle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Bundle(nil), r.bundles...)
+}
+
+// Doc snapshots the live ring and every captured bundle — the
+// /debug/flight document.
+func (r *FlightRecorder) Doc() FlightDoc {
+	if r == nil {
+		return FlightDoc{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return FlightDoc{
+		Frames:    r.framesLocked(),
+		Incidents: r.incidentsLocked(),
+		Bundles:   append([]Bundle(nil), r.bundles...),
+	}
+}
+
+// WriteDoc writes the /debug/flight document as indented JSON.
+func (r *FlightRecorder) WriteDoc(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Doc())
+}

@@ -101,13 +101,13 @@ func TestEventLogGolden(t *testing.T) {
 
 func TestPerfettoGolden(t *testing.T) {
 	w := NewTraceWriter()
-	w.AddFrame(0, 0, 0.010, 0.015, 0.020, []Span{
+	w.AddFrame(0, 0, 0, 0, 0.010, 0.015, 0.020, []Span{
 		{Resource: "GPU_K", Label: "ME@0", Start: 0.001, End: 0.008},
 		{Resource: "GPU_K", Label: "INT@0", Start: 0.008, End: 0.0095},
 		{Resource: "GPU_K.h2d", Label: "CF.h2d@0", Start: 0, End: 0.001},
 		{Resource: "CPU_H#0", Label: "ME@1", Start: 0, End: 0.009},
 	})
-	w.AddFrame(1, 0.020, 0.009, 0.014, 0.019, []Span{
+	w.AddFrame(0, 1, 0, 0.020, 0.009, 0.014, 0.019, []Span{
 		{Resource: "GPU_K", Label: "SME@0", Start: 0.010, End: 0.0135},
 		{Resource: "GPU_K", Label: "R*@0", Start: 0.014, End: 0.019},
 	})

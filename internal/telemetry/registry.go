@@ -306,6 +306,64 @@ func mergeLabels(key, k, v string) string {
 	return key[:len(key)-1] + "," + extra + "}"
 }
 
+// FamilyDesc describes one exported metric family: its name, kind, help
+// text and the union of label keys across its series. Describe feeds the
+// metrics-surface golden test, which makes metric renames deliberate.
+type FamilyDesc struct {
+	Name   string
+	Kind   string
+	Help   string
+	Labels []string // sorted union of label keys across series
+}
+
+// Describe returns every family sorted by name.
+func (r *Registry) Describe() []FamilyDesc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyDesc, 0, len(r.families))
+	for _, f := range r.families {
+		keys := map[string]bool{}
+		for seriesKey := range f.series {
+			for _, k := range labelNames(seriesKey) {
+				keys[k] = true
+			}
+		}
+		d := FamilyDesc{Name: f.name, Kind: string(f.kind), Help: f.help}
+		for k := range keys {
+			d.Labels = append(d.Labels, k)
+		}
+		sort.Strings(d.Labels)
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// labelNames extracts the label keys of a rendered series key
+// (`{a="x",b="y"}` → [a b]); "" yields none.
+func labelNames(key string) []string {
+	if key == "" {
+		return nil
+	}
+	var names []string
+	rest := key[1 : len(key)-1] // strip { }
+	for len(rest) > 0 {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			break
+		}
+		names = append(names, rest[:eq])
+		// skip the quoted value (values never contain `",` in our label
+		// vocabulary: device indices, module names, rule ids, sessions)
+		end := strings.Index(rest[eq:], `",`)
+		if end < 0 {
+			break
+		}
+		rest = rest[eq+end+2:]
+	}
+	return names
+}
+
 // Expose returns the full Prometheus text exposition as a string.
 func (r *Registry) Expose() string {
 	var b strings.Builder

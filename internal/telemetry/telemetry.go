@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 )
 
@@ -20,6 +21,7 @@ var (
 // fills it from core.Result.
 type FrameRecord struct {
 	Frame         int
+	Attempt       int // successful attempt index (0 = first try)
 	Intra         bool
 	Tau1, Tau2    float64
 	Tot           float64
@@ -29,12 +31,20 @@ type FrameRecord struct {
 	SchedOverhead float64 // seconds
 	RStarDev      int
 	M, L, S       []int
-	ModME         float64
-	ModINT        float64
-	ModSME        float64
-	ModRStar      float64
-	Bits          int
-	PSNRY         float64
+	// Sigma/SigmaR/DeltaM/DeltaL are Algorithm 2's deferred-transfer and
+	// redistribution vectors (nil for non-LP balancers); the flight
+	// recorder keeps them per frame.
+	Sigma, SigmaR  []int
+	DeltaM, DeltaL []int
+	// LP is the frame's LP-solver work delta (zero when the balancer did
+	// not solve an LP this frame).
+	LP       LPSolveStats
+	ModME    float64
+	ModINT   float64
+	ModSME   float64
+	ModRStar float64
+	Bits     int
+	PSNRY    float64
 }
 
 // AuditRecord is the hook payload of one balancer decision: the predicted
@@ -48,72 +58,282 @@ type AuditRecord struct {
 }
 
 // Telemetry is the sink the framework's instrumentation hooks feed. Any of
-// the three outputs may be nil to disable it; a nil *Telemetry disables
+// the four outputs may be nil to disable it; a nil *Telemetry disables
 // everything — every hook method is safe (and a near-no-op) on the nil
 // receiver, which is the zero-cost fast path the frame loop relies on.
+//
+// A Telemetry may be scoped to one tenant with ForSession: the scope
+// shares the underlying sinks but stamps every event, metric and trace
+// slice with the session label and gives the tenant its own Perfetto
+// lane. Scoped or not, the steady-state hook path (FrameStart, FrameEnd,
+// Audit, FrameSpans) allocates nothing once its cached instruments are
+// minted — the flight recorder and trace ring reuse slot storage, and
+// event structs are only built when an EventLog is attached.
 type Telemetry struct {
 	Metrics *Registry
 	Events  *EventLog
 	Trace   *TraceWriter
+	Flight  *FlightRecorder
 
-	mu     sync.Mutex
-	offset float64 // perfetto run-time offset in seconds
+	session string // tenant label; "" = unscoped
+	pid     int    // perfetto lane (0 = unscoped lane)
+
+	mu             sync.Mutex
+	offset         float64 // perfetto run-time offset in seconds
+	inst           *instruments
+	pendingFrame   int
+	pendingSpans   []Span // aliases caller scratch until the frame commits
+	hasPending     bool
+	scratch        FlightEntry // reused flight-commit staging
+}
+
+// instruments caches the registry lookups of the steady-state hook path.
+// Minting happens once per scope (cold); after that every per-frame
+// metric touch is a pointer dereference plus an atomic — no label-key
+// building, no map writes.
+type instruments struct {
+	framesIntra *Counter
+	framesInter *Counter
+	tauTot      *Histogram
+	tau1        *Histogram
+	schedOH     *Histogram
+	fps         *Gauge
+	psnr        *Gauge
+	codedBits   *Counter
+	spans       *Counter
+	simSeconds  *Counter
+	retries     *Counter
+	predAbs     *Histogram
+	predRel     *Histogram
+	decisions   map[string]*Counter   // by balancer name
+	drift       map[driftKey]*driftPair
+	lpWarm      *Counter
+	lpCold      *Counter
+	lpWarmRej   *Counter
+	lpPivots    *Counter
+	lpDegen     *Counter
+	lpBland     *Counter
+}
+
+type driftKey struct {
+	device int
+	module string
+}
+
+type driftPair struct {
+	k   *Gauge
+	rel *Gauge
 }
 
 // New returns a Telemetry with every output enabled: a fresh registry, an
-// event log on events, and a trace accumulator. Callers wanting a subset
-// build the struct directly.
+// event log on events, a trace accumulator and a flight recorder. Callers
+// wanting a subset build the struct directly.
 func New(events *EventLog) *Telemetry {
-	return &Telemetry{Metrics: NewRegistry(), Events: events, Trace: NewTraceWriter()}
+	return &Telemetry{
+		Metrics: NewRegistry(),
+		Events:  events,
+		Trace:   NewTraceWriter(),
+		Flight:  NewFlightRecorder(0),
+	}
 }
 
 // Enabled reports whether any hook will record something.
 func (t *Telemetry) Enabled() bool { return t != nil }
+
+// Session returns the tenant label of a scoped Telemetry ("" when
+// unscoped or nil).
+func (t *Telemetry) Session() string {
+	if t == nil {
+		return ""
+	}
+	return t.session
+}
+
+// ForSession returns a tenant-scoped view of t: same Registry, EventLog,
+// TraceWriter and FlightRecorder, but every record carries the session
+// label, metrics gain a {session="…"} dimension, and the tenant gets its
+// own Perfetto process lane with its own frame-abutting clock. A nil
+// receiver stays nil; an empty name returns t itself.
+func (t *Telemetry) ForSession(name string) *Telemetry {
+	if t == nil || name == "" {
+		return t
+	}
+	s := &Telemetry{
+		Metrics: t.Metrics,
+		Events:  t.Events,
+		Trace:   t.Trace,
+		Flight:  t.Flight,
+		session: name,
+	}
+	if t.Trace != nil {
+		s.pid = t.Trace.SessionPID(name)
+	}
+	return s
+}
+
+// labels prepends the session dimension of a scoped Telemetry. Cold path
+// only — results are cached in instruments.
+func (t *Telemetry) labels(pairs ...string) []string {
+	if t.session == "" {
+		return pairs
+	}
+	return append([]string{"session", t.session}, pairs...)
+}
+
+// ins returns the scope's cached instruments, minting them on first use.
+// Callers check t.Metrics != nil first.
+func (t *Telemetry) ins() *instruments {
+	t.mu.Lock()
+	in := t.inst
+	if in == nil {
+		in = t.mint()
+		t.inst = in
+	}
+	t.mu.Unlock()
+	return in
+}
+
+// mint registers the scope's fixed-label instruments. Called with t.mu
+// held, once per scope.
+func (t *Telemetry) mint() *instruments {
+	r := t.Metrics
+	in := &instruments{
+		decisions: map[string]*Counter{},
+		drift:     map[driftKey]*driftPair{},
+	}
+	in.framesInter = r.Counter("feves_frames_total", "Frames processed by the framework.", t.labels("type", "inter")...)
+	in.framesIntra = r.Counter("feves_frames_total", "Frames processed by the framework.", t.labels("type", "intra")...)
+	in.tauTot = r.Histogram("feves_tau_tot_seconds", "Measured inter-loop time per frame (τtot).", frameTimeBuckets, t.labels()...)
+	in.tau1 = r.Histogram("feves_tau1_seconds", "Measured first synchronization point (τ1).", frameTimeBuckets, t.labels()...)
+	in.schedOH = r.Histogram("feves_sched_overhead_seconds", "Wall-clock cost of each balancing decision.", overheadBuckets, t.labels()...)
+	in.fps = r.Gauge("feves_fps", "Frame rate implied by the last frame's τtot.", t.labels()...)
+	in.psnr = r.Gauge("feves_psnr_y_db", "Luma PSNR of the last coded frame.", t.labels()...)
+	in.codedBits = r.Counter("feves_coded_bits_total", "Total coded bitstream size.", t.labels()...)
+	in.spans = r.Counter("feves_schedule_spans_total", "Executed schedule tasks (kernels, transfers, barriers).", t.labels()...)
+	in.simSeconds = r.Counter("feves_simulated_seconds_total", "Accumulated simulated inter-loop time.", t.labels()...)
+	in.retries = r.Counter("feves_frame_retries_total", "Frames re-run after a blown deadline.", t.labels()...)
+	in.predAbs = r.Histogram("feves_prediction_abs_error_seconds", "Absolute τtot prediction error per frame.", frameTimeBuckets, t.labels()...)
+	in.predRel = r.Histogram("feves_prediction_rel_error", "Relative τtot prediction error per frame.", relErrBuckets, t.labels()...)
+	in.lpWarm = r.Counter("feves_lp_solves_total", "LP balancing solves by start strategy.", t.labels("start", "warm")...)
+	in.lpCold = r.Counter("feves_lp_solves_total", "LP balancing solves by start strategy.", t.labels("start", "cold")...)
+	in.lpWarmRej = r.Counter("feves_lp_warm_rejects_total", "Warm-start bases rejected (infeasible after model drift).", t.labels()...)
+	in.lpPivots = r.Counter("feves_lp_pivots_total", "Simplex pivots performed by the LP balancer.", t.labels()...)
+	in.lpDegen = r.Counter("feves_lp_degenerate_pivots_total", "Degenerate simplex pivots (no objective progress).", t.labels()...)
+	in.lpBland = r.Counter("feves_lp_bland_pivots_total", "Pivots taken under Bland's anti-cycling rule.", t.labels()...)
+	if t.Trace != nil {
+		// Drops are global to the shared ring, so the counter carries no
+		// session label regardless of scope.
+		t.Trace.SetDropCounter(r.Counter("feves_trace_events_dropped_total", "Trace events evicted by the retained-event ring bound."))
+	}
+	return in
+}
 
 // FrameStart records the beginning of a frame.
 func (t *Telemetry) FrameStart(frame int, intra bool) {
 	if t == nil {
 		return
 	}
-	t.Events.Emit(FrameStartEvent{Type: "frame_start", Frame: frame, Intra: intra})
+	if t.Events != nil {
+		t.Events.Emit(FrameStartEvent{Type: "frame_start", Session: t.session, Frame: frame, Intra: intra})
+	}
 }
 
-// FrameEnd records a completed frame: the summary event plus the standard
-// metrics (frame counters, τtot/overhead histograms, throughput gauges).
+// FrameEnd records a completed frame: the summary event, the standard
+// metrics (frame counters, τtot/overhead histograms, throughput gauges,
+// LP-solver counters) and the flight-recorder commit.
 func (t *Telemetry) FrameEnd(rec FrameRecord) {
 	if t == nil {
 		return
 	}
-	t.Events.Emit(FrameEndEvent{
-		Type: "frame_end", Frame: rec.Frame, Intra: rec.Intra,
-		Tau1: rec.Tau1, Tau2: rec.Tau2, Tot: rec.Tot,
-		PredTau1: rec.PredTau1, PredTau2: rec.PredTau2, PredTot: rec.PredTot,
-		SchedOverhead: rec.SchedOverhead, RStarDev: rec.RStarDev,
-		M: rec.M, L: rec.L, S: rec.S,
-		ModME: rec.ModME, ModINT: rec.ModINT, ModSME: rec.ModSME, ModRStar: rec.ModRStar,
-		Bits: rec.Bits, PSNRY: rec.PSNRY,
-	})
-	if r := t.Metrics; r != nil {
-		kind := "inter"
-		if rec.Intra {
-			kind = "intra"
+	if t.Events != nil {
+		ev := FrameEndEvent{
+			Type: "frame_end", Session: t.session, Frame: rec.Frame,
+			Attempt: rec.Attempt, Intra: rec.Intra,
+			Tau1: rec.Tau1, Tau2: rec.Tau2, Tot: rec.Tot,
+			PredTau1: rec.PredTau1, PredTau2: rec.PredTau2, PredTot: rec.PredTot,
+			SchedOverhead: rec.SchedOverhead, RStarDev: rec.RStarDev,
+			M: rec.M, L: rec.L, S: rec.S,
+			ModME: rec.ModME, ModINT: rec.ModINT, ModSME: rec.ModSME, ModRStar: rec.ModRStar,
+			Bits: rec.Bits, PSNRY: rec.PSNRY,
 		}
-		r.Counter("feves_frames_total", "Frames processed by the framework.", "type", kind).Inc()
-		if !rec.Intra {
-			r.Histogram("feves_tau_tot_seconds", "Measured inter-loop time per frame (τtot).", frameTimeBuckets).Observe(rec.Tot)
-			r.Histogram("feves_tau1_seconds", "Measured first synchronization point (τ1).", frameTimeBuckets).Observe(rec.Tau1)
-			r.Histogram("feves_sched_overhead_seconds", "Wall-clock cost of each balancing decision.", overheadBuckets).Observe(rec.SchedOverhead)
+		if !rec.LP.zero() {
+			lp := rec.LP
+			ev.LPSolve = &lp
+		}
+		t.Events.Emit(ev)
+	}
+	if t.Metrics != nil {
+		in := t.ins()
+		if rec.Intra {
+			in.framesIntra.Inc()
+		} else {
+			in.framesInter.Inc()
+			in.tauTot.Observe(rec.Tot)
+			in.tau1.Observe(rec.Tau1)
+			in.schedOH.Observe(rec.SchedOverhead)
 			if rec.Tot > 0 {
-				r.Gauge("feves_fps", "Frame rate implied by the last frame's τtot.").Set(1 / rec.Tot)
+				in.fps.Set(1 / rec.Tot)
 			}
 		}
 		if rec.Bits > 0 {
-			r.Counter("feves_coded_bits_total", "Total coded bitstream size.").Add(float64(rec.Bits))
+			in.codedBits.Add(float64(rec.Bits))
 		}
 		if rec.PSNRY > 0 {
-			r.Gauge("feves_psnr_y_db", "Luma PSNR of the last coded frame.").Set(rec.PSNRY)
+			in.psnr.Set(rec.PSNRY)
+		}
+		if !rec.LP.zero() {
+			if rec.LP.WarmSolves > 0 {
+				in.lpWarm.Add(float64(rec.LP.WarmSolves))
+			}
+			if rec.LP.ColdSolves > 0 {
+				in.lpCold.Add(float64(rec.LP.ColdSolves))
+			}
+			if rec.LP.WarmRejects > 0 {
+				in.lpWarmRej.Add(float64(rec.LP.WarmRejects))
+			}
+			if rec.LP.Pivots > 0 {
+				in.lpPivots.Add(float64(rec.LP.Pivots))
+			}
+			if rec.LP.DegeneratePivots > 0 {
+				in.lpDegen.Add(float64(rec.LP.DegeneratePivots))
+			}
+			if rec.LP.BlandPivots > 0 {
+				in.lpBland.Add(float64(rec.LP.BlandPivots))
+			}
 		}
 	}
+	t.commitFlight(&rec)
+}
+
+// commitFlight stages the frame into the scope's reusable FlightEntry —
+// slice fields alias the caller's scratch, which stays valid until the
+// next frame — and commits it; the recorder copies into its ring slot.
+func (t *Telemetry) commitFlight(rec *FrameRecord) {
+	if t.Flight == nil {
+		return
+	}
+	t.mu.Lock()
+	e := &t.scratch
+	e.Session = t.session
+	e.Frame = rec.Frame
+	e.Attempt = rec.Attempt
+	e.Intra = rec.Intra
+	e.Tau1, e.Tau2, e.Tot = rec.Tau1, rec.Tau2, rec.Tot
+	e.PredTau1, e.PredTau2, e.PredTot = rec.PredTau1, rec.PredTau2, rec.PredTot
+	e.RStarDev = rec.RStarDev
+	e.SchedOverhead = rec.SchedOverhead
+	e.M, e.L, e.S = rec.M, rec.L, rec.S
+	e.Sigma, e.SigmaR = rec.Sigma, rec.SigmaR
+	e.DeltaM, e.DeltaL = rec.DeltaM, rec.DeltaL
+	e.LP = rec.LP
+	if t.hasPending && t.pendingFrame == rec.Frame {
+		e.Spans = t.pendingSpans
+	} else {
+		e.Spans = nil
+	}
+	t.hasPending = false
+	t.Flight.Commit(e)
+	t.mu.Unlock()
 }
 
 // Audit records one balancer decision's predicted-vs-measured outcome and
@@ -127,21 +347,45 @@ func (t *Telemetry) Audit(rec AuditRecord) {
 	if rec.Measured > 0 {
 		relErr = absErr / rec.Measured
 	}
-	t.Events.Emit(AuditEvent{
-		Type: "balancer_audit", Frame: rec.Frame, Balancer: rec.Balancer,
-		PredTot: rec.PredTot, Measured: rec.Measured,
-		AbsErr: absErr, RelErr: relErr, Drift: rec.Drift,
-	})
-	if r := t.Metrics; r != nil {
-		r.Counter("feves_balancer_decisions_total", "Balancer decisions audited.", "balancer", rec.Balancer).Inc()
-		r.Histogram("feves_prediction_abs_error_seconds", "Absolute τtot prediction error per frame.", frameTimeBuckets).Observe(absErr)
-		r.Histogram("feves_prediction_rel_error", "Relative τtot prediction error per frame.", relErrBuckets).Observe(relErr)
+	if t.Events != nil {
+		t.Events.Emit(AuditEvent{
+			Type: "balancer_audit", Session: t.session, Frame: rec.Frame, Balancer: rec.Balancer,
+			PredTot: rec.PredTot, Measured: rec.Measured,
+			AbsErr: absErr, RelErr: relErr, Drift: rec.Drift,
+		})
+	}
+	if t.Metrics != nil {
+		in := t.ins()
+		// Map lookups stay under t.mu: one unscoped Telemetry may be shared
+		// by several frameworks. Reads are the steady state (no allocation);
+		// inserts only happen on first sight of a balancer or device/module.
+		t.mu.Lock()
+		dec := in.decisions[rec.Balancer]
+		if dec == nil {
+			dec = t.Metrics.Counter("feves_balancer_decisions_total", "Balancer decisions audited.", t.labels("balancer", rec.Balancer)...)
+			in.decisions[rec.Balancer] = dec
+		}
+		t.mu.Unlock()
+		dec.Inc()
+		in.predAbs.Observe(absErr)
+		in.predRel.Observe(relErr)
 		for _, d := range rec.Drift {
-			dev := fmt.Sprintf("%d", d.Device)
-			r.Gauge("feves_model_k_seconds", "Characterized per-row module time (T^R* whole-frame).",
-				"device", dev, "module", d.Module).Set(d.After)
-			r.Gauge("feves_model_drift_rel", "Relative model change from the last EWMA update.",
-				"device", dev, "module", d.Module).Set(d.Rel)
+			key := driftKey{device: d.Device, module: d.Module}
+			t.mu.Lock()
+			g := in.drift[key]
+			if g == nil {
+				dev := fmt.Sprintf("%d", d.Device)
+				g = &driftPair{
+					k: t.Metrics.Gauge("feves_model_k_seconds", "Characterized per-row module time (T^R* whole-frame).",
+						t.labels("device", dev, "module", d.Module)...),
+					rel: t.Metrics.Gauge("feves_model_drift_rel", "Relative model change from the last EWMA update.",
+						t.labels("device", dev, "module", d.Module)...),
+				}
+				in.drift[key] = g
+			}
+			t.mu.Unlock()
+			g.k.Set(d.After)
+			g.rel.Set(d.Rel)
 		}
 	}
 }
@@ -155,34 +399,40 @@ func (t *Telemetry) CheckViolations(frame int, rules []string) {
 	if t == nil || len(rules) == 0 {
 		return
 	}
-	t.Events.Emit(CheckEvent{Type: "check_violation", Frame: frame, Rules: rules})
+	if t.Events != nil {
+		t.Events.Emit(CheckEvent{Type: "check_violation", Session: t.session, Frame: frame, Rules: rules})
+	}
 	if r := t.Metrics; r != nil {
 		for _, rule := range rules {
 			r.Counter("feves_check_violations_total",
 				"Schedule invariant violations observed (non-fatal check mode).",
-				"rule", rule).Inc()
+				t.labels("rule", rule)...).Inc()
 		}
 	}
 }
 
 // HealthTransition records a device health-state change (healthy →
-// degraded → excluded and back): the event, a per-transition counter, and
-// — for exclusions — the feves_device_excluded_total counter the failover
-// acceptance criteria key on. reason is the deadline point that tripped
-// ("tau1", "tau_tot", "task", …) or "recovered".
+// degraded → excluded and back): the event, a per-transition counter, an
+// incident-ring breadcrumb, and — for exclusions — the
+// feves_device_excluded_total counter the failover acceptance criteria
+// key on. reason is the deadline point that tripped ("tau1", "tau_tot",
+// "task", …) or "recovered".
 func (t *Telemetry) HealthTransition(frame, device int, from, to, reason string) {
 	if t == nil {
 		return
 	}
-	t.Events.Emit(HealthEvent{Type: "health_transition", Frame: frame,
-		Device: device, From: from, To: to, Reason: reason})
+	if t.Events != nil {
+		t.Events.Emit(HealthEvent{Type: "health_transition", Session: t.session, Frame: frame,
+			Device: device, From: from, To: to, Reason: reason})
+	}
+	t.Flight.Incident("health_transition", t.session, frame, device, from+"->"+to+" ("+reason+")")
 	if r := t.Metrics; r != nil {
 		dev := fmt.Sprintf("%d", device)
 		r.Counter("feves_health_transitions_total", "Device health-state transitions.",
-			"device", dev, "to", to).Inc()
+			t.labels("device", dev, "to", to)...).Inc()
 		if to == "excluded" {
 			r.Counter("feves_device_excluded_total", "Devices excluded from scheduling by the health tracker.",
-				"device", dev).Inc()
+				t.labels("device", dev)...).Inc()
 		}
 	}
 }
@@ -193,10 +443,17 @@ func (t *Telemetry) FrameRetry(frame, attempt int, point string, blamed []int) {
 	if t == nil {
 		return
 	}
-	t.Events.Emit(RetryEvent{Type: "frame_retry", Frame: frame,
-		Attempt: attempt, Point: point, Blamed: blamed})
-	if r := t.Metrics; r != nil {
-		r.Counter("feves_frame_retries_total", "Frames re-run after a blown deadline.").Inc()
+	if t.Events != nil {
+		t.Events.Emit(RetryEvent{Type: "frame_retry", Session: t.session, Frame: frame,
+			Attempt: attempt, Point: point, Blamed: blamed})
+	}
+	dev := -1
+	if len(blamed) > 0 {
+		dev = blamed[0]
+	}
+	t.Flight.Incident("frame_retry", t.session, frame, dev, "deadline "+point+" blown, attempt "+strconv.Itoa(attempt))
+	if t.Metrics != nil {
+		t.ins().retries.Inc()
 	}
 }
 
@@ -205,29 +462,64 @@ func (t *Telemetry) Mark(typ string, frame int) {
 	if t == nil {
 		return
 	}
-	t.Events.Emit(MarkEvent{Type: typ, Frame: frame})
+	if t.Events != nil {
+		t.Events.Emit(MarkEvent{Type: typ, Session: t.session, Frame: frame})
+	}
 	if r := t.Metrics; r != nil {
-		r.Counter("feves_marks_total", "One-off framework events (IDR refreshes, scene cuts).", "type", typ).Inc()
+		r.Counter("feves_marks_total", "One-off framework events (IDR refreshes, scene cuts).", t.labels("type", typ)...).Inc()
 	}
 }
 
-// FrameSpans records one frame's executed schedule. Spans feed the
-// whole-run Perfetto timeline at the current run offset, which then
-// advances by tot so consecutive frames abut.
-func (t *Telemetry) FrameSpans(frame int, tau1, tau2, tot float64, spans []Span) {
+// Incident drops a breadcrumb into the flight recorder's incident ring
+// under the scope's session ("device_down", "re_lease", …).
+func (t *Telemetry) Incident(kind string, frame, device int, detail string) {
 	if t == nil {
 		return
 	}
-	if r := t.Metrics; r != nil {
-		r.Counter("feves_schedule_spans_total", "Executed schedule tasks (kernels, transfers, barriers).").Add(float64(len(spans)))
-		r.Counter("feves_simulated_seconds_total", "Accumulated simulated inter-loop time.").Add(tot)
+	t.Flight.Incident(kind, t.session, frame, device, detail)
+}
+
+// CaptureBundle snapshots a post-mortem bundle under the scope's session.
+// Returns a zero Bundle when no flight recorder is attached.
+func (t *Telemetry) CaptureBundle(reason string, frame int, detail string) Bundle {
+	if t == nil || t.Flight == nil {
+		return Bundle{}
 	}
-	if t.Trace == nil {
+	b := t.Flight.Capture(reason, t.session, frame, detail)
+	if t.Events != nil {
+		t.Events.Emit(CaptureEvent{Type: "flight_capture", Session: t.session,
+			Frame: frame, Reason: reason, Bundle: b.ID, Detail: detail})
+	}
+	if r := t.Metrics; r != nil {
+		r.Counter("feves_flight_bundles_total", "Post-mortem flight bundles captured.", t.labels("reason", reason)...).Inc()
+	}
+	return b
+}
+
+// FrameSpans records one frame's executed schedule. Spans feed the
+// whole-run Perfetto timeline at the scope's current run offset (which
+// then advances by tot so consecutive frames abut on the tenant's lane)
+// and are staged for the flight recorder until FrameEnd commits the
+// frame. spans may alias caller scratch; it is only read before the next
+// frame starts.
+func (t *Telemetry) FrameSpans(frame, attempt int, tau1, tau2, tot float64, spans []Span) {
+	if t == nil {
 		return
 	}
+	if t.Metrics != nil {
+		in := t.ins()
+		in.spans.Add(float64(len(spans)))
+		in.simSeconds.Add(tot)
+	}
 	t.mu.Lock()
+	t.pendingFrame = frame
+	t.pendingSpans = spans
+	t.hasPending = true
 	off := t.offset
 	t.offset += tot
 	t.mu.Unlock()
-	t.Trace.AddFrame(frame, off, tau1, tau2, tot, spans)
+	if t.Trace != nil {
+		t.Trace.AddFrame(t.pid, frame, attempt, off, tau1, tau2, tot, spans)
+	}
 }
+

@@ -112,6 +112,10 @@ type Manager struct {
 	// run, so the core layer can retry it bit-exactly on a reduced
 	// topology. Nil preserves the original never-fail behaviour.
 	Deadline *Deadline
+	// Attempt is the current retry attempt of the frame being executed
+	// (0 = first try); the core layer sets it before each run so trace
+	// slices and the flight recorder carry the causal attempt index.
+	Attempt int
 
 	// Per-frame scratch, retained across EncodeInterFrame calls so the
 	// steady-state frame loop allocates nothing: the discrete-event
@@ -516,7 +520,7 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		for _, s := range ft.Spans {
 			m.telSpans = append(m.telSpans, telemetry.Span{Resource: s.Resource, Label: s.Label, Start: s.Start, End: s.End})
 		}
-		m.Telemetry.FrameSpans(frame, ft.Tau1, ft.Tau2, ft.Tot, m.telSpans)
+		m.Telemetry.FrameSpans(frame, m.Attempt, ft.Tau1, ft.Tau2, ft.Tot, m.telSpans)
 	}
 
 	// --- Performance Characterization update (Algorithm 1 lines 5/10). --

@@ -26,6 +26,17 @@ type ObserverConfig struct {
 	// trace-event JSON (loadable in Perfetto / chrome://tracing) when the
 	// Observer is closed.
 	Perfetto io.Writer
+	// TraceEventCap bounds the trace ring: when more events than this are
+	// recorded the oldest are overwritten and
+	// feves_trace_events_dropped_total counts the loss (0 → 65536). The
+	// exported timeline is always the most recent window.
+	TraceEventCap int
+	// FlightFrames sizes the flight recorder's frame ring — the number of
+	// recent frames whose full schedule (distribution vectors, predicted vs
+	// measured τ, LP solver work, retries) a post-mortem bundle captures
+	// (0 → 64). The recorder is always on; it allocates only at
+	// construction and on bundle capture.
+	FlightFrames int
 }
 
 // Observer collects a run's telemetry. Create one with NewObserver, set it
@@ -45,12 +56,15 @@ type Observer struct {
 // NewObserver builds an Observer from the config. The error is an address
 // bind failure for MetricsAddr.
 func NewObserver(oc ObserverConfig) (*Observer, error) {
-	tel := &telemetry.Telemetry{Metrics: telemetry.NewRegistry()}
+	tel := &telemetry.Telemetry{
+		Metrics: telemetry.NewRegistry(),
+		Flight:  telemetry.NewFlightRecorder(oc.FlightFrames),
+	}
 	if oc.Events != nil {
 		tel.Events = telemetry.NewEventLog(oc.Events)
 	}
 	if oc.Perfetto != nil {
-		tel.Trace = telemetry.NewTraceWriter()
+		tel.Trace = telemetry.NewTraceWriterCap(oc.TraceEventCap)
 	}
 	o := &Observer{tel: tel, perfetto: oc.Perfetto}
 	if oc.MetricsAddr != "" {
@@ -87,6 +101,40 @@ func (o *Observer) MetricsText() string {
 		return ""
 	}
 	return o.tel.Metrics.Expose()
+}
+
+// ExportTrace snapshots the live trace ring as Chrome trace-event JSON
+// without closing the Observer — the run keeps recording. It returns
+// ErrNoTrace when the Observer was built without a Perfetto sink.
+func (o *Observer) ExportTrace(w io.Writer) error {
+	if o == nil || o.tel.Trace == nil {
+		return ErrNoTrace
+	}
+	return o.tel.Trace.Export(w)
+}
+
+// ErrNoTrace is returned by ExportTrace when tracing is not enabled
+// (ObserverConfig.Perfetto was nil).
+var ErrNoTrace = fmt.Errorf("feves: observer has no trace writer (ObserverConfig.Perfetto is nil)")
+
+// WriteFlight writes the flight recorder's live document — the recent
+// frame ring, the incident ring, and every captured post-mortem bundle —
+// as indented JSON. The recorder is always on, so this works on every
+// Observer.
+func (o *Observer) WriteFlight(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return o.tel.Flight.WriteDoc(w)
+}
+
+// FlightBundles returns the post-mortem bundles captured so far (device
+// exclusions, blown deadlines, pool failovers), oldest first.
+func (o *Observer) FlightBundles() []telemetry.Bundle {
+	if o == nil {
+		return nil
+	}
+	return o.tel.Flight.Bundles()
 }
 
 // Close flushes the Perfetto trace to the configured writer and shuts the

@@ -75,6 +75,13 @@ func (p *Pool) newSession(cfg Config, mode vcm.Mode) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every tenant gets its own telemetry scope: the session label rides on
+	// each event, metric sample and trace slice, and the Perfetto timeline
+	// grows one process lane per tenant.
+	label := cfg.SessionLabel
+	if label == "" {
+		label = fmt.Sprintf("session-%d", lease.ID())
+	}
 	sub, epoch := lease.Snapshot()
 	fw, err := core.New(core.Options{
 		Platform:       sub,
@@ -83,7 +90,7 @@ func (p *Pool) newSession(cfg Config, mode vcm.Mode) (*Session, error) {
 		Balancer:       cfg.Balancer.build(cfg.BalancerHysteresis),
 		Alpha:          cfg.Alpha,
 		Parallel:       cfg.Parallel,
-		Telemetry:      cfg.Observer.Sink(),
+		Telemetry:      cfg.Observer.Sink().ForSession(label),
 		CheckSchedules: cfg.CheckSchedules,
 	})
 	if err != nil {
