@@ -15,8 +15,8 @@
 // metrics (steady fps, allocs/frame, LP warm rate); -compare diffs them
 // against a committed baseline and exits non-zero on regression:
 //
-//	feves-bench -exp perf -json -json-file BENCH_5.json         # refresh baseline
-//	feves-bench -exp perf -compare BENCH_5.json -tol 0.15       # CI gate
+//	feves-bench -exp perf -json -json-file BENCH_7.json         # refresh baseline
+//	feves-bench -exp perf -compare BENCH_7.json -tol 0.15       # CI gate
 //
 // Fault injection: -inject-faults applies a deterministic fault schedule
 // to every platform and -deadline-slack arms the autonomous failover

@@ -64,7 +64,9 @@ func main() {
 			"deterministic fault spec (die:DEV@F stall:DEV@F[+K] slow:DEV@FxR[+K] chaos:SEEDxRATE, ';'-separated)")
 		slack = flag.Float64("deadline-slack", 0,
 			"arm autonomous failover: per-sync-point deadlines at LP prediction x slack (0 = off)")
-		retries = flag.Int("max-retries", 0, "failover attempts per frame (0 = default 3)")
+		retries   = flag.Int("max-retries", 0, "failover attempts per frame (0 = default 3)")
+		fparallel = flag.Bool("frame-parallel", false,
+			"encode two inter frames in flight over dual reference chains")
 	)
 	tf := teleflag.Register()
 	flag.Parse()
@@ -127,6 +129,7 @@ func main() {
 		CheckSchedules:     *check,
 		DeadlineSlack:      *slack,
 		MaxFrameRetries:    *retries,
+		FrameParallel:      *fparallel,
 	}
 	if *entropy != "vlc" && *entropy != "arith" {
 		log.Fatalf("unknown entropy backend %q", *entropy)
@@ -177,25 +180,61 @@ func main() {
 	}
 	fmt.Printf("encoding on %s (%v), SA %dx%d, %d RF\n", pl.Name(), pl.Devices(), *sa, *sa, *rf)
 	n := 0
-	for {
-		frame, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := enc.EncodeYUV(frame.PackedYUV())
-		if err != nil {
-			log.Fatal(err)
-		}
-		if rep.Intra {
+	printRep := func(rep feves.FrameReport) {
+		switch {
+		case rep.Intra:
 			fmt.Printf("frame %3d I %8d bits  PSNR-Y %5.2f dB\n", rep.Frame, rep.Bits, rep.PSNRY)
-		} else {
+		case rep.PairSeconds > 0:
+			fmt.Printf("frame %3d P %8d bits  PSNR-Y %5.2f dB  τtot %6.2f ms (%5.1f fps, pair c%d)  ME rows %v\n",
+				rep.Frame, rep.Bits, rep.PSNRY, rep.Seconds*1e3, rep.FPS, rep.Chain, rep.MERows)
+		default:
 			fmt.Printf("frame %3d P %8d bits  PSNR-Y %5.2f dB  τtot %6.2f ms (%5.1f fps)  ME rows %v\n",
 				rep.Frame, rep.Bits, rep.PSNRY, rep.Seconds*1e3, rep.FPS, rep.MERows)
 		}
 		n++
+	}
+	// With -frame-parallel, frames are offered to the encoder in pairs; the
+	// encoder reports how many it consumed (one at intra boundaries, during
+	// model initialization, and after an in-pair scene cut) and the
+	// unconsumed frame is re-offered.
+	var pending []byte
+	for {
+		cur := pending
+		pending = nil
+		if cur == nil {
+			frame, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			cur = frame.PackedYUV()
+		}
+		if !*fparallel {
+			rep, err := enc.EncodeYUV(cur)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printRep(rep)
+			continue
+		}
+		var next []byte
+		if frame, err := src.Next(); err == nil {
+			next = frame.PackedYUV()
+		} else if err != io.EOF {
+			log.Fatal(err)
+		}
+		reps, err := enc.EncodeYUVPair(cur, next)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rep := range reps {
+			printRep(rep)
+		}
+		if len(reps) == 1 && next != nil {
+			pending = next
+		}
 	}
 	stream := enc.Bitstream()
 	fmt.Printf("%d frames, %d bytes coded\n", n, len(stream))

@@ -161,3 +161,99 @@ func TestArmedSlackWithoutFaultsIsByteIdentical(t *testing.T) {
 		t.Fatalf("DeadlineSlack changed the simulated schedule with no faults injected")
 	}
 }
+
+// TestArmedSlackFrameParallelIsByteIdentical extends the no-fault pin to
+// two frames in flight. The assertions are keyed by {frame, attempt,
+// chain}: arming the pair deadlines must not change which attempt a frame
+// completes on, which reference chain it encodes against, or any of its
+// timings — and the coded bytes must match exactly.
+func TestArmedSlackFrameParallelIsByteIdentical(t *testing.T) {
+	encode := func(slack float64) []byte {
+		t.Helper()
+		const w, h, frames = 256, 144, 12
+		enc, err := feves.NewEncoder(feves.Config{
+			Width: w, Height: h, SearchArea: 32, RefFrames: 1,
+			FrameParallel: true, DeadlineSlack: slack,
+		}, feves.SysNFK())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := video.NewSynthetic(w, h, frames, 1)
+		var pending []byte
+		for {
+			cur := pending
+			pending = nil
+			if cur == nil {
+				frame, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur = frame.PackedYUV()
+			}
+			var next []byte
+			if frame, err := src.Next(); err == nil {
+				next = frame.PackedYUV()
+			} else if err != io.EOF {
+				t.Fatal(err)
+			}
+			reps, err := enc.EncodeYUVPair(cur, next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reps) == 1 && next != nil {
+				pending = next
+			}
+		}
+		return enc.Bitstream()
+	}
+	if plain, armed := encode(0), encode(3); !bytes.Equal(plain, armed) {
+		t.Fatalf("DeadlineSlack changed the frame-parallel bitstream with no faults injected")
+	}
+
+	type key struct {
+		frame   int
+		attempt int
+		chain   int
+	}
+	run := func(slack float64) map[key]feves.FrameReport {
+		sim, err := feves.NewSimulation(feves.Config{
+			Width: 1920, Height: 1088, SearchArea: 32, RefFrames: 2,
+			FrameParallel: true, DeadlineSlack: slack,
+		}, feves.SysNFK())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := sim.Run(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[key]feves.FrameReport, len(reports))
+		for _, r := range reports {
+			r.SchedOverhead = 0 // real wall-clock, never reproducible
+			k := key{frame: r.Frame, attempt: r.Attempt, chain: r.Chain}
+			if _, dup := out[k]; dup {
+				t.Fatalf("duplicate report for frame %d attempt %d chain %d", r.Frame, r.Attempt, r.Chain)
+			}
+			out[k] = r
+		}
+		return out
+	}
+	plain, armed := run(0), run(3)
+	for k, want := range plain {
+		got, ok := armed[k]
+		if !ok {
+			t.Fatalf("armed run lost {frame %d, attempt %d, chain %d} — slack changed an attempt count or chain assignment",
+				k.frame, k.attempt, k.chain)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("{frame %d, attempt %d, chain %d}: report changed under armed slack:\n got %+v\nwant %+v",
+				k.frame, k.attempt, k.chain, got, want)
+		}
+	}
+	if len(armed) != len(plain) {
+		t.Fatalf("armed run has %d report keys, plain has %d", len(armed), len(plain))
+	}
+}

@@ -120,6 +120,15 @@ type Config struct {
 	// MaxFrameRetries bounds the failover attempts per frame (0 → default
 	// 3: first strike, exclusion strike, reduced-platform re-run).
 	MaxFrameRetries int
+	// FrameParallel keeps two inter frames in flight at once over dual
+	// reference chains: odd inter frames predict from the odd chain, even
+	// from the even chain, so consecutive frames have no data dependency
+	// and their schedules interleave on the shared devices. The bitstream
+	// is bit-exact with a serial two-chain encode of the same sequence
+	// (and therefore differs from single-chain output — each chain's
+	// reference list ramps at half rate). Intra frames and the
+	// initialization frames still run serially.
+	FrameParallel bool
 }
 
 // BalancerKind selects a load-balancing strategy.
@@ -179,6 +188,7 @@ func (c Config) codecConfig() (codec.Config, error) {
 	if c.ArithmeticCoding {
 		mode = codec.EntropyArith
 	}
+	chains := c.chains()
 	var algo me.Algorithm
 	switch c.FastME {
 	case "", "full-search":
@@ -202,7 +212,15 @@ func (c Config) codecConfig() (codec.Config, error) {
 		Checksum:           c.Checksum,
 		SceneCutThreshold:  c.SceneCutThreshold,
 		Slices:             c.Slices,
+		Chains:             chains,
 	}, nil
+}
+
+func (c Config) chains() int {
+	if c.FrameParallel {
+		return 2
+	}
+	return 1
 }
 
 // Platform is a heterogeneous system description.
@@ -334,6 +352,16 @@ func CustomPlatform(name string, gpuSpeeds []float64, cores int, cpuSpeed float6
 type FrameReport struct {
 	Frame int
 	Intra bool
+	// Attempt is the successful failover attempt index (0 = first try).
+	Attempt int
+	// Chain is the reference chain the frame predicted from (always 0
+	// without FrameParallel).
+	Chain int
+	// PairSeconds is the simulated makespan of the two-frame group this
+	// frame ran in (0 when the frame ran serially): frame-parallel
+	// throughput is 2 frames per PairSeconds, which is what FPS reports
+	// for paired frames.
+	PairSeconds float64
 	// Seconds is the simulated inter-loop time (τtot); 0 for intra frames.
 	Seconds float64
 	// Tau1 and Tau2 are the simulated synchronization points.
@@ -365,6 +393,9 @@ func report(r core.Result) FrameReport {
 		// frame, IDR period) or when the encoder's scene-cut detector
 		// switched to intra coding mid-pipeline.
 		Intra:            r.Intra || r.Stats.Intra,
+		Attempt:          r.Attempt,
+		Chain:            r.Timing.Chain,
+		PairSeconds:      r.Timing.PairMakespan,
 		Seconds:          r.Timing.Tot,
 		Tau1:             r.Timing.Tau1,
 		Tau2:             r.Timing.Tau2,
@@ -384,7 +415,9 @@ func report(r core.Result) FrameReport {
 		SMESeconds:       r.Timing.ModuleTime[sched.ModSME],
 		RStarSeconds:     r.Timing.ModuleTime[sched.ModRStar],
 	}
-	if fr.Seconds > 0 {
+	if fr.PairSeconds > 0 {
+		fr.FPS = 2 / fr.PairSeconds
+	} else if fr.Seconds > 0 {
 		fr.FPS = 1 / fr.Seconds
 	}
 	return fr
@@ -414,6 +447,7 @@ func NewEncoder(cfg Config, pl *Platform) (*Encoder, error) {
 		CheckSchedules:  cfg.CheckSchedules,
 		DeadlineSlack:   cfg.DeadlineSlack,
 		MaxFrameRetries: cfg.MaxFrameRetries,
+		FrameParallel:   cfg.FrameParallel,
 	})
 	if err != nil {
 		return nil, err
@@ -434,6 +468,37 @@ func (e *Encoder) EncodeYUV(yuv []byte) (FrameReport, error) {
 		return FrameReport{}, err
 	}
 	return report(r), nil
+}
+
+// EncodeYUVPair offers the next two frames for joint frame-parallel
+// encoding. It returns one report per frame actually consumed: two when
+// the frames ran as a pair, one when the framework fell back to serial
+// encoding of the first frame (frame-parallel off, an intra boundary, the
+// model still initializing, or a scene cut inside the pair) — the caller
+// then re-offers the second frame's bytes. yuvB may be nil at end of
+// stream, which encodes yuvA serially.
+func (e *Encoder) EncodeYUVPair(yuvA, yuvB []byte) ([]FrameReport, error) {
+	fA := h264.NewFrame(e.cfg.Width, e.cfg.Height)
+	fA.Poc = e.fw.FramesProcessed()
+	if err := fA.LoadYUV(yuvA); err != nil {
+		return nil, err
+	}
+	var fB *h264.Frame
+	if yuvB != nil {
+		fB = h264.NewFrame(e.cfg.Width, e.cfg.Height)
+		fB.Poc = fA.Poc + 1
+		if err := fB.LoadYUV(yuvB); err != nil {
+			return nil, err
+		}
+	}
+	ra, rb, paired, err := e.fw.EncodePair(fA, fB)
+	if err != nil {
+		return nil, err
+	}
+	if paired {
+		return []FrameReport{report(ra), report(rb)}, nil
+	}
+	return []FrameReport{report(ra)}, nil
 }
 
 // Bitstream returns the coded stream so far.
@@ -476,6 +541,9 @@ func decodeAll(stream []byte, conceal bool) (frames, concealed int, err error) {
 // Simulation runs the framework in timing-only mode.
 type Simulation struct {
 	fw *core.Framework
+	// buffered holds the second report of a frame-parallel pair until the
+	// next Step call, so Step keeps its one-report-per-frame contract.
+	buffered *FrameReport
 }
 
 // NewSimulation creates a timing-only framework, typically at 1080p, to
@@ -496,6 +564,7 @@ func NewSimulation(cfg Config, pl *Platform) (*Simulation, error) {
 		CheckSchedules:  cfg.CheckSchedules,
 		DeadlineSlack:   cfg.DeadlineSlack,
 		MaxFrameRetries: cfg.MaxFrameRetries,
+		FrameParallel:   cfg.FrameParallel,
 	})
 	if err != nil {
 		return nil, err
@@ -503,13 +572,24 @@ func NewSimulation(cfg Config, pl *Platform) (*Simulation, error) {
 	return &Simulation{fw: fw}, nil
 }
 
-// Step simulates the next frame.
+// Step simulates the next frame. With Config.FrameParallel the framework
+// advances two frames per joint schedule; Step still returns one report
+// per call, buffering the pair's second report for the next call.
 func (s *Simulation) Step() (FrameReport, error) {
-	r, err := s.fw.EncodeNext(nil)
+	if s.buffered != nil {
+		fr := *s.buffered
+		s.buffered = nil
+		return fr, nil
+	}
+	ra, rb, paired, err := s.fw.EncodePair(nil, nil)
 	if err != nil {
 		return FrameReport{}, err
 	}
-	return report(r), nil
+	if paired {
+		frB := report(rb)
+		s.buffered = &frB
+	}
+	return report(ra), nil
 }
 
 // Run simulates n frames (including the initial intra frame) and returns
@@ -535,8 +615,13 @@ func SteadyFPS(cfg Config, pl *Platform) (float64, error) {
 		return 0, err
 	}
 	// One intra frame, then enough inter-frames to pass the RF ramp-up and
-	// let the characterization converge.
+	// let the characterization converge. Frame-parallel runs ramp each
+	// reference chain at half rate and only start pairing once the model
+	// is characterized, so their window is twice as long.
 	n := cfg.withDefaults().RefFrames + 8
+	if cfg.FrameParallel {
+		n = 2*cfg.withDefaults().RefFrames + 24
+	}
 	reports, err := sim.Run(n + 1)
 	if err != nil {
 		return 0, err

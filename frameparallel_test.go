@@ -1,0 +1,280 @@
+package feves_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"feves"
+	"feves/internal/core"
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/h264/codec"
+	"feves/internal/vcm"
+	"feves/internal/video"
+)
+
+// synthYUV collects n packed I420 frames of the deterministic synthetic
+// sequence for the given seed.
+func synthYUV(t *testing.T, w, h, n int, seed uint64) [][]byte {
+	t.Helper()
+	src := video.NewSynthetic(w, h, n, seed)
+	var out [][]byte
+	for {
+		frame, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, frame.PackedYUV())
+	}
+	return out
+}
+
+// fpEncode drives a frame-parallel encoder through the pair-offer
+// protocol: offer two frames, consume one or two reports, re-offer the
+// unconsumed frame. It returns the bitstream, every report in display
+// order, and how many offers came back half-consumed (the serial
+// fallbacks: initialization, end of stream, in-pair scene cuts).
+func fpEncode(t *testing.T, cfg feves.Config, pl *feves.Platform, frames [][]byte) ([]byte, []feves.FrameReport, int) {
+	t.Helper()
+	cfg.FrameParallel = true
+	enc, err := feves.NewEncoder(cfg, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		reports []feves.FrameReport
+		single  int
+	)
+	for i := 0; i < len(frames); {
+		var next []byte
+		if i+1 < len(frames) {
+			next = frames[i+1]
+		}
+		reps, err := enc.EncodeYUVPair(frames[i], next)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		reports = append(reports, reps...)
+		if len(reps) == 1 {
+			single++
+		}
+		i += len(reps)
+	}
+	return enc.Bitstream(), reports, single
+}
+
+// serialTwoChainStream encodes the same sequence through the internal
+// framework with the two-chain codec but frame-parallel execution off:
+// one frame in flight, references resolved over the same dual chains.
+// This is the reference the pair path must match byte for byte.
+func serialTwoChainStream(t *testing.T, cfg feves.Config, pl *device.Platform, frames [][]byte) []byte {
+	t.Helper()
+	w, h := cfg.Width, cfg.Height
+	fw, err := core.New(core.Options{
+		Platform: pl,
+		Codec: codec.Config{
+			Width: w, Height: h, SearchRange: 16, NumRF: cfg.RefFrames,
+			IQP: 27, PQP: 28, Chains: 2,
+			SceneCutThreshold: cfg.SceneCutThreshold,
+		},
+		Mode: vcm.Functional,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, yuv := range frames {
+		cf := h264.NewFrame(w, h)
+		cf.Poc = i
+		if err := cf.LoadYUV(yuv); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.EncodeNext(cf); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	return fw.Bitstream()
+}
+
+// TestFrameParallelBitExactSerialReference is the tentpole acceptance
+// check: with two frames in flight, the coded stream must be
+// byte-identical to a serial encode over the same dual reference chains —
+// on both test platforms, with multiple reference frames, and with a
+// meaningful share of the sequence actually running paired.
+func TestFrameParallelBitExactSerialReference(t *testing.T) {
+	const w, h, n = 320, 176, 18
+	frames := synthYUV(t, w, h, n, 1)
+	cfg := feves.Config{Width: w, Height: h, SearchArea: 32, RefFrames: 2}
+	for _, tc := range []struct {
+		name string
+		pub  *feves.Platform
+		intl *device.Platform
+	}{
+		{"SysHK", feves.SysHK(), device.SysHK()},
+		{"SysNFF", feves.SysNFF(), device.SysNFF()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := serialTwoChainStream(t, cfg, tc.intl, frames)
+			got, reports, _ := fpEncode(t, cfg, tc.pub, frames)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame-parallel stream differs from serial two-chain reference (%d vs %d bytes)",
+					len(got), len(want))
+			}
+			if fn, err := feves.Verify(got); err != nil || fn != n {
+				t.Fatalf("stream does not decode: %d frames, %v", fn, err)
+			}
+			paired := 0
+			for _, r := range reports {
+				if r.PairSeconds > 0 {
+					paired++
+				}
+			}
+			if paired < n/2 {
+				t.Fatalf("only %d of %d frames ran paired — the test is not exercising the pair path", paired, n)
+			}
+		})
+	}
+}
+
+// TestFrameParallelFailoverBitExactOnGPUDeath extends the failover pin to
+// two frames in flight: a GPU dying mid-pipeline aborts the whole pair
+// before any payload runs, both frames replay on the reduced platform,
+// and the stream stays byte-identical to a clean frame-parallel run.
+func TestFrameParallelFailoverBitExactOnGPUDeath(t *testing.T) {
+	const w, h, n = 320, 176, 14
+	frames := synthYUV(t, w, h, n, 1)
+	cfg := feves.Config{Width: w, Height: h, SearchArea: 32, RefFrames: 1}
+
+	clean, _, _ := fpEncode(t, cfg, feves.SysNFK(), frames)
+	if fn, err := feves.Verify(clean); err != nil || fn != n {
+		t.Fatalf("clean stream: %d frames, %v", fn, err)
+	}
+	// Death at frame 6 lands on a pair's first slot, at frame 5 on the
+	// second: a fault on frame B drags frame A past its budget on the
+	// shared engines, so the blame must cross the pair (the B-slot case).
+	for _, spec := range []string{"die:GPU_F@6", "die:GPU_K@6", "die:GPU_F@5"} {
+		t.Run(spec, func(t *testing.T) {
+			pl := feves.SysNFK()
+			if err := pl.InjectFaults(spec); err != nil {
+				t.Fatal(err)
+			}
+			fcfg := cfg
+			fcfg.DeadlineSlack = 3
+			stream, reports, _ := fpEncode(t, fcfg, pl, frames)
+			if !bytes.Equal(stream, clean) {
+				t.Fatalf("faulted frame-parallel stream differs from clean run (%d vs %d bytes)",
+					len(stream), len(clean))
+			}
+			retried := 0
+			for _, r := range reports {
+				if r.Attempt > 0 {
+					retried++
+				}
+			}
+			if retried == 0 {
+				t.Fatal("no report shows a retry attempt — the fault never tripped a pair deadline")
+			}
+		})
+	}
+}
+
+// TestFrameParallelSceneCutBitExact splices two unrelated scenes so the
+// adaptive IDR detector fires while a pair is in flight. Whichever slot
+// the cut lands in — frame A (pair aborted, B re-offered) or frame B (IDR
+// coded second) — the output must match the serial two-chain encode of
+// the same spliced sequence, and the chain bookkeeping must survive the
+// mid-stream flush.
+func TestFrameParallelSceneCutBitExact(t *testing.T) {
+	const w, h = 320, 176
+	for _, splice := range []int{7, 8} {
+		t.Run(fmt.Sprintf("cutAt%d", splice), func(t *testing.T) {
+			frames := append(synthYUV(t, w, h, splice, 1), synthYUV(t, w, h, 16-splice, 977)...)
+			cfg := feves.Config{Width: w, Height: h, SearchArea: 32, RefFrames: 1,
+				SceneCutThreshold: 8}
+			want := serialTwoChainStream(t, cfg, device.SysHK(), frames)
+			got, reports, _ := fpEncode(t, cfg, feves.SysHK(), frames)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame-parallel stream differs from serial reference across a scene cut (%d vs %d bytes)",
+					len(got), len(want))
+			}
+			if fn, err := feves.Verify(got); err != nil || fn != len(frames) {
+				t.Fatalf("stream does not decode: %d frames, %v", fn, err)
+			}
+			cut := false
+			for _, r := range reports {
+				if r.Frame == splice && r.Intra {
+					cut = true
+				}
+			}
+			if !cut {
+				t.Fatalf("splice at frame %d did not code an IDR — threshold not exercising the cut path", splice)
+			}
+		})
+	}
+}
+
+// TestFrameParallelReportShape pins the report contract of paired frames:
+// the two frames of a pair run on opposite reference chains, each report
+// carries the chain derived from its distance to the last IDR, paired
+// frames expose the joint makespan with FPS accounted as two frames per
+// pair interval, and serial-fallback frames leave PairSeconds zero.
+func TestFrameParallelReportShape(t *testing.T) {
+	const n = 24
+	sim, err := feves.NewSimulation(feves.Config{
+		Width: 1920, Height: 1088, SearchArea: 32, RefFrames: 2,
+		FrameParallel: true,
+	}, feves.SysHK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := sim.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != n {
+		t.Fatalf("got %d reports for %d frames", len(reports), n)
+	}
+	lastIntra, paired := 0, 0
+	for i, r := range reports {
+		if r.Frame != i {
+			t.Fatalf("report %d is for frame %d — pair buffering broke display order", i, r.Frame)
+		}
+		if r.Intra {
+			lastIntra = r.Frame
+			continue
+		}
+		wantChain := (r.Frame - lastIntra - 1) % 2
+		if r.Chain != wantChain {
+			t.Errorf("frame %d: chain %d, want %d", r.Frame, r.Chain, wantChain)
+		}
+		if r.PairSeconds == 0 {
+			continue // serial fallback during model initialization
+		}
+		paired++
+		if r.PairSeconds < r.Seconds {
+			t.Errorf("frame %d: pair makespan %v shorter than own τtot %v", r.Frame, r.PairSeconds, r.Seconds)
+		}
+		if want := 2 / r.PairSeconds; r.FPS != want {
+			t.Errorf("frame %d: FPS %v, want 2/PairSeconds = %v", r.Frame, r.FPS, want)
+		}
+		if r.Attempt != 0 {
+			t.Errorf("frame %d: attempt %d without any fault injected", r.Frame, r.Attempt)
+		}
+	}
+	if paired < n/2 {
+		t.Fatalf("only %d of %d frames paired in steady state", paired, n)
+	}
+	// Pairs straddle (even, odd) chain-offsets: consecutive paired reports
+	// within one pair must sit on opposite chains.
+	for i := 1; i < len(reports); i++ {
+		a, b := reports[i-1], reports[i]
+		if b.PairSeconds > 0 && a.PairSeconds > 0 && b.Frame == a.Frame+1 &&
+			b.PairSeconds == a.PairSeconds && a.Chain == b.Chain {
+			t.Errorf("frames %d and %d paired on the same chain %d", a.Frame, b.Frame, a.Chain)
+		}
+	}
+}

@@ -65,7 +65,7 @@ func TestComparePerfGates(t *testing.T) {
 // TestPerfReportMetrics pins the gated metric set: CI compares by name,
 // so renaming or dropping one silently weakens the regression gate —
 // this test makes that a deliberate, reviewed change (with a matching
-// BENCH_5.json refresh).
+// BENCH_7.json refresh).
 func TestPerfReportMetrics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full perf measurement loop")
@@ -78,8 +78,12 @@ func TestPerfReportMetrics(t *testing.T) {
 	want := map[string]string{
 		"steady_fps_syshk":    "higher",
 		"steady_fps_sysnff":   "higher",
+		"steady_fps_syshk_fp": "higher",
+		"fp_speedup":          "higher",
 		"frame_allocs":        "lower",
 		"frame_bytes":         "lower",
+		"pair_frame_allocs":   "lower",
+		"pair_frame_bytes":    "lower",
 		"lp_warm_rate":        "higher",
 		"lp_pivots_per_solve": "lower",
 		"sched_overhead_us":   "info",

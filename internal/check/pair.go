@@ -1,0 +1,105 @@
+package check
+
+// Pair-mode validation: with frame-parallel encoding two inter frames are
+// in flight on one simulated timeline, and a new class of cross-frame
+// invariants appears on top of the per-frame ones Frame asserts:
+//
+//   - pair.chain-distinct: two frames whose executions overlap in time
+//     must predict from different reference chains — same-chain frames
+//     have a DPB data dependency (frame N reads the reconstruction frame
+//     N−1 pushes) and may not coexist;
+//   - pair.cross-chain-start: when both frames are on the same chain
+//     (the serial fallback), the later frame may not start any work
+//     before the earlier frame's τtot — its references do not exist yet;
+//   - pair.resource-overlap: the simulated compute and copy engines are
+//     serial across frames too, so no task of one frame may overlap a
+//     task of the other on the same resource.
+
+// PairExec is one frame's execution evidence for cross-frame validation:
+// its display-order index, the reference chain it predicts from, the
+// executed spans, and its τtot — all on the pair's shared timeline.
+type PairExec struct {
+	Frame int
+	Chain int
+	Spans []Span
+	Tot   float64
+}
+
+// window returns the time interval covered by the frame's spans.
+func (e *PairExec) window() (lo, hi float64, ok bool) {
+	if len(e.Spans) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = e.Spans[0].Start, e.Spans[0].End
+	for _, s := range e.Spans[1:] {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	return lo, hi, true
+}
+
+// Pair validates the cross-frame invariants of two frames executed with
+// overlapping lifetimes on one simulated timeline. It does not re-run the
+// per-frame validation — callers check each frame with Frame as usual and
+// Pair on top.
+func Pair(a, b PairExec) error {
+	var vs violations
+	aLo, aHi, aOK := a.window()
+	bLo, bHi, bOK := b.window()
+	if !aOK || !bOK {
+		return nil // timing-only evidence absent; nothing to assert
+	}
+
+	overlap := aLo < bHi-eps && bLo < aHi-eps
+	if a.Chain == b.Chain {
+		// Serial fallback on one chain: the later frame's references are
+		// the earlier frame's outputs, so nothing may start before the
+		// earlier frame completes at its τtot.
+		first, second := a, b
+		sLo := bLo
+		if b.Frame < a.Frame {
+			first, second = b, a
+			sLo = aLo
+		}
+		if sLo < first.Tot-eps {
+			vs.addf("pair.cross-chain-start",
+				"frame %d starts at %.6g before same-chain frame %d completes at τtot %.6g (chain %d DPB not ready)",
+				second.Frame, sLo, first.Frame, first.Tot, first.Chain)
+		}
+		if overlap {
+			vs.addf("pair.chain-distinct",
+				"frames %d and %d overlap in time ([%.6g,%.6g) vs [%.6g,%.6g)) but share reference chain %d",
+				a.Frame, b.Frame, aLo, aHi, bLo, bHi, a.Chain)
+		}
+		return vs.err()
+	}
+
+	// Distinct chains: lifetimes may overlap freely, but each simulated
+	// resource is still a serial engine — no task of one frame may
+	// overlap a task of the other on the same resource.
+	if overlap {
+		byRes := map[string][]Span{}
+		for _, s := range a.Spans {
+			if s.End-s.Start > eps {
+				byRes[s.Resource] = append(byRes[s.Resource], s)
+			}
+		}
+		for _, s := range b.Spans {
+			if s.End-s.Start <= eps {
+				continue
+			}
+			for _, t := range byRes[s.Resource] {
+				if t.Start < s.End-eps && s.Start < t.End-eps {
+					vs.addf("pair.resource-overlap",
+						"frame %d task %s and frame %d task %s overlap on %s ([%.6g,%.6g) vs [%.6g,%.6g))",
+						a.Frame, t.Label, b.Frame, s.Label, s.Resource, t.Start, t.End, s.Start, s.End)
+				}
+			}
+		}
+	}
+	return vs.err()
+}

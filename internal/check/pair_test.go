@@ -1,0 +1,89 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func pairExec(frame, chain int, spans ...Span) PairExec {
+	tot := 0.0
+	for _, s := range spans {
+		if s.End > tot {
+			tot = s.End
+		}
+	}
+	return PairExec{Frame: frame, Chain: chain, Spans: spans, Tot: tot}
+}
+
+func rulesOf(t *testing.T, err error) []string {
+	t.Helper()
+	if err == nil {
+		return nil
+	}
+	ce, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	var rules []string
+	for _, v := range ce.Violations {
+		rules = append(rules, v.Rule)
+	}
+	return rules
+}
+
+func wantRule(t *testing.T, err error, rule string) {
+	t.Helper()
+	for _, r := range rulesOf(t, err) {
+		if r == rule {
+			return
+		}
+	}
+	t.Fatalf("want rule %s, got %v", rule, err)
+}
+
+func TestPairDistinctChainsClean(t *testing.T) {
+	a := pairExec(1, 0,
+		Span{Resource: "gpu0.compute", Label: "ME@0", Start: 0, End: 2},
+		Span{Resource: "gpu0.copy", Label: "MV.d2h@0", Start: 2, End: 3})
+	b := pairExec(2, 1,
+		Span{Resource: "gpu0.compute", Label: "ME@0", Start: 2, End: 4},
+		Span{Resource: "gpu0.copy", Label: "MV.d2h@0", Start: 4, End: 5})
+	if err := Pair(a, b); err != nil {
+		t.Fatalf("overlapping frames on distinct chains and disjoint resource windows: %v", err)
+	}
+}
+
+func TestPairResourceOverlap(t *testing.T) {
+	a := pairExec(1, 0, Span{Resource: "gpu0.compute", Label: "ME@0", Start: 0, End: 3})
+	b := pairExec(2, 1, Span{Resource: "gpu0.compute", Label: "SME@0", Start: 2, End: 4})
+	wantRule(t, Pair(a, b), "pair.resource-overlap")
+}
+
+func TestPairSameChainOverlap(t *testing.T) {
+	a := pairExec(1, 0, Span{Resource: "gpu0.compute", Label: "ME@0", Start: 0, End: 3})
+	b := pairExec(2, 0, Span{Resource: "gpu1.compute", Label: "ME@1", Start: 1, End: 4})
+	err := Pair(a, b)
+	wantRule(t, err, "pair.chain-distinct")
+	wantRule(t, err, "pair.cross-chain-start")
+}
+
+func TestPairSameChainSerialized(t *testing.T) {
+	a := pairExec(1, 0, Span{Resource: "gpu0.compute", Label: "ME@0", Start: 0, End: 3})
+	b := pairExec(2, 0, Span{Resource: "gpu0.compute", Label: "ME@0", Start: 3, End: 6})
+	if err := Pair(a, b); err != nil {
+		t.Fatalf("serialized same-chain frames are legal: %v", err)
+	}
+}
+
+func TestPairOrderIndependent(t *testing.T) {
+	a := pairExec(1, 0, Span{Resource: "gpu0.compute", Label: "ME@0", Start: 0, End: 3})
+	b := pairExec(2, 0, Span{Resource: "gpu1.compute", Label: "ME@1", Start: 1, End: 4})
+	// Argument order must not change which frame is blamed.
+	e1, e2 := Pair(a, b), Pair(b, a)
+	if e1 == nil || e2 == nil {
+		t.Fatal("both orders must flag the same-chain overlap")
+	}
+	if !strings.Contains(e1.Error(), "frame 2 starts") || !strings.Contains(e2.Error(), "frame 2 starts") {
+		t.Fatalf("blame should follow display order:\n%v\n%v", e1, e2)
+	}
+}

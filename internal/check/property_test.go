@@ -115,3 +115,110 @@ func TestPropertyRandomSchedulesSatisfyInvariants(t *testing.T) {
 	}
 	t.Logf("%d inter frames validated across %d random instances", totalInter, instances)
 }
+
+// TestPropertyFrameParallelSchedulesSatisfyInvariants is the harness's
+// frame-parallel arm: random instances drive EncodePair with the checker
+// armed, so every joint schedule is validated against both the per-frame
+// Algorithm-2 invariants and the cross-frame pair rules (disjoint chains,
+// no cross-frame dependency violations on the shared engines). Random
+// IntraPeriods force pairs to break and re-form across IDR boundaries,
+// and load perturbations cover pairing under a drifting model. Failures
+// replay with FEVES_CHECK_SEED=<seed>.
+func TestPropertyFrameParallelSchedulesSatisfyInvariants(t *testing.T) {
+	seed := harnessSeed(t)
+	rng := rand.New(rand.NewSource(seed + 1))
+	t.Logf("harness seed %d (replay failures with FEVES_CHECK_SEED=%d)", seed, seed)
+
+	names := platforms.Names()
+	instances, framesPer := 20, 20
+	if testing.Short() {
+		instances = 6
+	}
+
+	rowChoices := []int{8, 17, 34, 68}
+	mbwChoices := []int{20, 60, 120}
+	saChoices := []int{16, 32, 64}
+
+	totalInter, totalPaired := 0, 0
+	for run := 0; run < instances; run++ {
+		name := names[rng.Intn(len(names))]
+		pl, err := platforms.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.Seed = uint64(rng.Int63())
+		rows := rowChoices[rng.Intn(len(rowChoices))]
+		mbw := mbwChoices[rng.Intn(len(mbwChoices))]
+		sa := saChoices[rng.Intn(len(saChoices))]
+		rf := 1 + rng.Intn(3)
+		intraPeriod := 0
+		if rng.Intn(3) == 0 {
+			intraPeriod = 5 + rng.Intn(6)
+		}
+
+		bals := []sched.Balancer{
+			&sched.LPBalancer{},
+			&sched.LPBalancer{NoReuse: true},
+			&sched.LPBalancer{Hysteresis: 0.03},
+			sched.EquidistantBalancer{},
+			sched.ProportionalBalancer{},
+		}
+		if pl.NumGPUs() >= 1 && pl.Cores >= 1 {
+			bals = append(bals, sched.MEOffloadBalancer{})
+		}
+		bal := bals[rng.Intn(len(bals))]
+
+		if rng.Intn(2) == 1 {
+			slowDev := rng.Intn(pl.NumDevices())
+			factor := 1.5 + 3*rng.Float64()
+			from := 4 + rng.Intn(4)
+			to := from + 2 + rng.Intn(4)
+			pl.Perturb = func(frame, dev int) float64 {
+				if dev == slowDev && frame >= from && frame < to {
+					return factor
+				}
+				return 1
+			}
+		}
+
+		fw, err := core.New(core.Options{
+			Platform: pl,
+			Codec: codec.Config{Width: mbw * 16, Height: rows * 16,
+				SearchRange: sa / 2, NumRF: rf, IQP: 27, PQP: 28,
+				IntraPeriod: intraPeriod, Chains: 2},
+			Mode:           vcm.TimingOnly,
+			Balancer:       bal,
+			Alpha:          0.5 + 0.5*rng.Float64(),
+			CheckSchedules: true,
+			FrameParallel:  true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d run %d: %v", seed, run, err)
+		}
+		for fw.FramesProcessed() < framesPer {
+			f := fw.FramesProcessed()
+			_, _, paired, err := fw.EncodePair(nil, nil)
+			if err != nil {
+				t.Fatalf("seed %d run %d (%s, %d rows, %d MB wide, SA %d, %d RF, intra period %d, balancer %s): frame %d: %v\nreplay with FEVES_CHECK_SEED=%d",
+					seed, run, name, rows, mbw, sa, rf, intraPeriod, bal.Name(), f, err, seed)
+			}
+			if paired {
+				totalPaired += 2
+			}
+		}
+		intra := 1
+		if intraPeriod > 0 {
+			intra = (framesPer + intraPeriod - 1) / intraPeriod
+		}
+		totalInter += framesPer - intra
+	}
+	if !testing.Short() {
+		if totalInter < 300 {
+			t.Fatalf("harness executed only %d inter frames, want ≥ 300", totalInter)
+		}
+		if totalPaired < totalInter/2 {
+			t.Fatalf("only %d of %d inter frames ran paired — the harness is not exercising the pair rules", totalPaired, totalInter)
+		}
+	}
+	t.Logf("%d inter frames validated (%d paired) across %d random instances", totalInter, totalPaired, instances)
+}

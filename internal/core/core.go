@@ -71,6 +71,13 @@ type Options struct {
 	// tracker excludes a device, with the framework's device index — the
 	// device pool's re-partition hook.
 	OnDeviceExcluded func(dev int)
+	// FrameParallel enables two-frames-in-flight encoding over the dual
+	// reference chains (requires Codec.Chains = 2): EncodePair schedules
+	// two consecutive inter frames jointly, interleaving their kernels and
+	// transfers so one frame's work fills the other's synchronization
+	// stalls. The bitstream stays byte-identical to the serial two-chain
+	// encode.
+	FrameParallel bool
 }
 
 // stallTaskBudget is the per-kernel simulated-seconds safety net used when
@@ -112,7 +119,12 @@ type Framework struct {
 	enc       *codec.Encoder
 	healthMu  sync.Mutex    // guards the health pointer against debug readers
 	health    *sched.Health // nil unless DeadlineSlack > 0
-	prev      []int        // σʳ carried between frames (framework-owned copy)
+	// prev[c] is the σʳ carry of the most recent frame on reference chain
+	// c (framework-owned copies): the deferred SF rows belong to that
+	// chain's sub-frame structure, so the next frame on the *same* chain
+	// uploads them, not the next frame in display order. Single-chain
+	// streams only ever touch prev[0].
+	prev      [2][]int
 	frame     int          // frames processed (display order)
 	lastIntra int          // display index of the most recent intra frame
 	retries   atomic.Int64 // frames re-run by the failover path (read by debug endpoints)
@@ -148,12 +160,17 @@ func New(opts Options) (*Framework, error) {
 	if opts.MaxFrameRetries <= 0 {
 		opts.MaxFrameRetries = 3
 	}
+	if opts.FrameParallel && opts.Codec.Chains != 2 {
+		return nil, fmt.Errorf("core: FrameParallel needs Codec.Chains = 2, have %d", opts.Codec.Chains)
+	}
 	f := &Framework{
 		opts: opts,
 		topo: topo,
 		pm:   sched.NewPerfModel(topo.NumDevices(), opts.Alpha),
 		bal:  opts.Balancer,
-		prev: make([]int, topo.NumDevices()),
+	}
+	for c := range f.prev {
+		f.prev[c] = make([]int, topo.NumDevices())
 	}
 	if opts.DeadlineSlack > 0 {
 		f.health = sched.NewHealth(topo.NumDevices())
@@ -203,7 +220,9 @@ func (f *Framework) SetPlatform(pl *device.Platform) error {
 	f.opts.Platform = pl
 	f.topo = sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
 	f.pm = sched.NewPerfModel(f.topo.NumDevices(), f.opts.Alpha)
-	f.prev = make([]int, f.topo.NumDevices())
+	for c := range f.prev {
+		f.prev[c] = make([]int, f.topo.NumDevices())
+	}
 	f.mgr.Platform = pl
 	f.mgr.Down = nil
 	if f.opts.DeadlineSlack > 0 {
@@ -254,16 +273,39 @@ func (f *Framework) Encoder() *codec.Encoder { return f.enc }
 // FramesProcessed returns the number of frames consumed so far.
 func (f *Framework) FramesProcessed() int { return f.frame }
 
+// chains returns the configured reference-chain count (1 or 2).
+func (f *Framework) chains() int {
+	if f.opts.Codec.Chains <= 1 {
+		return 1
+	}
+	return f.opts.Codec.Chains
+}
+
+// interOffset is the 0-based count of inter frames between the last intra
+// frame and display index interIdx — the encoder's round-robin counter.
+func (f *Framework) interOffset(interIdx int) int {
+	j := interIdx - f.lastIntra - 1
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// chainOf returns the reference chain the frame at display index interIdx
+// predicts from, mirroring the encoder's alternating assignment.
+func (f *Framework) chainOf(interIdx int) int {
+	return f.interOffset(interIdx) % f.chains()
+}
+
 // workload derives the frame's workload parameters; the usable reference
-// count ramps up over the first NumRF inter-frames after each intra frame
-// (Fig. 7(b)).
+// count ramps up over the first NumRF inter-frames *on the frame's chain*
+// after each intra frame (Fig. 7(b)): with two chains the odd and even
+// frames ramp their DPBs independently, each half as fast in display
+// order.
 func (f *Framework) workload(interIdx int) device.Workload {
-	usable := interIdx - f.lastIntra
+	usable := 1 + f.interOffset(interIdx)/f.chains()
 	if usable > f.opts.Codec.NumRF {
 		usable = f.opts.Codec.NumRF
-	}
-	if usable < 1 {
-		usable = 1
 	}
 	return device.Workload{
 		MBW:      f.opts.Codec.Width / h264.MBSize,
@@ -304,6 +346,7 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 	}
 
 	w := f.workload(idx)
+	chain := f.chainOf(idx)
 	// Load Balancing (lines 3 and 8): equidistant until the model is
 	// characterized, LP afterwards; with failover armed the topology
 	// carries the health tracker's exclusion mask and a blown deadline
@@ -326,7 +369,8 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		if !f.pm.Ready() {
 			d = sched.EquidistantExcluding(f.topo.NumDevices(), w.Rows(), firstUp(f.topo), f.topo.Down)
 		} else {
-			d, err = f.bal.Distribute(f.pm, f.topo, w, f.prev)
+			f.selectChain(chain)
+			d, err = f.bal.Distribute(f.pm, f.topo, w, f.prev[chain])
 			if err != nil {
 				return Result{}, err
 			}
@@ -339,7 +383,7 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		if tel.Enabled() {
 			f.pm.SnapshotInto(&f.snapBefore)
 		}
-		ft, err = f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev, cf)
+		ft, err = f.mgr.EncodeInterFrame(idx, w, d, f.pm, f.prev[chain], cf)
 		if err == nil {
 			okTry = attempt
 			break
@@ -375,8 +419,16 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 	}
 	// d.SigmaR aliases balancer-owned double-buffered storage; copy it into
 	// the framework's own carry buffer so next frame's read is safe.
-	f.prev = append(f.prev[:0], d.SigmaR...)
+	f.prev[chain] = append(f.prev[chain][:0], d.SigmaR...)
 	f.frame++
+	ft.Chain = chain
+	if ft.Stats.Intra && f.chains() > 1 {
+		// The encoder's scene-cut detector coded an IDR mid-pipeline,
+		// flushing and reseeding every chain: mirror its counter reset so
+		// the chain assignment and per-chain ramps stay in lockstep.
+		f.lastIntra = idx
+		f.resetSigmaCarry()
+	}
 	res := Result{
 		FrameIndex:    idx,
 		Attempt:       okTry,
@@ -389,6 +441,183 @@ func (f *Framework) EncodeNext(cf *h264.Frame) (Result, error) {
 		f.emitFrameTelemetry(tel, res)
 	}
 	return res, nil
+}
+
+// selectChain points an LP balancer at one chain's warm-start and
+// hysteresis slots; other balancers keep no per-chain state.
+func (f *Framework) selectChain(chain int) {
+	if b, ok := f.bal.(*sched.LPBalancer); ok {
+		b.SelectChain(chain)
+	}
+}
+
+// resetSigmaCarry zeroes every chain's σʳ carry — called when an IDR
+// flushes the reference chains, making the deferred SF rows moot.
+func (f *Framework) resetSigmaCarry() {
+	for c := range f.prev {
+		for i := range f.prev[c] {
+			f.prev[c][i] = 0
+		}
+	}
+}
+
+// pairable reports whether the next two frames can run frame-parallel:
+// both inter, the model characterized (the equidistant initialization
+// frames run serially), and the two-chain codec configured.
+func (f *Framework) pairable() bool {
+	if !f.opts.FrameParallel || f.chains() < 2 || !f.pm.Ready() {
+		return false
+	}
+	isIntra := func(i int) bool {
+		return i == 0 || (f.opts.Codec.IntraPeriod > 0 && i%f.opts.Codec.IntraPeriod == 0)
+	}
+	return !isIntra(f.frame) && !isIntra(f.frame+1)
+}
+
+// EncodePair processes the next two frames of the sequence jointly when
+// frame-parallel execution applies, falling back to a serial EncodeNext of
+// cfA otherwise. The returned paired flag reports which happened: when
+// false, only cfA was consumed (rb is zero) and the caller re-offers cfB
+// as the next frame. A scene cut inside frame A also returns paired=false
+// — frame A completed (as an IDR), frame B was aborted before any
+// functional work and must be re-offered.
+func (f *Framework) EncodePair(cfA, cfB *h264.Frame) (ra, rb Result, paired bool, err error) {
+	if cfB == nil && f.opts.Mode == vcm.Functional {
+		ra, err = f.EncodeNext(cfA)
+		return ra, Result{}, false, err
+	}
+	if !f.pairable() {
+		ra, err = f.EncodeNext(cfA)
+		return ra, Result{}, false, err
+	}
+	idxA, idxB := f.frame, f.frame+1
+	tel := f.opts.Telemetry
+	tel.FrameStart(idxA, false)
+	tel.FrameStart(idxB, false)
+	chainA, chainB := f.chainOf(idxA), f.chainOf(idxB)
+	wA, wB := f.workload(idxA), f.workload(idxB)
+
+	var (
+		dA, dB   sched.Distribution
+		ftA, ftB vcm.FrameTiming
+		overhead time.Duration
+		okTry    int
+		sceneCut bool
+	)
+	for attempt := 0; ; attempt++ {
+		f.mgr.Attempt = attempt
+		if f.health != nil {
+			f.topo.Down = f.health.Down()
+			f.mgr.Down = f.topo.Down
+		}
+		start := time.Now()
+		// Two balancing decisions per pair, each against its own chain's
+		// warm-start slots and σʳ carry. The balancer's output buffers are
+		// double-buffered, so both distributions stay valid through the
+		// joint execution.
+		f.selectChain(chainA)
+		dA, err = f.bal.Distribute(f.pm, f.topo, wA, f.prev[chainA])
+		if err != nil {
+			return Result{}, Result{}, false, err
+		}
+		f.selectChain(chainB)
+		dB, err = f.bal.Distribute(f.pm, f.topo, wB, f.prev[chainB])
+		if err != nil {
+			return Result{}, Result{}, false, err
+		}
+		dlA, dlB := f.pairDeadline(dA, dB), f.pairDeadline(dB, dA)
+		overhead += time.Since(start)
+
+		if tel.Enabled() {
+			f.pm.SnapshotInto(&f.snapBefore)
+		}
+		ftA, ftB, err = f.mgr.EncodeInterFramePair(
+			vcm.PairInput{Frame: idxA, Chain: chainA, W: wA, D: dA, PrevSigmaR: f.prev[chainA], CF: cfA, Deadline: dlA},
+			vcm.PairInput{Frame: idxB, Chain: chainB, W: wB, D: dB, PrevSigmaR: f.prev[chainB], CF: cfB, Deadline: dlB},
+			f.pm)
+		if err == nil {
+			okTry = attempt
+			break
+		}
+		if errors.Is(err, vcm.ErrPairSceneCut) {
+			// Frame A scene-cut to an IDR inside R*, flushing every chain;
+			// frame B never touched the encoder and is re-offered serially.
+			okTry = attempt
+			sceneCut = true
+			break
+		}
+		var de *vcm.DeadlineError
+		if f.health == nil || !errors.As(err, &de) || attempt+1 >= f.opts.MaxFrameRetries {
+			if errors.As(err, &de) {
+				tel.CaptureBundle("deadline_error", de.Frame, de.Error())
+			}
+			return Result{}, Result{}, false, err
+		}
+		// Neither frame's functional kernels ran (the deadline trips on the
+		// simulated timeline first), so the whole pair replays bit-exactly
+		// on the reduced topology.
+		f.retries.Add(1)
+		tel.FrameRetry(de.Frame, attempt+1, de.Point, de.Blamed)
+		for _, dev := range de.Blamed {
+			f.reportMiss(de.Frame, dev, de.Point)
+		}
+	}
+	if f.health != nil {
+		for i := 0; i < f.topo.NumDevices(); i++ {
+			if !f.topo.IsDown(i) {
+				if from, to, changed := f.health.Clean(i); changed {
+					tel.HealthTransition(idxA, i, from.String(), to.String(), "recovered")
+				}
+			}
+		}
+	}
+	f.prev[chainA] = append(f.prev[chainA][:0], dA.SigmaR...)
+	ftA.Chain = chainA
+	ra = Result{FrameIndex: idxA, Attempt: okTry, Timing: ftA,
+		Distribution: dA, SchedOverhead: overhead, Stats: ftA.Stats}
+	if sceneCut {
+		f.lastIntra = idxA
+		f.frame = idxA + 1
+		f.resetSigmaCarry()
+		if tel.Enabled() {
+			f.emitFrameTelemetry(tel, ra)
+		}
+		return ra, Result{}, false, nil
+	}
+	f.prev[chainB] = append(f.prev[chainB][:0], dB.SigmaR...)
+	f.frame = idxB + 1
+	ftB.Chain = chainB
+	if ftB.Stats.Intra {
+		// Frame B scene-cut to an IDR after frame A completed as inter:
+		// the encoder flushed and reseeded every chain, so mirror its
+		// counter reset exactly as the serial loop does.
+		f.lastIntra = idxB
+		f.resetSigmaCarry()
+	}
+	rb = Result{FrameIndex: idxB, Attempt: okTry, Timing: ftB,
+		Distribution: dB, SchedOverhead: 0, Stats: ftB.Stats}
+	if tel.Enabled() {
+		f.emitFrameTelemetry(tel, ra)
+		f.emitFrameTelemetry(tel, rb)
+	}
+	return ra, rb, true, nil
+}
+
+// pairDeadline derives one pair frame's budgets: only the total and the
+// per-task stall net are armed — the LP's τ1/τ2 predictions assume a solo
+// schedule and would misfire on the interleaved joint timeline. The total
+// budget is the *pair's* serial upper bound (both frames' predicted τtot)
+// times the slack factor: an interleaved schedule that beats serial never
+// trips it, a stalled device (×1e9) always does.
+func (f *Framework) pairDeadline(self, other sched.Distribution) *vcm.Deadline {
+	if f.opts.DeadlineSlack <= 0 {
+		return nil
+	}
+	dl := &vcm.Deadline{TaskBudget: stallTaskBudget}
+	if self.PredTot > 0 && other.PredTot > 0 {
+		dl.Tot = (self.PredTot + other.PredTot) * f.opts.DeadlineSlack
+	}
+	return dl
 }
 
 // deadline derives one frame's budgets from the balancer's predicted
@@ -474,7 +703,7 @@ func (f *Framework) emitFrameTelemetry(tel *telemetry.Telemetry, r Result) {
 	}
 	f.lastLP = cur
 	tel.FrameEnd(telemetry.FrameRecord{
-		Frame: r.FrameIndex, Attempt: r.Attempt, Intra: false,
+		Frame: r.FrameIndex, Attempt: r.Attempt, Intra: false, Chain: r.Timing.Chain,
 		Tau1: r.Timing.Tau1, Tau2: r.Timing.Tau2, Tot: r.Timing.Tot,
 		PredTau1: r.Distribution.PredTau1, PredTau2: r.Distribution.PredTau2,
 		PredTot:       r.Distribution.PredTot,

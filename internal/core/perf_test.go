@@ -77,6 +77,63 @@ func TestFrameLoopZeroAllocsObserved(t *testing.T) {
 	}
 }
 
+// pairOpts is timingOpts with the dual-chain frame-parallel path armed.
+func pairOpts(sa, rf int) Options {
+	opts := timingOpts(device.SysNFF(), sa, rf)
+	opts.Codec.Chains = 2
+	opts.FrameParallel = true
+	return opts
+}
+
+// TestPairLoopZeroAllocs extends the zero-alloc contract to two frames in
+// flight: a steady-state EncodePair — two chain-selected LP balances, the
+// joint interleaved schedule on the recycled simulator, two model updates
+// and two result assemblies — allocates nothing per pair.
+func TestPairLoopZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	fw, err := New(pairOpts(32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		if _, _, _, err := fw.EncodePair(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Twice the serial warmup: each chain's shapes converge at half rate,
+	// and the pair scratch (tasks, spans, deps) grows once per new shape.
+	for i := 0; i < 80; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Fatalf("steady-state EncodePair allocates %v per pair, want 0", n)
+	}
+}
+
+// BenchmarkFrameParallelPair measures the joint two-frame framework cost:
+// the frame-parallel counterpart of BenchmarkSimulatedFrame (one iteration
+// encodes two frames). Gated by the benchmark-regression harness.
+func BenchmarkFrameParallelPair(b *testing.B) {
+	fw, err := New(pairOpts(32, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if _, _, _, err := fw.EncodePair(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := fw.EncodePair(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatedFrame measures the whole per-frame framework cost in
 // timing-only mode: Algorithm 1's iterative phase end to end. This is
 // the headline number of the benchmark-regression harness.

@@ -95,6 +95,15 @@ type Config struct {
 	// coding. Deblocking still filters across slice boundaries (the
 	// standard's default).
 	Slices int
+	// Chains is the number of independent reference chains (0/1 = the
+	// classic single chain). With 2 chains, inter frames alternate: the
+	// first inter frame after an intra references chain 0, the next chain
+	// 1, and so on — each chain holds only the shared intra seed plus its
+	// own reconstructed frames, so two consecutive inter frames have no
+	// data dependency and can be encoded concurrently (frame-parallel
+	// mode). The chain structure is signalled in the sequence header; a
+	// conforming decoder mirrors it exactly.
+	Chains int
 }
 
 // Validate checks the configuration.
@@ -120,8 +129,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("codec: scene-cut threshold %v must be ≥ 0", c.SceneCutThreshold)
 	case c.Slices < 0 || c.Slices > c.Height/h264.MBSize:
 		return fmt.Errorf("codec: %d slices for %d macroblock rows", c.Slices, c.Height/h264.MBSize)
+	case c.Chains < 0 || c.Chains > 2:
+		return fmt.Errorf("codec: %d reference chains out of range [0,2]", c.Chains)
 	}
 	return nil
+}
+
+// chains normalizes the Chains field (0 means 1).
+func (c Config) chains() int {
+	if c.Chains <= 1 {
+		return 1
+	}
+	return c.Chains
 }
 
 // MBRows returns N, the number of macroblock rows distributed by the load
@@ -174,6 +193,9 @@ type FrameJob struct {
 	ME    *h264.MVField    // integer-pel FSBM output
 	SME   *h264.MVField    // quarter-pel refined output
 	NewSF *interp.SubFrame // SF of the most recent reference, filled by INT
+	// Chain is the reference chain this frame predicts from and
+	// reconstructs into (always 0 with a single chain).
+	Chain int
 
 	intComplete bool
 }
@@ -267,6 +289,7 @@ func writeSequenceHeader(w *entropy.BitWriter, cfg Config) {
 	} else {
 		w.WriteUE(0)
 	}
+	w.WriteUE(uint32(cfg.chains()))
 	w.AlignByte()
 }
 
@@ -282,7 +305,7 @@ func readSequenceHeader(r *entropy.BitReader) (Config, error) {
 			return cfg, ErrBadStream
 		}
 	}
-	vals := make([]uint32, 9)
+	vals := make([]uint32, 10)
 	for i := range vals {
 		v, err := r.ReadUE()
 		if err != nil {
@@ -301,6 +324,7 @@ func readSequenceHeader(r *entropy.BitReader) (Config, error) {
 		Entropy:     EntropyMode(vals[6]),
 		Slices:      int(vals[7]),
 		Checksum:    vals[8] == 1,
+		Chains:      int(vals[9]),
 	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, fmt.Errorf("%w: %v", ErrBadStream, err)

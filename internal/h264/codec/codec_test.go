@@ -107,6 +107,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	want := enc.Config()
 	want.Slices = want.sliceCount() // the header normalizes 0 to 1
+	want.Chains = want.chains()     // likewise for the chain count
 	if dec.Config() != want {
 		t.Fatalf("decoded config %+v != %+v", dec.Config(), want)
 	}

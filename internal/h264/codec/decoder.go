@@ -79,9 +79,13 @@ func (d *Decoder) beginFrameEntropy(slices int) ([]blockSource, error) {
 type Decoder struct {
 	cfg Config
 	r   *entropy.BitReader
-	dpb *h264.DPB
-	sfs []*interp.SubFrame
-	poc int
+	// dpbs and sfs mirror the encoder's per-chain reference structure;
+	// sinceIntra reproduces its round-robin chain assignment (frames are
+	// decoded serially in coded order, which IS the assignment order).
+	dpbs       []*h264.DPB
+	sfs        [][]*interp.SubFrame
+	sinceIntra int
+	poc        int
 	// stats, when non-nil, collects per-frame syntax statistics for
 	// Inspect.
 	stats *FrameInfo
@@ -108,7 +112,13 @@ func NewDecoder(stream []byte) (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decoder{cfg: cfg, r: r, dpb: h264.NewDPB(cfg.NumRF)}, nil
+	d := &Decoder{cfg: cfg, r: r,
+		dpbs: make([]*h264.DPB, cfg.chains()),
+		sfs:  make([][]*interp.SubFrame, cfg.chains())}
+	for c := range d.dpbs {
+		d.dpbs[c] = h264.NewDPB(cfg.NumRF)
+	}
+	return d, nil
 }
 
 // Config returns the sequence parameters parsed from the header.
@@ -162,11 +172,14 @@ func (d *Decoder) decodeIntra() (*h264.Frame, error) {
 	recon.Poc = d.poc
 	recon.IsIntra = true
 	d.poc++
-	// IDR semantics: flush references and sub-frames, mirroring the
-	// encoder.
-	d.dpb.Clear()
-	d.sfs = nil
-	d.dpb.Push(recon)
+	// IDR semantics: flush every reference chain and its sub-frames, then
+	// seed all chains with the reconstruction, mirroring the encoder.
+	for c := range d.dpbs {
+		d.dpbs[c].Clear()
+		d.sfs[c] = nil
+		d.dpbs[c].Push(recon)
+	}
+	d.sinceIntra = 0
 	return recon, nil
 }
 
@@ -219,21 +232,24 @@ func (d *Decoder) decodeIntraMB(src blockSource, recon *h264.Frame, bi *deblock.
 }
 
 func (d *Decoder) decodeInter() (*h264.Frame, error) {
-	if d.dpb.Len() == 0 {
+	chain := d.sinceIntra % len(d.dpbs)
+	dpb := d.dpbs[chain]
+	if dpb.Len() == 0 {
 		return nil, fmt.Errorf("%w: inter frame before intra frame", ErrBadStream)
 	}
-	// Mirror the encoder's INT step: interpolate the most recent reference.
+	// Mirror the encoder's INT step: interpolate the chain's most recent
+	// reference.
 	newSF := interp.NewSubFrame(d.cfg.Width, d.cfg.Height)
-	interp.Interpolate(d.dpb.Ref(0).Y, newSF)
-	d.sfs = append([]*interp.SubFrame{newSF}, d.sfs...)
-	if len(d.sfs) > d.dpb.Len() {
-		d.sfs = d.sfs[:d.dpb.Len()]
+	interp.Interpolate(dpb.Ref(0).Y, newSF)
+	d.sfs[chain] = append([]*interp.SubFrame{newSF}, d.sfs[chain]...)
+	if len(d.sfs[chain]) > dpb.Len() {
+		d.sfs[chain] = d.sfs[chain][:dpb.Len()]
 	}
 	sfs := make([]*interp.SubFrame, d.cfg.NumRF)
-	copy(sfs, d.sfs)
-	refs := make([]*h264.Frame, d.dpb.Len())
+	copy(sfs, d.sfs[chain])
+	refs := make([]*h264.Frame, dpb.Len())
 	for i := range refs {
-		refs[i] = d.dpb.Ref(i)
+		refs[i] = dpb.Ref(i)
 	}
 
 	qpDelta, err := d.r.ReadSE()
@@ -278,8 +294,8 @@ func (d *Decoder) decodeInter() (*h264.Frame, error) {
 				if err != nil {
 					return nil, err
 				}
-				if int(ref) >= d.dpb.Len() {
-					return nil, fmt.Errorf("%w: reference %d of %d", ErrBadStream, ref, d.dpb.Len())
+				if int(ref) >= dpb.Len() {
+					return nil, fmt.Errorf("%w: reference %d of %d", ErrBadStream, ref, dpb.Len())
 				}
 				mvdx, err := d.r.ReadSE()
 				if err != nil {
@@ -309,7 +325,8 @@ func (d *Decoder) decodeInter() (*h264.Frame, error) {
 	}
 	recon.Poc = d.poc
 	d.poc++
-	d.dpb.Push(recon)
+	dpb.Push(recon)
+	d.sinceIntra++
 	return recon, nil
 }
 

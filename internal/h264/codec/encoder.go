@@ -11,18 +11,28 @@ import (
 	"feves/internal/h264/sme"
 )
 
-// Encoder is the stateful sequence encoder. It owns the decoded-picture
-// buffer, the per-reference SF structures and the output bitstream writer.
+// Encoder is the stateful sequence encoder. It owns one decoded-picture
+// buffer per reference chain, the per-reference SF structures and the
+// output bitstream writer.
 type Encoder struct {
 	cfg Config
 	w   *entropy.BitWriter
-	dpb *h264.DPB
-	// sfs[i] is the interpolated sub-frame of dpb.Ref(i). At the start of a
-	// frame, the most recent reference (index 0) has no sub-frame yet: the
-	// INT module produces it during that frame's τ1 interval.
-	sfs    []*interp.SubFrame
+	// dpbs[c] is chain c's decoded-picture buffer. A single-chain stream
+	// has exactly one; with two chains, inter frames alternate between
+	// them, so each chain holds the shared intra seed plus only its own
+	// reconstructed frames.
+	dpbs []*h264.DPB
+	// sfs[c][i] is the interpolated sub-frame of dpbs[c].Ref(i). At the
+	// start of a frame, the chain's most recent reference (index 0) has no
+	// sub-frame yet: the INT module produces it during that frame's τ1
+	// interval.
+	sfs    [][]*interp.SubFrame
 	frames int
-	rc     *RateControl // nil when rate control is off
+	// sinceIntra counts the inter frames completed since the last intra
+	// frame; it drives the serial path's round-robin chain assignment.
+	sinceIntra int
+	lastRecon  *h264.Frame
+	rc         *RateControl // nil when rate control is off
 }
 
 // NewEncoder creates an encoder and writes the sequence header.
@@ -31,9 +41,13 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 		return nil, err
 	}
 	e := &Encoder{
-		cfg: cfg,
-		w:   entropy.NewBitWriter(),
-		dpb: h264.NewDPB(cfg.NumRF),
+		cfg:  cfg,
+		w:    entropy.NewBitWriter(),
+		dpbs: make([]*h264.DPB, cfg.chains()),
+		sfs:  make([][]*interp.SubFrame, cfg.chains()),
+	}
+	for c := range e.dpbs {
+		e.dpbs[c] = h264.NewDPB(cfg.NumRF)
 	}
 	if cfg.TargetBitsPerFrame > 0 {
 		rc, err := NewRateControl(cfg.TargetBitsPerFrame, cfg.PQP, 12, 51)
@@ -67,15 +81,25 @@ func (e *Encoder) BitsWritten() int { return e.w.Len() }
 // FramesEncoded returns the number of frames coded so far.
 func (e *Encoder) FramesEncoded() int { return e.frames }
 
-// DPBLen returns the number of reference frames currently available —
-// smaller than NumRF during the ramp-up frames of Fig. 7(b).
-func (e *Encoder) DPBLen() int { return e.dpb.Len() }
+// DPBLen returns the number of reference frames available to the next
+// serially encoded frame's chain — smaller than NumRF during the ramp-up
+// frames of Fig. 7(b).
+func (e *Encoder) DPBLen() int { return e.dpbs[e.nextChain()].Len() }
+
+// DPBLenOn returns the number of reference frames available on one chain.
+func (e *Encoder) DPBLenOn(chain int) int { return e.dpbs[chain].Len() }
+
+// Chains returns the number of reference chains.
+func (e *Encoder) Chains() int { return len(e.dpbs) }
+
+// nextChain is the chain the next serially begun inter frame uses.
+func (e *Encoder) nextChain() int { return e.sinceIntra % len(e.dpbs) }
 
 // ShouldIntra reports whether the next frame must be intra coded: the
 // first frame of a sequence, or an IDR refresh point when IntraPeriod is
 // configured.
 func (e *Encoder) ShouldIntra() bool {
-	if e.dpb.Len() == 0 {
+	if e.frames == 0 {
 		return true
 	}
 	return e.cfg.IntraPeriod > 0 && e.frames%e.cfg.IntraPeriod == 0
@@ -109,10 +133,23 @@ func (e *Encoder) checkFrame(cf *h264.Frame) error {
 	return nil
 }
 
-// BeginFrame allocates the working buffers of one inter-frame. The DPB must
-// hold at least one reference (i.e. the intra frame was already encoded).
+// BeginFrame allocates the working buffers of one inter-frame on the
+// serial path's next chain (round-robin with two chains). The chain's DPB
+// must hold at least one reference (i.e. the intra frame was already
+// encoded).
 func (e *Encoder) BeginFrame(cf *h264.Frame) *FrameJob {
-	if e.dpb.Len() == 0 {
+	return e.BeginFrameOn(cf, e.nextChain())
+}
+
+// BeginFrameOn opens an inter-frame on an explicit reference chain — the
+// frame-parallel path, where the caller pipelines two frames on the two
+// chains and the serial round-robin assignment (which only advances when a
+// frame *completes*) would hand both in-flight frames the same chain.
+func (e *Encoder) BeginFrameOn(cf *h264.Frame, chain int) *FrameJob {
+	if chain < 0 || chain >= len(e.dpbs) {
+		panic(fmt.Sprintf("codec: chain %d of %d", chain, len(e.dpbs)))
+	}
+	if e.dpbs[chain].Len() == 0 {
 		panic("codec: BeginFrame before intra frame")
 	}
 	if err := e.checkFrame(cf); err != nil {
@@ -123,34 +160,36 @@ func (e *Encoder) BeginFrame(cf *h264.Frame) *FrameJob {
 		ME:    h264.NewMVField(cf.MBWidth(), cf.MBHeight(), e.cfg.NumRF),
 		SME:   h264.NewMVField(cf.MBWidth(), cf.MBHeight(), e.cfg.NumRF),
 		NewSF: interp.NewSubFrame(cf.W, cf.H),
+		Chain: chain,
 	}
 }
 
 // RunME performs full-search motion estimation for macroblock rows
-// [rowLo, rowHi) against every available reference. Safe to call
-// concurrently on disjoint row ranges.
+// [rowLo, rowHi) against every reference available on the job's chain.
+// Safe to call concurrently on disjoint row ranges.
 func (e *Encoder) RunME(job *FrameJob, rowLo, rowHi int) {
-	me.SearchRowsAlgo(e.cfg.MEAlgo, job.CF, e.dpb, e.cfg.MECfg(), job.ME, rowLo, rowHi)
+	me.SearchRowsAlgo(e.cfg.MEAlgo, job.CF, e.dpbs[job.Chain], e.cfg.MECfg(), job.ME, rowLo, rowHi)
 }
 
-// RunINT interpolates macroblock rows [rowLo, rowHi) of the most recent
-// reference frame into the job's new sub-frame. Safe to call concurrently
-// on disjoint row ranges.
+// RunINT interpolates macroblock rows [rowLo, rowHi) of the chain's most
+// recent reference frame into the job's new sub-frame. Safe to call
+// concurrently on disjoint row ranges.
 func (e *Encoder) RunINT(job *FrameJob, rowLo, rowHi int) {
-	interp.InterpolateRows(e.dpb.Ref(0).Y, job.NewSF, rowLo, rowHi)
+	interp.InterpolateRows(e.dpbs[job.Chain].Ref(0).Y, job.NewSF, rowLo, rowHi)
 }
 
 // CompleteINT is the τ1 host-side step: it extends the new sub-frame's
-// borders and installs it as the sub-frame of reference 0, making the full
-// SF structure available to SME on every device.
+// borders and installs it as the sub-frame of the chain's reference 0,
+// making the full SF structure available to SME on every device.
 func (e *Encoder) CompleteINT(job *FrameJob) {
 	if job.intComplete {
 		panic("codec: CompleteINT called twice")
 	}
 	job.NewSF.ExtendBorders()
-	e.sfs = append([]*interp.SubFrame{job.NewSF}, e.sfs...)
-	if len(e.sfs) > e.dpb.Len() {
-		e.sfs = e.sfs[:e.dpb.Len()]
+	c := job.Chain
+	e.sfs[c] = append([]*interp.SubFrame{job.NewSF}, e.sfs[c]...)
+	if len(e.sfs[c]) > e.dpbs[c].Len() {
+		e.sfs[c] = e.sfs[c][:e.dpbs[c].Len()]
 	}
 	job.intComplete = true
 }
@@ -161,24 +200,29 @@ func (e *Encoder) RunSME(job *FrameJob, rowLo, rowHi int) {
 	if !job.intComplete {
 		panic("codec: RunSME before CompleteINT")
 	}
-	sfs := e.sfsPadded()
+	sfs := e.sfsPadded(job.Chain)
 	sme.RefineRows(job.CF, sfs, job.ME, job.SME, rowLo, rowHi)
 }
 
-// sfsPadded returns the SF list padded with nils up to NumRF slots for the
-// DPB ramp-up frames.
-func (e *Encoder) sfsPadded() []*interp.SubFrame {
+// sfsPadded returns one chain's SF list padded with nils up to NumRF slots
+// for the DPB ramp-up frames.
+func (e *Encoder) sfsPadded(chain int) []*interp.SubFrame {
 	sfs := make([]*interp.SubFrame, e.cfg.NumRF)
-	copy(sfs, e.sfs)
+	copy(sfs, e.sfs[chain])
 	return sfs
 }
 
 // LastRecon returns the most recently reconstructed reference frame (the
 // RF+1 buffer the paper transfers back to the host after R*). It is the
 // frame a conforming decoder must reproduce bit-exactly.
-func (e *Encoder) LastRecon() *h264.Frame {
-	if e.dpb.Len() == 0 {
+func (e *Encoder) LastRecon() *h264.Frame { return e.lastRecon }
+
+// ChainRecon returns one chain's most recent reconstructed frame (nil
+// before the chain is seeded) — the per-chain bit-exactness probe of the
+// frame-parallel tests.
+func (e *Encoder) ChainRecon(chain int) *h264.Frame {
+	if e.dpbs[chain].Len() == 0 {
 		return nil
 	}
-	return e.dpb.Ref(0)
+	return e.dpbs[chain].Ref(0)
 }

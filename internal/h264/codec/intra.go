@@ -41,11 +41,17 @@ func (e *Encoder) EncodeIntraFrame(cf *h264.Frame) (rd.FrameStats, error) {
 	}
 	recon.Poc = cf.Poc
 	recon.IsIntra = true
-	// IDR semantics: an intra frame flushes the reference buffer and the
-	// interpolated sub-frames, so prediction never crosses it.
-	e.dpb.Clear()
-	e.sfs = nil
-	e.dpb.Push(recon)
+	// IDR semantics: an intra frame flushes every reference chain and the
+	// interpolated sub-frames, so prediction never crosses it, then seeds
+	// all chains with the same reconstruction — the shared root both
+	// chains' first inter frames predict from.
+	for c := range e.dpbs {
+		e.dpbs[c].Clear()
+		e.sfs[c] = nil
+		e.dpbs[c].Push(recon)
+	}
+	e.lastRecon = recon
+	e.sinceIntra = 0
 	e.frames++
 
 	y, cb, cr := rd.FramePSNR(cf, recon)

@@ -39,11 +39,12 @@ func (e *Encoder) RunRStar(job *FrameJob) rd.FrameStats {
 	bi := deblock.NewBlockInfo(cf.W, cf.H)
 	mbw, mbh := cf.MBWidth(), cf.MBHeight()
 
-	refs := make([]*h264.Frame, e.dpb.Len())
+	dpb := e.dpbs[job.Chain]
+	refs := make([]*h264.Frame, dpb.Len())
 	for i := range refs {
-		refs[i] = e.dpb.Ref(i)
+		refs[i] = dpb.Ref(i)
 	}
-	sfs := e.sfsPadded()
+	sfs := e.sfsPadded(job.Chain)
 
 	e.w.WriteUE(1)                     // frame type: P
 	e.w.WriteSE(int32(qp - e.cfg.PQP)) // per-frame QP delta (rate control)
@@ -83,8 +84,10 @@ func (e *Encoder) RunRStar(job *FrameJob) rd.FrameStats {
 		e.w.WriteBits(reconCRC(recon), 32)
 	}
 	recon.Poc = cf.Poc
-	e.dpb.Push(recon)
+	dpb.Push(recon)
+	e.lastRecon = recon
 	e.frames++
+	e.sinceIntra++
 
 	y, cb, cr := rd.FramePSNR(cf, recon)
 	bits := e.w.Len() - startBits

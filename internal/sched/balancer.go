@@ -70,8 +70,15 @@ type LPBalancer struct {
 	// changes (Fig. 7 load events) still switch immediately.
 	Hysteresis float64
 
-	prev     *Distribution
-	prevRows int
+	// chain selects which reference chain's warm-start and hysteresis
+	// state the next Distribute call uses (see SelectChain). Single-chain
+	// callers never touch it and always use slot 0.
+	chain int
+	// Per-chain incumbent state: with frame-parallel encoding the two
+	// chains' workloads differ (their usable-RF ramps interleave), so
+	// chain 0's frame resembles chain 0's previous frame far more than
+	// the immediately preceding solve, which was chain 1's.
+	cs [maxChains]chainState
 
 	// Retained scratch. Distribute is called every frame, so everything
 	// below — the LP problems and solvers, the rounding/bounds work
@@ -80,12 +87,14 @@ type LPBalancer struct {
 	// double-buffered (gen/genIdx) so the Distribution returned by one
 	// call stays intact while the next call computes its successor.
 	//
-	// One solver per Δ fixed-point iteration: the Δ vectors restart from
-	// zero every frame and may cycle instead of converging, so the LP of
-	// iteration i resembles iteration i of the *previous frame* far more
-	// than the solve immediately before it. Indexing solvers by iteration
-	// lets every one of them warm-start from its own counterpart.
+	// One solver per Δ fixed-point iteration per chain: the Δ vectors
+	// restart from zero every frame and may cycle instead of converging,
+	// so the LP of iteration i resembles iteration i of the *previous
+	// frame on the same chain* far more than the solve immediately before
+	// it. Slot layout is chain*iters + it, so every solver warm-starts
+	// from its own counterpart.
 	solvers        []lp.Solver
+	solverIters    int
 	prob           *lp.Problem
 	rowBuf         []float64
 	deltaM, deltaL []int
@@ -95,7 +104,29 @@ type LPBalancer struct {
 	bs             boundsScratch
 	gen            [2]distBufs
 	genIdx         int
-	hprev          Distribution // hysteresis incumbent (owns its slices)
+}
+
+// maxChains is the number of reference chains the balancer keeps
+// warm-start and hysteresis slots for (Config.Chains is capped at 2).
+const maxChains = 2
+
+// chainState is one chain's incumbent: the previous distribution for
+// hysteresis re-scoring and the buffers it owns.
+type chainState struct {
+	prev     *Distribution
+	prevRows int
+	hprev    Distribution // hysteresis incumbent (owns its slices)
+}
+
+// SelectChain directs the next Distribute calls at one chain's warm-start
+// and hysteresis slots. The frame-parallel encoder calls it before each
+// frame of a pair; single-chain callers never need it (chain 0 is the
+// default).
+func (b *LPBalancer) SelectChain(chain int) {
+	if chain < 0 || chain >= maxChains {
+		panic(fmt.Sprintf("sched: chain %d of %d", chain, maxChains))
+	}
+	b.chain = chain
 }
 
 // distBufs is one generation of output buffers for a Distribution.
@@ -163,19 +194,18 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 	if iters <= 0 {
 		iters = 4
 	}
-	if len(b.solvers) < iters {
-		ns := make([]lp.Solver, iters)
-		copy(ns, b.solvers)
-		for i := len(b.solvers); i < iters; i++ {
+	if b.solverIters != iters {
+		b.solvers = make([]lp.Solver, maxChains*iters)
+		for i := range b.solvers {
 			// The balancer's LPs are riddled with alternative optima
 			// (identical devices make whole variable blocks symmetric),
 			// and the executed schedule is sensitive to which tied vertex
 			// the solver returns. Bland pricing keeps the solver's
 			// canonical vertex choice stable across solver versions;
 			// per-frame speed comes from warm-starting, not from pricing.
-			ns[i].Pricing = lp.PricingBland
+			b.solvers[i].Pricing = lp.PricingBland
 		}
-		b.solvers = ns
+		b.solverIters = iters
 	}
 	rstar := PlaceRStar(pm, topo, rows)
 
@@ -193,7 +223,7 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 
 	var d Distribution
 	for it := 0; it < iters; it++ {
-		x, err := b.solveLP(it, pm, topo, w, rstar, deltaM, deltaL, prevSigmaR)
+		x, err := b.solveLP(b.chain*iters+it, pm, topo, w, rstar, deltaM, deltaL, prevSigmaR)
 		if err != nil {
 			return Distribution{}, err
 		}
@@ -226,13 +256,14 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 	// is not a real improvement under the current measurements. An
 	// incumbent that assigns rows to a since-excluded device is dead —
 	// keeping it would schedule work onto silicon that is gone.
-	if b.Hysteresis > 0 && b.prev != nil && b.prevRows == rows &&
-		len(b.prev.M) == p && b.prev.RStarDev == rstar && !assignsToDown(b.prev, topo) {
-		_, _, prevTot := PredictTimes(pm, topo, w, *b.prev, prevSigmaR)
+	cs := &b.cs[b.chain]
+	if b.Hysteresis > 0 && cs.prev != nil && cs.prevRows == rows &&
+		len(cs.prev.M) == p && cs.prev.RStarDev == rstar && !assignsToDown(cs.prev, topo) {
+		_, _, prevTot := PredictTimes(pm, topo, w, *cs.prev, prevSigmaR)
 		if prevTot <= d.PredTot*(1+b.Hysteresis) {
-			copy(g.m, b.prev.M)
-			copy(g.l, b.prev.L)
-			copy(g.s, b.prev.S)
+			copy(g.m, cs.prev.M)
+			copy(g.l, cs.prev.L)
+			copy(g.s, cs.prev.S)
 			boundsBetweenInto(g.dm, g.m, g.s, topo.IsGPU, &b.bs)
 			boundsBetweenInto(g.dl, g.l, g.s, topo.IsGPU, &b.bs)
 			t1, t2, tot := PredictTimes(pm, topo, w, d, prevSigmaR)
@@ -258,30 +289,30 @@ func (b *LPBalancer) Distribute(pm *PerfModel, topo Topology, w device.Workload,
 		return Distribution{}, err
 	}
 	if b.Hysteresis > 0 {
-		b.hprev.M = append(b.hprev.M[:0], d.M...)
-		b.hprev.L = append(b.hprev.L[:0], d.L...)
-		b.hprev.S = append(b.hprev.S[:0], d.S...)
-		b.hprev.Sigma = append(b.hprev.Sigma[:0], d.Sigma...)
-		b.hprev.SigmaR = append(b.hprev.SigmaR[:0], d.SigmaR...)
-		b.hprev.DeltaM = append(b.hprev.DeltaM[:0], d.DeltaM...)
-		b.hprev.DeltaL = append(b.hprev.DeltaL[:0], d.DeltaL...)
-		b.hprev.RStarDev = d.RStarDev
-		b.hprev.PredTau1, b.hprev.PredTau2, b.hprev.PredTot = d.PredTau1, d.PredTau2, d.PredTot
-		b.prev = &b.hprev
-		b.prevRows = rows
+		cs.hprev.M = append(cs.hprev.M[:0], d.M...)
+		cs.hprev.L = append(cs.hprev.L[:0], d.L...)
+		cs.hprev.S = append(cs.hprev.S[:0], d.S...)
+		cs.hprev.Sigma = append(cs.hprev.Sigma[:0], d.Sigma...)
+		cs.hprev.SigmaR = append(cs.hprev.SigmaR[:0], d.SigmaR...)
+		cs.hprev.DeltaM = append(cs.hprev.DeltaM[:0], d.DeltaM...)
+		cs.hprev.DeltaL = append(cs.hprev.DeltaL[:0], d.DeltaL...)
+		cs.hprev.RStarDev = d.RStarDev
+		cs.hprev.PredTau1, cs.hprev.PredTau2, cs.hprev.PredTot = d.PredTau1, d.PredTau2, d.PredTot
+		cs.prev = &cs.hprev
+		cs.prevRows = rows
 	}
 	return d, nil
 }
 
 // solveLP builds and solves one instance of Algorithm 2's linear program
 // with the Δ terms held constant. The problem is rebuilt into retained
-// storage and handed to the retained solver for fixed-point iteration
-// `it`, which warm-starts from the same iteration's optimal basis of the
-// previous frame whenever the problem shape is unchanged (health
-// exclusions change the constraint senses, forcing — correctly — a cold
-// solve). The returned vector aliases solver scratch valid until that
-// solver's next solve.
-func (b *LPBalancer) solveLP(it int, pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM, deltaL, prevSigmaR []int) ([]float64, error) {
+// storage and handed to the retained solver in `slot` (chain*iters +
+// iteration), which warm-starts from the same slot's optimal basis of the
+// previous frame on that chain whenever the problem shape is unchanged
+// (health exclusions change the constraint senses, forcing — correctly —
+// a cold solve). The returned vector aliases solver scratch valid until
+// that solver's next solve.
+func (b *LPBalancer) solveLP(slot int, pm *PerfModel, topo Topology, w device.Workload, rstar int, deltaM, deltaL, prevSigmaR []int) ([]float64, error) {
 	p := topo.NumDevices()
 	rows := w.Rows()
 	n := float64(rows)
@@ -424,7 +455,7 @@ func (b *LPBalancer) solveLP(it int, pm *PerfModel, topo Topology, w device.Work
 			prob.Add(a, lp.LE, -dl*ksfh-dm*kmvh)
 		}
 	}
-	x, _, err := b.solvers[it].Solve(prob)
+	x, _, err := b.solvers[slot].Solve(prob)
 	if err != nil {
 		return nil, fmt.Errorf("sched: load-balancing LP: %w", err)
 	}

@@ -42,6 +42,11 @@ type JobSpec struct {
 	PQP int `json:"pqp,omitempty"`
 	// IntraPeriod inserts an IDR every IntraPeriod frames (0 = IPPP).
 	IntraPeriod int `json:"intra_period,omitempty"`
+	// FrameParallel runs the session with two inter frames in flight over
+	// dual reference chains (see feves.Config.FrameParallel). Encode jobs
+	// produce the two-chain bitstream; simulate jobs report the paired
+	// throughput.
+	FrameParallel bool `json:"frame_parallel,omitempty"`
 	// YUV holds the concatenated packed I420 frames of an encode job
 	// (base64 in JSON).
 	YUV []byte `json:"yuv,omitempty"`
@@ -102,12 +107,17 @@ func (sp JobSpec) validate() error {
 }
 
 func (sp JobSpec) codecConfig() codec.Config {
+	chains := 1
+	if sp.FrameParallel {
+		chains = 2
+	}
 	return codec.Config{
 		Width: sp.Width, Height: sp.Height,
 		SearchRange: sp.SearchArea / 2,
 		NumRF:       sp.RefFrames,
 		IQP:         sp.IQP, PQP: sp.PQP,
 		IntraPeriod: sp.IntraPeriod,
+		Chains:      chains,
 	}
 }
 
@@ -143,9 +153,15 @@ type FrameResult struct {
 	// first-try frames).
 	Attempt int  `json:"attempt,omitempty"`
 	Intra   bool `json:"intra"`
+	// Chain is the reference chain the frame predicted from (omitted on
+	// single-chain jobs).
+	Chain int `json:"chain,omitempty"`
 	// Seconds is the simulated inter-loop time τtot (0 for intra frames).
 	Seconds float64 `json:"tau_tot"`
-	FPS     float64 `json:"fps,omitempty"`
+	// PairSeconds is the joint makespan of the two-frame group this frame
+	// ran in (omitted for serial frames); paired FPS is 2/PairSeconds.
+	PairSeconds float64 `json:"pair_seconds,omitempty"`
+	FPS         float64 `json:"fps,omitempty"`
 	// PredictedSeconds is the per-frame LP's τtot prediction (0 for the
 	// re-characterization frames after a lease change).
 	PredictedSeconds float64 `json:"pred_tau_tot,omitempty"`

@@ -336,6 +336,7 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 		CheckObserve:    true,
 		DeadlineSlack:   s.cfg.DeadlineSlack,
 		MaxFrameRetries: s.cfg.MaxFrameRetries,
+		FrameParallel:   spec.FrameParallel,
 	}
 	if s.cfg.DeadlineSlack > 0 {
 		// When this session's framework excludes a device, report the loss
@@ -395,15 +396,39 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 			s.metric("feves_serve_repartitions_total",
 				"Lease changes picked up by sessions at frame boundaries.").Inc()
 		}
-		var cf *h264.Frame
+		var cf, cf2 *h264.Frame
 		if spec.Mode == ModeEncode {
 			cf = h264.NewFrame(spec.Width, spec.Height)
 			cf.Poc = i
 			if err := cf.LoadYUV(spec.YUV[i*fb : (i+1)*fb]); err != nil {
 				return StatusFailed, err.Error(), nil
 			}
+			if spec.FrameParallel && i+1 < frames {
+				cf2 = h264.NewFrame(spec.Width, spec.Height)
+				cf2.Poc = i + 1
+				if err := cf2.LoadYUV(spec.YUV[(i+1)*fb : (i+2)*fb]); err != nil {
+					return StatusFailed, err.Error(), nil
+				}
+			}
 		}
-		r, err := fw.EncodeNext(cf)
+		// A frame-parallel session consumes up to two frames per iteration;
+		// the framework falls back to a serial frame at intra boundaries,
+		// during model initialization, and after an in-pair scene cut, in
+		// which case the second frame is re-offered next iteration. Lease
+		// changes are absorbed at group boundaries, so both frames of a
+		// pair always run on the same device subset.
+		var results [2]core.Result
+		n := 1
+		var err error
+		if spec.FrameParallel {
+			var paired bool
+			results[0], results[1], paired, err = fw.EncodePair(cf, cf2)
+			if paired {
+				n = 2
+			}
+		} else {
+			results[0], err = fw.EncodeNext(cf)
+		}
 		if err != nil {
 			// A session whose lease is a single device cannot fail over by
 			// itself (the health tracker never excludes the last device).
@@ -443,18 +468,26 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 			return StatusFailed, err.Error(), nil
 		}
 		retries = 0
-		fr := FrameResult{
-			Frame: r.FrameIndex, Attempt: r.Attempt, Intra: r.Intra || r.Stats.Intra,
-			Seconds:          r.Timing.Tot,
-			PredictedSeconds: r.Distribution.PredTot,
-			SchedOverhead:    r.SchedOverhead.Seconds(),
-			Bits:             r.Stats.Bits, PSNRY: r.Stats.PSNRY,
-			Devices: deviceNames(pl),
+		for k := 0; k < n; k++ {
+			r := results[k]
+			fr := FrameResult{
+				Frame: r.FrameIndex, Attempt: r.Attempt, Intra: r.Intra || r.Stats.Intra,
+				Chain:            r.Timing.Chain,
+				Seconds:          r.Timing.Tot,
+				PairSeconds:      r.Timing.PairMakespan,
+				PredictedSeconds: r.Distribution.PredTot,
+				SchedOverhead:    r.SchedOverhead.Seconds(),
+				Bits:             r.Stats.Bits, PSNRY: r.Stats.PSNRY,
+				Devices: deviceNames(pl),
+			}
+			if fr.PairSeconds > 0 {
+				fr.FPS = 2 / fr.PairSeconds
+			} else if fr.Seconds > 0 {
+				fr.FPS = 1 / fr.Seconds
+			}
+			job.appendResult(fr)
 		}
-		if fr.Seconds > 0 {
-			fr.FPS = 1 / fr.Seconds
-		}
-		job.appendResult(fr)
+		i += n - 1
 	}
 	if spec.Mode == ModeEncode {
 		return StatusDone, "", fw.Bitstream()

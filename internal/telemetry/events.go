@@ -64,6 +64,9 @@ type FrameEndEvent struct {
 	// frames; >0 after failover retries).
 	Attempt int  `json:"attempt,omitempty"`
 	Intra   bool `json:"intra"`
+	// Chain is the reference chain the frame predicted from (omitted on
+	// single-chain streams, where it is always 0).
+	Chain int `json:"chain,omitempty"`
 	// Tau1/Tau2/Tot are the measured synchronization points in seconds
 	// (zero for intra frames, which run outside the balanced inter-loop).
 	Tau1 float64 `json:"tau1"`

@@ -19,6 +19,7 @@ type FlightEntry struct {
 	Frame   int    `json:"frame"`
 	Attempt int    `json:"attempt,omitempty"`
 	Intra   bool   `json:"intra,omitempty"`
+	Chain   int    `json:"chain,omitempty"`
 
 	Tau1     float64 `json:"tau1,omitempty"`
 	Tau2     float64 `json:"tau2,omitempty"`
@@ -159,6 +160,7 @@ func (r *FlightRecorder) Commit(e *FlightEntry) {
 	slot.Frame = e.Frame
 	slot.Attempt = e.Attempt
 	slot.Intra = e.Intra
+	slot.Chain = e.Chain
 	slot.Tau1, slot.Tau2, slot.Tot = e.Tau1, e.Tau2, e.Tot
 	slot.PredTau1, slot.PredTau2, slot.PredTot = e.PredTau1, e.PredTau2, e.PredTot
 	slot.RStarDev = e.RStarDev

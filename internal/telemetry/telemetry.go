@@ -23,6 +23,7 @@ type FrameRecord struct {
 	Frame         int
 	Attempt       int // successful attempt index (0 = first try)
 	Intra         bool
+	Chain         int // reference chain (0 on single-chain streams)
 	Tau1, Tau2    float64
 	Tot           float64
 	PredTau1      float64
@@ -78,13 +79,23 @@ type Telemetry struct {
 	session string // tenant label; "" = unscoped
 	pid     int    // perfetto lane (0 = unscoped lane)
 
-	mu             sync.Mutex
-	offset         float64 // perfetto run-time offset in seconds
-	inst           *instruments
-	pendingFrame   int
-	pendingSpans   []Span // aliases caller scratch until the frame commits
-	hasPending     bool
-	scratch        FlightEntry // reused flight-commit staging
+	mu      sync.Mutex
+	offset  float64 // perfetto run-time offset in seconds
+	inst    *instruments
+	// pending stages up to two frames' spans between FrameSpans and the
+	// FrameEnd commit: with frame-parallel encoding the VCM stages both
+	// frames of a pair before the core layer commits the first, so a
+	// single slot would drop frame A's spans when frame B arrives.
+	pending    [2]pendingSpans
+	pendingIdx int         // slot the next stage overwrites (round-robin)
+	scratch    FlightEntry // reused flight-commit staging
+}
+
+// pendingSpans is one staged frame awaiting its FrameEnd commit.
+type pendingSpans struct {
+	frame int
+	spans []Span // aliases caller scratch until the frame commits
+	has   bool
 }
 
 // instruments caches the registry lookups of the steady-state hook path.
@@ -248,7 +259,7 @@ func (t *Telemetry) FrameEnd(rec FrameRecord) {
 	if t.Events != nil {
 		ev := FrameEndEvent{
 			Type: "frame_end", Session: t.session, Frame: rec.Frame,
-			Attempt: rec.Attempt, Intra: rec.Intra,
+			Attempt: rec.Attempt, Intra: rec.Intra, Chain: rec.Chain,
 			Tau1: rec.Tau1, Tau2: rec.Tau2, Tot: rec.Tot,
 			PredTau1: rec.PredTau1, PredTau2: rec.PredTau2, PredTot: rec.PredTot,
 			SchedOverhead: rec.SchedOverhead, RStarDev: rec.RStarDev,
@@ -318,6 +329,7 @@ func (t *Telemetry) commitFlight(rec *FrameRecord) {
 	e.Frame = rec.Frame
 	e.Attempt = rec.Attempt
 	e.Intra = rec.Intra
+	e.Chain = rec.Chain
 	e.Tau1, e.Tau2, e.Tot = rec.Tau1, rec.Tau2, rec.Tot
 	e.PredTau1, e.PredTau2, e.PredTot = rec.PredTau1, rec.PredTau2, rec.PredTot
 	e.RStarDev = rec.RStarDev
@@ -326,12 +338,14 @@ func (t *Telemetry) commitFlight(rec *FrameRecord) {
 	e.Sigma, e.SigmaR = rec.Sigma, rec.SigmaR
 	e.DeltaM, e.DeltaL = rec.DeltaM, rec.DeltaL
 	e.LP = rec.LP
-	if t.hasPending && t.pendingFrame == rec.Frame {
-		e.Spans = t.pendingSpans
-	} else {
-		e.Spans = nil
+	e.Spans = nil
+	for i := range t.pending {
+		if t.pending[i].has && t.pending[i].frame == rec.Frame {
+			e.Spans = t.pending[i].spans
+			t.pending[i].has = false
+			break
+		}
 	}
-	t.hasPending = false
 	t.Flight.Commit(e)
 	t.mu.Unlock()
 }
@@ -503,20 +517,33 @@ func (t *Telemetry) CaptureBundle(reason string, frame int, detail string) Bundl
 // frame. spans may alias caller scratch; it is only read before the next
 // frame starts.
 func (t *Telemetry) FrameSpans(frame, attempt int, tau1, tau2, tot float64, spans []Span) {
+	t.FrameSpansAdvance(frame, attempt, tau1, tau2, tot, tot, spans)
+}
+
+// FrameSpansAdvance is FrameSpans with an explicit run-offset advance,
+// decoupled from the frame's τtot. Frame-parallel pairs share one
+// simulated interval: frame A advances the offset by zero so frame B
+// lands on the same trace origin (the two frames' spans interleave on the
+// device lanes, as they did on the devices), and frame B advances it by
+// the pair's joint makespan. The advance also meters the simulated-time
+// counter, so a pair accrues its makespan once instead of twice.
+func (t *Telemetry) FrameSpansAdvance(frame, attempt int, tau1, tau2, tot, advance float64, spans []Span) {
 	if t == nil {
 		return
 	}
 	if t.Metrics != nil {
 		in := t.ins()
 		in.spans.Add(float64(len(spans)))
-		in.simSeconds.Add(tot)
+		in.simSeconds.Add(advance)
 	}
 	t.mu.Lock()
-	t.pendingFrame = frame
-	t.pendingSpans = spans
-	t.hasPending = true
+	slot := &t.pending[t.pendingIdx]
+	t.pendingIdx = 1 - t.pendingIdx
+	slot.frame = frame
+	slot.spans = spans
+	slot.has = true
 	off := t.offset
-	t.offset += tot
+	t.offset += advance
 	t.mu.Unlock()
 	if t.Trace != nil {
 		t.Trace.AddFrame(t.pid, frame, attempt, off, tau1, tau2, tot, spans)

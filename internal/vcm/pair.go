@@ -1,0 +1,524 @@
+package vcm
+
+// Frame-parallel execution: two inter frames on distinct reference chains
+// are scheduled jointly on one simulated timeline. The chains make the
+// frames data-independent (frame B predicts from chain B's references,
+// none of which frame A produces), so the only coupling is resource
+// contention — and that is exactly what the joint schedule exploits:
+// submission interleaves the two frames phase by phase on every device, so
+// frame B's wave-1 kernels fill the synchronization stalls of frame A's
+// τ1/τ2 barriers instead of idling the accelerators.
+//
+// Correctness under the simulator's strict-FIFO resources does not depend
+// on the submission order — task dependencies enforce the Fig. 4
+// structure per frame — so any interleaving is bit-exact; the order only
+// shapes the timeline. The functional payloads still run strictly frame A
+// then frame B (display order), which serializes the bitstream writes and
+// keeps the output byte-identical to the serial two-chain encode.
+
+import (
+	"errors"
+	"fmt"
+
+	"feves/internal/check"
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/h264/codec"
+	"feves/internal/h264/rd"
+	"feves/internal/sched"
+	"feves/internal/simclock"
+	"feves/internal/telemetry"
+)
+
+// ErrPairSceneCut reports that the first frame of a pair scene-cut to an
+// intra frame inside R*, flushing every reference chain: the second
+// frame's references no longer exist, its functional payloads did not
+// run, and the caller must re-encode it serially. The first frame's
+// FrameTiming (with its intra stats) is valid.
+var ErrPairSceneCut = errors.New("vcm: scene cut inside frame pair, second frame aborted")
+
+// PairInput is one frame's share of a joint two-frame schedule.
+type PairInput struct {
+	Frame int // 0-based display index (B = A+1 in the steady state)
+	Chain int // reference chain the frame predicts from
+	W     device.Workload
+	D     sched.Distribution
+	// PrevSigmaR is the σʳ carry of the previous frame on the same chain.
+	PrevSigmaR []int
+	CF         *h264.Frame // Functional mode only
+	// Deadline holds this frame's budgets (nil disables). In pair mode the
+	// core layer arms only Tot and TaskBudget: the per-point τ1/τ2 budgets
+	// assume a solo schedule and would misfire on the interleaved one.
+	Deadline *Deadline
+}
+
+// pairScratch is one in-flight frame's retained build state; the Manager
+// keeps two so the frame-parallel steady state allocates nothing.
+type pairScratch struct {
+	offM, offL, offS []int
+	obsBuf           []obsRec
+	maxFac, maxDur   []float64
+	tasks            []*simclock.Task
+	spans            []TaskSpan
+	chkSpans         []check.Span
+	telSpans         []telemetry.Span
+	payloads         framePayloads
+	tau1Deps         []*simclock.Task
+	tau2Deps         []*simclock.Task
+	tau1, tau2       *simclock.Task
+	// host is this slot's barrier resource (host for A, host.b for B):
+	// zero-duration τ tasks must not share a FIFO queue across frames.
+	host *simclock.Resource
+	job  *codec.FrameJob
+}
+
+func (s *pairScratch) reset(nDev int) {
+	s.obsBuf = s.obsBuf[:0]
+	s.tasks = s.tasks[:0]
+	s.maxFac = growFloats(s.maxFac, nDev)
+	s.maxDur = growFloats(s.maxDur, nDev)
+	for i := range s.maxFac {
+		s.maxFac[i], s.maxDur[i] = 0, 0
+	}
+	s.payloads.wave1 = s.payloads.wave1[:0]
+	s.payloads.wave2 = s.payloads.wave2[:0]
+	s.payloads.completeINT = nil
+	s.payloads.rstar = nil
+	s.tau1Deps = s.tau1Deps[:0]
+	s.tau2Deps = s.tau2Deps[:0]
+	s.tau1, s.tau2 = nil, nil
+	s.job = nil
+}
+
+// validatePairInput mirrors EncodeInterFrame's per-frame validation.
+func (m *Manager) validatePairInput(in *PairInput) error {
+	nDev := m.Platform.NumDevices()
+	if err := in.W.Validate(); err != nil {
+		return err
+	}
+	if err := in.D.Validate(in.W.Rows()); err != nil {
+		return err
+	}
+	if len(in.D.M) != nDev {
+		return fmt.Errorf("vcm: distribution for %d devices on %d-device platform", len(in.D.M), nDev)
+	}
+	for i := 0; i < nDev; i++ {
+		if m.isDown(i) && (in.D.M[i] != 0 || in.D.L[i] != 0 || in.D.S[i] != 0) {
+			return fmt.Errorf("vcm: distribution assigns rows to excluded device %d", i)
+		}
+	}
+	if m.isDown(in.D.RStarDev) {
+		return fmt.Errorf("vcm: R* placed on excluded device %d", in.D.RStarDev)
+	}
+	return nil
+}
+
+// pairKernel submits one module kernel for a pair frame, recording the
+// observation and blame evidence into the frame's slot.
+func (m *Manager) pairKernel(s *pairScratch, frame int, w device.Workload,
+	i int, mod sched.Module, nRows int, deps ...*simclock.Task) *simclock.Task {
+
+	if nRows == 0 || m.isDown(i) {
+		return nil
+	}
+	p := m.Platform.Dev(i)
+	var per float64
+	switch mod {
+	case sched.ModME:
+		per = p.KME(w)
+	case sched.ModINT:
+		per = p.KINT(w)
+	case sched.ModSME:
+		per = p.KSME(w)
+	case sched.ModRStar:
+		per = p.KRStar(w)
+	}
+	fac := m.Platform.EffectiveFactor(frame, i, int(mod))
+	if fac > s.maxFac[i] {
+		s.maxFac[i] = fac
+	}
+	dur := float64(nRows) * per * fac
+	if dur > s.maxDur[i] {
+		s.maxDur[i] = dur
+	}
+	t := m.sim.Add(m.res[i].compute, m.modLabel[mod][i], dur, deps...)
+	s.obsBuf = append(s.obsBuf, obsRec{dev: i, mod: mod, rows: nRows, task: t})
+	s.tasks = append(s.tasks, t)
+	return t
+}
+
+// pairXfer submits one host↔device transfer for a pair frame.
+func (m *Manager) pairXfer(s *pairScratch, i int, tr sched.Transfer,
+	nRows, bytesPerRow int, h2d bool, deps ...*simclock.Task) *simclock.Task {
+
+	if nRows == 0 || !m.Platform.IsGPU(i) || m.isDown(i) {
+		return nil
+	}
+	p := m.Platform.Dev(i)
+	var dur float64
+	r := m.res[i].ceH2D
+	if h2d {
+		dur = p.TH2D(nRows * bytesPerRow)
+	} else {
+		dur = p.TD2H(nRows * bytesPerRow)
+		r = m.res[i].ceD2H
+	}
+	t := m.sim.Add(r, m.trLabel[tr][i], dur, deps...)
+	s.obsBuf = append(s.obsBuf, obsRec{dev: i, tr: tr, isTr: true, rows: nRows, task: t})
+	s.tasks = append(s.tasks, t)
+	return t
+}
+
+// pairPhase1 submits one frame's τ1 phase (RF/CF/SFprev inputs, INT and ME
+// kernels, SF/MV outputs) and its τ1 barrier.
+func (m *Manager) pairPhase1(s *pairScratch, in *PairInput) {
+	pl := m.Platform
+	nDev := pl.NumDevices()
+	d, w := &in.D, in.W
+	rows := w.Rows()
+	rstar := d.RStarDev
+	prevSigmaR := in.PrevSigmaR
+	if prevSigmaR == nil {
+		prevSigmaR = m.zeroSR
+	}
+	for i := 0; i < nDev; i++ {
+		var rf *simclock.Task
+		if pl.IsGPU(i) && i != rstar {
+			rf = m.pairXfer(s, i, sched.RFh2d, rows, w.RFRowBytes(), true)
+		}
+		cfIn := m.pairXfer(s, i, sched.CFh2d, d.M[i], w.CFRowBytes(), true, rf)
+		sfPrev := m.pairXfer(s, i, sched.SFh2d, prevSigmaR[i], w.SFRowBytes(), true, rf)
+
+		intT := m.pairKernel(s, in.Frame, w, i, sched.ModINT, d.L[i], rf)
+		if intT != nil && m.Mode == Functional {
+			lo, hi := s.offL[i], s.offL[i]+d.L[i]
+			job := s.job
+			s.payloads.wave1 = append(s.payloads.wave1, func() { m.Enc.RunINT(job, lo, hi) })
+		}
+		meT := m.pairKernel(s, in.Frame, w, i, sched.ModME, d.M[i], cfIn, rf)
+		if meT != nil && m.Mode == Functional {
+			lo, hi := s.offM[i], s.offM[i]+d.M[i]
+			job := s.job
+			s.payloads.wave1 = append(s.payloads.wave1, func() { m.Enc.RunME(job, lo, hi) })
+		}
+		sfOut := m.pairXfer(s, i, sched.SFd2h, d.L[i], w.SFRowBytes(), false, intT)
+		mvOut := m.pairXfer(s, i, sched.MVd2h, d.M[i], w.MVRowBytes(), false, meT)
+		s.tau1Deps = append(s.tau1Deps, cfIn, sfPrev, intT, meT, sfOut, mvOut)
+	}
+	s.tau1 = m.sim.Add(s.host, "tau1", 0, s.tau1Deps...)
+	s.tasks = append(s.tasks, s.tau1)
+	if m.Mode == Functional {
+		job := s.job
+		s.payloads.completeINT = func() { m.Enc.CompleteINT(job) }
+	}
+}
+
+// pairPhase2 submits one frame's τ2 phase (Δ transfers, SME kernels, MV
+// outputs, R* MC prefetch) and its τ2 barrier.
+func (m *Manager) pairPhase2(s *pairScratch, in *PairInput) {
+	pl := m.Platform
+	nDev := pl.NumDevices()
+	d, w := &in.D, in.W
+	rows := w.Rows()
+	rstar := d.RStarDev
+	tau1 := s.tau1
+	for i := 0; i < nDev; i++ {
+		dlIn := m.pairXfer(s, i, sched.SFh2d, d.DeltaL[i], w.SFRowBytes(), true, tau1)
+		dmIn := m.pairXfer(s, i, sched.MVh2d, d.DeltaM[i], w.MVRowBytes(), true, tau1)
+		smeT := m.pairKernel(s, in.Frame, w, i, sched.ModSME, d.S[i], tau1, dlIn, dmIn)
+		if smeT != nil && m.Mode == Functional {
+			lo, hi := s.offS[i], s.offS[i]+d.S[i]
+			job := s.job
+			s.payloads.wave2 = append(s.payloads.wave2, func() { m.Enc.RunSME(job, lo, hi) })
+		}
+		s.tau2Deps = append(s.tau2Deps, smeT)
+		if pl.IsGPU(i) {
+			if i == rstar {
+				cfMC := m.pairXfer(s, i, sched.CFh2d, clamp0(rows-d.M[i]-d.DeltaM[i]), w.CFRowBytes(), true, tau1)
+				sfMC := m.pairXfer(s, i, sched.SFh2d, clamp0(rows-d.L[i]-d.DeltaL[i]), w.SFRowBytes(), true, tau1)
+				s.tau2Deps = append(s.tau2Deps, cfMC, sfMC)
+			} else {
+				mvOut := m.pairXfer(s, i, sched.MVd2h, d.S[i], w.MVRowBytes(), false, smeT)
+				s.tau2Deps = append(s.tau2Deps, mvOut)
+			}
+		}
+	}
+	s.tau2 = m.sim.Add(s.host, "tau2", 0, s.tau2Deps...)
+	s.tasks = append(s.tasks, s.tau2)
+}
+
+// pairTail submits one frame's τ2→τtot work: R* on its device (or the
+// cooperative CPU section) and the σ SF completions on the others.
+func (m *Manager) pairTail(s *pairScratch, in *PairInput) {
+	pl := m.Platform
+	nDev := pl.NumDevices()
+	d, w := &in.D, in.W
+	rows := w.Rows()
+	rstar := d.RStarDev
+	tau2 := s.tau2
+	var rstarTask *simclock.Task
+	if pl.IsGPU(rstar) {
+		mvIn := m.pairXfer(s, rstar, sched.MVh2d, rows-d.S[rstar], w.MVRowBytes(), true, tau2)
+		rstarTask = m.pairKernel(s, in.Frame, w, rstar, sched.ModRStar, rows, tau2, mvIn)
+		m.pairXfer(s, rstar, sched.RFd2h, rows, w.RFRowBytes(), false, rstarTask)
+	} else {
+		cores := m.upCores()
+		per := rows / cores
+		extra := rows % cores
+		k := 0
+		for c := pl.NumGPUs(); c < pl.NumDevices(); c++ {
+			if m.isDown(c) {
+				continue
+			}
+			share := per
+			if k < extra {
+				share++
+			}
+			k++
+			t := m.pairKernel(s, in.Frame, w, c, sched.ModRStar, share, tau2)
+			if c == rstar {
+				rstarTask = t
+			}
+		}
+	}
+	if rstarTask != nil && m.Mode == Functional {
+		job := s.job
+		s.payloads.rstar = func() rd.FrameStats { return m.Enc.RunRStar(job) }
+	}
+	for i := 0; i < nDev; i++ {
+		if pl.IsGPU(i) && i != rstar {
+			m.pairXfer(s, i, sched.SFh2d, d.Sigma[i], w.SFRowBytes(), true, tau2)
+		}
+	}
+}
+
+// EncodeInterFramePair simulates two inter frames on distinct reference
+// chains as one joint schedule, returning each frame's measured timing.
+// The frames' submissions interleave phase by phase; the functional
+// payloads run frame a then frame b, reproducing the serial two-chain
+// bitstream byte for byte. Deadline budgets are checked per frame before
+// any functional kernel runs, so a trip aborts *both* frames with the
+// encoder untouched and the pair retries bit-exactly.
+func (m *Manager) EncodeInterFramePair(a, b PairInput, pm *sched.PerfModel) (FrameTiming, FrameTiming, error) {
+	if a.Chain == b.Chain {
+		return FrameTiming{}, FrameTiming{}, fmt.Errorf("vcm: pair frames %d and %d share chain %d", a.Frame, b.Frame, a.Chain)
+	}
+	if err := m.validatePairInput(&a); err != nil {
+		return FrameTiming{}, FrameTiming{}, err
+	}
+	if err := m.validatePairInput(&b); err != nil {
+		return FrameTiming{}, FrameTiming{}, err
+	}
+	m.ensureSim()
+
+	ins := [2]*PairInput{&a, &b}
+	for k, in := range ins {
+		s := &m.pairScr[k]
+		s.reset(m.Platform.NumDevices())
+		s.offM = sched.OffsetsInto(s.offM, in.D.M)
+		s.offL = sched.OffsetsInto(s.offL, in.D.L)
+		s.offS = sched.OffsetsInto(s.offS, in.D.S)
+		if m.Mode == Functional {
+			if m.Enc == nil || in.CF == nil {
+				return FrameTiming{}, FrameTiming{}, fmt.Errorf("vcm: functional mode needs an encoder and a frame")
+			}
+			if in.CF.MBHeight() != in.W.Rows() || in.CF.MBWidth() != in.W.MBW {
+				return FrameTiming{}, FrameTiming{}, fmt.Errorf("vcm: frame is %dx%d MBs but workload says %dx%d",
+					in.CF.MBWidth(), in.CF.MBHeight(), in.W.MBW, in.W.MBH)
+			}
+			if m.Enc.Chains() < 2 {
+				return FrameTiming{}, FrameTiming{}, fmt.Errorf("vcm: frame-parallel encoding needs a two-chain encoder")
+			}
+			s.job = m.Enc.BeginFrameOn(in.CF, in.Chain)
+		}
+	}
+	sA, sB := &m.pairScr[0], &m.pairScr[1]
+	sA.host, sB.host = m.host, m.hostB
+
+	// Interleaved submission: per phase, frame A's tasks enter every
+	// device queue first, frame B's right behind — B's wave fills A's
+	// synchronization stalls on the strict-FIFO engines.
+	m.pairPhase1(sA, &a)
+	m.pairPhase1(sB, &b)
+	m.pairPhase2(sA, &a)
+	m.pairPhase2(sB, &b)
+	m.pairTail(sA, &a)
+	m.pairTail(sB, &b)
+
+	makespan, err := m.sim.Run()
+	if err != nil {
+		return FrameTiming{}, FrameTiming{}, fmt.Errorf("vcm: pair schedule execution: %w", err)
+	}
+	totA := maxTaskEnd(sA.tasks)
+	totB := maxTaskEnd(sB.tasks)
+
+	// Deadline enforcement for both frames happens before any functional
+	// kernel touches encoder state: an aborted pair leaves the codec
+	// exactly as BeginFrameOn found it. Both checks run and the error
+	// that names a culprit wins: on the shared FIFO engines one frame's
+	// lateness is often caused by the partner's sick device (a fault
+	// landing on frame B drags frame A's τtot past its budget too), and
+	// failover can only act on blame.
+	derrA := a.Deadline.check(a.Frame, sA.tau1.End, sA.tau2.End, totA, sA.maxFac, sA.maxDur)
+	derrB := b.Deadline.check(b.Frame, sB.tau1.End, sB.tau2.End, totB, sB.maxFac, sB.maxDur)
+	if derrA != nil || derrB != nil {
+		derr := derrA
+		if derr == nil || (len(derr.Blamed) == 0 && derrB != nil && len(derrB.Blamed) > 0) {
+			derr = derrB
+		}
+		return FrameTiming{}, FrameTiming{}, derr
+	}
+
+	ftA := FrameTiming{Frame: a.Frame, Tau1: sA.tau1.End, Tau2: sA.tau2.End,
+		Tot: totA, RStarDev: a.D.RStarDev, Chain: a.Chain, PairMakespan: makespan}
+	ftB := FrameTiming{Frame: b.Frame, Tau1: sB.tau1.End, Tau2: sB.tau2.End,
+		Tot: totB, RStarDev: b.D.RStarDev, Chain: b.Chain, PairMakespan: makespan}
+
+	sceneCut := false
+	if m.Mode == Functional {
+		ftA.Stats = sA.payloads.run(m.Parallel)
+		if ftA.Stats.Intra {
+			// Frame A scene-cut to intra inside R*: every chain was
+			// flushed, frame B's references are gone. B's payloads must
+			// not run; report A complete and B aborted.
+			sceneCut = true
+		} else {
+			ftB.Stats = sB.payloads.run(m.Parallel)
+		}
+	}
+
+	for k := range ins {
+		s := &m.pairScr[k]
+		s.spans = s.spans[:0]
+		for _, t := range s.tasks {
+			s.spans = append(s.spans, TaskSpan{Resource: t.Res.Name, Label: t.Label, Start: t.Start, End: t.End})
+		}
+	}
+	ftA.Spans, ftB.Spans = sA.spans, sB.spans
+
+	if m.Check {
+		if err := m.checkPair(&a, &b, &ftA, &ftB, pm, sceneCut); err != nil {
+			return FrameTiming{}, FrameTiming{}, err
+		}
+	}
+
+	if m.Telemetry.Enabled() {
+		// Both frames share one simulated interval: frame A advances the
+		// run offset by zero so frame B lands on the same origin, and B
+		// advances it by the pair makespan.
+		m.pairTelemetry(sA, &ftA, 0)
+		if !sceneCut {
+			m.pairTelemetry(sB, &ftB, makespan)
+		}
+	}
+
+	m.observePair(sA, &a, &ftA, pm)
+	if !sceneCut {
+		m.observePair(sB, &b, &ftB, pm)
+	}
+	if sceneCut {
+		return ftA, FrameTiming{}, ErrPairSceneCut
+	}
+	return ftA, ftB, nil
+}
+
+// checkPair runs the per-frame schedule validator on each frame of the
+// pair plus the cross-frame pair rules.
+func (m *Manager) checkPair(a, b *PairInput, ftA, ftB *FrameTiming, pm *sched.PerfModel, sceneCut bool) error {
+	pl := m.Platform
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores, Down: m.Down}
+	for k, in := range [2]*PairInput{a, b} {
+		if sceneCut && k == 1 {
+			break // frame B was aborted; its schedule never completed
+		}
+		s := &m.pairScr[k]
+		ft := ftA
+		if k == 1 {
+			ft = ftB
+		}
+		s.chkSpans = s.chkSpans[:0]
+		for _, sp := range s.spans {
+			s.chkSpans = append(s.chkSpans, check.Span{Resource: sp.Resource, Label: sp.Label, Start: sp.Start, End: sp.End})
+		}
+		if err := check.Frame(topo, in.W, in.D, pm, s.chkSpans, ft.Tau1, ft.Tau2, ft.Tot); err != nil {
+			if verr := m.reportCheck(in.Frame, err); verr != nil {
+				return verr
+			}
+		}
+	}
+	pa := check.PairExec{Frame: a.Frame, Chain: a.Chain, Spans: m.pairScr[0].chkSpans, Tot: ftA.Tot}
+	pb := check.PairExec{Frame: b.Frame, Chain: b.Chain, Spans: m.pairScr[1].chkSpans, Tot: ftB.Tot}
+	if !sceneCut {
+		if err := check.Pair(pa, pb); err != nil {
+			if verr := m.reportCheck(b.Frame, err); verr != nil {
+				return verr
+			}
+		}
+	}
+	return nil
+}
+
+// reportCheck applies the CheckObserve policy to one validation error:
+// fatal by default, counted into telemetry in observe mode.
+func (m *Manager) reportCheck(frame int, err error) error {
+	var ce *check.Error
+	if !m.CheckObserve || !errors.As(err, &ce) {
+		return fmt.Errorf("vcm: frame %d: %w", frame, err)
+	}
+	rules := make([]string, len(ce.Violations))
+	for i, v := range ce.Violations {
+		rules[i] = v.Rule
+	}
+	m.Telemetry.CheckViolations(frame, rules)
+	return nil
+}
+
+// pairTelemetry stages one pair frame's spans for the trace and flight
+// recorder, advancing the run offset by advance (zero for frame A so both
+// frames of the pair share one trace origin).
+func (m *Manager) pairTelemetry(s *pairScratch, ft *FrameTiming, advance float64) {
+	s.telSpans = s.telSpans[:0]
+	for _, sp := range s.spans {
+		s.telSpans = append(s.telSpans, telemetry.Span{Resource: sp.Resource, Label: sp.Label, Start: sp.Start, End: sp.End})
+	}
+	m.Telemetry.FrameSpansAdvance(ft.Frame, m.Attempt, ft.Tau1, ft.Tau2, ft.Tot, advance, s.telSpans)
+}
+
+// observePair feeds one pair frame's executed tasks into the Performance
+// Characterization, exactly as the serial path does.
+func (m *Manager) observePair(s *pairScratch, in *PairInput, ft *FrameTiming, pm *sched.PerfModel) {
+	pl := m.Platform
+	rstar := in.D.RStarDev
+	var rstarTotal float64
+	for _, o := range s.obsBuf {
+		dur := o.task.End - o.task.Start
+		if o.isTr {
+			pm.ObserveTransfer(o.dev, o.tr, o.rows, dur)
+			continue
+		}
+		ft.ModuleTime[o.mod] += dur
+		if o.mod == sched.ModRStar {
+			rstarTotal += dur
+			continue
+		}
+		pm.ObserveCompute(o.dev, o.mod, o.rows, in.W.UsableRF, dur)
+	}
+	if rstarTotal > 0 {
+		wall := rstarTotal
+		if !pl.IsGPU(rstar) {
+			wall = rstarTotal / float64(m.upCores())
+		}
+		pm.ObserveCompute(rstar, sched.ModRStar, 0, 1, wall)
+	}
+}
+
+// maxTaskEnd returns the latest end time over one frame's tasks.
+func maxTaskEnd(tasks []*simclock.Task) float64 {
+	end := 0.0
+	for _, t := range tasks {
+		if t.End > end {
+			end = t.End
+		}
+	}
+	return end
+}

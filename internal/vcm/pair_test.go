@@ -1,0 +1,413 @@
+package vcm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"feves/internal/device"
+	"feves/internal/h264"
+	"feves/internal/h264/codec"
+	"feves/internal/sched"
+	"feves/internal/telemetry"
+	"feves/internal/video"
+)
+
+// runPairs drives the Algorithm 1 loop with two frames in flight: per
+// pair, each chain gets its own LP-balanced distribution (equidistant
+// until the model converges) and its own σʳ carry, exactly as the core
+// layer does. Frames are numbered 1,2 / 3,4 / … with chain 0 on the odd
+// (slot A) frame, matching chain = (idx − lastIntra − 1) mod 2 for an
+// intra frame at index 0.
+func runPairs(t *testing.T, m *Manager, w device.Workload, nPairs int) [][2]FrameTiming {
+	t.Helper()
+	pl := m.Platform
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	bal := &sched.LPBalancer{}
+	prev := [2][]int{make([]int, topo.NumDevices()), make([]int, topo.NumDevices())}
+	var out [][2]FrameTiming
+	for p := 0; p < nPairs; p++ {
+		var ds [2]sched.Distribution
+		for c := 0; c < 2; c++ {
+			if !pm.Ready() {
+				ds[c] = sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+			} else {
+				d, err := bal.Distribute(pm, topo, w, prev[c])
+				if err != nil {
+					t.Fatalf("pair %d chain %d: %v", p, c, err)
+				}
+				ds[c] = d
+			}
+		}
+		fa, fb := 1+2*p, 2+2*p
+		ftA, ftB, err := m.EncodeInterFramePair(
+			PairInput{Frame: fa, Chain: 0, W: w, D: ds[0], PrevSigmaR: prev[0]},
+			PairInput{Frame: fb, Chain: 1, W: w, D: ds[1], PrevSigmaR: prev[1]},
+			pm)
+		if err != nil {
+			t.Fatalf("pair %d (frames %d,%d): %v", p, fa, fb, err)
+		}
+		prev[0], prev[1] = ds[0].SigmaR, ds[1].SigmaR
+		out = append(out, [2]FrameTiming{ftA, ftB})
+	}
+	return out
+}
+
+// TestPairTimingOnlySchedules exercises the joint two-frame schedule in
+// timing-only mode with the invariant checker and telemetry armed: every
+// pair must satisfy the per-frame sync-point ordering, share one
+// makespan that covers both frames, and feed the performance model.
+func TestPairTimingOnlySchedules(t *testing.T) {
+	m := &Manager{Platform: device.SysHK(), Mode: TimingOnly,
+		Check: true, Telemetry: telemetry.New(nil)}
+	pairs := runPairs(t, m, wl1080p(32, 1), 8)
+	for p, pr := range pairs {
+		ftA, ftB := pr[0], pr[1]
+		for _, ft := range pr {
+			if !(ft.Tau1 > 0 && ft.Tau1 <= ft.Tau2 && ft.Tau2 <= ft.Tot) {
+				t.Fatalf("pair %d frame %d: τ1=%v τ2=%v τtot=%v out of order", p, ft.Frame, ft.Tau1, ft.Tau2, ft.Tot)
+			}
+			if ft.PairMakespan < ft.Tot {
+				t.Fatalf("pair %d frame %d: makespan %v below τtot %v", p, ft.Frame, ft.PairMakespan, ft.Tot)
+			}
+			if len(ft.Spans) == 0 {
+				t.Fatalf("pair %d frame %d: no spans recorded", p, ft.Frame)
+			}
+			if ft.ModuleTime[sched.ModME] <= 0 || ft.ModuleTime[sched.ModRStar] <= 0 {
+				t.Fatalf("pair %d frame %d: module times missing: %v", p, ft.Frame, ft.ModuleTime)
+			}
+		}
+		if ftA.PairMakespan != ftB.PairMakespan {
+			t.Fatalf("pair %d: frames report different makespans %v vs %v", p, ftA.PairMakespan, ftB.PairMakespan)
+		}
+		if ftA.Chain != 0 || ftB.Chain != 1 {
+			t.Fatalf("pair %d: chains %d/%d, want 0/1", p, ftA.Chain, ftB.Chain)
+		}
+	}
+	// The joint schedule interleaves but never reorders a frame's own
+	// dependency structure, so the pair can't be slower than its slowest
+	// member by more than the partner's full span.
+	last := pairs[len(pairs)-1]
+	if last[0].PairMakespan > last[0].Tot+last[1].Tot {
+		t.Fatalf("joint makespan %v exceeds back-to-back bound %v", last[0].PairMakespan, last[0].Tot+last[1].Tot)
+	}
+}
+
+// TestPairCPUOnlyPlatform covers the joint schedule's cooperative R*
+// tail: with no GPU, R* runs sliced across the surviving cores instead of
+// as one exclusive kernel, for both frames of the pair.
+func TestPairCPUOnlyPlatform(t *testing.T) {
+	m := &Manager{Platform: device.CPUOnly("CPU_H", device.CPUHaswellCore(), 4), Mode: TimingOnly}
+	pairs := runPairs(t, m, wl1080p(32, 1), 3)
+	for p, pr := range pairs {
+		for _, ft := range pr {
+			if !(ft.Tau1 > 0 && ft.Tau1 <= ft.Tau2 && ft.Tau2 <= ft.Tot && ft.Tot <= ft.PairMakespan) {
+				t.Fatalf("pair %d frame %d: sync points out of order: %+v", p, ft.Frame, ft)
+			}
+			if ft.ModuleTime[sched.ModRStar] <= 0 {
+				t.Fatalf("pair %d frame %d: cooperative R* time missing", p, ft.Frame)
+			}
+		}
+	}
+}
+
+// TestPairCheckObserveMode mirrors TestCheckObserveMode for the pair
+// path: a tampered distribution fails the pair under the fatal checker
+// but only increments the violation counter in observe mode.
+func TestPairCheckObserveMode(t *testing.T) {
+	pl := device.SysHK()
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	w := wl1080p(32, 1)
+	good := sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+	bad := sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+	bad.Sigma[0] = w.Rows() // breaks the checker's σ accounting
+
+	run := func(m *Manager) error {
+		pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+		_, _, err := m.EncodeInterFramePair(
+			PairInput{Frame: 1, Chain: 0, W: w, D: bad},
+			PairInput{Frame: 2, Chain: 1, W: w, D: good},
+			pm)
+		return err
+	}
+	if err := run(&Manager{Platform: pl, Mode: TimingOnly, Check: true}); err == nil {
+		t.Fatal("broken pair distribution passed the fatal checker")
+	}
+	tel := telemetry.New(nil)
+	if err := run(&Manager{Platform: pl, Mode: TimingOnly, Check: true,
+		CheckObserve: true, Telemetry: tel}); err != nil {
+		t.Fatalf("observe mode must not fail the pair: %v", err)
+	}
+	if text := tel.Metrics.Expose(); !strings.Contains(text, "feves_check_violations_total") {
+		t.Fatalf("violation not counted:\n%s", text)
+	}
+}
+
+// TestPairInputValidation walks every rejection branch of the pair entry
+// point: shared chains, geometry/device mismatches, rows or R* landing on
+// an excluded device, and functional mode without a two-chain encoder.
+func TestPairInputValidation(t *testing.T) {
+	pl := device.SysHK()
+	nDev := pl.NumDevices()
+	w := wl1080p(32, 1)
+	rows := w.Rows()
+	pm := sched.NewPerfModel(nDev, 0.8)
+	good := sched.Equidistant(nDev, rows, 0)
+	in := func(frame, chain int) PairInput {
+		return PairInput{Frame: frame, Chain: chain, W: w, D: good}
+	}
+
+	m := &Manager{Platform: pl, Mode: TimingOnly}
+	if _, _, err := m.EncodeInterFramePair(in(1, 0), in(2, 0), pm); err == nil {
+		t.Fatal("pair sharing a chain must be rejected")
+	}
+
+	bad := in(1, 0)
+	bad.D = sched.Equidistant(3, rows, 0) // platform has 5 devices
+	if _, _, err := m.EncodeInterFramePair(bad, in(2, 1), pm); err == nil {
+		t.Fatal("device-count mismatch must be rejected")
+	}
+
+	down := make([]bool, nDev)
+	down[0] = true
+	md := &Manager{Platform: pl, Mode: TimingOnly, Down: down}
+	if _, _, err := md.EncodeInterFramePair(in(1, 0), in(2, 1), pm); err == nil {
+		t.Fatal("rows on an excluded device must be rejected")
+	}
+	// Zero rows on the excluded device but R* still placed there.
+	orphanRStar := in(1, 0)
+	orphanRStar.D = sched.EquidistantExcluding(nDev, rows, 0, down)
+	if _, _, err := md.EncodeInterFramePair(orphanRStar, in(2, 1), pm); err == nil {
+		t.Fatal("R* on an excluded device must be rejected")
+	}
+
+	mf := &Manager{Platform: pl, Mode: Functional}
+	if _, _, err := mf.EncodeInterFramePair(in(1, 0), in(2, 1), pm); err == nil {
+		t.Fatal("functional mode without an encoder must be rejected")
+	}
+	cfg := codec.Config{Width: 64, Height: 64, SearchRange: 8, NumRF: 1, IQP: 27, PQP: 28}
+	single, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.Enc = single
+	geo := in(1, 0)
+	geo.CF = h264.NewFrame(64, 64) // 4×4 MBs against the 1080p workload
+	if _, _, err := mf.EncodeInterFramePair(geo, in(2, 1), pm); err == nil {
+		t.Fatal("frame/workload geometry mismatch must be rejected")
+	}
+	cfg.Width, cfg.Height = 1920, 1088
+	single, err = codec.NewEncoder(cfg) // Chains defaults to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.Enc = single
+	ok := in(1, 0)
+	ok.CF = h264.NewFrame(1920, 1088)
+	if _, _, err := mf.EncodeInterFramePair(ok, in(2, 1), pm); err == nil {
+		t.Fatal("single-chain encoder must be rejected for frame-parallel encoding")
+	}
+}
+
+// TestPairDeadlineBlamesCulpritFrame pins the cross-frame blame rule: on
+// the shared FIFO engines a fault landing on frame B's kernels drags
+// frame A's τtot past its budget too, but only frame B's evidence names
+// the sick device — so the pair must surface B's DeadlineError, the one
+// failover can act on, not A's blameless timeout.
+func TestPairDeadlineBlamesCulpritFrame(t *testing.T) {
+	pl := device.SysNFF()
+	const victim = 9 // frame 9/10 pair: the fault hits frame 10 (slot B)
+	pl.Perturb = func(frame, dev int) float64 {
+		if dev == 0 && frame == victim+1 {
+			return 50
+		}
+		return 1
+	}
+	m := &Manager{Platform: pl, Mode: TimingOnly}
+	w := wl1080p(32, 1)
+	warm := runPairs(t, m, w, 4) // frames 1..8, clean
+	clean := warm[3]
+
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	d := sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+	budget := &Deadline{Tot: clean[0].PairMakespan * 1.5}
+	_, _, err := m.EncodeInterFramePair(
+		PairInput{Frame: victim, Chain: 0, W: w, D: d, Deadline: budget},
+		PairInput{Frame: victim + 1, Chain: 1, W: w, D: d, Deadline: budget},
+		pm)
+	var derr *DeadlineError
+	if !errors.As(err, &derr) {
+		t.Fatalf("got %v, want a DeadlineError", err)
+	}
+	if len(derr.Blamed) == 0 {
+		t.Fatalf("deadline error carries no blame: %v", derr)
+	}
+	if derr.Blamed[0] != 0 {
+		t.Fatalf("blamed device %v, want the perturbed device 0: %v", derr.Blamed, derr)
+	}
+	if derr.Frame != victim+1 {
+		t.Fatalf("blame surfaced on frame %d, want the culprit frame %d: %v", derr.Frame, victim+1, derr)
+	}
+	if msg := derr.Error(); !strings.Contains(msg, "blaming device(s) 0") {
+		t.Fatalf("error message does not name the culprit: %q", msg)
+	}
+	if msg := (&DeadlineError{Frame: 3, Point: "tau_tot"}).Error(); !strings.Contains(msg, "no single device to blame") {
+		t.Fatalf("blameless error message: %q", msg)
+	}
+
+	// The task-budget safety net needs no model: any single kernel over
+	// the cap fails the pair with the offending device blamed directly.
+	pm2 := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	tiny := &Deadline{TaskBudget: 1e-12}
+	_, _, err = m.EncodeInterFramePair(
+		PairInput{Frame: 1, Chain: 0, W: w, D: d, Deadline: tiny},
+		PairInput{Frame: 2, Chain: 1, W: w, D: d},
+		pm2)
+	if !errors.As(err, &derr) {
+		t.Fatalf("got %v, want a DeadlineError", err)
+	}
+	if derr.Point != "task" || len(derr.Blamed) == 0 {
+		t.Fatalf("task budget breach reported as %q with blame %v", derr.Point, derr.Blamed)
+	}
+}
+
+// TestPairFunctionalBitExact is the vcm-layer pair counterpart of
+// TestFunctionalCollaborativeBitExact: three frame pairs encoded through
+// the joint schedule must produce byte for byte the stream of the
+// single-call two-chain reference encoder.
+func TestPairFunctionalBitExact(t *testing.T) {
+	const wpx, hpx, frames = 64, 64, 7
+	cfg := codec.Config{Width: wpx, Height: hpx, SearchRange: 8, NumRF: 2,
+		IQP: 27, PQP: 28, Chains: 2}
+	src := video.NewSynthetic(wpx, hpx, frames, 7)
+
+	ref, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		if _, err := ref.EncodeFrame(src.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := device.SysNF()
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	m := &Manager{Platform: pl, Mode: Functional, Enc: enc}
+	bal := &sched.LPBalancer{}
+
+	if _, err := enc.EncodeIntraFrame(src.FrameAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	prev := [2][]int{make([]int, topo.NumDevices()), make([]int, topo.NumDevices())}
+	for f := 1; f+1 < frames; f += 2 {
+		var ins [2]PairInput
+		var ds [2]sched.Distribution
+		for c := 0; c < 2; c++ {
+			w := device.Workload{MBW: wpx / 16, MBH: hpx / 16, SA: 16, NumRF: cfg.NumRF,
+				UsableRF: min(enc.DPBLenOn(c), cfg.NumRF)}
+			if !pm.Ready() {
+				ds[c] = sched.Equidistant(topo.NumDevices(), w.Rows(), 0)
+			} else {
+				d, err := bal.Distribute(pm, topo, w, prev[c])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds[c] = d
+			}
+			ins[c] = PairInput{Frame: f + c, Chain: c, W: w, D: ds[c],
+				PrevSigmaR: prev[c], CF: src.FrameAt(f + c)}
+		}
+		ftA, ftB, err := m.EncodeInterFramePair(ins[0], ins[1], pm)
+		if err != nil {
+			t.Fatalf("pair %d,%d: %v", f, f+1, err)
+		}
+		if ftA.Stats.Bits <= 0 || ftB.Stats.Bits <= 0 {
+			t.Fatalf("pair %d,%d: functional stats missing", f, f+1)
+		}
+		prev[0], prev[1] = ds[0].SigmaR, ds[1].SigmaR
+	}
+
+	a, b := ref.Bitstream(), enc.Bitstream()
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bitstreams diverge at byte %d", i)
+		}
+	}
+	if !ref.LastRecon().Equal(enc.LastRecon()) {
+		t.Fatal("reconstructions differ")
+	}
+}
+
+// TestPairSceneCutAbortsFrameB splices a hard scene change onto a pair's
+// first slot: frame A must come back as a completed intra frame with
+// ErrPairSceneCut, frame B untouched — and the encoder must be left in a
+// state from which encoding simply continues.
+func TestPairSceneCutAbortsFrameB(t *testing.T) {
+	const wpx, hpx = 64, 64
+	cfg := codec.Config{Width: wpx, Height: hpx, SearchRange: 8, NumRF: 1,
+		IQP: 27, PQP: 28, Chains: 2, SceneCutThreshold: 8}
+	calm := video.NewSynthetic(wpx, hpx, 6, 7)
+	burst := video.NewSynthetic(wpx, hpx, 6, 977)
+	frameAt := func(i int) *h264.Frame {
+		if i >= 3 {
+			return burst.FrameAt(i)
+		}
+		return calm.FrameAt(i)
+	}
+
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := device.SysNF()
+	topo := sched.Topology{NumGPU: pl.NumGPUs(), Cores: pl.Cores}
+	pm := sched.NewPerfModel(topo.NumDevices(), 0.8)
+	m := &Manager{Platform: pl, Mode: Functional, Enc: enc}
+	if _, err := enc.EncodeIntraFrame(frameAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	pair := func(fa, chainA int) (FrameTiming, FrameTiming, error) {
+		var ins [2]PairInput
+		for c := 0; c < 2; c++ {
+			chain := (chainA + c) % 2
+			w := device.Workload{MBW: wpx / 16, MBH: hpx / 16, SA: 16, NumRF: cfg.NumRF,
+				UsableRF: min(enc.DPBLenOn(chain), cfg.NumRF)}
+			ins[c] = PairInput{Frame: fa + c, Chain: chain, W: w,
+				D: sched.Equidistant(topo.NumDevices(), w.Rows(), 0), CF: frameAt(fa + c)}
+		}
+		return m.EncodeInterFramePair(ins[0], ins[1], pm)
+	}
+
+	if _, _, err := pair(1, 0); err != nil {
+		t.Fatalf("calm pair: %v", err)
+	}
+	ftA, ftB, err := pair(3, 0)
+	if !errors.Is(err, ErrPairSceneCut) {
+		t.Fatalf("got %v, want ErrPairSceneCut", err)
+	}
+	if !ftA.Stats.Intra {
+		t.Fatal("scene-cut frame A not reported as intra")
+	}
+	if ftB.Tot != 0 || ftB.Stats.Bits != 0 {
+		t.Fatalf("aborted frame B carries results: %+v", ftB)
+	}
+	// The cut reseeded every chain from the new IDR; the next pair picks
+	// up with frame 4 on chain 0 (lastIntra is now 3) and must succeed.
+	if n := enc.DPBLenOn(0); n != 1 {
+		t.Fatalf("chain 0 holds %d references after the cut, want 1", n)
+	}
+	if _, _, err := pair(4, 0); err != nil {
+		t.Fatalf("pair after scene cut: %v", err)
+	}
+}

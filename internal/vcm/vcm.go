@@ -49,6 +49,13 @@ type FrameTiming struct {
 	Tau2     float64
 	Tot      float64
 	RStarDev int
+	// Chain is the reference chain the frame predicted from (always 0 on
+	// the single-chain serial path).
+	Chain int
+	// PairMakespan is the joint makespan of the two-frame schedule this
+	// frame was part of (zero on the serial path): the frame-parallel
+	// throughput is 2 frames per PairMakespan seconds.
+	PairMakespan float64
 	// Module kernel-time totals summed over devices (seconds of device
 	// time, not wall time), used by the module-share experiment.
 	ModuleTime [4]float64
@@ -117,13 +124,22 @@ type Manager struct {
 	// slices and the flight recorder carry the causal attempt index.
 	Attempt int
 
+	// pairScr holds the two in-flight frames' retained build state for
+	// EncodeInterFramePair, mirroring the serial scratch below.
+	pairScr [2]pairScratch
+
 	// Per-frame scratch, retained across EncodeInterFrame calls so the
 	// steady-state frame loop allocates nothing: the discrete-event
 	// simulator (task free-list included), the per-device resources and
 	// precomputed task labels (rebuilt only when Platform changes), and
 	// every work slice the schedule build fills.
-	sim      *simclock.Sim
-	host     *simclock.Resource
+	sim  *simclock.Sim
+	host *simclock.Resource
+	// hostB is the second frame's barrier resource in pair mode: τ barriers
+	// are zero-duration FIFO tasks, so the two in-flight frames need
+	// disjoint barrier queues or one frame's τ2 would head-of-line block
+	// behind the other's τ1.
+	hostB    *simclock.Resource
 	res      []devResources
 	builtFor *device.Platform
 	modLabel [4][]string // [Module][dev] "ME@3"
@@ -166,6 +182,7 @@ func (m *Manager) ensureSim() {
 	nDev := pl.NumDevices()
 	m.sim = simclock.New(0)
 	m.host = m.sim.NewResource("host")
+	m.hostB = m.sim.NewResource("host.b")
 	m.res = make([]devResources, nDev)
 	for i := 0; i < nDev; i++ {
 		p := pl.Dev(i)

@@ -149,3 +149,82 @@ func TestNilObserverIsInert(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestObserverLiveIntrospection covers the mid-run snapshot surface: the
+// trace ring exported without closing the Observer, the flight recorder
+// document, and the captured-bundle accessor — plus their disabled/nil
+// fallbacks.
+func TestObserverLiveIntrospection(t *testing.T) {
+	var perfetto bytes.Buffer
+	obs, err := feves.NewObserver(feves.ObserverConfig{Perfetto: &perfetto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	sim, err := feves.NewSimulation(feves.Config{
+		Width: 640, Height: 352, Observer: obs,
+	}, feves.SysNF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace bytes.Buffer
+	if err := obs.ExportTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.Events) == 0 {
+		t.Fatal("exported trace is empty mid-run")
+	}
+
+	var flight bytes.Buffer
+	if err := obs.WriteFlight(&flight); err != nil {
+		t.Fatal(err)
+	}
+	var fdoc struct {
+		Frames []json.RawMessage `json:"frames"`
+	}
+	if err := json.Unmarshal(flight.Bytes(), &fdoc); err != nil {
+		t.Fatalf("flight document is not valid JSON: %v", err)
+	}
+	if len(fdoc.Frames) == 0 {
+		t.Fatal("flight recorder holds no frames after a run")
+	}
+	if got := obs.FlightBundles(); len(got) != 0 {
+		t.Fatalf("clean run captured %d post-mortem bundles", len(got))
+	}
+
+	// Without a Perfetto sink there is no trace ring to export.
+	bare, err := feves.NewObserver(feves.ObserverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if err := bare.ExportTrace(io.Discard); err != feves.ErrNoTrace {
+		t.Fatalf("got %v, want ErrNoTrace", err)
+	}
+	var nilObs *feves.Observer
+	if err := nilObs.ExportTrace(io.Discard); err != feves.ErrNoTrace {
+		t.Fatalf("nil observer ExportTrace: got %v, want ErrNoTrace", err)
+	}
+	if err := nilObs.WriteFlight(io.Discard); err != nil || nilObs.FlightBundles() != nil {
+		t.Fatal("nil observer introspection not inert")
+	}
+
+	// The pool's capacity accessor: one slot per platform device.
+	p, err := feves.NewPool(feves.SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(feves.SysNFK().Devices()); p.Capacity() != want {
+		t.Fatalf("pool capacity %d, want %d", p.Capacity(), want)
+	}
+}

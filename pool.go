@@ -49,6 +49,9 @@ type Session struct {
 	epoch  uint64
 	closed bool
 	repart int
+	// buffered holds the second report of a frame-parallel pair until the
+	// next Step call (simulation sessions only).
+	buffered *FrameReport
 }
 
 // NewSimulationSession joins the pool with a timing-only session.
@@ -92,6 +95,7 @@ func (p *Pool) newSession(cfg Config, mode vcm.Mode) (*Session, error) {
 		Parallel:       cfg.Parallel,
 		Telemetry:      cfg.Observer.Sink().ForSession(label),
 		CheckSchedules: cfg.CheckSchedules,
+		FrameParallel:  cfg.FrameParallel,
 	})
 	if err != nil {
 		lease.Release()
@@ -124,14 +128,23 @@ func (s *Session) Step() (FrameReport, error) {
 	if s.mode != vcm.TimingOnly {
 		return FrameReport{}, fmt.Errorf("feves: Step on an encoder session (use EncodeYUV)")
 	}
+	if s.buffered != nil {
+		fr := *s.buffered
+		s.buffered = nil
+		return fr, nil
+	}
 	if err := s.maybeReplatform(); err != nil {
 		return FrameReport{}, err
 	}
-	r, err := s.fw.EncodeNext(nil)
+	ra, rb, paired, err := s.fw.EncodePair(nil, nil)
 	if err != nil {
 		return FrameReport{}, err
 	}
-	return report(r), nil
+	if paired {
+		frB := report(rb)
+		s.buffered = &frB
+	}
+	return report(ra), nil
 }
 
 // EncodeYUV encodes the next packed I420 frame on the session's current
@@ -156,6 +169,44 @@ func (s *Session) EncodeYUV(yuv []byte) (FrameReport, error) {
 		return FrameReport{}, err
 	}
 	return report(r), nil
+}
+
+// EncodeYUVPair offers the next two packed I420 frames for joint
+// frame-parallel encoding on the session's current lease. Like
+// Encoder.EncodeYUVPair it returns one report per frame consumed; lease
+// changes are absorbed at pair boundaries, so both frames of a pair run
+// on the same device subset.
+func (s *Session) EncodeYUVPair(yuvA, yuvB []byte) ([]FrameReport, error) {
+	if s.closed {
+		return nil, fmt.Errorf("feves: session closed")
+	}
+	if s.mode != vcm.Functional {
+		return nil, fmt.Errorf("feves: EncodeYUVPair on a simulation session (use Step)")
+	}
+	if err := s.maybeReplatform(); err != nil {
+		return nil, err
+	}
+	fA := h264.NewFrame(s.cfg.Width, s.cfg.Height)
+	fA.Poc = s.fw.FramesProcessed()
+	if err := fA.LoadYUV(yuvA); err != nil {
+		return nil, err
+	}
+	var fB *h264.Frame
+	if yuvB != nil {
+		fB = h264.NewFrame(s.cfg.Width, s.cfg.Height)
+		fB.Poc = fA.Poc + 1
+		if err := fB.LoadYUV(yuvB); err != nil {
+			return nil, err
+		}
+	}
+	ra, rb, paired, err := s.fw.EncodePair(fA, fB)
+	if err != nil {
+		return nil, err
+	}
+	if paired {
+		return []FrameReport{report(ra), report(rb)}, nil
+	}
+	return []FrameReport{report(ra)}, nil
 }
 
 // Bitstream returns an encoder session's coded stream so far.

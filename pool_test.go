@@ -121,6 +121,85 @@ func TestPoolConcurrentEncodersBitExact(t *testing.T) {
 	}
 }
 
+// TestPoolFrameParallelSessionsBitExact churns several frame-parallel
+// encoder sessions over one pool concurrently — arrivals re-partition the
+// leases under running pairs — and requires every coded stream to match a
+// solo frame-parallel encode byte for byte. Run under -race this also
+// checks the two-slot pair loop against the pool's lease bookkeeping.
+func TestPoolFrameParallelSessionsBitExact(t *testing.T) {
+	const w, h, frames = 256, 144, 8
+	cfg := Config{Width: w, Height: h, FrameParallel: true}
+	yuv := poolYUV(w, h, frames)
+	fb := w * h * 3 / 2
+	frameAt := func(i int) []byte {
+		if i >= frames {
+			return nil
+		}
+		return yuv[i*fb : (i+1)*fb]
+	}
+	encodePairs := func(pair func(a, b []byte) ([]FrameReport, error)) error {
+		for i := 0; i < frames; {
+			reps, err := pair(frameAt(i), frameAt(i+1))
+			if err != nil {
+				return err
+			}
+			i += len(reps)
+		}
+		return nil
+	}
+
+	enc, err := NewEncoder(cfg, SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := encodePairs(enc.EncodeYUVPair); err != nil {
+		t.Fatal(err)
+	}
+	want := enc.Bitstream()
+	if n, err := Verify(want); err != nil || n != frames {
+		t.Fatalf("solo reference stream broken: %d frames, %v", n, err)
+	}
+
+	p, err := NewPool(SysNFK())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 3
+	streams := make([][]byte, tenants)
+	errs := make([]error, tenants)
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			s, err := p.NewEncoderSession(cfg)
+			if err != nil {
+				errs[ti] = err
+				return
+			}
+			defer s.Close()
+			if err := encodePairs(s.EncodeYUVPair); err != nil {
+				errs[ti] = err
+				return
+			}
+			streams[ti] = s.Bitstream()
+		}(ti)
+	}
+	wg.Wait()
+	for ti := 0; ti < tenants; ti++ {
+		if errs[ti] != nil {
+			t.Fatalf("tenant %d: %v", ti, errs[ti])
+		}
+		if !bytes.Equal(streams[ti], want) {
+			t.Errorf("tenant %d: frame-parallel stream differs from solo encode (%d vs %d bytes)",
+				ti, len(streams[ti]), len(want))
+		}
+	}
+	if got := p.Sessions(); got != 0 {
+		t.Fatalf("%d sessions still leased after close", got)
+	}
+}
+
 // TestPoolSessionsSeeDisjointLeases verifies that concurrently live
 // sessions never share a device name beyond the physical multiplicity
 // (each CPU core appears once; the two GPUs are distinct profiles).
