@@ -22,6 +22,13 @@
 //	feves-trace -flight flight.json -bundle 2 -frame 7
 //	feves-trace -flight flight.json -svg dead-gpu.svg
 //	feves-trace -flight flight.json -perfetto window.trace.json
+//
+// With -events (repeatable) it merges JSONL telemetry event streams — one
+// file per fleet node — onto a shared timeline keyed by node label, so a
+// whole feves-fleet run renders as one Perfetto trace with a lane group
+// per node/session:
+//
+//	feves-trace -events node0.jsonl -events node1.jsonl -perfetto fleet.trace.json
 package main
 
 import (
@@ -59,6 +66,14 @@ func main() {
 	)
 	tf := teleflag.Register()
 	flag.Parse()
+
+	if paths := tf.EventsPaths(); len(paths) > 0 {
+		if *flight != "" {
+			log.Fatal("-events (merge mode) and -flight are mutually exclusive")
+		}
+		runMerge(mergeOpts{paths: paths, perfetto: tf.PerfettoPath(), traceCap: tf.TraceEventCap()})
+		return
+	}
 
 	if *flight != "" {
 		frameSet := false

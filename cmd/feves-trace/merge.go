@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"feves/internal/telemetry"
+)
+
+// mergeOpts carries the parsed flags of merge mode: one -events JSONL file
+// per fleet node, fused into a single Perfetto timeline.
+type mergeOpts struct {
+	paths    []string
+	perfetto string
+	traceCap int
+}
+
+// mergedEvent is the subset of the telemetry event schema the merger
+// consumes. Only frame_end records carry timing; everything else in the
+// stream (audits, marks, health transitions) is counted and skipped.
+type mergedEvent struct {
+	Type    string  `json:"type"`
+	Node    string  `json:"node"`
+	Session string  `json:"session"`
+	Frame   int     `json:"frame"`
+	Attempt int     `json:"attempt"`
+	Tau1    float64 `json:"tau1"`
+	Tau2    float64 `json:"tau2"`
+	Tot     float64 `json:"tau_tot"`
+}
+
+// laneStats aggregates one node's merged contribution.
+type laneStats struct {
+	Frames   int
+	Sessions map[string]bool
+	Busy     float64 // summed τtot seconds
+	Skipped  int     // non-frame_end records
+}
+
+// runMerge fuses several per-node event streams — the -events files a
+// fleet run's nodes wrote — onto one shared timeline keyed by node label
+// and writes it as a single Perfetto trace. Within each node/session lane
+// frames abut back-to-back, so stragglers, re-leased shards (attempt tags)
+// and per-node throughput line up on a common time axis.
+func runMerge(o mergeOpts) {
+	w := telemetry.NewTraceWriterCap(o.traceCap)
+	stats := map[string]*laneStats{}
+	for _, path := range o.paths {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mergeEventStream(w, f, nodeLabelFor(path), stats); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		f.Close()
+	}
+	if len(stats) == 0 {
+		log.Fatalf("no frame_end records in %d event file(s): nothing to merge", len(o.paths))
+	}
+
+	out := o.perfetto
+	if out == "" {
+		out = "fleet.trace.json"
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Export(of); err != nil {
+		of.Close()
+		log.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	nodes := make([]string, 0, len(stats))
+	for n := range stats {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Printf("merged %d event file(s) across %d node(s):\n", len(o.paths), len(nodes))
+	for _, n := range nodes {
+		s := stats[n]
+		fmt.Printf("  %-12s %4d frames  %2d session(s)  %8.4fs encode time\n",
+			n, s.Frames, len(s.Sessions), s.Busy)
+	}
+	fmt.Printf("wrote %s (%d frames on the shared timeline)\n", out, w.Frames())
+}
+
+// mergeEventStream replays one node's JSONL event stream into the shared
+// trace writer. Lanes are keyed by the event's node label — fallback is
+// the label derived from the file name, for streams written before the
+// fleet stamped nodes — with one Perfetto process per node/session pair
+// and frames laid back-to-back per lane.
+func mergeEventStream(w *telemetry.TraceWriter, r io.Reader, fallback string, stats map[string]*laneStats) error {
+	dec := json.NewDecoder(r)
+	offsets := map[string]float64{}
+	line := 0
+	for {
+		var ev mergedEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("record %d: %w", line+1, err)
+		}
+		line++
+		node := ev.Node
+		if node == "" {
+			node = fallback
+		}
+		st := stats[node]
+		if st == nil {
+			st = &laneStats{Sessions: map[string]bool{}}
+			stats[node] = st
+		}
+		if ev.Type != "frame_end" {
+			st.Skipped++
+			continue
+		}
+		lane := node
+		if ev.Session != "" {
+			lane = node + "/" + ev.Session
+		}
+		off := offsets[lane]
+		w.AddFrame(w.SessionPID(lane), ev.Frame, ev.Attempt, off, ev.Tau1, ev.Tau2, ev.Tot, nil)
+		offsets[lane] = off + ev.Tot
+		st.Frames++
+		st.Sessions[ev.Session] = true
+		st.Busy += ev.Tot
+	}
+}
+
+// nodeLabelFor derives a lane label from an event file's name
+// (node0.jsonl → node0) for streams whose records carry no node field.
+func nodeLabelFor(path string) string {
+	base := filepath.Base(path)
+	if i := strings.Index(base, "."); i > 0 {
+		base = base[:i]
+	}
+	return base
+}

@@ -8,7 +8,9 @@ import (
 	"feves"
 	"feves/internal/core"
 	"feves/internal/device"
+	"feves/internal/fleet"
 	"feves/internal/h264/codec"
+	"feves/internal/serve"
 	"feves/internal/vcm"
 )
 
@@ -29,7 +31,7 @@ type PerfMetric struct {
 }
 
 // PerfReport is the perf experiment's machine-readable result — the
-// committed BENCH_7.json baseline and the shape CI compares against it.
+// committed BENCH_8.json baseline and the shape CI compares against it.
 type PerfReport struct {
 	Metrics []PerfMetric `json:"metrics"`
 }
@@ -143,7 +145,43 @@ func Perf() PerfReport {
 		add("lp_pivots_per_solve", float64(st.Pivots-statsBefore.Pivots)/float64(solves), "pivots", "lower", 1)
 	}
 	add("sched_overhead_us", float64(overhead.Microseconds())/perfFrames, "us/frame", "info", 0)
+
+	perfFleet(add)
 	return r
+}
+
+// perfFleet measures the fleet coordinator's routing path: a sequence of
+// small jobs routed across three nodes exercises the third-level LP with
+// drifting loads on a constant problem shape, so every decision should be
+// LP-decided and (past the first) warm-started. Wall-clock routing cost
+// rides along as an informational metric.
+func perfFleet(add func(name string, value float64, unit, dir string, slop float64)) {
+	f, err := fleet.New(fleet.Config{Nodes: fleetNodes(3)})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	defer f.Close()
+	const jobs = 24
+	var routing time.Duration
+	for i := 0; i < jobs; i++ {
+		start := time.Now()
+		ref, err := f.Submit(serve.JobSpec{
+			Mode: serve.ModeSimulate, Width: 640, Height: 368, Frames: 3,
+		})
+		routing += time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		ref.Job.Wait()
+	}
+	rs := f.State().Router
+	if rs.Routes > 0 {
+		add("fleet_lp_route_rate", float64(rs.LPRoutes)/float64(rs.Routes), "ratio", "higher", 0.02)
+	}
+	if rs.Solver.Solves > 0 {
+		add("fleet_lp_warm_rate", float64(rs.Solver.WarmSolves)/float64(rs.Solver.Solves), "ratio", "higher", 0.02)
+	}
+	add("fleet_submit_us", float64(routing.Microseconds())/jobs, "us/job", "info", 0)
 }
 
 // steadyWindow simulates `frames` frames and returns the mean encoding

@@ -65,7 +65,7 @@ func TestComparePerfGates(t *testing.T) {
 // TestPerfReportMetrics pins the gated metric set: CI compares by name,
 // so renaming or dropping one silently weakens the regression gate —
 // this test makes that a deliberate, reviewed change (with a matching
-// BENCH_7.json refresh).
+// BENCH_8.json refresh).
 func TestPerfReportMetrics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full perf measurement loop")
@@ -87,6 +87,9 @@ func TestPerfReportMetrics(t *testing.T) {
 		"lp_warm_rate":        "higher",
 		"lp_pivots_per_solve": "lower",
 		"sched_overhead_us":   "info",
+		"fleet_lp_route_rate": "higher",
+		"fleet_lp_warm_rate":  "higher",
+		"fleet_submit_us":     "info",
 	}
 	for name, dir := range want {
 		if got[name] != dir {

@@ -78,6 +78,14 @@ type Options struct {
 	// stalls. The bitstream stays byte-identical to the serial two-chain
 	// encode.
 	FrameParallel bool
+	// FrameBase offsets the display frame numbering: the first frame fed to
+	// EncodeNext runs as frame FrameBase instead of 0. Intra cadence
+	// (FrameBase must open a GOP), chain parity, jitter identity, telemetry
+	// and Result.FrameIndex all use the global index, so a GOP shard of a
+	// longer stream is indistinguishable — in schedule and in bitstream —
+	// from the same frames of a whole-stream encode. Non-zero values
+	// require Codec.IntraPeriod > 0 with FrameBase a multiple of it.
+	FrameBase int
 }
 
 // stallTaskBudget is the per-kernel simulated-seconds safety net used when
@@ -163,11 +171,19 @@ func New(opts Options) (*Framework, error) {
 	if opts.FrameParallel && opts.Codec.Chains != 2 {
 		return nil, fmt.Errorf("core: FrameParallel needs Codec.Chains = 2, have %d", opts.Codec.Chains)
 	}
+	if opts.FrameBase != 0 {
+		if opts.FrameBase < 0 || opts.Codec.IntraPeriod <= 0 || opts.FrameBase%opts.Codec.IntraPeriod != 0 {
+			return nil, fmt.Errorf("core: FrameBase %d must be a non-negative multiple of a non-zero IntraPeriod (have %d)",
+				opts.FrameBase, opts.Codec.IntraPeriod)
+		}
+	}
 	f := &Framework{
-		opts: opts,
-		topo: topo,
-		pm:   sched.NewPerfModel(topo.NumDevices(), opts.Alpha),
-		bal:  opts.Balancer,
+		opts:      opts,
+		topo:      topo,
+		pm:        sched.NewPerfModel(topo.NumDevices(), opts.Alpha),
+		bal:       opts.Balancer,
+		frame:     opts.FrameBase,
+		lastIntra: opts.FrameBase,
 	}
 	for c := range f.prev {
 		f.prev[c] = make([]int, topo.NumDevices())

@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"feves/internal/serve"
+)
+
+// Handler returns the coordinator's HTTP API — the cluster-wide analogue
+// of serve.Handler:
+//
+//	POST   /jobs                      route a serve.JobSpec to a node, 202 + status
+//	GET    /jobs                      list every job on every node
+//	GET    /jobs/{node}/{id}          one job's status
+//	DELETE /jobs/{node}/{id}          cancel a job
+//	GET    /jobs/{node}/{id}/results  stream per-frame results as JSONL
+//	GET    /jobs/{node}/{id}/bitstream coded stream of a finished encode job
+//	POST   /streams                   submit a StreamSpec (GOP-sharded), 202 + status
+//	GET    /streams                   list every stream's status
+//	GET    /streams/{id}              one stream's status
+//	DELETE /streams/{id}              cancel a stream (all shards)
+//	GET    /streams/{id}/bitstream    reassembled stream of a finished encode stream
+//	GET    /healthz                   200 while serving, 503 while draining
+//	GET    /metrics                   Prometheus text exposition (shared registry)
+//	GET    /debug/state               cluster topology: nodes, streams, router LP
+//	GET    /debug/flight              shared flight recorder (node-attributed)
+//	GET    /debug/trace               shared Perfetto ring (node-qualified lanes)
+//	GET    /debug/pprof/...           net/http/pprof profiles
+//
+// Admission 503s reuse serve.RetryAfterSeconds with the cluster-wide
+// backlog, so fleet and single-node clients see consistent hints.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", f.handleSubmitJob)
+	mux.HandleFunc("GET /jobs", f.handleListJobs)
+	mux.HandleFunc("GET /jobs/{node}/{id}", f.handleJobStatus)
+	mux.HandleFunc("DELETE /jobs/{node}/{id}", f.handleJobCancel)
+	mux.HandleFunc("GET /jobs/{node}/{id}/results", f.handleJobResults)
+	mux.HandleFunc("GET /jobs/{node}/{id}/bitstream", f.handleJobBitstream)
+	mux.HandleFunc("POST /streams", f.handleSubmitStream)
+	mux.HandleFunc("GET /streams", f.handleListStreams)
+	mux.HandleFunc("GET /streams/{id}", f.handleStreamStatus)
+	mux.HandleFunc("DELETE /streams/{id}", f.handleStreamCancel)
+	mux.HandleFunc("GET /streams/{id}/bitstream", f.handleStreamBitstream)
+	mux.HandleFunc("GET /healthz", f.handleHealth)
+	if f.tel != nil && f.tel.Metrics != nil {
+		mux.Handle("GET /metrics", f.tel.Metrics.Handler())
+	}
+	mux.HandleFunc("GET /debug/state", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.State())
+	})
+	mux.HandleFunc("GET /debug/flight", f.handleDebugFlight)
+	mux.HandleFunc("GET /debug/trace", f.handleDebugTrace)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeAdmissionError maps coordinator admission failures onto the same
+// semantics as a single node's: 503 + Retry-After for backpressure and
+// drain, 400 for malformed specs.
+func (f *Fleet) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrBusy), errors.Is(err, serve.ErrDraining), errors.Is(err, ErrNoNodes):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(serve.RetryAfterSeconds(f.Backlog(), !errors.Is(err, serve.ErrBusy))))
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// fleetJobStatus wraps a node-local job status with its node label.
+type fleetJobStatus struct {
+	Node string `json:"node"`
+	serve.JobStatus
+}
+
+func (f *Fleet) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec serve.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	ref, err := f.Submit(spec)
+	if err != nil {
+		f.writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, fleetJobStatus{Node: ref.Node, JobStatus: ref.Job.Status()})
+}
+
+func (f *Fleet) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	refs := f.Jobs()
+	out := make([]fleetJobStatus, len(refs))
+	for i, ref := range refs {
+		out[i] = fleetJobStatus{Node: ref.Node, JobStatus: ref.Job.Status()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (f *Fleet) jobRef(w http.ResponseWriter, r *http.Request) (JobRef, bool) {
+	node, id := r.PathValue("node"), r.PathValue("id")
+	ref, ok := f.Job(node, id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+node+"/"+id)
+		return JobRef{}, false
+	}
+	return ref, true
+}
+
+func (f *Fleet) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if ref, ok := f.jobRef(w, r); ok {
+		writeJSON(w, http.StatusOK, fleetJobStatus{Node: ref.Node, JobStatus: ref.Job.Status()})
+	}
+}
+
+func (f *Fleet) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	ref, ok := f.jobRef(w, r)
+	if !ok {
+		return
+	}
+	ref.Job.Cancel()
+	writeJSON(w, http.StatusOK, fleetJobStatus{Node: ref.Node, JobStatus: ref.Job.Status()})
+}
+
+// handleJobResults streams per-frame results as JSONL, mirroring the
+// node-local endpoint so clients need not care where the job landed.
+func (f *Fleet) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	ref, ok := f.jobRef(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for {
+		results, done := ref.Job.Next(n)
+		for _, fr := range results {
+			if enc.Encode(fr) != nil {
+				return
+			}
+		}
+		n += len(results)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+	}
+}
+
+func (f *Fleet) handleJobBitstream(w http.ResponseWriter, r *http.Request) {
+	ref, ok := f.jobRef(w, r)
+	if !ok {
+		return
+	}
+	st := ref.Job.Status()
+	if st.Mode != serve.ModeEncode {
+		writeError(w, http.StatusBadRequest, "job is not an encode job")
+		return
+	}
+	if st.Status != serve.StatusDone {
+		writeError(w, http.StatusConflict,
+			"bitstream not available: job is "+strings.ToLower(string(st.Status)))
+		return
+	}
+	w.Header().Set("Content-Type", "video/h264")
+	w.WriteHeader(http.StatusOK)
+	w.Write(ref.Job.Bitstream())
+}
+
+func (f *Fleet) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
+	var spec StreamSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	st, err := f.SubmitStream(spec)
+	if err != nil {
+		f.writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st.Status())
+}
+
+func (f *Fleet) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	streams := f.Streams()
+	out := make([]StreamStatus, len(streams))
+	for i, st := range streams {
+		out[i] = st.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (f *Fleet) stream(w http.ResponseWriter, r *http.Request) (*Stream, bool) {
+	id := r.PathValue("id")
+	st, ok := f.Stream(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream "+id)
+		return nil, false
+	}
+	return st, true
+}
+
+func (f *Fleet) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
+	if st, ok := f.stream(w, r); ok {
+		writeJSON(w, http.StatusOK, st.Status())
+	}
+}
+
+func (f *Fleet) handleStreamCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := f.stream(w, r)
+	if !ok {
+		return
+	}
+	st.Cancel()
+	writeJSON(w, http.StatusOK, st.Status())
+}
+
+func (f *Fleet) handleStreamBitstream(w http.ResponseWriter, r *http.Request) {
+	st, ok := f.stream(w, r)
+	if !ok {
+		return
+	}
+	doc := st.Status()
+	if doc.Mode != serve.ModeEncode {
+		writeError(w, http.StatusBadRequest, "stream is not an encode stream")
+		return
+	}
+	if doc.Status != serve.StatusDone {
+		writeError(w, http.StatusConflict,
+			"bitstream not available: stream is "+strings.ToLower(string(doc.Status)))
+		return
+	}
+	w.Header().Set("Content-Type", "video/h264")
+	w.WriteHeader(http.StatusOK)
+	w.Write(st.Bitstream())
+}
+
+func (f *Fleet) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if f.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(serve.RetryAfterSeconds(f.Backlog(), true)))
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	f.mu.Lock()
+	alive := len(f.aliveLocked())
+	total := len(f.nodes)
+	clock := f.clock
+	f.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"nodes":  total,
+		"alive":  alive,
+		"clock":  clock,
+	})
+}
+
+func (f *Fleet) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	if f.tel == nil || f.tel.Flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = f.tel.Flight.WriteDoc(w)
+}
+
+func (f *Fleet) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if f.tel == nil || f.tel.Trace == nil {
+		writeError(w, http.StatusNotFound, "trace writer not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = f.tel.Trace.Export(w)
+}

@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"feves/internal/serve"
+	"feves/internal/telemetry"
+)
+
+func testFleetServer(t *testing.T, n int) (*Fleet, *httptest.Server) {
+	t.Helper()
+	tel := telemetry.New(nil)
+	f, err := New(Config{Nodes: testNodes(t, n, "sysnfk"), Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() { ts.Close(); f.Close() })
+	return f, ts
+}
+
+func postJSON(t *testing.T, url string, v interface{}) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPStreamLifecycle(t *testing.T) {
+	f, ts := testFleetServer(t, 2)
+	const w, h, frames, gop = 64, 64, 8, 4
+	spec := StreamSpec{
+		Name: "clip", Mode: serve.ModeEncode,
+		Width: w, Height: h, IntraPeriod: gop, YUV: testYUV(w, h, frames),
+	}
+
+	resp := postJSON(t, ts.URL+"/streams", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /streams = %d: %s", resp.StatusCode, b)
+	}
+	var doc StreamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.ID == "" || len(doc.Shards) == 0 {
+		t.Fatalf("stream status %+v", doc)
+	}
+
+	st, ok := f.Stream(doc.ID)
+	if !ok {
+		t.Fatalf("stream %s unknown to the coordinator", doc.ID)
+	}
+	if got := st.Wait(); got != serve.StatusDone {
+		t.Fatalf("stream finished %q", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/streams/" + doc.ID + "/bitstream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, st.Bitstream()) {
+		t.Fatalf("GET bitstream = %d, %d bytes (want %d)", resp.StatusCode, len(body), len(st.Bitstream()))
+	}
+
+	resp, err = http.Get(ts.URL + "/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []StreamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Status != serve.StatusDone || list[0].Completed != frames {
+		t.Fatalf("GET /streams = %+v", list)
+	}
+}
+
+func TestHTTPJobRoutingAndResults(t *testing.T) {
+	_, ts := testFleetServer(t, 2)
+	resp := postJSON(t, ts.URL+"/jobs", serve.JobSpec{
+		Mode: serve.ModeSimulate, Width: 640, Height: 368, Frames: 4,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs = %d: %s", resp.StatusCode, b)
+	}
+	var doc fleetJobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Node == "" || doc.ID == "" {
+		t.Fatalf("job status %+v", doc)
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/" + doc.Node + "/" + doc.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := 0
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var fr serve.FrameResult
+		if err := dec.Decode(&fr); err != nil {
+			break
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("results stream carried %d lines, want 4", lines)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/ghost/job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node job lookup = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPAdmissionRetryAfterSharedHelper fills the whole cluster and
+// checks the 503's Retry-After grows from the cluster-wide backlog through
+// the same helper the single-node server uses.
+func TestHTTPAdmissionRetryAfterSharedHelper(t *testing.T) {
+	tel := telemetry.New(nil)
+	nodes := testNodes(t, 2, "cpun")
+	for i := range nodes {
+		nodes[i].MaxSessions = 1
+		nodes[i].QueueDepth = 1
+	}
+	f, err := New(Config{Nodes: nodes, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f.Handler())
+	defer func() { ts.Close(); f.Close() }()
+
+	long := serve.JobSpec{Mode: serve.ModeSimulate, Width: 1920, Height: 1088, Frames: 50000}
+	var got503 *http.Response
+	for i := 0; i < 12; i++ {
+		resp := postJSON(t, ts.URL+"/jobs", long)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			got503 = resp
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	if got503 == nil {
+		t.Fatal("no submission hit 503 despite full queues everywhere")
+	}
+	defer got503.Body.Close()
+	ra, err := strconv.Atoi(got503.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q: %v", got503.Header.Get("Retry-After"), err)
+	}
+	if want := serve.RetryAfterSeconds(f.Backlog(), false); ra != want {
+		t.Fatalf("Retry-After %d, want the shared helper's cluster-wide figure %d", ra, want)
+	}
+	if ra < 2 {
+		t.Fatalf("Retry-After %d does not reflect a multi-job cluster backlog", ra)
+	}
+	for _, ref := range f.Jobs() {
+		ref.Job.Cancel()
+	}
+}
+
+func TestHTTPStateAndHealth(t *testing.T) {
+	f, ts := testFleetServer(t, 2)
+	f.Tick()
+	resp, err := http.Get(ts.URL + "/debug/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state State
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if state.Clock != 1 || len(state.Nodes) != 2 {
+		t.Fatalf("state %+v", state)
+	}
+	for _, ns := range state.Nodes {
+		if ns.Rate <= 0 {
+			t.Fatalf("node %s advertises no capacity: %+v", ns.Label, ns)
+		}
+		if ns.Serve.QueueCap == 0 {
+			t.Fatalf("node %s carries no serve document: %+v", ns.Label, ns)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"alive":2`) {
+		t.Fatalf("healthz = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "feves_fleet_nodes_total") {
+		t.Fatalf("metrics scrape missing fleet counters: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,123 @@
+// Randomized sharding property: for random scene-cut placements, GOP
+// sizes, shard counts and (on half the instances) a mid-stream node death,
+// the concatenated shard bitstreams must decode byte-identically to the
+// unsharded single-node encode. Failures replay exactly with
+// FEVES_CHECK_SEED=<seed> go test ./internal/fleet — the same replay
+// convention as the schedule-invariant harness in internal/check.
+package fleet
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"feves/internal/serve"
+	"feves/internal/video"
+)
+
+func harnessSeed(t *testing.T) int64 {
+	s := os.Getenv("FEVES_CHECK_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("FEVES_CHECK_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// sceneCutYUV renders frames hopping to a fresh synthetic source at every
+// cut index: the content discontinuity drives the codec's mean
+// motion-compensated cost past the scene-cut threshold, so the encoder
+// inserts adaptive IDRs at positions the GOP cadence never predicted.
+func sceneCutYUV(t *testing.T, w, h, frames int, cuts []int, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cut := 0
+	src := video.NewSynthetic(w, h, frames, seed)
+	for i := 0; i < frames; i++ {
+		if cut < len(cuts) && i == cuts[cut] {
+			cut++
+			src = video.NewSynthetic(w, h, frames, seed+uint64(cut)*977)
+		}
+		if err := video.WriteYUV(&buf, src.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestPropertyShardedSceneCutStreamsStayBitExact(t *testing.T) {
+	seed := harnessSeed(t)
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("harness seed %d (replay failures with FEVES_CHECK_SEED=%d)", seed, seed)
+
+	instances := 6
+	if testing.Short() {
+		instances = 2
+	}
+	gops := []int{2, 4, 8}
+	for run := 0; run < instances; run++ {
+		const w, h = 64, 64
+		gop := gops[rng.Intn(len(gops))]
+		frames := gop*(2+rng.Intn(3)) + rng.Intn(gop) // 2–4 whole GOPs plus a ragged tail
+		// Random scene-cut placement: each inter frame cuts with p = 1/4.
+		var cuts []int
+		for i := 1; i < frames; i++ {
+			if rng.Intn(4) == 0 {
+				cuts = append(cuts, i)
+			}
+		}
+		threshold := 4 + rng.Float64()*8
+		nodes := 2 + rng.Intn(2)
+		kill := rng.Intn(2) == 1
+
+		spec := StreamSpec{
+			Name: "prop", Mode: serve.ModeEncode,
+			Width: w, Height: h, IntraPeriod: gop,
+			SceneCutThreshold: threshold,
+			MaxShards:         1 + rng.Intn(4),
+			YUV:               sceneCutYUV(t, w, h, frames, cuts, uint64(rng.Int63())),
+		}
+		want := soloEncode(t, spec)
+
+		f, err := New(Config{Nodes: testNodes(t, nodes, "sysnf"), MissLimit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := f.SubmitStream(spec)
+		if err != nil {
+			t.Fatalf("run %d (gop %d frames %d cuts %v): %v", run, gop, frames, cuts, err)
+		}
+		if kill && nodes > 1 {
+			doc := st.Status()
+			f.Kill(doc.Shards[rng.Intn(len(doc.Shards))].Node)
+		}
+		waitDone := make(chan serve.Status, 1)
+		go func() { waitDone <- st.Wait() }()
+		var got serve.Status
+		ticking := true
+		for ticking {
+			select {
+			case got = <-waitDone:
+				ticking = false
+			case <-time.After(time.Millisecond):
+				f.Tick() // drives death detection when a node was killed
+			}
+		}
+		if got != serve.StatusDone {
+			t.Fatalf("run %d (seed %d, gop %d, frames %d, cuts %v, shards %d, kill %v): finished %q (%s)",
+				run, seed, gop, frames, cuts, spec.MaxShards, kill, got, st.Status().Error)
+		}
+		if b := st.Bitstream(); !bytes.Equal(b, want) {
+			t.Fatalf("run %d (seed %d, gop %d, frames %d, cuts %v, shards %d, kill %v): sharded stream diverges (%d vs %d bytes)",
+				run, seed, gop, frames, cuts, spec.MaxShards, kill, len(b), len(want))
+		}
+		assertNoDroppedFrames(t, st, frames)
+		f.Close()
+	}
+}

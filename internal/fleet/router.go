@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"feves/internal/lp"
+)
+
+// routeUnit is one placeable piece of work — a whole session or one GOP
+// shard of a sharded stream. Weight is its predicted serialized row count
+// (frame rows × frames), the same yardstick the pool partitioner and the
+// per-frame LP balance with.
+type routeUnit struct {
+	weight float64
+}
+
+// nodeCap is one candidate node's standing at routing time: its calibrated
+// aggregate row rate over the devices currently up (pool.Rate) and the
+// summed weight of work already leased to it and not yet finished.
+type nodeCap struct {
+	rate float64
+	load float64
+}
+
+// RouterStats counts the router's decisions and carries the warm-start
+// statistics of its retained LP solver — the third-level analogue of the
+// pool partitioner's, surfaced in /debug/state.
+type RouterStats struct {
+	Routes   int `json:"routes"`    // route calls answered
+	Units    int `json:"units"`     // units placed in total
+	LPRoutes int `json:"lp_routes"` // calls decided by the LP rounding
+	Greedy   int `json:"greedy"`    // calls that fell back to greedy LPT
+	// Solver aggregates the retained solver's lifetime warm-start behaviour.
+	Solver lp.Stats `json:"solver"`
+}
+
+// router places route units onto nodes by solving the third fractional
+// min-max LP of the hierarchy (per-frame Algorithm 2 → pool partitioner →
+// fleet router):
+//
+//	minimize  z
+//	s.t.      Σ_n x[u,n] = 1                          (each unit placed once)
+//	          Σ_u w_u·x[u,n] − z·rate_n ≤ −load_n     (node finish-time cap)
+//	          x, z ≥ 0
+//
+// z is the worst node's predicted finish time (existing load plus newly
+// assigned weight, in rows, over the node's calibrated row rate). Units are
+// rounded to their largest fractional share. The solver is retained across
+// calls so steady-state routing (same fleet shape, new session) warm-starts
+// from the previous basis; a failed solve or a degenerate rounding falls
+// back to a deterministic LPT greedy. Not safe for concurrent use — the
+// fleet serializes calls under its mutex.
+type router struct {
+	solver *lp.Solver
+	prob   *lp.Problem
+	stats  RouterStats
+}
+
+func newRouter() *router {
+	return &router{solver: lp.NewSolver()}
+}
+
+// route returns, for each unit, the index of the chosen node in nodes.
+// len(nodes) must be ≥ 1; nodes with zero rate are never chosen unless
+// every node's rate is zero.
+func (r *router) route(units []routeUnit, nodes []nodeCap) []int {
+	r.stats.Routes++
+	r.stats.Units += len(units)
+	assign := r.routeLP(units, nodes)
+	if assign == nil {
+		r.stats.Greedy++
+		assign = routeGreedy(units, nodes)
+	} else {
+		r.stats.LPRoutes++
+	}
+	r.stats.Solver = r.solver.Stats()
+	return assign
+}
+
+func (r *router) routeLP(units []routeUnit, nodes []nodeCap) []int {
+	nu, nn := len(units), len(nodes)
+	if nu == 0 || nn == 0 {
+		return nil
+	}
+	for _, n := range nodes {
+		if n.rate <= 0 {
+			return nil // a dead-weight node breaks the cap rows; greedy decides
+		}
+	}
+	xv := func(u, n int) int { return u*nn + n }
+	zv := nu * nn
+	if r.prob == nil {
+		r.prob = lp.New(zv + 1)
+	} else {
+		r.prob.Reset(zv + 1)
+	}
+	r.prob.Coef(zv, 1) // minimize z
+	for u := 0; u < nu; u++ {
+		a := make([]float64, zv+1)
+		for n := 0; n < nn; n++ {
+			a[xv(u, n)] = 1
+		}
+		r.prob.Add(a, lp.EQ, 1)
+	}
+	for n := 0; n < nn; n++ {
+		a := make([]float64, zv+1)
+		for u := 0; u < nu; u++ {
+			a[xv(u, n)] = units[u].weight
+		}
+		a[zv] = -nodes[n].rate
+		r.prob.Add(a, lp.LE, -nodes[n].load)
+	}
+	x, _, err := r.solver.Solve(r.prob)
+	if err != nil {
+		return nil
+	}
+	assign := make([]int, nu)
+	for u := 0; u < nu; u++ {
+		best, bestShare := -1, math.Inf(-1)
+		for n := 0; n < nn; n++ {
+			if share := x[xv(u, n)]; share > bestShare+1e-12 {
+				best, bestShare = n, share
+			}
+		}
+		if best < 0 || bestShare <= 0 {
+			return nil
+		}
+		assign[u] = best
+	}
+	return assign
+}
+
+// routeGreedy is the deterministic fallback: units in descending weight
+// order (LPT), each placed on the node whose predicted finish time after
+// taking the unit is smallest; rateless nodes are last resort.
+func routeGreedy(units []routeUnit, nodes []nodeCap) []int {
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return units[order[i]].weight > units[order[j]].weight
+	})
+	load := make([]float64, len(nodes))
+	for n := range nodes {
+		load[n] = nodes[n].load
+	}
+	assign := make([]int, len(units))
+	for _, u := range order {
+		best, bestTau := 0, math.Inf(1)
+		for n := range nodes {
+			tau := math.Inf(1)
+			if nodes[n].rate > 0 {
+				tau = (load[n] + units[u].weight) / nodes[n].rate
+			}
+			if tau < bestTau {
+				best, bestTau = n, tau
+			}
+		}
+		assign[u] = best
+		load[best] += units[u].weight
+	}
+	return assign
+}

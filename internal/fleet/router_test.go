@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+// loadsAfter applies an assignment and returns predicted finish times.
+func loadsAfter(units []routeUnit, nodes []nodeCap, assign []int) []float64 {
+	load := make([]float64, len(nodes))
+	for n := range nodes {
+		load[n] = nodes[n].load
+	}
+	for u, n := range assign {
+		load[n] += units[u].weight
+	}
+	out := make([]float64, len(nodes))
+	for n := range nodes {
+		out[n] = load[n] / nodes[n].rate
+	}
+	return out
+}
+
+func TestRouteBalancesEqualNodes(t *testing.T) {
+	r := newRouter()
+	units := []routeUnit{{100}, {100}, {100}, {100}}
+	nodes := []nodeCap{{rate: 10}, {rate: 10}}
+	assign := r.route(units, nodes)
+	counts := map[int]int{}
+	for _, n := range assign {
+		counts[n]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("assignment %v not balanced across equal nodes", assign)
+	}
+}
+
+func TestRouteWeighsHeterogeneousCapacity(t *testing.T) {
+	r := newRouter()
+	// One node three times faster: with 4 equal units it should take ~3.
+	units := []routeUnit{{100}, {100}, {100}, {100}}
+	nodes := []nodeCap{{rate: 30}, {rate: 10}}
+	assign := r.route(units, nodes)
+	fast := 0
+	for _, n := range assign {
+		if n == 0 {
+			fast++
+		}
+	}
+	if fast < 3 {
+		t.Fatalf("fast node got %d of 4 units (%v), want >= 3", fast, assign)
+	}
+	// The 3:1 split is exactly the min-max optimum: 300/30 = 100/10 = 10.
+	fin := loadsAfter(units, nodes, assign)
+	if worst := math.Max(fin[0], fin[1]); worst > 10+1e-9 {
+		t.Fatalf("worst finish %v exceeds the 3:1 optimum 10 (%v)", worst, fin)
+	}
+}
+
+func TestRouteRespectsExistingLoad(t *testing.T) {
+	r := newRouter()
+	units := []routeUnit{{100}}
+	nodes := []nodeCap{{rate: 10, load: 500}, {rate: 10, load: 0}}
+	assign := r.route(units, nodes)
+	if assign[0] != 1 {
+		t.Fatalf("unit placed on the loaded node: %v", assign)
+	}
+}
+
+func TestRouteWarmStartsOnRepeatedShape(t *testing.T) {
+	r := newRouter()
+	units := []routeUnit{{100}, {90}}
+	nodes := []nodeCap{{rate: 10}, {rate: 12}}
+	for i := 0; i < 6; i++ {
+		nodes[0].load = float64(10 * i) // drifting loads, constant shape
+		r.route(units, nodes)
+	}
+	st := r.stats
+	if st.Routes != 6 || st.LPRoutes != 6 {
+		t.Fatalf("stats %+v: every call should be LP-decided", st)
+	}
+	if st.Solver.WarmSolves == 0 {
+		t.Fatalf("no warm-started solves across a constant-shape sequence: %+v", st.Solver)
+	}
+}
+
+func TestRouteGreedyFallbackOnRatelessNode(t *testing.T) {
+	r := newRouter()
+	units := []routeUnit{{100}, {100}}
+	nodes := []nodeCap{{rate: 0}, {rate: 10}}
+	assign := r.route(units, nodes)
+	for u, n := range assign {
+		if n != 1 {
+			t.Fatalf("unit %d placed on the rateless node: %v", u, assign)
+		}
+	}
+	if r.stats.Greedy != 1 {
+		t.Fatalf("stats %+v: rateless node should force the greedy path", r.stats)
+	}
+}
+
+func TestRouteGreedyLPTIsDeterministic(t *testing.T) {
+	units := []routeUnit{{50}, {80}, {20}, {80}}
+	nodes := []nodeCap{{rate: 10}, {rate: 10}}
+	a := routeGreedy(units, nodes)
+	b := routeGreedy(units, nodes)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("greedy routing not deterministic: %v vs %v", a, b)
+		}
+	}
+	fin := loadsAfter(units, nodes, a)
+	if math.Abs(fin[0]-fin[1]) > 4.0+1e-9 { // LPT is within the largest unit's slack
+		t.Fatalf("greedy finish times too skewed: %v for %v", fin, a)
+	}
+}

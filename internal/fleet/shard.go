@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+
+	"feves/internal/h264/codec"
+)
+
+// ShardRange is one contiguous run of whole GOPs of a sharded stream:
+// frames [Start, Start+Frames) of the input, with Start a multiple of the
+// stream's intra period so the shard opens on an IDR. Because an IDR
+// flushes every reference chain and both the encoder's intra cadence and
+// the framework's chain parity are keyed to the global frame index
+// (serve.JobSpec.FrameBase), a shard encoded in isolation produces exactly
+// the bytes the whole-stream encode produces for the same frames — the
+// property the fleet's reassembly and node-death replay both rest on.
+type ShardRange struct {
+	Start  int `json:"start"`
+	Frames int `json:"frames"`
+}
+
+// shardRanges splits frames into at most maxShards contiguous GOP runs of
+// intraPeriod frames each, balancing whole GOPs across shards (earlier
+// shards take the remainder). intraPeriod <= 0 or maxShards <= 1 keeps the
+// stream whole.
+func shardRanges(frames, intraPeriod, maxShards int) []ShardRange {
+	if frames <= 0 {
+		return nil
+	}
+	if intraPeriod <= 0 || maxShards <= 1 {
+		return []ShardRange{{Start: 0, Frames: frames}}
+	}
+	gops := (frames + intraPeriod - 1) / intraPeriod
+	k := maxShards
+	if k > gops {
+		k = gops
+	}
+	per, rem := gops/k, gops%k
+	out := make([]ShardRange, 0, k)
+	gop := 0
+	for i := 0; i < k; i++ {
+		n := per
+		if i < rem {
+			n++
+		}
+		start := gop * intraPeriod
+		end := (gop + n) * intraPeriod
+		if end > frames {
+			end = frames
+		}
+		out = append(out, ShardRange{Start: start, Frames: end - start})
+		gop += n
+	}
+	return out
+}
+
+// assembleShards concatenates per-shard bitstreams in shard order into the
+// stream a single-node encode of the whole input would have produced.
+// Every shard encoder wrote its own copy of the sequence header; shard 0
+// keeps it and every later shard has it stripped after verifying it is
+// byte-identical to shard 0's (a mismatch means the shards were encoded
+// under diverging configurations and must not be spliced).
+func assembleShards(cfg codec.Config, shards [][]byte) ([]byte, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("fleet: no shards to assemble")
+	}
+	hdr := codec.SequenceHeaderLen(cfg)
+	size := 0
+	for i, b := range shards {
+		if len(b) < hdr {
+			return nil, fmt.Errorf("fleet: shard %d bitstream shorter than its sequence header (%d < %d)", i, len(b), hdr)
+		}
+		if !bytes.Equal(b[:hdr], shards[0][:hdr]) {
+			return nil, fmt.Errorf("fleet: shard %d sequence header diverges from shard 0", i)
+		}
+		size += len(b)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, shards[0]...)
+	for _, b := range shards[1:] {
+		out = append(out, b[hdr:]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"feves/internal/h264/codec"
+)
+
+func TestShardRangesCoverAndAlign(t *testing.T) {
+	cases := []struct {
+		frames, gop, max int
+		want             []ShardRange
+	}{
+		{12, 4, 3, []ShardRange{{0, 4}, {4, 4}, {8, 4}}},
+		{12, 4, 2, []ShardRange{{0, 8}, {8, 4}}},
+		{10, 4, 3, []ShardRange{{0, 4}, {4, 4}, {8, 2}}}, // ragged tail stays in the last shard
+		{12, 4, 8, []ShardRange{{0, 4}, {4, 4}, {8, 4}}}, // capped at the GOP count
+		{12, 0, 3, []ShardRange{{0, 12}}},                // IPPP cannot shard
+		{12, 4, 1, []ShardRange{{0, 12}}},
+		{3, 4, 4, []ShardRange{{0, 3}}}, // shorter than one GOP
+	}
+	for _, c := range cases {
+		got := shardRanges(c.frames, c.gop, c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("shardRanges(%d,%d,%d) = %v, want %v", c.frames, c.gop, c.max, got, c.want)
+			continue
+		}
+		covered := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("shardRanges(%d,%d,%d)[%d] = %v, want %v", c.frames, c.gop, c.max, i, got[i], c.want[i])
+			}
+			if c.gop > 0 && got[i].Start%c.gop != 0 {
+				t.Errorf("shard %d starts at %d, not on a GOP boundary", i, got[i].Start)
+			}
+			if got[i].Start != covered {
+				t.Errorf("shard %d starts at %d, gap after %d", i, got[i].Start, covered)
+			}
+			covered += got[i].Frames
+		}
+		if covered != c.frames {
+			t.Errorf("shards cover %d frames, want %d", covered, c.frames)
+		}
+	}
+	if got := shardRanges(0, 4, 3); got != nil {
+		t.Errorf("empty stream sharded to %v", got)
+	}
+}
+
+func TestAssembleShardsStripsHeadersOnce(t *testing.T) {
+	cfg := codec.Config{Width: 64, Height: 64, SearchRange: 16, NumRF: 1, IQP: 27, PQP: 28, IntraPeriod: 4}
+	hdr := codec.SequenceHeaderLen(cfg)
+	if hdr <= 0 {
+		t.Fatalf("sequence header length %d", hdr)
+	}
+	prefix := bytes.Repeat([]byte{0xAB}, hdr)
+	s0 := append(append([]byte{}, prefix...), 1, 2, 3)
+	s1 := append(append([]byte{}, prefix...), 4, 5)
+	out, err := assembleShards(cfg, [][]byte{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, s0...), 4, 5)
+	if !bytes.Equal(out, want) {
+		t.Fatalf("assembled %v, want %v", out, want)
+	}
+
+	// A diverging header must be rejected, not spliced.
+	bad := append([]byte{}, s1...)
+	bad[0] ^= 0xFF
+	if _, err := assembleShards(cfg, [][]byte{s0, bad}); err == nil {
+		t.Fatal("diverging sequence header accepted")
+	}
+	short := prefix[:hdr-1]
+	if _, err := assembleShards(cfg, [][]byte{s0, short}); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+	if _, err := assembleShards(cfg, nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+}

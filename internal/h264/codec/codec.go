@@ -293,6 +293,19 @@ func writeSequenceHeader(w *entropy.BitWriter, cfg Config) {
 	w.AlignByte()
 }
 
+// SequenceHeaderLen returns the byte length of the sequence header
+// writeSequenceHeader emits for cfg. Every shard of a GOP-sharded encode
+// writes its own identical copy of the header (each shard encoder starts a
+// fresh stream); a reassembler keeps shard 0 whole and strips this many
+// leading bytes from every later shard before concatenating. The header is
+// byte-aligned, as is every frame payload, so the splice points land on
+// byte boundaries.
+func SequenceHeaderLen(cfg Config) int {
+	w := entropy.NewBitWriter()
+	writeSequenceHeader(w, cfg)
+	return len(w.Bytes())
+}
+
 // readSequenceHeader parses the stream preamble.
 func readSequenceHeader(r *entropy.BitReader) (Config, error) {
 	var cfg Config

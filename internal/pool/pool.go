@@ -121,6 +121,20 @@ func (p *Pool) MarkUp(dev int) bool {
 	return true
 }
 
+// Rate returns the pool's aggregate calibrated row rate for workload w
+// over the devices currently up: rows per second if the whole node worked
+// the stream jointly. This is the per-node capacity figure the fleet
+// router's third-level LP balances session placement against.
+func (p *Pool) Rate(w device.Workload) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum float64
+	for _, d := range p.upLocked() {
+		sum += rowRate(p.base.Dev(d), w)
+	}
+	return sum
+}
+
 // Sessions returns the number of active leases.
 func (p *Pool) Sessions() int {
 	p.mu.Lock()

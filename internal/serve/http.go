@@ -214,15 +214,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// retryAfterSeconds turns the live backlog into the Retry-After hint on
-// the 503 responses. A merely busy server clears roughly one queued job
-// per session-slot turnover, so the hint grows with the number of jobs
-// ahead (queued plus running) instead of the old constant "1". A
-// draining server never accepts again; its hint is the longer drain
-// horizon, steering well-behaved clients away until a load balancer has
-// rotated the replica out.
-func (s *Server) retryAfterSeconds(draining bool) int {
-	ahead := len(s.queue) + len(s.slots)
+// Backlog returns the number of jobs ahead of a new submission — queued
+// plus running — the live load figure RetryAfterSeconds turns into a
+// Retry-After hint. Safe to call concurrently.
+func (s *Server) Backlog() int { return len(s.queue) + len(s.slots) }
+
+// RetryAfterSeconds turns a backlog depth into the Retry-After hint of a
+// 503 response. A merely busy server clears roughly one queued job per
+// session-slot turnover, so the hint grows with the number of jobs ahead
+// (queued plus running) instead of a constant "1". A draining server never
+// accepts again; its hint is the longer drain horizon, steering
+// well-behaved clients away until a load balancer has rotated the replica
+// out. The fleet coordinator's admission control shares this helper (with
+// the cluster-wide backlog) so single-node and fleet 503s advertise
+// consistent estimates.
+func RetryAfterSeconds(ahead int, draining bool) int {
 	secs, floor := ahead, 1
 	if draining {
 		secs, floor = 2*ahead, 5
@@ -234,4 +240,9 @@ func (s *Server) retryAfterSeconds(draining bool) int {
 		secs = 300
 	}
 	return secs
+}
+
+// retryAfterSeconds derives the hint from this server's own backlog.
+func (s *Server) retryAfterSeconds(draining bool) int {
+	return RetryAfterSeconds(s.Backlog(), draining)
 }

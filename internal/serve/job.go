@@ -42,6 +42,17 @@ type JobSpec struct {
 	PQP int `json:"pqp,omitempty"`
 	// IntraPeriod inserts an IDR every IntraPeriod frames (0 = IPPP).
 	IntraPeriod int `json:"intra_period,omitempty"`
+	// SceneCutThreshold enables the codec's adaptive IDR insertion: frames
+	// whose mean motion-compensated cost per pixel exceeds it are coded
+	// intra (0 disables detection; see codec.Config.SceneCutThreshold).
+	SceneCutThreshold float64 `json:"scene_cut_threshold,omitempty"`
+	// FrameBase offsets the session's display frame numbering: frame i of
+	// the input runs as global frame FrameBase+i — intra cadence, jitter
+	// identity, telemetry and results all use the global index. The fleet
+	// layer shards one stream into GOP runs and gives each shard session
+	// its global numbering this way. Non-zero values require IntraPeriod >
+	// 0 with FrameBase a multiple of it, so the shard opens on an IDR.
+	FrameBase int `json:"frame_base,omitempty"`
 	// FrameParallel runs the session with two inter frames in flight over
 	// dual reference chains (see feves.Config.FrameParallel). Encode jobs
 	// produce the two-chain bitstream; simulate jobs report the paired
@@ -90,6 +101,12 @@ func (sp JobSpec) validate() error {
 		return fmt.Errorf("serve: frame size %dx%d must be positive multiples of %d",
 			sp.Width, sp.Height, h264.MBSize)
 	}
+	if sp.FrameBase != 0 {
+		if sp.FrameBase < 0 || sp.IntraPeriod <= 0 || sp.FrameBase%sp.IntraPeriod != 0 {
+			return fmt.Errorf("serve: frame base %d must be a non-negative multiple of a non-zero intra period (have %d)",
+				sp.FrameBase, sp.IntraPeriod)
+		}
+	}
 	if sp.Mode == ModeSimulate {
 		if sp.Frames < 1 {
 			return fmt.Errorf("serve: simulate job needs frames >= 1")
@@ -106,6 +123,12 @@ func (sp JobSpec) validate() error {
 	return sp.codecConfig().Validate()
 }
 
+// Validate checks the spec exactly as Submit would without admitting it.
+// The fleet layer validates a whole stream this way before splitting it
+// into per-shard jobs, so a malformed stream is rejected before any node
+// accepts work.
+func (sp JobSpec) Validate() error { return sp.withDefaults().validate() }
+
 func (sp JobSpec) codecConfig() codec.Config {
 	chains := 1
 	if sp.FrameParallel {
@@ -116,8 +139,9 @@ func (sp JobSpec) codecConfig() codec.Config {
 		SearchRange: sp.SearchArea / 2,
 		NumRF:       sp.RefFrames,
 		IQP:         sp.IQP, PQP: sp.PQP,
-		IntraPeriod: sp.IntraPeriod,
-		Chains:      chains,
+		IntraPeriod:       sp.IntraPeriod,
+		SceneCutThreshold: sp.SceneCutThreshold,
+		Chains:            chains,
 	}
 }
 

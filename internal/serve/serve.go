@@ -326,7 +326,7 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 	// pool; the post-mortem bundle is captured once the failover completes
 	// — when the session picks up its re-partitioned lease below — so the
 	// bundle contains the re-lease incident too.
-	curFrame, pendingFailover := 0, false
+	curFrame, pendingFailover := spec.FrameBase, false
 	opts := core.Options{
 		Platform:        pl,
 		Codec:           spec.codecConfig(),
@@ -337,6 +337,7 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 		DeadlineSlack:   s.cfg.DeadlineSlack,
 		MaxFrameRetries: s.cfg.MaxFrameRetries,
 		FrameParallel:   spec.FrameParallel,
+		FrameBase:       spec.FrameBase,
 	}
 	if s.cfg.DeadlineSlack > 0 {
 		// When this session's framework excludes a device, report the loss
@@ -374,7 +375,7 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 	}
 	retries := 0
 	for i := 0; i < frames; i++ {
-		curFrame = i
+		curFrame = spec.FrameBase + i
 		if job.ctx.Err() != nil {
 			return StatusCanceled, "canceled", nil
 		}
@@ -386,11 +387,11 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 				return StatusFailed, err.Error(), nil
 			}
 			pl, epoch = sub, e
-			tel.Incident("re_lease", i, -1,
+			tel.Incident("re_lease", curFrame, -1,
 				fmt.Sprintf("picked up epoch %d: %v", e, deviceNames(sub)))
 			if pendingFailover {
 				pendingFailover = false
-				tel.CaptureBundle("pool_failover", i,
+				tel.CaptureBundle("pool_failover", curFrame,
 					fmt.Sprintf("failover complete: session re-leased onto %v at epoch %d", deviceNames(sub), e))
 			}
 			s.metric("feves_serve_repartitions_total",
@@ -399,13 +400,13 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 		var cf, cf2 *h264.Frame
 		if spec.Mode == ModeEncode {
 			cf = h264.NewFrame(spec.Width, spec.Height)
-			cf.Poc = i
+			cf.Poc = spec.FrameBase + i
 			if err := cf.LoadYUV(spec.YUV[i*fb : (i+1)*fb]); err != nil {
 				return StatusFailed, err.Error(), nil
 			}
 			if spec.FrameParallel && i+1 < frames {
 				cf2 = h264.NewFrame(spec.Width, spec.Height)
-				cf2.Poc = i + 1
+				cf2.Poc = spec.FrameBase + i + 1
 				if err := cf2.LoadYUV(spec.YUV[(i+1)*fb : (i+2)*fb]); err != nil {
 					return StatusFailed, err.Error(), nil
 				}
@@ -448,7 +449,7 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 					if s.pool.MarkDown(parent) {
 						lost = true
 						pendingFailover = true
-						tel.Incident("device_down", i, parent,
+						tel.Incident("device_down", curFrame, parent,
 							fmt.Sprintf("pool removed device %d (%s): %s", parent, s.cfg.Platform.Dev(parent).Name, de.Error()))
 						s.metric("feves_serve_devices_lost_total",
 							"Devices removed from the pool after a session excluded them.").Inc()
@@ -463,7 +464,7 @@ func (s *Server) runSession(job *Job, lease *pool.Lease) (Status, string, []byte
 			if pendingFailover {
 				// The session is failing before it could pick up a re-lease;
 				// capture what we have.
-				tel.CaptureBundle("session_failed", i, err.Error())
+				tel.CaptureBundle("session_failed", curFrame, err.Error())
 			}
 			return StatusFailed, err.Error(), nil
 		}

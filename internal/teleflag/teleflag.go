@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"feves"
 )
@@ -15,10 +16,20 @@ import (
 // Flags holds the parsed observability flag values.
 type Flags struct {
 	metricsAddr  string
-	events       string
+	events       stringList
 	perfetto     string
 	traceEvents  int
 	flightFrames int
+}
+
+// stringList is a repeatable string flag: each occurrence appends.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
 }
 
 // Register declares -metrics-addr, -events, -perfetto, -trace-events and
@@ -27,8 +38,9 @@ func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.metricsAddr, "metrics-addr", "",
 		"serve Prometheus metrics over HTTP at this address, e.g. :9090 ('' = off)")
-	flag.StringVar(&f.events, "events", "",
-		"write the JSONL telemetry event stream (frame timings, balancer audits) to this file ('' = off)")
+	flag.Var(&f.events, "events",
+		"write the JSONL telemetry event stream (frame timings, balancer audits) to this file ('' = off); "+
+			"feves-trace instead reads it, and accepts the flag repeated — one file per fleet node — to merge")
 	flag.StringVar(&f.perfetto, "perfetto", "",
 		"write the whole run's schedule as Chrome trace-event JSON (Perfetto-loadable) to this file ('' = off)")
 	flag.IntVar(&f.traceEvents, "trace-events", 0,
@@ -42,6 +54,10 @@ func Register() *Flags {
 // that render trace output themselves instead of going through Observer.
 func (f *Flags) PerfettoPath() string { return f.perfetto }
 
+// EventsPaths returns every -events occurrence in flag order, for tools
+// (feves-trace) that read event streams instead of writing them.
+func (f *Flags) EventsPaths() []string { return f.events }
+
 // TraceEventCap returns the -trace-events flag value (0 = default cap).
 func (f *Flags) TraceEventCap() int { return f.traceEvents }
 
@@ -50,7 +66,7 @@ func (f *Flags) FlightFrames() int { return f.flightFrames }
 
 // Enabled reports whether any observability flag was set.
 func (f *Flags) Enabled() bool {
-	return f.metricsAddr != "" || f.events != "" || f.perfetto != ""
+	return f.metricsAddr != "" || len(f.events) > 0 || f.perfetto != ""
 }
 
 // Observer builds the Observer the flags describe, or nil when none was
@@ -66,8 +82,12 @@ func (f *Flags) Observer() (*feves.Observer, func() error, error) {
 	oc.MetricsAddr = f.metricsAddr
 	oc.TraceEventCap = f.traceEvents
 	oc.FlightFrames = f.flightFrames
-	if f.events != "" {
-		ef, err := os.Create(f.events)
+	if len(f.events) > 1 {
+		return nil, noop, fmt.Errorf(
+			"writing supports a single -events file (%d given); merging several is feves-trace's reading mode", len(f.events))
+	}
+	if len(f.events) == 1 {
+		ef, err := os.Create(f.events[0])
 		if err != nil {
 			return nil, noop, err
 		}

@@ -63,12 +63,24 @@ func TestFlagsObserver(t *testing.T) {
 		}
 	}
 
+	// -events repeats accumulate (feves-trace's merge input)...
+	set("events", filepath.Join(dir, "node1.jsonl"))
+	if got := f.EventsPaths(); len(got) != 2 {
+		t.Fatalf("EventsPaths after a repeat = %v, want 2 entries", got)
+	}
+	// ...but writing through Observer only supports one sink.
+	if _, _, err := f.Observer(); err == nil {
+		t.Fatal("multiple -events files accepted for writing")
+	}
+
 	// A path that cannot be created must fail cleanly...
+	f.events = nil
 	set("events", filepath.Join(dir, "missing", "events.jsonl"))
 	if _, _, err := f.Observer(); err == nil {
 		t.Fatal("uncreatable -events path accepted")
 	}
 	// ...including when the failure comes second, after -events opened.
+	f.events = nil
 	set("events", events)
 	set("perfetto", filepath.Join(dir, "missing", "trace.json"))
 	if _, _, err := f.Observer(); err == nil {

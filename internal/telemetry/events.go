@@ -48,6 +48,7 @@ func (l *EventLog) Count() int {
 // FrameStartEvent opens a frame's event group.
 type FrameStartEvent struct {
 	Type    string `json:"type"` // "frame_start"
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	Intra   bool   `json:"intra"`
@@ -58,6 +59,7 @@ type FrameStartEvent struct {
 // time and the functional coding outcome.
 type FrameEndEvent struct {
 	Type    string `json:"type"` // "frame_end"
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	// Attempt is the successful attempt index (omitted for first-try
@@ -114,6 +116,7 @@ type DeviceDrift struct {
 // feedback loop.
 type AuditEvent struct {
 	Type     string  `json:"type"` // "balancer_audit"
+	Node     string  `json:"node,omitempty"`
 	Session  string  `json:"session,omitempty"`
 	Frame    int     `json:"frame"`
 	Balancer string  `json:"balancer,omitempty"`
@@ -130,6 +133,7 @@ type AuditEvent struct {
 // scene-cut-forced intra switch ("scene_cut").
 type MarkEvent struct {
 	Type    string `json:"type"`
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 }
@@ -138,6 +142,7 @@ type MarkEvent struct {
 // state machine.
 type HealthEvent struct {
 	Type    string `json:"type"` // "health_transition"
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	Device int    `json:"device"`
@@ -151,6 +156,7 @@ type HealthEvent struct {
 // RetryEvent reports a frame being re-run after a blown deadline.
 type RetryEvent struct {
 	Type    string `json:"type"` // "frame_retry"
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	Attempt int    `json:"attempt"`
@@ -164,6 +170,7 @@ type RetryEvent struct {
 // checker runs in non-fatal (observe) mode.
 type CheckEvent struct {
 	Type    string   `json:"type"` // "check_violation"
+	Node    string   `json:"node,omitempty"`
 	Session string   `json:"session,omitempty"`
 	Frame   int      `json:"frame"`
 	Rules   []string `json:"rules"`
@@ -173,6 +180,7 @@ type CheckEvent struct {
 // bundle id it can be retrieved by at /debug/flight.
 type CaptureEvent struct {
 	Type    string `json:"type"` // "flight_capture"
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	Reason  string `json:"reason"`

@@ -15,6 +15,7 @@ import (
 // timeline after the fact.
 type FlightEntry struct {
 	Seq     uint64 `json:"seq"`
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	Attempt int    `json:"attempt,omitempty"`
@@ -67,7 +68,8 @@ func (s LPSolveStats) zero() bool { return s == LPSolveStats{} }
 // bundle is read by.
 type Incident struct {
 	Seq     uint64 `json:"seq"`
-	Kind    string `json:"kind"` // "frame_retry", "health_transition", "device_down", "re_lease", ...
+	Kind    string `json:"kind"` // "frame_retry", "health_transition", "device_down", "re_lease", "node_down", ...
+	Node    string `json:"node,omitempty"`
 	Session string `json:"session,omitempty"`
 	Frame   int    `json:"frame"`
 	Device  int    `json:"device,omitempty"`
@@ -80,6 +82,7 @@ type Incident struct {
 type Bundle struct {
 	ID       int       `json:"id"`
 	Reason   string    `json:"reason"`
+	Node     string    `json:"node,omitempty"`
 	Session  string    `json:"session,omitempty"`
 	Frame    int       `json:"frame"`
 	Detail   string    `json:"detail,omitempty"`
@@ -156,6 +159,7 @@ func (r *FlightRecorder) Commit(e *FlightEntry) {
 	r.seq++
 	slot := &r.ring[r.next]
 	slot.Seq = r.seq
+	slot.Node = e.Node
 	slot.Session = e.Session
 	slot.Frame = e.Frame
 	slot.Attempt = e.Attempt
@@ -184,14 +188,14 @@ func (r *FlightRecorder) Commit(e *FlightEntry) {
 // Incident appends one incident record to the incident ring. This is the
 // exceptional path; it needs no allocation discipline beyond the ring
 // bound itself.
-func (r *FlightRecorder) Incident(kind, session string, frame, device int, detail string) {
+func (r *FlightRecorder) Incident(kind, node, session string, frame, device int, detail string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.seq++
 	r.incidents[r.incNext] = Incident{
-		Seq: r.seq, Kind: kind, Session: session,
+		Seq: r.seq, Kind: kind, Node: node, Session: session,
 		Frame: frame, Device: device, Detail: detail,
 	}
 	r.incNext = (r.incNext + 1) % len(r.incidents)
@@ -241,7 +245,7 @@ func (r *FlightRecorder) incidentsLocked() []Incident {
 // Capture snapshots the current window into a post-mortem Bundle and
 // retains it (dropping the oldest beyond maxFlightBundles). It returns a
 // copy of the captured bundle. Nil-receiver safe (returns a zero bundle).
-func (r *FlightRecorder) Capture(reason, session string, frame int, detail string) Bundle {
+func (r *FlightRecorder) Capture(reason, node, session string, frame int, detail string) Bundle {
 	if r == nil {
 		return Bundle{}
 	}
@@ -249,7 +253,7 @@ func (r *FlightRecorder) Capture(reason, session string, frame int, detail strin
 	defer r.mu.Unlock()
 	r.bundleSeq++
 	b := Bundle{
-		ID: r.bundleSeq, Reason: reason, Session: session, Frame: frame,
+		ID: r.bundleSeq, Reason: reason, Node: node, Session: session, Frame: frame,
 		Detail: detail, Captured: time.Now().UTC(),
 		Frames:    r.framesLocked(),
 		Incidents: r.incidentsLocked(),

@@ -76,6 +76,7 @@ type Telemetry struct {
 	Trace   *TraceWriter
 	Flight  *FlightRecorder
 
+	node    string // fleet node label; "" = single-node / unscoped
 	session string // tenant label; "" = unscoped
 	pid     int    // perfetto lane (0 = unscoped lane)
 
@@ -160,11 +161,46 @@ func (t *Telemetry) Session() string {
 	return t.session
 }
 
+// Node returns the fleet node label of a node-scoped Telemetry ("" when
+// unscoped or nil).
+func (t *Telemetry) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// ForNode returns a node-scoped view of t: same sinks, but every event,
+// flight-recorder record and metric carries the node label — the fleet
+// coordinator hands each simulated node such a scope so a multi-node run
+// stays attributable record by record. Session scopes derived from a node
+// scope (ForSession) keep the node label and get a node-qualified Perfetto
+// lane ("node0/job-1"). A nil receiver stays nil; an empty label returns t
+// itself.
+func (t *Telemetry) ForNode(label string) *Telemetry {
+	if t == nil || label == "" {
+		return t
+	}
+	s := &Telemetry{
+		Metrics: t.Metrics,
+		Events:  t.Events,
+		Trace:   t.Trace,
+		Flight:  t.Flight,
+		node:    label,
+		session: t.session,
+	}
+	if t.Trace != nil {
+		s.pid = t.Trace.SessionPID(s.laneName(t.session, label))
+	}
+	return s
+}
+
 // ForSession returns a tenant-scoped view of t: same Registry, EventLog,
 // TraceWriter and FlightRecorder, but every record carries the session
 // label, metrics gain a {session="…"} dimension, and the tenant gets its
-// own Perfetto process lane with its own frame-abutting clock. A nil
-// receiver stays nil; an empty name returns t itself.
+// own Perfetto process lane with its own frame-abutting clock. A node
+// scope's sessions inherit the node label. A nil receiver stays nil; an
+// empty name returns t itself.
 func (t *Telemetry) ForSession(name string) *Telemetry {
 	if t == nil || name == "" {
 		return t
@@ -174,21 +210,39 @@ func (t *Telemetry) ForSession(name string) *Telemetry {
 		Events:  t.Events,
 		Trace:   t.Trace,
 		Flight:  t.Flight,
+		node:    t.node,
 		session: name,
 	}
 	if t.Trace != nil {
-		s.pid = t.Trace.SessionPID(name)
+		s.pid = t.Trace.SessionPID(s.laneName(name, t.node))
 	}
 	return s
 }
 
-// labels prepends the session dimension of a scoped Telemetry. Cold path
-// only — results are cached in instruments.
-func (t *Telemetry) labels(pairs ...string) []string {
-	if t.session == "" {
-		return pairs
+// laneName derives the Perfetto process-lane label of a scope: the session
+// name, qualified by the node label on fleet nodes so two nodes' "job-1"
+// tenants land on distinct lanes.
+func (t *Telemetry) laneName(session, node string) string {
+	switch {
+	case node == "":
+		return session
+	case session == "":
+		return node
+	default:
+		return node + "/" + session
 	}
-	return append([]string{"session", t.session}, pairs...)
+}
+
+// labels prepends the node and session dimensions of a scoped Telemetry.
+// Cold path only — results are cached in instruments.
+func (t *Telemetry) labels(pairs ...string) []string {
+	if t.session != "" {
+		pairs = append([]string{"session", t.session}, pairs...)
+	}
+	if t.node != "" {
+		pairs = append([]string{"node", t.node}, pairs...)
+	}
+	return pairs
 }
 
 // ins returns the scope's cached instruments, minting them on first use.
@@ -245,7 +299,7 @@ func (t *Telemetry) FrameStart(frame int, intra bool) {
 		return
 	}
 	if t.Events != nil {
-		t.Events.Emit(FrameStartEvent{Type: "frame_start", Session: t.session, Frame: frame, Intra: intra})
+		t.Events.Emit(FrameStartEvent{Type: "frame_start", Node: t.node, Session: t.session, Frame: frame, Intra: intra})
 	}
 }
 
@@ -258,7 +312,7 @@ func (t *Telemetry) FrameEnd(rec FrameRecord) {
 	}
 	if t.Events != nil {
 		ev := FrameEndEvent{
-			Type: "frame_end", Session: t.session, Frame: rec.Frame,
+			Type: "frame_end", Node: t.node, Session: t.session, Frame: rec.Frame,
 			Attempt: rec.Attempt, Intra: rec.Intra, Chain: rec.Chain,
 			Tau1: rec.Tau1, Tau2: rec.Tau2, Tot: rec.Tot,
 			PredTau1: rec.PredTau1, PredTau2: rec.PredTau2, PredTot: rec.PredTot,
@@ -325,6 +379,7 @@ func (t *Telemetry) commitFlight(rec *FrameRecord) {
 	}
 	t.mu.Lock()
 	e := &t.scratch
+	e.Node = t.node
 	e.Session = t.session
 	e.Frame = rec.Frame
 	e.Attempt = rec.Attempt
@@ -363,7 +418,7 @@ func (t *Telemetry) Audit(rec AuditRecord) {
 	}
 	if t.Events != nil {
 		t.Events.Emit(AuditEvent{
-			Type: "balancer_audit", Session: t.session, Frame: rec.Frame, Balancer: rec.Balancer,
+			Type: "balancer_audit", Node: t.node, Session: t.session, Frame: rec.Frame, Balancer: rec.Balancer,
 			PredTot: rec.PredTot, Measured: rec.Measured,
 			AbsErr: absErr, RelErr: relErr, Drift: rec.Drift,
 		})
@@ -414,7 +469,7 @@ func (t *Telemetry) CheckViolations(frame int, rules []string) {
 		return
 	}
 	if t.Events != nil {
-		t.Events.Emit(CheckEvent{Type: "check_violation", Session: t.session, Frame: frame, Rules: rules})
+		t.Events.Emit(CheckEvent{Type: "check_violation", Node: t.node, Session: t.session, Frame: frame, Rules: rules})
 	}
 	if r := t.Metrics; r != nil {
 		for _, rule := range rules {
@@ -436,10 +491,10 @@ func (t *Telemetry) HealthTransition(frame, device int, from, to, reason string)
 		return
 	}
 	if t.Events != nil {
-		t.Events.Emit(HealthEvent{Type: "health_transition", Session: t.session, Frame: frame,
+		t.Events.Emit(HealthEvent{Type: "health_transition", Node: t.node, Session: t.session, Frame: frame,
 			Device: device, From: from, To: to, Reason: reason})
 	}
-	t.Flight.Incident("health_transition", t.session, frame, device, from+"->"+to+" ("+reason+")")
+	t.Flight.Incident("health_transition", t.node, t.session, frame, device, from+"->"+to+" ("+reason+")")
 	if r := t.Metrics; r != nil {
 		dev := fmt.Sprintf("%d", device)
 		r.Counter("feves_health_transitions_total", "Device health-state transitions.",
@@ -458,14 +513,14 @@ func (t *Telemetry) FrameRetry(frame, attempt int, point string, blamed []int) {
 		return
 	}
 	if t.Events != nil {
-		t.Events.Emit(RetryEvent{Type: "frame_retry", Session: t.session, Frame: frame,
+		t.Events.Emit(RetryEvent{Type: "frame_retry", Node: t.node, Session: t.session, Frame: frame,
 			Attempt: attempt, Point: point, Blamed: blamed})
 	}
 	dev := -1
 	if len(blamed) > 0 {
 		dev = blamed[0]
 	}
-	t.Flight.Incident("frame_retry", t.session, frame, dev, "deadline "+point+" blown, attempt "+strconv.Itoa(attempt))
+	t.Flight.Incident("frame_retry", t.node, t.session, frame, dev, "deadline "+point+" blown, attempt "+strconv.Itoa(attempt))
 	if t.Metrics != nil {
 		t.ins().retries.Inc()
 	}
@@ -477,7 +532,7 @@ func (t *Telemetry) Mark(typ string, frame int) {
 		return
 	}
 	if t.Events != nil {
-		t.Events.Emit(MarkEvent{Type: typ, Session: t.session, Frame: frame})
+		t.Events.Emit(MarkEvent{Type: typ, Node: t.node, Session: t.session, Frame: frame})
 	}
 	if r := t.Metrics; r != nil {
 		r.Counter("feves_marks_total", "One-off framework events (IDR refreshes, scene cuts).", t.labels("type", typ)...).Inc()
@@ -490,7 +545,7 @@ func (t *Telemetry) Incident(kind string, frame, device int, detail string) {
 	if t == nil {
 		return
 	}
-	t.Flight.Incident(kind, t.session, frame, device, detail)
+	t.Flight.Incident(kind, t.node, t.session, frame, device, detail)
 }
 
 // CaptureBundle snapshots a post-mortem bundle under the scope's session.
@@ -499,9 +554,9 @@ func (t *Telemetry) CaptureBundle(reason string, frame int, detail string) Bundl
 	if t == nil || t.Flight == nil {
 		return Bundle{}
 	}
-	b := t.Flight.Capture(reason, t.session, frame, detail)
+	b := t.Flight.Capture(reason, t.node, t.session, frame, detail)
 	if t.Events != nil {
-		t.Events.Emit(CaptureEvent{Type: "flight_capture", Session: t.session,
+		t.Events.Emit(CaptureEvent{Type: "flight_capture", Node: t.node, Session: t.session,
 			Frame: frame, Reason: reason, Bundle: b.ID, Detail: detail})
 	}
 	if r := t.Metrics; r != nil {
