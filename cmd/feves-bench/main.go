@@ -9,14 +9,15 @@
 //	feves-bench -exp fig7b -format json
 //
 // Experiments: fig6a fig6b fig7a fig7b speedups overhead share ablation
-// engines accuracy workload scaling failover perf fleet fleetdeath all.
+// engines accuracy workload scaling failover perf fleet fleetdeath
+// fleetshed all.
 //
 // Performance regression gate: -exp perf measures the V4 control-path
 // metrics (steady fps, allocs/frame, LP warm rate, fleet routing); -compare
 // diffs them against a committed baseline and exits non-zero on regression:
 //
-//	feves-bench -exp perf -json -json-file BENCH_8.json         # refresh baseline
-//	feves-bench -exp perf -compare BENCH_8.json -tol 0.15       # CI gate
+//	feves-bench -exp perf -json -json-file BENCH_9.json         # refresh baseline
+//	feves-bench -exp perf -compare BENCH_9.json -tol 0.15       # CI gate
 //
 // Fault injection: -inject-faults applies a deterministic fault schedule
 // to every platform and -deadline-slack arms the autonomous failover
@@ -70,6 +71,7 @@ func experiments() []experiment {
 		{id: "perf", title: "V4: control-path performance (regression-gated)", perf: bench.Perf},
 		{id: "fleet", table: bench.FleetScaling},
 		{id: "fleetdeath", table: bench.FleetDeath},
+		{id: "fleetshed", table: bench.FleetShed},
 	}
 }
 

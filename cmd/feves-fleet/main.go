@@ -52,6 +52,10 @@ func main() {
 			"consecutive missed heartbeats before a node is declared dead")
 		deaths = flag.String("deaths", "",
 			"deterministic node-death schedule: die:LABEL@TICK entries, ';'-separated")
+		affinity = flag.Float64("affinity", 0.25,
+			"shard affinity: LP share a stream gives up to stay on a node it already uses (0 = off, 1 = collapse onto one node)")
+		specSlack = flag.Float64("spec-slack", 0.5,
+			"speculative re-lease: completion-fraction lag behind a stream's front-runner that re-leases a straggling shard to a second node (0 = off)")
 		check = flag.Bool("check", false,
 			"validate every frame's schedule in observe mode on every node")
 		slack = flag.Float64("deadline-slack", 0,
@@ -101,6 +105,8 @@ func main() {
 		CheckSchedules: *check,
 		DeadlineSlack:  *slack,
 		MissLimit:      *missLimit,
+		Affinity:       *affinity,
+		SpecSlack:      *specSlack,
 		Deaths:         *deaths,
 	})
 	if err != nil {

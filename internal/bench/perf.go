@@ -31,7 +31,7 @@ type PerfMetric struct {
 }
 
 // PerfReport is the perf experiment's machine-readable result — the
-// committed BENCH_8.json baseline and the shape CI compares against it.
+// committed BENCH_9.json baseline and the shape CI compares against it.
 type PerfReport struct {
 	Metrics []PerfMetric `json:"metrics"`
 }
@@ -147,6 +147,7 @@ func Perf() PerfReport {
 	add("sched_overhead_us", float64(overhead.Microseconds())/perfFrames, "us/frame", "info", 0)
 
 	perfFleet(add)
+	perfFleetShed(add)
 	return r
 }
 
@@ -258,4 +259,79 @@ func ComparePerf(baseline, current PerfReport, tol float64) []string {
 		}
 	}
 	return fails
+}
+
+// perfFleetShed pins the queue-aware routing counters. Shed rate: node0
+// is deepened with three heavy simulations submitted directly to its
+// server — invisible to capacity-only routing, fully visible to the
+// queue-aware cap rows — and every coordinator probe must route around
+// it. Speculative releases: a second fleet gives node0 one session slot
+// occupied by a wide filler encode (light routed weight, long wall time),
+// so the shard the LP places there sits queued at zero progress while its
+// sibling finishes; the straggler detector must re-lease it exactly once.
+func perfFleetShed(add func(name string, value float64, unit, dir string, slop float64)) {
+	f, err := fleet.New(fleet.Config{Nodes: fleetNodes(2)})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	srv0, _ := f.Node("node0")
+	deepRefs := make([]*serve.Job, 0, 3)
+	for i := 0; i < 3; i++ {
+		j, err := srv0.Submit(serve.JobSpec{
+			Mode: serve.ModeSimulate, Width: 1920, Height: 1088, Frames: 5000,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		deepRefs = append(deepRefs, j)
+	}
+	const probes = 6
+	for i := 0; i < probes; i++ {
+		ref, err := f.Submit(serve.JobSpec{
+			Mode: serve.ModeSimulate, Width: 1920, Height: 1088, Frames: 5,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		ref.Job.Wait()
+	}
+	add("fleet_shed_rate", float64(f.State().Shed)/probes, "ratio", "higher", 0.02)
+	for _, j := range deepRefs {
+		j.Cancel()
+	}
+	f.Close()
+
+	nodes := fleetNodes(2)
+	nodes[0].MaxSessions = 1
+	f, err = fleet.New(fleet.Config{Nodes: nodes, SpecSlack: 0.5, MissLimit: 1 << 20})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	defer f.Close()
+	srv0, _ = f.Node("node0")
+	if _, err := srv0.Submit(serve.JobSpec{
+		Name: "filler", Mode: serve.ModeEncode,
+		Width: 4096, Height: 64, IntraPeriod: 4, YUV: syntheticYUV(4096, 64, 7),
+	}); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	st, err := f.SubmitStream(fleet.StreamSpec{
+		Name: "spec", Mode: serve.ModeEncode,
+		Width: 64, Height: 64, IntraPeriod: 4, MaxShards: 2,
+		YUV: syntheticYUV(64, 64, 16),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	waitDone := make(chan serve.Status, 1)
+	go func() { waitDone <- st.Wait() }()
+	for ticking := true; ticking; {
+		select {
+		case <-waitDone:
+			ticking = false
+		case <-time.After(time.Millisecond):
+			f.Tick()
+		}
+	}
+	add("fleet_speculative_releases", float64(f.State().SpecReleases), "count", "higher", 0)
 }

@@ -65,7 +65,7 @@ func TestComparePerfGates(t *testing.T) {
 // TestPerfReportMetrics pins the gated metric set: CI compares by name,
 // so renaming or dropping one silently weakens the regression gate —
 // this test makes that a deliberate, reviewed change (with a matching
-// BENCH_8.json refresh).
+// BENCH_9.json refresh).
 func TestPerfReportMetrics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full perf measurement loop")
@@ -76,20 +76,22 @@ func TestPerfReportMetrics(t *testing.T) {
 		got[m.Name] = m.Direction
 	}
 	want := map[string]string{
-		"steady_fps_syshk":    "higher",
-		"steady_fps_sysnff":   "higher",
-		"steady_fps_syshk_fp": "higher",
-		"fp_speedup":          "higher",
-		"frame_allocs":        "lower",
-		"frame_bytes":         "lower",
-		"pair_frame_allocs":   "lower",
-		"pair_frame_bytes":    "lower",
-		"lp_warm_rate":        "higher",
-		"lp_pivots_per_solve": "lower",
-		"sched_overhead_us":   "info",
-		"fleet_lp_route_rate": "higher",
-		"fleet_lp_warm_rate":  "higher",
-		"fleet_submit_us":     "info",
+		"steady_fps_syshk":           "higher",
+		"steady_fps_sysnff":          "higher",
+		"steady_fps_syshk_fp":        "higher",
+		"fp_speedup":                 "higher",
+		"frame_allocs":               "lower",
+		"frame_bytes":                "lower",
+		"pair_frame_allocs":          "lower",
+		"pair_frame_bytes":           "lower",
+		"lp_warm_rate":               "higher",
+		"lp_pivots_per_solve":        "lower",
+		"sched_overhead_us":          "info",
+		"fleet_lp_route_rate":        "higher",
+		"fleet_lp_warm_rate":         "higher",
+		"fleet_submit_us":            "info",
+		"fleet_shed_rate":            "higher",
+		"fleet_speculative_releases": "higher",
 	}
 	for name, dir := range want {
 		if got[name] != dir {

@@ -74,6 +74,24 @@ type Config struct {
 	// MaxShardRetries bounds how many times one shard may be re-leased to
 	// another node after collection failures (default 3).
 	MaxShardRetries int
+	// Affinity biases placement toward nodes a stream already occupies: a
+	// shard stays on such a node when the LP share (or greedy finish-time
+	// factor) it gives up is within Affinity, bounding reassembly fan-in.
+	// 0 disables; 1 collapses a stream onto as few nodes as admission
+	// allows. Typical values 0.2–0.5.
+	Affinity float64
+	// SpecSlack arms speculative straggler re-lease: at every Tick, a
+	// still-running shard whose completion fraction trails its stream's
+	// most advanced shard by more than SpecSlack is re-leased to a second
+	// node — before the heartbeat detector would fire, which for an alive
+	// but backlogged node is never. Both copies run; the first to finish
+	// is collected and the loser cancelled, and byte-idempotent shard
+	// replay keeps the reassembled stream bit-exact. 0 disables.
+	SpecSlack float64
+	// CapacityOnly restores the capacity-only routing view (calibrated
+	// rate plus coordinator-routed weight, blind to node-local queues) —
+	// kept for the V8 experiment and as an escape hatch.
+	CapacityOnly bool
 	// Deaths is the deterministic node-death schedule: "die:LABEL@TICK"
 	// entries separated by ';' or ','. At virtual tick TICK the node
 	// vanishes silently — it stops heartbeating but its server keeps
@@ -119,6 +137,9 @@ type Fleet struct {
 	seq         int
 	draining    bool
 	closed      bool
+	shed        int // placements steered away from a queue-deep node
+	specRel     int // straggler shards speculatively re-leased
+	specWins    int // speculative copies that beat their primary
 
 	inflight sync.WaitGroup // accepted streams not yet terminal
 }
@@ -135,11 +156,17 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.MaxShardRetries <= 0 {
 		cfg.MaxShardRetries = 3
 	}
+	if cfg.Affinity < 0 {
+		cfg.Affinity = 0
+	}
+	if cfg.SpecSlack < 0 {
+		cfg.SpecSlack = 0
+	}
 	f := &Fleet{
 		cfg:     cfg,
 		tel:     cfg.Telemetry,
 		byLabel: map[string]*node{},
-		rt:      newRouter(),
+		rt:      newRouter(cfg.Affinity),
 		streams: map[string]*Stream{},
 	}
 	deaths, err := parseDeaths(cfg.Deaths)
@@ -293,6 +320,9 @@ func (f *Fleet) Tick() []string {
 			died = append(died, n)
 		}
 	}
+	if f.cfg.SpecSlack > 0 && !f.draining && !f.closed {
+		f.speculateLocked()
+	}
 	clock := f.clock
 	f.mu.Unlock()
 
@@ -345,14 +375,47 @@ func unitWeight(w device.Workload, frames int) float64 {
 }
 
 // capsLocked builds the router's node view for a workload: calibrated
-// aggregate row rate over up devices, plus the coordinator's outstanding
-// routed load. Order matches alive.
-func capsLocked(alive []*node, w device.Workload) []nodeCap {
+// aggregate row rate over up devices, plus each node's live queue-aware
+// load (serve.Server.Load — the remaining row·frame weight of everything
+// queued and running there), refreshed at every placement so a node whose
+// backlog deepened since the last decision is routed around. CapacityOnly
+// falls back to the coordinator's own routed-weight bookkeeping, blind to
+// node-local queues. Order matches alive.
+func (f *Fleet) capsLocked(alive []*node, w device.Workload) []nodeCap {
 	caps := make([]nodeCap, len(alive))
 	for i, n := range alive {
-		caps[i] = nodeCap{rate: n.srv.Pool().Rate(w), load: n.load}
+		load := n.load
+		if !f.cfg.CapacityOnly {
+			load = n.srv.Load()
+		}
+		caps[i] = nodeCap{rate: n.srv.Pool().Rate(w), load: load}
 	}
 	return caps
+}
+
+// shedOnceLocked detects and counts a load-shed: the placement avoided
+// the node a capacity-only router (calibrated rate plus coordinator-
+// routed weight, the PR 8 view) would have picked, because that node's
+// live queue made it slower. caps is the queue-aware view in alive order.
+func (f *Fleet) shedOnceLocked(alive []*node, caps []nodeCap, weight float64, chosen *node) {
+	if f.cfg.CapacityOnly || len(alive) < 2 {
+		return
+	}
+	capOnly := 0
+	for i := 1; i < len(alive); i++ {
+		if finishTime(nodeCap{rate: caps[i].rate, load: alive[i].load}, weight) <
+			finishTime(nodeCap{rate: caps[capOnly].rate, load: alive[capOnly].load}, weight) {
+			capOnly = i
+		}
+	}
+	avoided := alive[capOnly]
+	if avoided == chosen || caps[capOnly].load <= avoided.load {
+		return
+	}
+	f.shed++
+	f.metric("feves_fleet_shed_total",
+		"Placements steered away from a node by its live queue depth.",
+		"node", avoided.label).Inc()
 }
 
 // placeLocked submits spec to the routed node, falling back over the other
@@ -361,8 +424,9 @@ func capsLocked(alive []*node, w device.Workload) []nodeCap {
 // exclude (optional) removes one node from consideration — the re-lease
 // path passes the node whose collection just failed, since the coordinator
 // has first-hand evidence it is unreachable even before the heartbeat
-// detector declares it.
-func (f *Fleet) placeLocked(spec serve.JobSpec, w device.Workload, weight float64, exclude *node) (*node, *serve.Job, error) {
+// detector declares it. prefer (optional) lists nodes the unit's stream
+// already occupies, for the router's affinity rounding.
+func (f *Fleet) placeLocked(spec serve.JobSpec, w device.Workload, weight float64, exclude *node, prefer []*node) (*node, *serve.Job, error) {
 	alive := f.aliveLocked()
 	if exclude != nil {
 		kept := alive[:0:0]
@@ -376,8 +440,17 @@ func (f *Fleet) placeLocked(spec serve.JobSpec, w device.Workload, weight float6
 	if len(alive) == 0 {
 		return nil, nil, ErrNoNodes
 	}
-	caps := capsLocked(alive, w)
-	first := f.rt.route([]routeUnit{{weight: weight}}, caps)[0]
+	var preferIdx []int
+	for i, n := range alive {
+		for _, p := range prefer {
+			if p == n {
+				preferIdx = append(preferIdx, i)
+				break
+			}
+		}
+	}
+	caps := f.capsLocked(alive, w)
+	first := f.rt.route([]routeUnit{{weight: weight, prefer: preferIdx}}, caps)[0]
 	order := []int{first}
 	rest := make([]int, 0, len(alive)-1)
 	for i := range alive {
@@ -397,6 +470,7 @@ func (f *Fleet) placeLocked(spec serve.JobSpec, w device.Workload, weight float6
 			n.load += weight
 			n.jobs++
 			f.metric("feves_fleet_routes_total", "Placements decided by the fleet router.", "node", n.label).Inc()
+			f.shedOnceLocked(alive, caps, weight, n)
 			return n, job, nil
 		}
 		if !errors.Is(err, serve.ErrBusy) && !errors.Is(err, serve.ErrDraining) {
@@ -439,7 +513,7 @@ func (f *Fleet) Submit(spec serve.JobSpec) (JobRef, error) {
 	}
 	w := workloadOf(spec)
 	weight := unitWeight(w, frameCountOf(spec))
-	n, job, err := f.placeLocked(spec, w, weight, nil)
+	n, job, err := f.placeLocked(spec, w, weight, nil, nil)
 	f.mu.Unlock()
 	if err != nil {
 		return JobRef{}, err
@@ -599,6 +673,10 @@ type NodeState struct {
 	// fleet placements accepted by this node.
 	Load float64 `json:"load"`
 	Jobs int     `json:"jobs"`
+	// QueueLoad is the node's live queue-aware load (serve.Server.Load):
+	// the remaining row·frame weight of everything queued and running
+	// there — the figure the router sheds on.
+	QueueLoad float64 `json:"queue_load"`
 	// Rate is the node's calibrated aggregate row rate for the reference
 	// workload (1080p, SA 32, 1 RF) — the router's capacity yardstick.
 	Rate  float64     `json:"rate"`
@@ -607,12 +685,18 @@ type NodeState struct {
 
 // State is the cluster-wide introspection document served at /debug/state.
 type State struct {
-	Clock     uint64         `json:"clock"`
-	MissLimit int            `json:"miss_limit"`
-	Draining  bool           `json:"draining"`
-	Nodes     []NodeState    `json:"nodes"`
-	Streams   []StreamStatus `json:"streams"`
-	Router    RouterStats    `json:"router"`
+	Clock     uint64 `json:"clock"`
+	MissLimit int    `json:"miss_limit"`
+	Draining  bool   `json:"draining"`
+	// Shed counts placements steered away from a queue-deep node; the
+	// speculation pair counts straggler shards re-leased before heartbeat
+	// declaration and how many of those copies beat their primary.
+	Shed         int            `json:"shed"`
+	SpecReleases int            `json:"speculative_releases"`
+	SpecWins     int            `json:"speculative_wins"`
+	Nodes        []NodeState    `json:"nodes"`
+	Streams      []StreamStatus `json:"streams"`
+	Router       RouterStats    `json:"router"`
 }
 
 // State snapshots the fleet. Safe to call while nodes encode and die.
@@ -620,10 +704,13 @@ func (f *Fleet) State() State {
 	refW := device.Workload{MBW: 120, MBH: 68, SA: 32, NumRF: 1, UsableRF: 1}
 	f.mu.Lock()
 	st := State{
-		Clock:     f.clock,
-		MissLimit: f.cfg.MissLimit,
-		Draining:  f.draining || f.closed,
-		Router:    f.rt.stats,
+		Clock:        f.clock,
+		MissLimit:    f.cfg.MissLimit,
+		Draining:     f.draining || f.closed,
+		Shed:         f.shed,
+		SpecReleases: f.specRel,
+		SpecWins:     f.specWins,
+		Router:       f.rt.stats,
 	}
 	type row struct {
 		n  *node
@@ -644,6 +731,7 @@ func (f *Fleet) State() State {
 	f.mu.Unlock()
 	for _, r := range rows {
 		r.ns.Rate = r.n.srv.Pool().Rate(refW)
+		r.ns.QueueLoad = r.n.srv.Load()
 		r.ns.Serve = r.n.srv.State()
 		st.Nodes = append(st.Nodes, r.ns)
 	}

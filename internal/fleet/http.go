@@ -80,8 +80,11 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 func (f *Fleet) writeAdmissionError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, serve.ErrBusy), errors.Is(err, serve.ErrDraining), errors.Is(err, ErrNoNodes):
+		// Only a draining fleet merits the long drain-horizon hint. Other
+		// retryable failures — a full queue, or ErrNoNodes while the fleet
+		// is between nodes — get the busy path's shorter backlog estimate.
 		w.Header().Set("Retry-After",
-			strconv.Itoa(serve.RetryAfterSeconds(f.Backlog(), !errors.Is(err, serve.ErrBusy))))
+			strconv.Itoa(serve.RetryAfterSeconds(f.Backlog(), errors.Is(err, serve.ErrDraining))))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -231,5 +232,56 @@ func TestHTTPStateAndHealth(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "feves_fleet_nodes_total") {
 		t.Fatalf("metrics scrape missing fleet counters: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPAdmissionHintsBusyVsDraining pins which failures get which
+// Retry-After hint: a placement failure with no alive nodes is retryable
+// on the busy path's short estimate (floor 1), while only a draining
+// fleet advertises the long drain horizon (2× backlog, floor 5).
+func TestHTTPAdmissionHintsBusyVsDraining(t *testing.T) {
+	nodes := testNodes(t, 1, "cpun")
+	f, err := New(Config{Nodes: nodes, Telemetry: telemetry.New(nil), MissLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f.Handler())
+	defer func() { ts.Close(); f.Close() }()
+
+	// Kill the only node and let the detector declare it: submissions now
+	// fail with ErrNoNodes — transient (a node could join), not draining.
+	if !f.Kill("node0") {
+		t.Fatal("kill node0 failed")
+	}
+	for i := 0; i < 3 && !f.State().Nodes[0].Dead; i++ {
+		f.Tick()
+	}
+	job := serve.JobSpec{Mode: serve.ModeSimulate, Width: 640, Height: 368, Frames: 5}
+	resp := postJSON(t, ts.URL+"/jobs", job)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST with no alive nodes = %d, want 503", resp.StatusCode)
+	}
+	if got, want := resp.Header.Get("Retry-After"), strconv.Itoa(serve.RetryAfterSeconds(f.Backlog(), false)); got != want {
+		t.Fatalf("no-nodes Retry-After %q, want busy-path hint %q", got, want)
+	}
+
+	// Drain the fleet: the same endpoint must now advertise the longer
+	// draining horizon.
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.URL+"/jobs", job)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining = %d, want 503", resp.StatusCode)
+	}
+	if got, want := resp.Header.Get("Retry-After"), strconv.Itoa(serve.RetryAfterSeconds(f.Backlog(), true)); got != want {
+		t.Fatalf("draining Retry-After %q, want draining hint %q", got, want)
+	}
+	if busy, drain := serve.RetryAfterSeconds(0, false), serve.RetryAfterSeconds(0, true); busy >= drain {
+		t.Fatalf("hint floors inverted: busy %d, draining %d", busy, drain)
 	}
 }

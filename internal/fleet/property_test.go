@@ -85,7 +85,15 @@ func TestPropertyShardedSceneCutStreamsStayBitExact(t *testing.T) {
 		}
 		want := soloEncode(t, spec)
 
-		f, err := New(Config{Nodes: testNodes(t, nodes, "sysnf"), MissLimit: 2})
+		// Random affinity and speculation slack: bit-exactness must hold
+		// whatever the placement bias, and whether or not a straggler race
+		// fires mid-run.
+		f, err := New(Config{
+			Nodes:     testNodes(t, nodes, "sysnf"),
+			MissLimit: 2,
+			Affinity:  rng.Float64(),
+			SpecSlack: 0.3 + 0.7*rng.Float64(),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,14 +10,20 @@ import (
 // routeUnit is one placeable piece of work — a whole session or one GOP
 // shard of a sharded stream. Weight is its predicted serialized row count
 // (frame rows × frames), the same yardstick the pool partitioner and the
-// per-frame LP balance with.
+// per-frame LP balance with. Prefer lists candidate-node indices already
+// hosting sibling shards of the unit's stream: affinity-aware rounding
+// keeps the unit there when the share it gives up is within the router's
+// affinity tolerance, bounding reassembly fan-in.
 type routeUnit struct {
 	weight float64
+	prefer []int
 }
 
 // nodeCap is one candidate node's standing at routing time: its calibrated
-// aggregate row rate over the devices currently up (pool.Rate) and the
-// summed weight of work already leased to it and not yet finished.
+// aggregate row rate over the devices currently up (pool.Rate) and its
+// live load — the summed row·frame weight of every queued and running job
+// on the node (serve.Server.Load), refreshed at every placement so a node
+// whose admission queue deepened since the last decision is shed.
 type nodeCap struct {
 	rate float64
 	load float64
@@ -31,6 +37,9 @@ type RouterStats struct {
 	Units    int `json:"units"`     // units placed in total
 	LPRoutes int `json:"lp_routes"` // calls decided by the LP rounding
 	Greedy   int `json:"greedy"`    // calls that fell back to greedy LPT
+	// AffinityHits counts units the affinity preference moved onto a node
+	// their stream already occupied, away from the share-optimal choice.
+	AffinityHits int `json:"affinity_hits"`
 	// Solver aggregates the retained solver's lifetime warm-start behaviour.
 	Solver lp.Stats `json:"solver"`
 }
@@ -46,31 +55,48 @@ type RouterStats struct {
 //
 // z is the worst node's predicted finish time (existing load plus newly
 // assigned weight, in rows, over the node's calibrated row rate). Units are
-// rounded to their largest fractional share. The solver is retained across
-// calls so steady-state routing (same fleet shape, new session) warm-starts
-// from the previous basis; a failed solve or a degenerate rounding falls
-// back to a deterministic LPT greedy. Not safe for concurrent use — the
-// fleet serializes calls under its mutex.
+// rounded to their largest fractional share, except that a unit whose
+// stream already occupies a node (picked earlier in the same call, or
+// carried in prefer) stays there when the share it gives up is within the
+// affinity tolerance. The solver, problem and constraint rows are retained
+// across calls so steady-state routing (same fleet shape, new session)
+// warm-starts from the previous basis without reallocating; a failed solve
+// or a degenerate rounding falls back to a deterministic LPT greedy. Not
+// safe for concurrent use — the fleet serializes calls under its mutex.
 type router struct {
 	solver *lp.Solver
 	prob   *lp.Problem
-	stats  RouterStats
+	// affinity ∈ [0,1] is the rounding tolerance: 0 places every unit on
+	// its largest share, 1 collapses a stream onto as few nodes as the LP
+	// leaves any share on.
+	affinity float64
+	stats    RouterStats
+
+	// Retained scratch. row is the constraint row handed to Problem.Add
+	// (which copies its argument, so one buffer serves every row of every
+	// call); assign and chosen back the rounding. A route result is only
+	// valid until the next route call.
+	row    []float64
+	assign []int
+	chosen []bool
 }
 
-func newRouter() *router {
-	return &router{solver: lp.NewSolver()}
+func newRouter(affinity float64) *router {
+	return &router{solver: lp.NewSolver(), affinity: affinity}
 }
 
 // route returns, for each unit, the index of the chosen node in nodes.
 // len(nodes) must be ≥ 1; nodes with zero rate are never chosen unless
-// every node's rate is zero.
+// every node's rate is zero. The returned slice aliases retained scratch.
 func (r *router) route(units []routeUnit, nodes []nodeCap) []int {
 	r.stats.Routes++
 	r.stats.Units += len(units)
 	assign := r.routeLP(units, nodes)
 	if assign == nil {
 		r.stats.Greedy++
-		assign = routeGreedy(units, nodes)
+		var hits int
+		assign, hits = routeGreedy(units, nodes, r.affinity)
+		r.stats.AffinityHits += hits
 	} else {
 		r.stats.LPRoutes++
 	}
@@ -96,26 +122,43 @@ func (r *router) routeLP(units []routeUnit, nodes []nodeCap) []int {
 		r.prob.Reset(zv + 1)
 	}
 	r.prob.Coef(zv, 1) // minimize z
+	if cap(r.row) < zv+1 {
+		r.row = make([]float64, zv+1)
+	}
+	row := r.row[:zv+1]
 	for u := 0; u < nu; u++ {
-		a := make([]float64, zv+1)
-		for n := 0; n < nn; n++ {
-			a[xv(u, n)] = 1
+		for i := range row {
+			row[i] = 0
 		}
-		r.prob.Add(a, lp.EQ, 1)
+		for n := 0; n < nn; n++ {
+			row[xv(u, n)] = 1
+		}
+		r.prob.Add(row, lp.EQ, 1)
 	}
 	for n := 0; n < nn; n++ {
-		a := make([]float64, zv+1)
-		for u := 0; u < nu; u++ {
-			a[xv(u, n)] = units[u].weight
+		for i := range row {
+			row[i] = 0
 		}
-		a[zv] = -nodes[n].rate
-		r.prob.Add(a, lp.LE, -nodes[n].load)
+		for u := 0; u < nu; u++ {
+			row[xv(u, n)] = units[u].weight
+		}
+		row[zv] = -nodes[n].rate
+		r.prob.Add(row, lp.LE, -nodes[n].load)
 	}
 	x, _, err := r.solver.Solve(r.prob)
 	if err != nil {
 		return nil
 	}
-	assign := make([]int, nu)
+	if cap(r.assign) < nu {
+		r.assign = make([]int, nu)
+	}
+	if cap(r.chosen) < nn {
+		r.chosen = make([]bool, nn)
+	}
+	assign, chosen := r.assign[:nu], r.chosen[:nn]
+	for i := range chosen {
+		chosen[i] = false
+	}
 	for u := 0; u < nu; u++ {
 		best, bestShare := -1, math.Inf(-1)
 		for n := 0; n < nn; n++ {
@@ -126,15 +169,54 @@ func (r *router) routeLP(units []routeUnit, nodes []nodeCap) []int {
 		if best < 0 || bestShare <= 0 {
 			return nil
 		}
+		// Affinity rounding: a unit stays on a node its stream already
+		// occupies — picked earlier in this call or carried in prefer —
+		// when the LP share it gives up is within the affinity tolerance.
+		if r.affinity > 0 && !preferredNode(units[u], chosen, best) {
+			alt, altShare := -1, math.Inf(-1)
+			for n := 0; n < nn; n++ {
+				if !preferredNode(units[u], chosen, n) {
+					continue
+				}
+				if share := x[xv(u, n)]; share > altShare {
+					alt, altShare = n, share
+				}
+			}
+			if alt >= 0 && altShare >= bestShare-r.affinity-1e-9 {
+				best = alt
+				r.stats.AffinityHits++
+			}
+		}
 		assign[u] = best
+		chosen[best] = true
 	}
 	return assign
 }
 
+// preferredNode reports whether node n already hosts sibling work of the
+// unit's stream: chosen marks nodes picked for earlier units of the same
+// call (SubmitStream routes all of one stream's shards together), prefer
+// carries nodes hosting the stream's other shards on a later re-lease.
+func preferredNode(u routeUnit, chosen []bool, n int) bool {
+	if n < len(chosen) && chosen[n] {
+		return true
+	}
+	for _, p := range u.prefer {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
 // routeGreedy is the deterministic fallback: units in descending weight
 // order (LPT), each placed on the node whose predicted finish time after
-// taking the unit is smallest; rateless nodes are last resort.
-func routeGreedy(units []routeUnit, nodes []nodeCap) []int {
+// taking the unit is smallest; rateless nodes are last resort. Ties —
+// including the all-rateless fleet, where every finish time is +Inf —
+// break by least accumulated load, so a zero-capacity fleet still spreads
+// work instead of piling every unit onto node 0. The same affinity
+// tolerance as the LP rounding applies, as a finish-time factor.
+func routeGreedy(units []routeUnit, nodes []nodeCap, affinity float64) ([]int, int) {
 	order := make([]int, len(units))
 	for i := range order {
 		order[i] = i
@@ -147,19 +229,40 @@ func routeGreedy(units []routeUnit, nodes []nodeCap) []int {
 		load[n] = nodes[n].load
 	}
 	assign := make([]int, len(units))
+	chosen := make([]bool, len(nodes))
+	hits := 0
+	tau := func(n, u int) float64 {
+		if nodes[n].rate <= 0 {
+			return math.Inf(1)
+		}
+		return (load[n] + units[u].weight) / nodes[n].rate
+	}
 	for _, u := range order {
-		best, bestTau := 0, math.Inf(1)
+		best, bestTau := -1, math.Inf(1)
 		for n := range nodes {
-			tau := math.Inf(1)
-			if nodes[n].rate > 0 {
-				tau = (load[n] + units[u].weight) / nodes[n].rate
+			t := tau(n, u)
+			if best < 0 || t < bestTau || (t == bestTau && load[n] < load[best]) {
+				best, bestTau = n, t
 			}
-			if tau < bestTau {
-				best, bestTau = n, tau
+		}
+		if affinity > 0 && !preferredNode(units[u], chosen, best) && !math.IsInf(bestTau, 1) {
+			alt, altTau := -1, math.Inf(1)
+			for n := range nodes {
+				if !preferredNode(units[u], chosen, n) {
+					continue
+				}
+				if t := tau(n, u); t < altTau {
+					alt, altTau = n, t
+				}
+			}
+			if alt >= 0 && altTau <= bestTau*(1+affinity) {
+				best = alt
+				hits++
 			}
 		}
 		assign[u] = best
+		chosen[best] = true
 		load[best] += units[u].weight
 	}
-	return assign
+	return assign, hits
 }

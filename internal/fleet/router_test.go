@@ -22,8 +22,8 @@ func loadsAfter(units []routeUnit, nodes []nodeCap, assign []int) []float64 {
 }
 
 func TestRouteBalancesEqualNodes(t *testing.T) {
-	r := newRouter()
-	units := []routeUnit{{100}, {100}, {100}, {100}}
+	r := newRouter(0)
+	units := []routeUnit{{weight: 100}, {weight: 100}, {weight: 100}, {weight: 100}}
 	nodes := []nodeCap{{rate: 10}, {rate: 10}}
 	assign := r.route(units, nodes)
 	counts := map[int]int{}
@@ -36,9 +36,9 @@ func TestRouteBalancesEqualNodes(t *testing.T) {
 }
 
 func TestRouteWeighsHeterogeneousCapacity(t *testing.T) {
-	r := newRouter()
+	r := newRouter(0)
 	// One node three times faster: with 4 equal units it should take ~3.
-	units := []routeUnit{{100}, {100}, {100}, {100}}
+	units := []routeUnit{{weight: 100}, {weight: 100}, {weight: 100}, {weight: 100}}
 	nodes := []nodeCap{{rate: 30}, {rate: 10}}
 	assign := r.route(units, nodes)
 	fast := 0
@@ -58,8 +58,8 @@ func TestRouteWeighsHeterogeneousCapacity(t *testing.T) {
 }
 
 func TestRouteRespectsExistingLoad(t *testing.T) {
-	r := newRouter()
-	units := []routeUnit{{100}}
+	r := newRouter(0)
+	units := []routeUnit{{weight: 100}}
 	nodes := []nodeCap{{rate: 10, load: 500}, {rate: 10, load: 0}}
 	assign := r.route(units, nodes)
 	if assign[0] != 1 {
@@ -68,8 +68,8 @@ func TestRouteRespectsExistingLoad(t *testing.T) {
 }
 
 func TestRouteWarmStartsOnRepeatedShape(t *testing.T) {
-	r := newRouter()
-	units := []routeUnit{{100}, {90}}
+	r := newRouter(0)
+	units := []routeUnit{{weight: 100}, {weight: 90}}
 	nodes := []nodeCap{{rate: 10}, {rate: 12}}
 	for i := 0; i < 6; i++ {
 		nodes[0].load = float64(10 * i) // drifting loads, constant shape
@@ -85,8 +85,8 @@ func TestRouteWarmStartsOnRepeatedShape(t *testing.T) {
 }
 
 func TestRouteGreedyFallbackOnRatelessNode(t *testing.T) {
-	r := newRouter()
-	units := []routeUnit{{100}, {100}}
+	r := newRouter(0)
+	units := []routeUnit{{weight: 100}, {weight: 100}}
 	nodes := []nodeCap{{rate: 0}, {rate: 10}}
 	assign := r.route(units, nodes)
 	for u, n := range assign {
@@ -100,10 +100,10 @@ func TestRouteGreedyFallbackOnRatelessNode(t *testing.T) {
 }
 
 func TestRouteGreedyLPTIsDeterministic(t *testing.T) {
-	units := []routeUnit{{50}, {80}, {20}, {80}}
+	units := []routeUnit{{weight: 50}, {weight: 80}, {weight: 20}, {weight: 80}}
 	nodes := []nodeCap{{rate: 10}, {rate: 10}}
-	a := routeGreedy(units, nodes)
-	b := routeGreedy(units, nodes)
+	a, _ := routeGreedy(units, nodes, 0)
+	b, _ := routeGreedy(units, nodes, 0)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("greedy routing not deterministic: %v vs %v", a, b)
@@ -112,5 +112,77 @@ func TestRouteGreedyLPTIsDeterministic(t *testing.T) {
 	fin := loadsAfter(units, nodes, a)
 	if math.Abs(fin[0]-fin[1]) > 4.0+1e-9 { // LPT is within the largest unit's slack
 		t.Fatalf("greedy finish times too skewed: %v for %v", fin, a)
+	}
+}
+
+// Regression: when every node is rateless every predicted finish time is
+// +Inf and the old "tau < bestTau" never improved on node 0, piling all
+// units there. Ties must break by least accumulated load.
+func TestRouteGreedyAllRatelessSpreadsByLoad(t *testing.T) {
+	units := []routeUnit{{weight: 10}, {weight: 10}, {weight: 10}, {weight: 10}}
+	nodes := []nodeCap{{rate: 0}, {rate: 0}}
+	assign, _ := routeGreedy(units, nodes, 0)
+	counts := map[int]int{}
+	for _, n := range assign {
+		counts[n]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("all-rateless assignment %v piles up instead of spreading by load", assign)
+	}
+	// Pre-existing load must steer the tie-break too.
+	nodes = []nodeCap{{rate: 0, load: 25}, {rate: 0}}
+	assign, _ = routeGreedy(units[:1], nodes, 0)
+	if assign[0] != 1 {
+		t.Fatalf("rateless tie-break ignored accumulated load: %v", assign)
+	}
+}
+
+// The LP path's constraint rows, assignment and rounding mask live in
+// retained router scratch: steady-state routing on a constant fleet shape
+// must stay within a one-allocation ceiling per call, like the PR 5
+// scheduling loops.
+func TestRouteLPSteadyStateAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	r := newRouter(0.3)
+	units := []routeUnit{{weight: 100}, {weight: 90}, {weight: 80}}
+	nodes := []nodeCap{{rate: 10}, {rate: 12}, {rate: 9}}
+	step := func() {
+		if r.routeLP(units, nodes) == nil {
+			t.Fatal("LP route failed on a feasible instance")
+		}
+	}
+	step() // sizes problem, rows and rounding scratch (cold solve)
+	step() // first warm call
+	if n := testing.AllocsPerRun(100, step); n > 1 {
+		t.Fatalf("steady-state routeLP allocates %v per call, want <= 1", n)
+	}
+	if st := r.solver.Stats(); st.WarmSolves == 0 {
+		t.Fatalf("steady-state routing never warm-solved: %+v", st)
+	}
+}
+
+// Affinity rounding: with a high tolerance a unit follows its prefer list
+// (or a node chosen earlier in the same call) even when another node holds
+// a slightly larger share; with affinity 0 it takes the largest share.
+func TestRouteAffinityPrefersStreamNodes(t *testing.T) {
+	units := []routeUnit{{weight: 100, prefer: []int{0}}}
+	nodes := []nodeCap{{rate: 10, load: 50}, {rate: 10}}
+	r := newRouter(0)
+	if assign := r.route(units, nodes); assign[0] != 1 {
+		t.Fatalf("affinity 0: unit should take the emptier node, got %v", assign)
+	}
+	r = newRouter(1)
+	if assign := r.route(units, nodes); assign[0] != 0 {
+		t.Fatalf("affinity 1: unit should stay on its preferred node, got %v", assign)
+	}
+	if r.stats.AffinityHits != 1 {
+		t.Fatalf("affinity hit not counted: %+v", r.stats)
+	}
+	// Greedy path honours the same preference as a finish-time factor.
+	assign, hits := routeGreedy(units, nodes, 1)
+	if assign[0] != 0 || hits != 1 {
+		t.Fatalf("greedy affinity: got %v (%d hits), want node 0, 1 hit", assign, hits)
 	}
 }

@@ -87,6 +87,12 @@ type shard struct {
 	attempts int // placements so far (1 = first lease)
 	done     bool
 	bits     []byte
+
+	// Speculative second copy, racing the primary after a straggler
+	// re-lease. Whichever copy finishes first is collected and attributed
+	// as node/job; the loser is cancelled. Nil when no race is on.
+	specNode *node
+	specJob  *serve.Job
 }
 
 // Stream is one submitted (possibly sharded) stream.
@@ -115,19 +121,23 @@ type ShardStatus struct {
 	Node   string `json:"node,omitempty"`
 	Job    string `json:"job,omitempty"`
 	// Attempts counts leases: 1 is the first placement, more means the
-	// shard was re-leased after a node death or collection failure.
+	// shard was re-leased after a node death, collection failure or
+	// speculative straggler re-lease.
 	Attempts int  `json:"attempts"`
 	Done     bool `json:"done"`
+	// Speculative names the node running an outstanding speculative copy
+	// racing the primary placement (empty when no race is on).
+	Speculative string `json:"speculative,omitempty"`
 }
 
 // StreamStatus is the status document of one stream.
 type StreamStatus struct {
-	ID     string        `json:"id"`
-	Name   string        `json:"name,omitempty"`
-	Mode   string        `json:"mode"`
-	Status serve.Status  `json:"status"`
-	Error  string        `json:"error,omitempty"`
-	Frames int           `json:"frames"`
+	ID     string       `json:"id"`
+	Name   string       `json:"name,omitempty"`
+	Mode   string       `json:"mode"`
+	Status serve.Status `json:"status"`
+	Error  string       `json:"error,omitempty"`
+	Frames int          `json:"frames"`
 	// Completed counts frames of shards fully collected.
 	Completed int           `json:"completed"`
 	Shards    []ShardStatus `json:"shards"`
@@ -185,13 +195,16 @@ func (f *Fleet) SubmitStream(spec StreamSpec) (*Stream, error) {
 	for i, sh := range st.shards {
 		units[i] = routeUnit{weight: sh.weight}
 	}
-	assign := f.rt.route(units, capsLocked(alive, w))
+	caps := f.capsLocked(alive, w)
+	// route returns retained scratch; copy it, since a fallback placement
+	// below routes again and would clobber the batch assignment.
+	assign := append([]int(nil), f.rt.route(units, caps)...)
 	for i, sh := range st.shards {
 		n := alive[assign[i]]
 		job, err := n.srv.Submit(sh.spec)
 		if err != nil {
 			var fallbackErr error
-			n, job, fallbackErr = f.placeLocked(sh.spec, w, sh.weight, nil)
+			n, job, fallbackErr = f.placeLocked(sh.spec, w, sh.weight, nil, streamNodesLocked(st, sh))
 			if fallbackErr != nil {
 				for _, prev := range st.shards[:i] {
 					prev.job.Cancel()
@@ -200,6 +213,7 @@ func (f *Fleet) SubmitStream(spec StreamSpec) (*Stream, error) {
 				return nil, fallbackErr
 			}
 		} else {
+			f.shedOnceLocked(alive, caps, sh.weight, n)
 			n.load += sh.weight
 			n.jobs++
 			f.metric("feves_fleet_routes_total", "Placements decided by the fleet router.", "node", n.label).Inc()
@@ -248,11 +262,30 @@ func codecConfigOf(sp serve.JobSpec) codec.Config {
 	}
 }
 
+// streamNodesLocked lists the alive nodes currently hosting other shards
+// of st — the affinity preference a fallback, re-lease or speculative
+// placement hands the router so replacements keep the stream's reassembly
+// fan-in bounded.
+func streamNodesLocked(st *Stream, except *shard) []*node {
+	var out []*node
+	for _, sh := range st.shards {
+		if sh == except || sh.node == nil || sh.node.dead {
+			continue
+		}
+		out = append(out, sh.node)
+	}
+	return out
+}
+
 // watchShard waits for one shard placement to become terminal, collects
 // its bitstream if the node is still trusted, and otherwise re-leases the
 // shard to a surviving node — the PR-4 failover pattern lifted one level:
 // the replay starts from the shard's opening IDR and is byte-idempotent,
 // so a death-and-replay stream equals the undisturbed one bit for bit.
+// When a speculative copy is racing the primary, one watcher runs per
+// copy: the first to collect wins the shard and cancels its sibling; a
+// copy that fails while its sibling still runs just promotes the sibling
+// to sole placement.
 func (f *Fleet) watchShard(st *Stream, sh *shard, n *node, job *serve.Job) {
 	status := job.Wait()
 	f.mu.Lock()
@@ -261,15 +294,33 @@ func (f *Fleet) watchShard(st *Stream, sh *shard, n *node, job *serve.Job) {
 	if n.load < 0 {
 		n.load = 0
 	}
-	if st.terminalLocked() || sh.job != job {
+	if st.terminalLocked() || sh.done {
 		return
+	}
+	if sh.job != job && sh.specJob != job {
+		return // superseded by a later re-lease
+	}
+	// The sibling copy, when speculation left two placements racing.
+	sibling, siblingNode := sh.specJob, sh.specNode
+	if job == sh.specJob {
+		sibling, siblingNode = sh.job, sh.node
 	}
 	// Collection models fetching the result off the node: it fails when
 	// the machine has vanished (killed) even if the coordinator has not
 	// yet declared it dead — exactly like a network fetch would.
 	if status == serve.StatusDone && !n.killed && !n.dead {
+		if job == sh.specJob {
+			f.specWins++
+			f.metric("feves_fleet_speculative_wins_total",
+				"Speculative shard copies that finished before their primary.").Inc()
+		}
 		sh.bits = job.Bitstream()
 		sh.done = true
+		sh.node, sh.job = n, job // attribute the shard to the winning copy
+		sh.specNode, sh.specJob = nil, nil
+		if sibling != nil && sibling != job {
+			sibling.Cancel() // the losing copy stops at its next frame boundary
+		}
 		for _, other := range st.shards {
 			if !other.done {
 				return
@@ -278,6 +329,14 @@ func (f *Fleet) watchShard(st *Stream, sh *shard, n *node, job *serve.Job) {
 		f.completeStreamLocked(st)
 		return
 	}
+	if sibling != nil && sibling != job {
+		// This copy failed but its sibling is still racing; make the
+		// sibling the sole placement instead of opening a third lease.
+		sh.node, sh.job = siblingNode, sibling
+		sh.specNode, sh.specJob = nil, nil
+		return
+	}
+	sh.specNode, sh.specJob = nil, nil
 	why := fmt.Sprintf("shard %d [%d,%d) on %s: job %s %s", sh.idx, sh.rng.Start,
 		sh.rng.Start+sh.rng.Frames, n.label, job.ID(), status)
 	if n.killed || n.dead {
@@ -288,8 +347,9 @@ func (f *Fleet) watchShard(st *Stream, sh *shard, n *node, job *serve.Job) {
 }
 
 // rerouteShardLocked re-leases a shard to a surviving node and replays it
-// from its opening IDR. Bounded by MaxShardRetries; exhaustion or an empty
-// fleet fails the stream.
+// from its opening IDR, preferring nodes the stream already occupies.
+// Bounded by MaxShardRetries; exhaustion or an empty fleet fails the
+// stream.
 func (f *Fleet) rerouteShardLocked(st *Stream, sh *shard, why string) {
 	if sh.attempts > f.cfg.MaxShardRetries {
 		f.finishStreamLocked(st, serve.StatusFailed,
@@ -297,7 +357,7 @@ func (f *Fleet) rerouteShardLocked(st *Stream, sh *shard, why string) {
 		return
 	}
 	w := workloadOf(sh.spec)
-	n2, job2, err := f.placeLocked(sh.spec, w, sh.weight, sh.node)
+	n2, job2, err := f.placeLocked(sh.spec, w, sh.weight, sh.node, streamNodesLocked(st, sh))
 	if err != nil {
 		f.finishStreamLocked(st, serve.StatusFailed,
 			fmt.Sprintf("shard %d re-lease failed: %v (%s)", sh.idx, err, why))
@@ -310,6 +370,73 @@ func (f *Fleet) rerouteShardLocked(st *Stream, sh *shard, why string) {
 			st.id, st.spec.Name, n2.label, job2.ID(), sh.rng.Start, why))
 	f.metric("feves_fleet_releases_total", "Shards re-leased to a surviving node.").Inc()
 	go f.watchShard(st, sh, n2, job2)
+}
+
+// progressLocked is the shard's completion fraction across its copies.
+func (sh *shard) progressLocked() float64 {
+	if sh.done || sh.rng.Frames == 0 {
+		return 1
+	}
+	best := 0
+	if sh.job != nil {
+		if c := sh.job.Status().Completed; c > best {
+			best = c
+		}
+	}
+	if sh.specJob != nil {
+		if c := sh.specJob.Status().Completed; c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(sh.rng.Frames)
+}
+
+// speculateLocked is the straggler detector, run once per Tick when
+// SpecSlack > 0. The third-level LP balances predicted finish times, so
+// on its predicted trajectory every shard of a stream sits at roughly the
+// same completion fraction at any instant; a shard trailing the stream's
+// front-runner by more than SpecSlack is behind the LP's prediction —
+// typically queued behind work on a backlogged but alive node that the
+// heartbeat detector will never flag. It is re-leased to a second node
+// exactly as node-death failover does, except the primary keeps running:
+// whichever copy finishes first is collected and the loser cancelled, and
+// byte-idempotent shard replay keeps the reassembled stream bit-exact.
+func (f *Fleet) speculateLocked() {
+	for _, id := range f.streamOrder {
+		st := f.streams[id]
+		if st.terminalLocked() || len(st.shards) < 2 {
+			continue
+		}
+		front := 0.0
+		for _, sh := range st.shards {
+			if p := sh.progressLocked(); p > front {
+				front = p
+			}
+		}
+		for _, sh := range st.shards {
+			if sh.done || sh.specJob != nil || sh.attempts > f.cfg.MaxShardRetries {
+				continue
+			}
+			lag := front - sh.progressLocked()
+			if lag <= f.cfg.SpecSlack {
+				continue
+			}
+			w := workloadOf(sh.spec)
+			n2, job2, err := f.placeLocked(sh.spec, w, sh.weight, sh.node, streamNodesLocked(st, sh))
+			if err != nil {
+				continue // best effort: every node busy now; the next tick retries
+			}
+			sh.specNode, sh.specJob = n2, job2
+			sh.attempts++
+			f.specRel++
+			n2.tel.Incident("speculative_release", sh.rng.Start, -1,
+				fmt.Sprintf("%s shard %d straggling (%.0f%% vs front-runner %.0f%%): speculative copy on %s as %s",
+					st.id, sh.idx, 100*sh.progressLocked(), 100*front, n2.label, job2.ID()))
+			f.metric("feves_fleet_speculative_releases_total",
+				"Straggling shards speculatively re-leased before heartbeat declaration.").Inc()
+			go f.watchShard(st, sh, n2, job2)
+		}
+	}
 }
 
 // completeStreamLocked assembles a fully collected stream and finishes it.
@@ -343,6 +470,9 @@ func (f *Fleet) finishStreamLocked(st *Stream, status serve.Status, errMsg strin
 		for _, sh := range st.shards {
 			if sh.job != nil {
 				sh.job.Cancel()
+			}
+			if sh.specJob != nil {
+				sh.specJob.Cancel()
 			}
 		}
 	}
@@ -427,6 +557,9 @@ func (st *Stream) Status() StreamStatus {
 		}
 		if sh.job != nil {
 			ss.Job = sh.job.ID()
+		}
+		if sh.specNode != nil {
+			ss.Speculative = sh.specNode.label
 		}
 		if sh.done {
 			doc.Completed += sh.rng.Frames

@@ -219,6 +219,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // Retry-After hint. Safe to call concurrently.
 func (s *Server) Backlog() int { return len(s.queue) + len(s.slots) }
 
+// Load returns the server's live routing load: the summed remaining
+// weight (frame rows × frames still to encode) of every non-terminal job,
+// queued or running. This is the queue-aware figure the fleet router
+// folds into its per-node cap rows — a deep or heavy admission queue
+// reads as high load, and the figure shrinks as sessions stream results.
+// Safe to call concurrently.
+func (s *Server) Load() float64 {
+	var total float64
+	for _, j := range s.Jobs() {
+		total += j.remainingWeight()
+	}
+	return total
+}
+
 // RetryAfterSeconds turns a backlog depth into the Retry-After hint of a
 // 503 response. A merely busy server clears roughly one queued job per
 // session-slot turnover, so the hint grows with the number of jobs ahead

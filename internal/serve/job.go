@@ -252,6 +252,22 @@ func (j *Job) Spec() JobSpec { return j.spec }
 // session stops between frames.
 func (j *Job) Cancel() { j.cancel() }
 
+// remainingWeight is the job's outstanding routing weight — frame rows ×
+// frames not yet completed, the row·frame yardstick the fleet router
+// balances with — shrinking as results stream and zero once terminal.
+func (j *Job) remainingWeight() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return 0
+	}
+	rem := j.spec.frameCount() - len(j.results)
+	if rem <= 0 {
+		return 0
+	}
+	return float64(j.spec.workload().Rows() * rem)
+}
+
 // Status returns the job's current status document.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()

@@ -535,12 +535,15 @@ type SessionState struct {
 // State is the live introspection document served at /debug/state: pool
 // topology and leases, per-session health, queue depth and drain status.
 type State struct {
-	Draining    bool           `json:"draining"`
-	QueueLen    int            `json:"queue_len"`
-	QueueCap    int            `json:"queue_cap"`
-	MaxSessions int            `json:"max_sessions"`
-	Pool        pool.State     `json:"pool"`
-	Sessions    []SessionState `json:"sessions"`
+	Draining    bool `json:"draining"`
+	QueueLen    int  `json:"queue_len"`
+	QueueCap    int  `json:"queue_cap"`
+	MaxSessions int  `json:"max_sessions"`
+	// Load is the summed remaining row·frame weight of every queued and
+	// running job — the queue-aware figure the fleet router sheds on.
+	Load     float64        `json:"load"`
+	Pool     pool.State     `json:"pool"`
+	Sessions []SessionState `json:"sessions"`
 }
 
 // State snapshots the server for the debug endpoint. Safe to call while
@@ -559,6 +562,7 @@ func (s *Server) State() State {
 		QueueLen:    len(s.queue),
 		QueueCap:    cap(s.queue),
 		MaxSessions: cap(s.slots),
+		Load:        s.Load(),
 		Pool:        s.pool.State(),
 	}
 	for _, ref := range refs {
