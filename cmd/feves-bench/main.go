@@ -16,8 +16,8 @@
 // metrics (steady fps, allocs/frame, LP warm rate, fleet routing); -compare
 // diffs them against a committed baseline and exits non-zero on regression:
 //
-//	feves-bench -exp perf -json -json-file BENCH_9.json         # refresh baseline
-//	feves-bench -exp perf -compare BENCH_9.json -tol 0.15       # CI gate
+//	feves-bench -exp perf -json -json-file BENCH_10.json         # refresh baseline
+//	feves-bench -exp perf -compare BENCH_10.json -tol 0.15       # CI gate
 //
 // Fault injection: -inject-faults applies a deterministic fault schedule
 // to every platform and -deadline-slack arms the autonomous failover

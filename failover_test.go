@@ -16,6 +16,10 @@ import (
 
 // failoverEncode encodes a short synthetic sequence on SysNFK with the
 // given fault spec and deadline slack, returning the bitstream.
+// The search area is 64 so the LP keeps every device loaded: with the
+// calibrated profiles an SA-32 frame at this size is cheap enough that the
+// balancer consolidates all rows onto GPU_K, and a dead-but-idle GPU_F
+// would never miss a deadline.
 func failoverEncode(t *testing.T, faults string, slack float64, obs *feves.Observer) []byte {
 	t.Helper()
 	const w, h, frames = 320, 176, 14
@@ -24,7 +28,7 @@ func failoverEncode(t *testing.T, faults string, slack float64, obs *feves.Obser
 		t.Fatal(err)
 	}
 	enc, err := feves.NewEncoder(feves.Config{
-		Width: w, Height: h, SearchArea: 32, RefFrames: 1,
+		Width: w, Height: h, SearchArea: 64, RefFrames: 1,
 		DeadlineSlack: slack, Observer: obs,
 	}, pl)
 	if err != nil {

@@ -147,7 +147,9 @@ func TestFrameParallelBitExactSerialReference(t *testing.T) {
 func TestFrameParallelFailoverBitExactOnGPUDeath(t *testing.T) {
 	const w, h, n = 320, 176, 14
 	frames := synthYUV(t, w, h, n, 1)
-	cfg := feves.Config{Width: w, Height: h, SearchArea: 32, RefFrames: 1}
+	// SearchArea 64 for the same reason as failoverEncode: at SA 32 the
+	// calibrated pair LP idles GPU_F, making its death undetectable.
+	cfg := feves.Config{Width: w, Height: h, SearchArea: 64, RefFrames: 1}
 
 	clean, _, _ := fpEncode(t, cfg, feves.SysNFK(), frames)
 	if fn, err := feves.Verify(clean); err != nil || fn != n {

@@ -70,6 +70,13 @@ func withFaults(pl *feves.Platform) *feves.Platform {
 	return pl
 }
 
+// paper undoes the kernel calibration on a platform: the Fig. 6/7 and §IV
+// reproductions compare against the paper's published absolute rates,
+// which the base profiles were anchored to, while the shipped calibrated
+// profiles (used by the reproduction's own experiments below) model the
+// current, faster kernels.
+func paper(pl *feves.Platform) *feves.Platform { return pl.PaperAnchored() }
+
 // platformSet returns fresh instances of the seven Fig. 6 configurations.
 // Constructors are re-invoked per experiment because platforms carry
 // mutable perturbation state.
@@ -108,7 +115,7 @@ func Fig6a() []Series {
 		s := Series{Label: p.Name}
 		for _, sa := range sas {
 			s.X = append(s.X, float64(sa))
-			s.Y = append(s.Y, steady(cfg1080p(sa, 1), p.Make()))
+			s.Y = append(s.Y, steady(cfg1080p(sa, 1), paper(p.Make())))
 		}
 		out = append(out, s)
 	}
@@ -123,7 +130,7 @@ func Fig6b() []Series {
 		s := Series{Label: p.Name}
 		for rf := 1; rf <= 8; rf++ {
 			s.X = append(s.X, float64(rf))
-			s.Y = append(s.Y, steady(cfg1080p(32, rf), p.Make()))
+			s.Y = append(s.Y, steady(cfg1080p(32, rf), paper(p.Make())))
 		}
 		out = append(out, s)
 	}
@@ -154,7 +161,7 @@ func perFrame(cfg feves.Config, pl *feves.Platform, n int) Series {
 func Fig7a() []Series {
 	var out []Series
 	for _, rf := range []int{1, 2} {
-		s := perFrame(cfg1080p(64, rf), feves.SysHK(), 100)
+		s := perFrame(cfg1080p(64, rf), paper(feves.SysHK()), 100)
 		s.Label = fmt.Sprintf("%dRF", rf)
 		out = append(out, s)
 	}
@@ -192,7 +199,7 @@ func fig7bPerturbations(rf int) func(frame, dev int) float64 {
 func Fig7b() []Series {
 	var out []Series
 	for rf := 1; rf <= 5; rf++ {
-		pl := feves.SysHK()
+		pl := paper(feves.SysHK())
 		pl.Perturb(fig7bPerturbations(rf))
 		s := perFrame(cfg1080p(32, rf), pl, 100)
 		s.Label = fmt.Sprintf("%dRF", rf)
@@ -209,7 +216,7 @@ func Speedups() Table {
 	avg := func(mk func() *feves.Platform) float64 {
 		var sum float64
 		for rf := 1; rf <= 8; rf++ {
-			sum += steady(cfg1080p(32, rf), mk())
+			sum += steady(cfg1080p(32, rf), paper(mk()))
 		}
 		return sum / 8
 	}
@@ -278,7 +285,7 @@ func ModuleShare() Table {
 		{"CPU_N", feves.CPUNehalem}, {"CPU_H", feves.CPUHaswell},
 		{"GPU_F", feves.GPUFermi}, {"GPU_K", feves.GPUKepler},
 	} {
-		sim, err := feves.NewSimulation(cfg1080p(32, 1), p.mk())
+		sim, err := feves.NewSimulation(cfg1080p(32, 1), paper(p.mk()))
 		if err != nil {
 			panic(err)
 		}
@@ -514,7 +521,7 @@ func GPUScaling() Table {
 		if err != nil {
 			panic(err)
 		}
-		fps := steady(cfg1080p(32, 1), pl)
+		fps := steady(cfg1080p(32, 1), paper(pl))
 		if k == 1 {
 			base = fps
 		}

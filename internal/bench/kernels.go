@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"feves/internal/h264"
+	"feves/internal/h264/deblock"
+	"feves/internal/h264/interp"
+	"feves/internal/h264/me"
+	"feves/internal/h264/sme"
+	"feves/internal/video"
+)
+
+// minCallNs times fn over iters calls and returns the fastest single call
+// in nanoseconds — the usual noise-robust statistic for short wall-clock
+// kernels on a shared machine.
+func minCallNs(iters int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds())
+}
+
+// perfKernels measures the restructured hot kernels against the retained
+// scalar reference implementations on one CIF frame: per-macroblock cost
+// of the optimized kernel (informational — absolute wall-clock does not
+// gate) and its speedup over the reference (gated — the ratio divides out
+// machine speed, and a regression here means a kernel rewrite lost its
+// optimization). These speedups are also what DefaultCalibration anchors
+// the shipped device profiles to.
+func perfKernels(add func(name string, value float64, unit, dir string, slop float64)) {
+	const w, h = 352, 288
+	src := video.NewSyntheticClass(w, h, 2, 5, video.MediumMotion)
+	ref, cur := src.FrameAt(0), src.FrameAt(1)
+	mbw, mbh := cur.MBWidth(), cur.MBHeight()
+	mbs := float64(mbw * mbh)
+	dpb := h264.NewDPB(1)
+	dpb.Push(ref)
+	cfg := me.Config{SearchRange: 16}
+
+	meField := h264.NewMVField(mbw, mbh, 1)
+	meFast := minCallNs(4, func() { me.SearchRows(cur, dpb, cfg, meField, 0, mbh) })
+	meRef := minCallNs(2, func() { me.SearchRowsRef(cur, dpb, cfg, meField, 0, mbh) })
+	add("kernel_me_ns_mb", meFast/mbs, "ns/MB", "info", 0)
+	add("kernel_me_speedup", meRef/meFast, "ratio", "higher", 1.0)
+
+	sf := interp.NewSubFrame(w, h)
+	intFast := minCallNs(12, func() { interp.InterpolateRows(ref.Y, sf, 0, mbh) })
+	intRef := minCallNs(6, func() { interp.InterpolateRowsRef(ref.Y, sf, 0, mbh) })
+	sf.ExtendBorders()
+	add("kernel_int_ns_mb", intFast/mbs, "ns/MB", "info", 0)
+	add("kernel_int_speedup", intRef/intFast, "ratio", "info", 0)
+
+	sfs := []*interp.SubFrame{sf}
+	out := h264.NewMVField(mbw, mbh, 1)
+	smeFast := minCallNs(4, func() { sme.RefineRows(cur, sfs, meField, out, 0, mbh) })
+	smeRef := minCallNs(2, func() { sme.RefineRowsRef(cur, sfs, meField, out, 0, mbh) })
+	add("kernel_sme_ns_mb", smeFast/mbs, "ns/MB", "info", 0)
+	add("kernel_sme_speedup", smeRef/smeFast, "ratio", "higher", 2.0)
+
+	// Deblock on textured content with a realistic scatter of coded
+	// blocks; the frame restore runs outside the timed region.
+	rng := rand.New(rand.NewSource(9))
+	bi := deblock.NewBlockInfo(w, h)
+	for i := range bi.NZ {
+		bi.NZ[i] = rng.Intn(3) == 0
+	}
+	g := cur.Clone()
+	restore := func() {
+		g.Y.CopyFrom(cur.Y)
+		g.Cb.CopyFrom(cur.Cb)
+		g.Cr.CopyFrom(cur.Cr)
+	}
+	timeFilter := func(iters int, filter func()) float64 {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < iters; i++ {
+			restore()
+			start := time.Now()
+			filter()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best.Nanoseconds())
+	}
+	dblFast := timeFilter(20, func() { deblock.FilterFrame(g, bi, 30) })
+	dblRef := timeFilter(10, func() { deblock.FilterFrameRef(g, bi, 30) })
+	add("kernel_dbl_ns_mb", dblFast/mbs, "ns/MB", "info", 0)
+	add("kernel_dbl_speedup", dblRef/dblFast, "ratio", "higher", 0.3)
+}

@@ -31,7 +31,7 @@ type PerfMetric struct {
 }
 
 // PerfReport is the perf experiment's machine-readable result — the
-// committed BENCH_9.json baseline and the shape CI compares against it.
+// committed BENCH_10.json baseline and the shape CI compares against it.
 type PerfReport struct {
 	Metrics []PerfMetric `json:"metrics"`
 }
@@ -148,6 +148,7 @@ func Perf() PerfReport {
 
 	perfFleet(add)
 	perfFleetShed(add)
+	perfKernels(add)
 	return r
 }
 

@@ -65,7 +65,7 @@ func TestComparePerfGates(t *testing.T) {
 // TestPerfReportMetrics pins the gated metric set: CI compares by name,
 // so renaming or dropping one silently weakens the regression gate —
 // this test makes that a deliberate, reviewed change (with a matching
-// BENCH_9.json refresh).
+// BENCH_10.json refresh).
 func TestPerfReportMetrics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full perf measurement loop")
@@ -92,6 +92,14 @@ func TestPerfReportMetrics(t *testing.T) {
 		"fleet_submit_us":            "info",
 		"fleet_shed_rate":            "higher",
 		"fleet_speculative_releases": "higher",
+		"kernel_me_ns_mb":            "info",
+		"kernel_me_speedup":          "higher",
+		"kernel_int_ns_mb":           "info",
+		"kernel_int_speedup":         "info",
+		"kernel_sme_ns_mb":           "info",
+		"kernel_sme_speedup":         "higher",
+		"kernel_dbl_ns_mb":           "info",
+		"kernel_dbl_speedup":         "higher",
 	}
 	for name, dir := range want {
 		if got[name] != dir {

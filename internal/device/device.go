@@ -41,6 +41,11 @@ type Profile struct {
 	Name        string
 	Class       Class
 	CopyEngines int // 0 for CPU, 1 or 2 for GPUs
+	// Streams is the device's compute-stream count: how many kernel row
+	// slices the functional encoder executes concurrently for one dispatch
+	// on this device (via h264.ParallelRows). 0 or 1 means serial — a CPU
+	// core is a single stream; accelerators expose several.
+	Streams int
 
 	// MECandSec is the FSBM cost per macroblock, per search candidate,
 	// per usable reference frame (ME work scales with SA²·RF).
@@ -82,22 +87,92 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("device %s: CPU cores have no copy engines", p.Name)
 	case p.Jitter < 0 || p.Jitter > 0.5:
 		return fmt.Errorf("device %s: jitter %v out of [0, 0.5]", p.Name, p.Jitter)
+	case p.Streams < 0 || p.Streams > 64:
+		return fmt.Errorf("device %s: streams %d out of range [0,64]", p.Name, p.Streams)
 	}
 	return nil
 }
 
-// The reference profiles are calibrated against Fig. 6 of the paper at
-// SA 32×32, 1 RF, 1080p: CPU_N ≈ 12 fps (quad-core), CPU_H ≈ 1.7×CPU_N,
-// GPU_F ≈ 29 fps, GPU_K ≈ 2×GPU_F; module shares ME 50%, SME 10%, INT 30%,
-// R* 10%, which reproduces the real-time crossovers of Fig. 6(a)/(b).
+// KernelCalibration records the measured speedup of each optimized kernel
+// over the scalar reference kernels (me.SearchRowsRef, sme.RefineRowsRef,
+// interp.InterpolateRowsRef, deblock.FilterFrameRef) that the Fig. 6 base
+// anchoring was derived against. The shipped profiles divide the base
+// coefficients by these factors, so simulated per-MB-row costs track the
+// restructured kernels; the factors come from the internal/bench kernel
+// benchmarks (ns/MB fast vs reference, geometric mean over platforms).
+type KernelCalibration struct {
+	ME, SME, INT, RStar float64
+}
+
+// DefaultCalibration is the speedup measured after the stride/SWAR kernel
+// pass: SAD-reuse SWAR full search, 4×4-cell-memoized sub-pel refinement,
+// flat-scratch interpolation, and the copy-based MC + stride deblocking
+// that dominate the R* group's kernel share.
+func DefaultCalibration() KernelCalibration {
+	return KernelCalibration{ME: 5.5, SME: 3.9, INT: 1.15, RStar: 1.25}
+}
+
+// Validate checks the calibration factors.
+func (c KernelCalibration) Validate() error {
+	if c.ME < 1 || c.SME < 1 || c.INT < 1 || c.RStar < 1 {
+		return fmt.Errorf("device: calibration factors %+v must all be >= 1", c)
+	}
+	return nil
+}
+
+// Calibrated returns a copy of the profile with the kernel coefficients
+// divided by the measured speedups.
+func (p Profile) Calibrated(c KernelCalibration) Profile {
+	p.MECandSec /= c.ME
+	p.SMESec /= c.SME
+	p.INTSec /= c.INT
+	p.RStarSec /= c.RStar
+	return p
+}
+
+// Uncalibrated is the inverse of Calibrated: the kernel coefficients are
+// multiplied back by the factors, restoring the Fig. 6 base anchoring.
+// Paper-figure reproductions run on uncalibrated profiles so their
+// absolute rates stay comparable to the published measurements.
+func (p Profile) Uncalibrated(c KernelCalibration) Profile {
+	p.MECandSec *= c.ME
+	p.SMESec *= c.SME
+	p.INTSec *= c.INT
+	p.RStarSec *= c.RStar
+	return p
+}
+
+// The base profiles are anchored to Fig. 6 of the paper at SA 32×32,
+// 1 RF, 1080p with the original scalar kernels: CPU_N ≈ 12 fps
+// (quad-core), CPU_H ≈ 1.7×CPU_N, GPU_F ≈ 29 fps, GPU_K ≈ 2×GPU_F;
+// module shares ME 50%, SME 10%, INT 30%, R* 10%, which reproduces the
+// real-time crossovers of Fig. 6(a)/(b). The shipped constructors divide
+// the base coefficients by DefaultCalibration — the speedups measured
+// after the kernel restructuring — so the absolute anchoring survives in
+// the base profiles while simulated costs track the current kernels.
 // CPU coefficients below are per core (×4 the whole-CPU cost).
+
+// baseCPUNehalemCore is the Fig. 6-anchored per-core profile of the Intel
+// Nehalem i7 950 (CPU_N) with the pre-restructuring scalar kernels.
+func baseCPUNehalemCore() Profile {
+	return Profile{
+		Name: "CPU_N-core", Class: CPU, Streams: 1,
+		MECandSec: 1.943e-8, SMESec: 3.979e-6, INTSec: 1.194e-5, RStarSec: 3.979e-6,
+		Jitter: 0.02,
+	}
+}
 
 // CPUNehalemCore returns the per-core profile of the Intel Nehalem i7 950
 // (CPU_N in the paper), with SSE 4.2-class kernels.
 func CPUNehalemCore() Profile {
+	return baseCPUNehalemCore().Calibrated(DefaultCalibration())
+}
+
+// baseCPUHaswellCore is the Fig. 6-anchored per-core CPU_H profile.
+func baseCPUHaswellCore() Profile {
 	return Profile{
-		Name: "CPU_N-core", Class: CPU,
-		MECandSec: 1.943e-8, SMESec: 3.979e-6, INTSec: 1.194e-5, RStarSec: 3.979e-6,
+		Name: "CPU_H-core", Class: CPU, Streams: 1,
+		MECandSec: 1.143e-8, SMESec: 2.340e-6, INTSec: 7.022e-6, RStarSec: 2.340e-6,
 		Jitter: 0.02,
 	}
 }
@@ -105,35 +180,42 @@ func CPUNehalemCore() Profile {
 // CPUHaswellCore returns the per-core profile of the Intel Haswell i7
 // 4770K (CPU_H), with AVX2-class kernels (≈1.7× faster than CPU_N).
 func CPUHaswellCore() Profile {
-	return Profile{
-		Name: "CPU_H-core", Class: CPU,
-		MECandSec: 1.143e-8, SMESec: 2.340e-6, INTSec: 7.022e-6, RStarSec: 2.340e-6,
-		Jitter: 0.02,
-	}
+	return baseCPUHaswellCore().Calibrated(DefaultCalibration())
 }
 
-// GPUFermi returns the profile of the NVIDIA Fermi GTX 580 (GPU_F), a
-// single-copy-engine accelerator on a PCIe-2 class link.
-func GPUFermi() Profile {
+// baseGPUFermi is the Fig. 6-anchored GPU_F profile.
+func baseGPUFermi() Profile {
 	return Profile{
-		Name: "GPU_F", Class: GPU, CopyEngines: 1,
+		Name: "GPU_F", Class: GPU, CopyEngines: 1, Streams: 4,
 		MECandSec: 2.055e-9, SMESec: 4.208e-7, INTSec: 1.263e-6, RStarSec: 4.208e-7,
 		H2DBytesPerSec: 6e9, D2HBytesPerSec: 5.2e9, TransferLatency: 8e-6,
 		Jitter: 0.02,
 	}
 }
 
-// GPUKepler returns the profile of the NVIDIA Kepler GTX 780 Ti (GPU_K),
-// ≈2× GPU_F with a PCIe-3 class link. The GeForce Kepler exposes a single
-// copy engine; the dual-copy-engine variant used by the A2 ablation is
-// obtained with WithCopyEngines.
-func GPUKepler() Profile {
+// GPUFermi returns the profile of the NVIDIA Fermi GTX 580 (GPU_F), a
+// single-copy-engine accelerator on a PCIe-2 class link with 4 compute
+// streams.
+func GPUFermi() Profile {
+	return baseGPUFermi().Calibrated(DefaultCalibration())
+}
+
+// baseGPUKepler is the Fig. 6-anchored GPU_K profile.
+func baseGPUKepler() Profile {
 	return Profile{
-		Name: "GPU_K", Class: GPU, CopyEngines: 1,
+		Name: "GPU_K", Class: GPU, CopyEngines: 1, Streams: 8,
 		MECandSec: 1.028e-9, SMESec: 2.104e-7, INTSec: 6.313e-7, RStarSec: 2.104e-7,
 		H2DBytesPerSec: 1.1e10, D2HBytesPerSec: 1e10, TransferLatency: 6e-6,
 		Jitter: 0.02,
 	}
+}
+
+// GPUKepler returns the profile of the NVIDIA Kepler GTX 780 Ti (GPU_K),
+// ≈2× GPU_F with a PCIe-3 class link and 8 compute streams. The GeForce
+// Kepler exposes a single copy engine; the dual-copy-engine variant used
+// by the A2 ablation is obtained with WithCopyEngines.
+func GPUKepler() Profile {
+	return baseGPUKepler().Calibrated(DefaultCalibration())
 }
 
 // WithCopyEngines returns a copy of the profile with the given number of

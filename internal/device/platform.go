@@ -171,6 +171,23 @@ func SysHK() *Platform {
 	return &Platform{Name: "SysHK", GPUs: []Profile{GPUKepler()}, CPUCore: CPUHaswellCore(), Cores: 4, Seed: 1}
 }
 
+// Uncalibrated returns a copy of the platform with every device profile's
+// kernel calibration undone (Profile.Uncalibrated applied with c) — the
+// platform as the paper's hardware would run it with the original scalar
+// kernels. Scheduling state (seed, perturbation, faults, lease mapping)
+// carries over unchanged.
+func (pl *Platform) Uncalibrated(c KernelCalibration) *Platform {
+	out := *pl
+	out.GPUs = make([]Profile, len(pl.GPUs))
+	for i, g := range pl.GPUs {
+		out.GPUs[i] = g.Uncalibrated(c)
+	}
+	if out.Cores > 0 {
+		out.CPUCore = pl.CPUCore.Uncalibrated(c)
+	}
+	return &out
+}
+
 // CPUOnly builds a homogeneous multi-core platform (the paper's CPU_N and
 // CPU_H baselines with 4 cores).
 func CPUOnly(name string, core Profile, cores int) *Platform {

@@ -104,6 +104,14 @@ type Config struct {
 	// mode). The chain structure is signalled in the sequence header; a
 	// conforming decoder mirrors it exactly.
 	Chains int
+	// KernelWorkers splits each kernel dispatch of the serial EncodeFrame
+	// path into this many row slices executed concurrently on the shared
+	// row pool (the in-device slice parallelism of the paper's compute
+	// streams). 0 or 1 keeps serial execution. Results are bit-exact
+	// either way, so the setting is encoder-local and not signalled in
+	// the bitstream. The VCM path ignores it and uses each device
+	// profile's Streams count instead.
+	KernelWorkers int
 }
 
 // Validate checks the configuration.
@@ -131,8 +139,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("codec: %d slices for %d macroblock rows", c.Slices, c.Height/h264.MBSize)
 	case c.Chains < 0 || c.Chains > 2:
 		return fmt.Errorf("codec: %d reference chains out of range [0,2]", c.Chains)
+	case c.KernelWorkers < 0 || c.KernelWorkers > 64:
+		return fmt.Errorf("codec: %d kernel workers out of range [0,64]", c.KernelWorkers)
 	}
 	return nil
+}
+
+// kernelWorkers normalizes the KernelWorkers field (0 means 1).
+func (c Config) kernelWorkers() int {
+	if c.KernelWorkers <= 1 {
+		return 1
+	}
+	return c.KernelWorkers
 }
 
 // chains normalizes the Chains field (0 means 1).

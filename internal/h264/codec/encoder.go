@@ -118,10 +118,11 @@ func (e *Encoder) EncodeFrame(cf *h264.Frame) (rd.FrameStats, error) {
 	}
 	job := e.BeginFrame(cf)
 	n := e.cfg.MBRows()
-	e.RunME(job, 0, n)
-	e.RunINT(job, 0, n)
+	kw := e.cfg.kernelWorkers()
+	e.RunMEStreams(job, 0, n, kw)
+	e.RunINTStreams(job, 0, n, kw)
 	e.CompleteINT(job)
-	e.RunSME(job, 0, n)
+	e.RunSMEStreams(job, 0, n, kw)
 	return e.RunRStar(job), nil
 }
 
@@ -171,11 +172,28 @@ func (e *Encoder) RunME(job *FrameJob, rowLo, rowHi int) {
 	me.SearchRowsAlgo(e.cfg.MEAlgo, job.CF, e.dpbs[job.Chain], e.cfg.MECfg(), job.ME, rowLo, rowHi)
 }
 
+// RunMEStreams is RunME split across up to streams concurrent row slices
+// on the shared row pool — the in-device slice parallelism of a device's
+// compute streams. Bit-exact with RunME for any streams value.
+func (e *Encoder) RunMEStreams(job *FrameJob, rowLo, rowHi, streams int) {
+	h264.ParallelRows(h264.RowFunc(func(lo, hi int) {
+		e.RunME(job, lo, hi)
+	}), rowLo, rowHi, streams)
+}
+
 // RunINT interpolates macroblock rows [rowLo, rowHi) of the chain's most
 // recent reference frame into the job's new sub-frame. Safe to call
 // concurrently on disjoint row ranges.
 func (e *Encoder) RunINT(job *FrameJob, rowLo, rowHi int) {
 	interp.InterpolateRows(e.dpbs[job.Chain].Ref(0).Y, job.NewSF, rowLo, rowHi)
+}
+
+// RunINTStreams is RunINT split across up to streams concurrent row
+// slices. Bit-exact with RunINT for any streams value.
+func (e *Encoder) RunINTStreams(job *FrameJob, rowLo, rowHi, streams int) {
+	h264.ParallelRows(h264.RowFunc(func(lo, hi int) {
+		e.RunINT(job, lo, hi)
+	}), rowLo, rowHi, streams)
 }
 
 // CompleteINT is the τ1 host-side step: it extends the new sub-frame's
@@ -202,6 +220,18 @@ func (e *Encoder) RunSME(job *FrameJob, rowLo, rowHi int) {
 	}
 	sfs := e.sfsPadded(job.Chain)
 	sme.RefineRows(job.CF, sfs, job.ME, job.SME, rowLo, rowHi)
+}
+
+// RunSMEStreams is RunSME split across up to streams concurrent row
+// slices. Bit-exact with RunSME for any streams value.
+func (e *Encoder) RunSMEStreams(job *FrameJob, rowLo, rowHi, streams int) {
+	if !job.intComplete {
+		panic("codec: RunSME before CompleteINT")
+	}
+	sfs := e.sfsPadded(job.Chain)
+	h264.ParallelRows(h264.RowFunc(func(lo, hi int) {
+		sme.RefineRows(job.CF, sfs, job.ME, job.SME, lo, hi)
+	}), rowLo, rowHi, streams)
 }
 
 // sfsPadded returns one chain's SF list padded with nils up to NumRF slots

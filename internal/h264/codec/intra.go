@@ -35,7 +35,7 @@ func (e *Encoder) EncodeIntraFrame(cf *h264.Frame) (rd.FrameStats, error) {
 	}
 	e.assembleFrame(hw, sinks)
 
-	deblock.FilterFrame(recon, bi, qp)
+	e.filterRecon(recon, bi, qp)
 	if e.cfg.Checksum {
 		e.w.WriteBits(reconCRC(recon), 32)
 	}

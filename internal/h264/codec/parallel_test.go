@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeWithWorkers encodes a short moving scene with the given
+// KernelWorkers setting and returns the bitstream.
+func encodeWithWorkers(t *testing.T, w, h, workers int) []byte {
+	t.Helper()
+	cfg := testConfig(w, h)
+	cfg.KernelWorkers = workers
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range movingScene(w, h, 6, 11) {
+		if _, err := enc.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return enc.Bitstream()
+}
+
+// TestKernelWorkersBitExact pins the slice-parallel contract end to end:
+// routing ME search, interpolation, sub-pel refinement and plane-parallel
+// deblocking through ParallelRows must reproduce the serial bitstream
+// byte for byte, at both GPU stream counts (GPU_F runs 4 compute streams,
+// GPU_K runs 8). The 112×176 frame has 11 macroblock rows — an odd count
+// no tested worker count divides, so every run exercises uneven chunking
+// and a short final chunk. Run under -race this also proves the row
+// slices share no samples.
+func TestKernelWorkersBitExact(t *testing.T) {
+	for _, size := range []struct{ w, h int }{{112, 176}, {176, 112}} {
+		serial := encodeWithWorkers(t, size.w, size.h, 0)
+		for _, workers := range []int{2, 4, 8} {
+			got := encodeWithWorkers(t, size.w, size.h, workers)
+			if !bytes.Equal(got, serial) {
+				t.Errorf("%dx%d: %d kernel workers changed the bitstream (%d vs %d bytes)",
+					size.w, size.h, workers, len(got), len(serial))
+			}
+		}
+	}
+}
+
+// TestRunStreamsMatchSerialStages drives the per-stage stream wrappers the
+// VCM payloads use — RunMEStreams / RunINTStreams / RunSMEStreams on
+// partial row ranges — against the serial RunME / RunINT / RunSME on a
+// second encoder, checking the motion fields stay bit-exact stage by
+// stage.
+func TestRunStreamsMatchSerialStages(t *testing.T) {
+	const w, h = 112, 176
+	scene := movingScene(w, h, 4, 7)
+	par, err := NewEncoder(testConfig(w, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := NewEncoder(testConfig(w, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.EncodeFrame(scene[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ser.EncodeFrame(scene[0]); err != nil {
+		t.Fatal(err)
+	}
+	n := scene[1].MBHeight()
+	split := n / 3
+	for _, cf := range scene[1:] {
+		jp, js := par.BeginFrame(cf), ser.BeginFrame(cf)
+		// Two uneven dispatches per stage, as a two-device schedule would
+		// issue them, with different stream counts per dispatch.
+		par.RunMEStreams(jp, 0, split, 4)
+		par.RunMEStreams(jp, split, n, 8)
+		ser.RunME(js, 0, n)
+		if !jp.ME.Equal(js.ME) {
+			t.Fatal("parallel ME field differs from serial")
+		}
+		par.RunINTStreams(jp, 0, split, 8)
+		par.RunINTStreams(jp, split, n, 4)
+		ser.RunINT(js, 0, n)
+		par.CompleteINT(jp)
+		ser.CompleteINT(js)
+		par.RunSMEStreams(jp, 0, split, 4)
+		par.RunSMEStreams(jp, split, n, 8)
+		ser.RunSME(js, 0, n)
+		if !jp.SME.Equal(js.SME) {
+			t.Fatal("parallel SME field differs from serial")
+		}
+		sp := par.RunRStar(jp)
+		ss := ser.RunRStar(js)
+		if sp != ss {
+			t.Fatalf("frame stats diverged: %+v vs %+v", sp, ss)
+		}
+	}
+	if !bytes.Equal(par.Bitstream(), ser.Bitstream()) {
+		t.Fatal("stream-dispatched bitstream differs from serial")
+	}
+}

@@ -9,6 +9,23 @@ import (
 	"feves/internal/h264/transform"
 )
 
+// filterRecon deblocks a reconstructed frame, filtering the three planes
+// concurrently when the encoder is configured with kernel workers. The
+// planes share no samples and boundary strengths depend only on BlockInfo,
+// so the plane-parallel result is bit-exact with the serial filter.
+func (e *Encoder) filterRecon(recon *h264.Frame, bi *deblock.BlockInfo, qp int) {
+	if e.cfg.kernelWorkers() <= 1 {
+		deblock.FilterFrame(recon, bi, qp)
+		return
+	}
+	h264.ParallelRows(h264.RowFunc(func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			deblock.FilterPlane(recon, bi, qp, p)
+		}
+	}), 0, 3, 3)
+	recon.ExtendBorders()
+}
+
 // RunRStar executes the R* module group of the paper — Motion Compensation
 // (with partitioning-mode decision), Transform and Quantization, entropy
 // coding, Dequantization and Inverse Transform (reconstruction), and
@@ -79,7 +96,7 @@ func (e *Encoder) RunRStar(job *FrameJob) rd.FrameStats {
 	}
 	e.assembleFrame(hw, sinks)
 
-	deblock.FilterFrame(recon, bi, qp)
+	e.filterRecon(recon, bi, qp)
 	if e.cfg.Checksum {
 		e.w.WriteBits(reconCRC(recon), 32)
 	}

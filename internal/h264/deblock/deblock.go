@@ -115,85 +115,120 @@ func (bi *BlockInfo) BoundaryStrength(pbx, pby, qbx, qby int, mbEdge bool) int {
 }
 
 // FilterFrame applies the in-loop filter to the reconstructed frame in
-// place. Macroblocks are processed in raster order; within each macroblock
-// all vertical edges are filtered before the horizontal edges, per clause
-// 8.7 of the standard.
+// place. Within each plane, macroblocks are processed in raster order with
+// all vertical edges filtered before the horizontal edges, per clause 8.7
+// of the standard. The three planes are filtered as independent passes:
+// they share no samples and boundary strengths depend only on BlockInfo,
+// so the per-plane passes are bit-exact with the interleaved per-MB order
+// (and may run concurrently — see FilterPlane).
 func FilterFrame(f *h264.Frame, bi *BlockInfo, qp int) {
-	mbw, mbh := f.MBWidth(), f.MBHeight()
-	for mby := 0; mby < mbh; mby++ {
-		for mbx := 0; mbx < mbw; mbx++ {
-			filterMB(f, bi, qp, mbx, mby)
-		}
+	for p := 0; p < 3; p++ {
+		FilterPlane(f, bi, qp, p)
 	}
 	f.ExtendBorders()
 }
 
-func filterMB(f *h264.Frame, bi *BlockInfo, qp int, mbx, mby int) {
-	// Vertical luma edges at x offsets 0, 4, 8, 12.
-	for e := 0; e < 4; e++ {
-		x := mbx*16 + e*4
-		if x == 0 {
-			continue // picture boundary
-		}
-		for seg := 0; seg < 4; seg++ {
-			y := mby*16 + seg*4
-			bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
-			if bs == 0 {
-				continue
+// FilterPlane filters one plane of the frame completely: plane 0 is luma,
+// 1 is Cb, 2 is Cr. Calls on distinct planes touch disjoint memory and may
+// run concurrently; their union equals FilterFrame minus the final border
+// extension. Within a plane the macroblock raster order is load-bearing
+// (horizontal MB-edge filtering writes p-samples into the row above), so a
+// single plane must not be split across goroutines.
+func FilterPlane(f *h264.Frame, bi *BlockInfo, qp, plane int) {
+	switch plane {
+	case 0:
+		filterLumaPlane(f.Y, bi, qp, f.MBWidth(), f.MBHeight())
+	case 1:
+		filterChromaPlane(f.Cb, bi, qp, f.MBWidth(), f.MBHeight())
+	case 2:
+		filterChromaPlane(f.Cr, bi, qp, f.MBWidth(), f.MBHeight())
+	default:
+		panic("deblock: plane index out of range")
+	}
+}
+
+func filterLumaPlane(pl *h264.Plane, bi *BlockInfo, qp, mbw, mbh int) {
+	buf, stride := pl.Raw(), pl.Stride
+	for mby := 0; mby < mbh; mby++ {
+		for mbx := 0; mbx < mbw; mbx++ {
+			// Vertical luma edges at x offsets 0, 4, 8, 12.
+			for e := 0; e < 4; e++ {
+				x := mbx*16 + e*4
+				if x == 0 {
+					continue // picture boundary
+				}
+				for seg := 0; seg < 4; seg++ {
+					y := mby*16 + seg*4
+					bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
+					if bs == 0 {
+						continue
+					}
+					o := pl.Idx(x, y)
+					for r := 0; r < 4; r++ {
+						filterLumaEdge(buf, o+r*stride, 1, bs, qp)
+					}
+				}
 			}
-			for r := 0; r < 4; r++ {
-				filterLumaV(f.Y, x, y+r, bs, qp)
+			// Horizontal luma edges at y offsets 0, 4, 8, 12.
+			for e := 0; e < 4; e++ {
+				y := mby*16 + e*4
+				if y == 0 {
+					continue
+				}
+				for seg := 0; seg < 4; seg++ {
+					x := mbx*16 + seg*4
+					bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
+					if bs == 0 {
+						continue
+					}
+					o := pl.Idx(x, y)
+					for c := 0; c < 4; c++ {
+						filterLumaEdge(buf, o+c, stride, bs, qp)
+					}
+				}
 			}
 		}
 	}
-	// Horizontal luma edges at y offsets 0, 4, 8, 12.
-	for e := 0; e < 4; e++ {
-		y := mby*16 + e*4
-		if y == 0 {
-			continue
-		}
-		for seg := 0; seg < 4; seg++ {
-			x := mbx*16 + seg*4
-			bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
-			if bs == 0 {
-				continue
-			}
-			for c := 0; c < 4; c++ {
-				filterLumaH(f.Y, x+c, y, bs, qp)
-			}
-		}
-	}
-	// Chroma edges: luma edges 0 and 8 map to chroma 0 and 4.
-	for _, cp := range []*h264.Plane{f.Cb, f.Cr} {
-		for _, e := range []int{0, 8} {
-			x := mbx*16 + e
-			if x == 0 {
-				continue
-			}
-			for seg := 0; seg < 4; seg++ {
-				y := mby*16 + seg*4
-				bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
-				if bs == 0 {
+}
+
+// filterChromaPlane filters one chroma plane: luma edges 0 and 8 map to
+// chroma edges 0 and 4.
+func filterChromaPlane(pl *h264.Plane, bi *BlockInfo, qp, mbw, mbh int) {
+	buf, stride := pl.Raw(), pl.Stride
+	for mby := 0; mby < mbh; mby++ {
+		for mbx := 0; mbx < mbw; mbx++ {
+			for _, e := range [2]int{0, 8} {
+				x := mbx*16 + e
+				if x == 0 {
 					continue
 				}
-				for r := 0; r < 2; r++ {
-					filterChromaV(cp, x/2, y/2+r, bs, qp)
+				for seg := 0; seg < 4; seg++ {
+					y := mby*16 + seg*4
+					bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
+					if bs == 0 {
+						continue
+					}
+					o := pl.Idx(x/2, y/2)
+					for r := 0; r < 2; r++ {
+						filterChromaEdge(buf, o+r*stride, 1, bs, qp)
+					}
 				}
 			}
-		}
-		for _, e := range []int{0, 8} {
-			y := mby*16 + e
-			if y == 0 {
-				continue
-			}
-			for seg := 0; seg < 4; seg++ {
-				x := mbx*16 + seg*4
-				bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
-				if bs == 0 {
+			for _, e := range [2]int{0, 8} {
+				y := mby*16 + e
+				if y == 0 {
 					continue
 				}
-				for c := 0; c < 2; c++ {
-					filterChromaH(cp, x/2+c, y/2, bs, qp)
+				for seg := 0; seg < 4; seg++ {
+					x := mbx*16 + seg*4
+					bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
+					if bs == 0 {
+						continue
+					}
+					o := pl.Idx(x/2, y/2)
+					for c := 0; c < 2; c++ {
+						filterChromaEdge(buf, o+c, stride, bs, qp)
+					}
 				}
 			}
 		}
@@ -214,45 +249,32 @@ func clip255(v int32) uint8 {
 	return uint8(clip3(0, 255, v))
 }
 
-// filterLumaV filters one row of the vertical edge at column x: samples
-// p3..p0 are at x-4..x-1 and q0..q3 at x..x+3 of row y.
-func filterLumaV(pl *h264.Plane, x, y, bs, qp int) {
-	get := func(i int) int32 { return int32(pl.At(x+i, y)) }
-	set := func(i int, v uint8) { pl.Set(x+i, y, v) }
-	filterLumaEdge(get, set, bs, qp)
-}
-
-// filterLumaH filters one column of the horizontal edge at row y.
-func filterLumaH(pl *h264.Plane, x, y, bs, qp int) {
-	get := func(i int) int32 { return int32(pl.At(x, y+i)) }
-	set := func(i int, v uint8) { pl.Set(x, y+i, v) }
-	filterLumaEdge(get, set, bs, qp)
-}
-
-// filterLumaEdge implements clauses 8.7.2.3/8.7.2.4: get/set address
-// samples relative to the edge, index −1 is p0 and index 0 is q0.
-func filterLumaEdge(get func(int) int32, set func(int, uint8), bs, qp int) {
+// filterLumaEdge implements clauses 8.7.2.3/8.7.2.4 on the raw plane
+// buffer: q0 is at buf[o] and sample i of the edge at buf[o+i*step], so
+// step 1 filters one row of a vertical edge and step Stride one column of
+// a horizontal edge.
+func filterLumaEdge(buf []uint8, o, step, bs, qp int) {
 	alpha, beta := alphaTab[qp], betaTab[qp]
-	p0, p1, p2, p3 := get(-1), get(-2), get(-3), get(-4)
-	q0, q1, q2, q3 := get(0), get(1), get(2), get(3)
+	p0, p1, p2, p3 := int32(buf[o-step]), int32(buf[o-2*step]), int32(buf[o-3*step]), int32(buf[o-4*step])
+	q0, q1, q2, q3 := int32(buf[o]), int32(buf[o+step]), int32(buf[o+2*step]), int32(buf[o+3*step])
 	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
 		return
 	}
 	ap, aq := abs32(p2-p0), abs32(q2-q0)
 	if bs == 4 {
 		if ap < beta && abs32(p0-q0) < (alpha>>2)+2 {
-			set(-1, clip255((p2+2*p1+2*p0+2*q0+q1+4)>>3))
-			set(-2, clip255((p2+p1+p0+q0+2)>>2))
-			set(-3, clip255((2*p3+3*p2+p1+p0+q0+4)>>3))
+			buf[o-step] = clip255((p2 + 2*p1 + 2*p0 + 2*q0 + q1 + 4) >> 3)
+			buf[o-2*step] = clip255((p2 + p1 + p0 + q0 + 2) >> 2)
+			buf[o-3*step] = clip255((2*p3 + 3*p2 + p1 + p0 + q0 + 4) >> 3)
 		} else {
-			set(-1, clip255((2*p1+p0+q1+2)>>2))
+			buf[o-step] = clip255((2*p1 + p0 + q1 + 2) >> 2)
 		}
 		if aq < beta && abs32(p0-q0) < (alpha>>2)+2 {
-			set(0, clip255((q2+2*q1+2*q0+2*p0+p1+4)>>3))
-			set(1, clip255((q2+q1+q0+p0+2)>>2))
-			set(2, clip255((2*q3+3*q2+q1+q0+p0+4)>>3))
+			buf[o] = clip255((q2 + 2*q1 + 2*q0 + 2*p0 + p1 + 4) >> 3)
+			buf[o+step] = clip255((q2 + q1 + q0 + p0 + 2) >> 2)
+			buf[o+2*step] = clip255((2*q3 + 3*q2 + q1 + q0 + p0 + 4) >> 3)
 		} else {
-			set(0, clip255((2*q1+q0+p1+2)>>2))
+			buf[o] = clip255((2*q1 + q0 + p1 + 2) >> 2)
 		}
 		return
 	}
@@ -265,44 +287,34 @@ func filterLumaEdge(get func(int) int32, set func(int, uint8), bs, qp int) {
 		tc++
 	}
 	delta := clip3(-tc, tc, ((q0-p0)<<2+(p1-q1)+4)>>3)
-	set(-1, clip255(p0+delta))
-	set(0, clip255(q0-delta))
+	buf[o-step] = clip255(p0 + delta)
+	buf[o] = clip255(q0 - delta)
 	if ap < beta {
-		set(-2, clip255(p1+clip3(-tc0, tc0, (p2+((p0+q0+1)>>1)-2*p1)>>1)))
+		buf[o-2*step] = clip255(p1 + clip3(-tc0, tc0, (p2+((p0+q0+1)>>1)-2*p1)>>1))
 	}
 	if aq < beta {
-		set(1, clip255(q1+clip3(-tc0, tc0, (q2+((p0+q0+1)>>1)-2*q1)>>1)))
+		buf[o+step] = clip255(q1 + clip3(-tc0, tc0, (q2+((p0+q0+1)>>1)-2*q1)>>1))
 	}
 }
 
-func filterChromaV(pl *h264.Plane, x, y, bs, qp int) {
-	get := func(i int) int32 { return int32(pl.At(x+i, y)) }
-	set := func(i int, v uint8) { pl.Set(x+i, y, v) }
-	filterChromaEdge(get, set, bs, qp)
-}
-
-func filterChromaH(pl *h264.Plane, x, y, bs, qp int) {
-	get := func(i int) int32 { return int32(pl.At(x, y+i)) }
-	set := func(i int, v uint8) { pl.Set(x, y+i, v) }
-	filterChromaEdge(get, set, bs, qp)
-}
-
-func filterChromaEdge(get func(int) int32, set func(int, uint8), bs, qp int) {
+// filterChromaEdge is the chroma counterpart of filterLumaEdge, same
+// (buf, o, step) addressing.
+func filterChromaEdge(buf []uint8, o, step, bs, qp int) {
 	alpha, beta := alphaTab[qp], betaTab[qp]
-	p0, p1 := get(-1), get(-2)
-	q0, q1 := get(0), get(1)
+	p0, p1 := int32(buf[o-step]), int32(buf[o-2*step])
+	q0, q1 := int32(buf[o]), int32(buf[o+step])
 	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
 		return
 	}
 	if bs == 4 {
-		set(-1, clip255((2*p1+p0+q1+2)>>2))
-		set(0, clip255((2*q1+q0+p1+2)>>2))
+		buf[o-step] = clip255((2*p1 + p0 + q1 + 2) >> 2)
+		buf[o] = clip255((2*q1 + q0 + p1 + 2) >> 2)
 		return
 	}
 	tc := tc0Tab[qp][bs-1] + 1
 	delta := clip3(-tc, tc, ((q0-p0)<<2+(p1-q1)+4)>>3)
-	set(-1, clip255(p0+delta))
-	set(0, clip255(q0-delta))
+	buf[o-step] = clip255(p0 + delta)
+	buf[o] = clip255(q0 - delta)
 }
 
 func abs32(v int32) int32 {

@@ -236,7 +236,7 @@ func abs(v int) int {
 	return v
 }
 
-func BenchmarkFilterFrame(b *testing.B) {
+func benchFrame() (*h264.Frame, *BlockInfo) {
 	f := flatFrame(176, 144, 100)
 	rng := rand.New(rand.NewSource(9))
 	for y := 0; y < 144; y++ {
@@ -249,9 +249,74 @@ func BenchmarkFilterFrame(b *testing.B) {
 	for i := range bi.NZ {
 		bi.NZ[i] = rng.Intn(3) == 0
 	}
+	return f, bi
+}
+
+func BenchmarkFilterFrame(b *testing.B) {
+	f, bi := benchFrame()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := f.Clone()
 		FilterFrame(g, bi, 30)
+	}
+}
+
+// BenchmarkFilterFrameNsPerMB times only the filter (the frame restore runs
+// with the timer stopped) and reports the per-macroblock cost tracked by
+// the bench-regression gate.
+func BenchmarkFilterFrameNsPerMB(b *testing.B) {
+	f, bi := benchFrame()
+	g := f.Clone()
+	mbs := f.MBWidth() * f.MBHeight()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g.Y.CopyFrom(f.Y)
+		g.Cb.CopyFrom(f.Cb)
+		g.Cr.CopyFrom(f.Cr)
+		b.StartTimer()
+		FilterFrame(g, bi, 30)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*mbs), "ns/MB")
+}
+
+func TestFilterFrameMatchesReference(t *testing.T) {
+	// The stride-based per-plane kernel must be bit-exact with the retained
+	// closure-per-edge oracle, across bS 1-4 (intra MBs, coded blocks,
+	// differing refs and MVs) on luma and chroma.
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(20 + seed))
+		mk := func() (*h264.Frame, *BlockInfo) {
+			r := rand.New(rand.NewSource(30 + seed))
+			f := h264.NewFrame(80, 64)
+			for _, pl := range []*h264.Plane{f.Y, f.Cb, f.Cr} {
+				for y := 0; y < pl.H; y++ {
+					row := pl.Row(y)
+					for x := range row {
+						row[x] = uint8(80 + r.Intn(80))
+					}
+				}
+			}
+			f.ExtendBorders()
+			bi := NewBlockInfo(80, 64)
+			for by := 0; by < bi.BH; by++ {
+				for bx := 0; bx < bi.BW; bx++ {
+					mv := h264.MV{X: int16(r.Intn(17) - 8), Y: int16(r.Intn(17) - 8)}
+					bi.SetBlock(bx, by, r.Intn(3) == 0, mv, uint8(r.Intn(2)))
+				}
+			}
+			for i := range bi.Intra {
+				bi.Intra[i] = r.Intn(5) == 0
+			}
+			return f, bi
+		}
+		a, biA := mk()
+		b, biB := mk()
+		qp := 20 + rng.Intn(20)
+		FilterFrame(a, biA, qp)
+		FilterFrameRef(b, biB, qp)
+		if !a.Equal(b) {
+			t.Fatalf("seed %d qp %d: stride-based filter differs from reference", seed, qp)
+		}
 	}
 }

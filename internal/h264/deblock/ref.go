@@ -1,0 +1,184 @@
+package deblock
+
+import (
+	"feves/internal/h264"
+)
+
+// FilterFrameRef is the closure-per-edge deblocking kernel retained as the
+// bit-exactness oracle for the stride-based per-plane kernel and as the
+// baseline the device calibration and the bench-regression speedup ratios
+// are measured against. It filters macroblocks in the original interleaved
+// order (luma V, luma H, then chroma per MB) and shares no edge-filter
+// code with the fast path.
+func FilterFrameRef(f *h264.Frame, bi *BlockInfo, qp int) {
+	mbw, mbh := f.MBWidth(), f.MBHeight()
+	for mby := 0; mby < mbh; mby++ {
+		for mbx := 0; mbx < mbw; mbx++ {
+			filterMBRef(f, bi, qp, mbx, mby)
+		}
+	}
+	f.ExtendBorders()
+}
+
+func filterMBRef(f *h264.Frame, bi *BlockInfo, qp int, mbx, mby int) {
+	// Vertical luma edges at x offsets 0, 4, 8, 12.
+	for e := 0; e < 4; e++ {
+		x := mbx*16 + e*4
+		if x == 0 {
+			continue // picture boundary
+		}
+		for seg := 0; seg < 4; seg++ {
+			y := mby*16 + seg*4
+			bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
+			if bs == 0 {
+				continue
+			}
+			for r := 0; r < 4; r++ {
+				filterLumaVRef(f.Y, x, y+r, bs, qp)
+			}
+		}
+	}
+	// Horizontal luma edges at y offsets 0, 4, 8, 12.
+	for e := 0; e < 4; e++ {
+		y := mby*16 + e*4
+		if y == 0 {
+			continue
+		}
+		for seg := 0; seg < 4; seg++ {
+			x := mbx*16 + seg*4
+			bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
+			if bs == 0 {
+				continue
+			}
+			for c := 0; c < 4; c++ {
+				filterLumaHRef(f.Y, x+c, y, bs, qp)
+			}
+		}
+	}
+	// Chroma edges: luma edges 0 and 8 map to chroma 0 and 4.
+	for _, cp := range []*h264.Plane{f.Cb, f.Cr} {
+		for _, e := range []int{0, 8} {
+			x := mbx*16 + e
+			if x == 0 {
+				continue
+			}
+			for seg := 0; seg < 4; seg++ {
+				y := mby*16 + seg*4
+				bs := bi.BoundaryStrength(x/4-1, y/4, x/4, y/4, e == 0)
+				if bs == 0 {
+					continue
+				}
+				for r := 0; r < 2; r++ {
+					filterChromaVRef(cp, x/2, y/2+r, bs, qp)
+				}
+			}
+		}
+		for _, e := range []int{0, 8} {
+			y := mby*16 + e
+			if y == 0 {
+				continue
+			}
+			for seg := 0; seg < 4; seg++ {
+				x := mbx*16 + seg*4
+				bs := bi.BoundaryStrength(x/4, y/4-1, x/4, y/4, e == 0)
+				if bs == 0 {
+					continue
+				}
+				for c := 0; c < 2; c++ {
+					filterChromaHRef(cp, x/2+c, y/2, bs, qp)
+				}
+			}
+		}
+	}
+}
+
+// filterLumaVRef filters one row of the vertical edge at column x: samples
+// p3..p0 are at x-4..x-1 and q0..q3 at x..x+3 of row y.
+func filterLumaVRef(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x+i, y)) }
+	set := func(i int, v uint8) { pl.Set(x+i, y, v) }
+	filterLumaEdgeRef(get, set, bs, qp)
+}
+
+// filterLumaHRef filters one column of the horizontal edge at row y.
+func filterLumaHRef(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x, y+i)) }
+	set := func(i int, v uint8) { pl.Set(x, y+i, v) }
+	filterLumaEdgeRef(get, set, bs, qp)
+}
+
+// filterLumaEdgeRef implements clauses 8.7.2.3/8.7.2.4: get/set address
+// samples relative to the edge, index −1 is p0 and index 0 is q0.
+func filterLumaEdgeRef(get func(int) int32, set func(int, uint8), bs, qp int) {
+	alpha, beta := alphaTab[qp], betaTab[qp]
+	p0, p1, p2, p3 := get(-1), get(-2), get(-3), get(-4)
+	q0, q1, q2, q3 := get(0), get(1), get(2), get(3)
+	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
+		return
+	}
+	ap, aq := abs32(p2-p0), abs32(q2-q0)
+	if bs == 4 {
+		if ap < beta && abs32(p0-q0) < (alpha>>2)+2 {
+			set(-1, clip255((p2+2*p1+2*p0+2*q0+q1+4)>>3))
+			set(-2, clip255((p2+p1+p0+q0+2)>>2))
+			set(-3, clip255((2*p3+3*p2+p1+p0+q0+4)>>3))
+		} else {
+			set(-1, clip255((2*p1+p0+q1+2)>>2))
+		}
+		if aq < beta && abs32(p0-q0) < (alpha>>2)+2 {
+			set(0, clip255((q2+2*q1+2*q0+2*p0+p1+4)>>3))
+			set(1, clip255((q2+q1+q0+p0+2)>>2))
+			set(2, clip255((2*q3+3*q2+q1+q0+p0+4)>>3))
+		} else {
+			set(0, clip255((2*q1+q0+p1+2)>>2))
+		}
+		return
+	}
+	tc0 := tc0Tab[qp][bs-1]
+	tc := tc0
+	if ap < beta {
+		tc++
+	}
+	if aq < beta {
+		tc++
+	}
+	delta := clip3(-tc, tc, ((q0-p0)<<2+(p1-q1)+4)>>3)
+	set(-1, clip255(p0+delta))
+	set(0, clip255(q0-delta))
+	if ap < beta {
+		set(-2, clip255(p1+clip3(-tc0, tc0, (p2+((p0+q0+1)>>1)-2*p1)>>1)))
+	}
+	if aq < beta {
+		set(1, clip255(q1+clip3(-tc0, tc0, (q2+((p0+q0+1)>>1)-2*q1)>>1)))
+	}
+}
+
+func filterChromaVRef(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x+i, y)) }
+	set := func(i int, v uint8) { pl.Set(x+i, y, v) }
+	filterChromaEdgeRef(get, set, bs, qp)
+}
+
+func filterChromaHRef(pl *h264.Plane, x, y, bs, qp int) {
+	get := func(i int) int32 { return int32(pl.At(x, y+i)) }
+	set := func(i int, v uint8) { pl.Set(x, y+i, v) }
+	filterChromaEdgeRef(get, set, bs, qp)
+}
+
+func filterChromaEdgeRef(get func(int) int32, set func(int, uint8), bs, qp int) {
+	alpha, beta := alphaTab[qp], betaTab[qp]
+	p0, p1 := get(-1), get(-2)
+	q0, q1 := get(0), get(1)
+	if abs32(p0-q0) >= alpha || abs32(p1-p0) >= beta || abs32(q1-q0) >= beta {
+		return
+	}
+	if bs == 4 {
+		set(-1, clip255((2*p1+p0+q1+2)>>2))
+		set(0, clip255((2*q1+q0+p1+2)>>2))
+		return
+	}
+	tc := tc0Tab[qp][bs-1] + 1
+	delta := clip3(-tc, tc, ((q0-p0)<<2+(p1-q1)+4)>>3)
+	set(-1, clip255(p0+delta))
+	set(0, clip255(q0-delta))
+}

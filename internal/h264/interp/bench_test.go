@@ -1,0 +1,21 @@
+package interp
+
+import (
+	"testing"
+
+	"feves/internal/h264"
+)
+
+// BenchmarkInterpolateRows times 6-tap half-pel plus quarter-pel SF
+// construction for a QCIF reference plane and reports the per-macroblock
+// cost tracked by the device calibration and the bench-regression gate.
+func BenchmarkInterpolateRows(b *testing.B) {
+	ref := randomPlane(176, 144, 40)
+	sf := NewSubFrame(ref.W, ref.H)
+	mbs := (ref.W / h264.MBSize) * (ref.H / h264.MBSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InterpolateRows(ref, sf, 0, ref.H/h264.MBSize)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*mbs), "ns/MB")
+}

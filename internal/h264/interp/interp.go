@@ -5,6 +5,11 @@
 // structure — 16 sub-position planes per reference frame, "as large as 16
 // RFs" in the paper's words.
 //
+// The kernel works on flat row slices with stride arithmetic: the unrounded
+// 6-tap intermediates are kept in pooled scratch buffers and every inner
+// loop walks contiguous memory, so the compiler can keep the filter taps in
+// registers and vectorize the straight-line quarter-pel averages.
+//
 // Interpolation is row-sliceable: InterpolateRows fills only the requested
 // macroblock rows and is bit-exact regardless of how rows are distributed
 // across devices, which is what makes the module safe to load-balance.
@@ -12,6 +17,7 @@ package interp
 
 import (
 	"fmt"
+	"sync"
 
 	"feves/internal/h264"
 )
@@ -97,6 +103,29 @@ func clip(v int32) uint8 {
 	return uint8(v)
 }
 
+// scratch holds the unrounded 6-tap intermediates for one InterpolateRows
+// call; pooled so the steady-state frame loop performs no allocations.
+type scratch struct {
+	b, h, j    []int32
+	bp, hp, jp []uint8 // rounded half-pel rows, each value used by 2–4 sub-positions
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func grow(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
 // Interpolate fills the whole sub-frame from the reference luma plane and
 // extends the borders. Equivalent to InterpolateRows over all rows followed
 // by ExtendBorders.
@@ -119,6 +148,7 @@ func InterpolateRows(ref *h264.Plane, sf *SubFrame, rowLo, rowHi int) {
 		panic(fmt.Sprintf("interp: bad row range [%d,%d)", rowLo, rowHi))
 	}
 	w := ref.W
+	pad := ref.Pad
 
 	// Intermediate half-pel values are kept unrounded (int32) so that the
 	// centre position j is derived from unrounded horizontal values exactly
@@ -127,81 +157,126 @@ func InterpolateRows(ref *h264.Plane, sf *SubFrame, rowLo, rowHi int) {
 	// last row reach below it.
 	const halo = 3
 	iLo, iHi := yLo-halo, yHi+halo
-	rows := iHi - iLo
-	// bRaw[y][x]: horizontal 6-tap at (x+1/2, y), unrounded.
-	bRaw := make([][]int32, rows)
-	for i := range bRaw {
-		y := iLo + i
-		bRaw[i] = make([]int32, w+1) // includes x = -1..w-1 shifted by 1? see idx below
-		for x := -1; x < w; x++ {
-			bRaw[i][x+1] = sixTap(
-				int32(ref.At(x-2, y)), int32(ref.At(x-1, y)), int32(ref.At(x, y)),
-				int32(ref.At(x+1, y)), int32(ref.At(x+2, y)), int32(ref.At(x+3, y)))
+	bRows := iHi - iLo       // horizontal 6-tap rows
+	hRows := yHi - (yLo - 1) // vertical 6-tap + centre rows
+	bw := w + 1              // b covers x = -1..w-1, stored at x+1
+	hw := w + 1              // h covers x = 0..w
+
+	s := scratchPool.Get().(*scratch)
+	s.b = grow(s.b, bRows*bw)
+	s.h = grow(s.h, hRows*hw)
+	s.j = grow(s.j, hRows*w)
+
+	// b[y][x+1]: horizontal 6-tap at (x+1/2, y), unrounded.
+	for i := 0; i < bRows; i++ {
+		rp := ref.RowPadded(iLo + i)
+		bRow := s.b[i*bw : (i+1)*bw]
+		for x := 0; x < bw; x++ {
+			o := pad + x - 1 // sample x-1 of the covered range
+			bRow[x] = sixTap(
+				int32(rp[o-2]), int32(rp[o-1]), int32(rp[o]),
+				int32(rp[o+1]), int32(rp[o+2]), int32(rp[o+3]))
 		}
 	}
-	bAt := func(x, y int) int32 { return bRaw[y-iLo][x+1] }
 
-	// hRaw[y][x]: vertical 6-tap at (x, y+1/2), unrounded, for y in
+	// h[y][x]: vertical 6-tap at (x, y+1/2), unrounded, for y in
 	// [yLo-1, yHi) and x in [0, w] (x = w needed by k and r).
-	hRows := yHi - (yLo - 1)
-	hRaw := make([][]int32, hRows)
-	for i := range hRaw {
+	for i := 0; i < hRows; i++ {
 		y := yLo - 1 + i
-		hRaw[i] = make([]int32, w+1)
-		for x := 0; x <= w; x++ {
-			hRaw[i][x] = sixTap(
-				int32(ref.At(x, y-2)), int32(ref.At(x, y-1)), int32(ref.At(x, y)),
-				int32(ref.At(x, y+1)), int32(ref.At(x, y+2)), int32(ref.At(x, y+3)))
+		r0, r1, r2 := ref.RowPadded(y-2), ref.RowPadded(y-1), ref.RowPadded(y)
+		r3, r4, r5 := ref.RowPadded(y+1), ref.RowPadded(y+2), ref.RowPadded(y+3)
+		hRow := s.h[i*hw : (i+1)*hw]
+		for x := 0; x < hw; x++ {
+			o := pad + x
+			hRow[x] = sixTap(
+				int32(r0[o]), int32(r1[o]), int32(r2[o]),
+				int32(r3[o]), int32(r4[o]), int32(r5[o]))
 		}
 	}
-	hAt := func(x, y int) int32 { return hRaw[y-(yLo-1)][x] }
 
-	// jRaw[y][x]: centre half-pel at (x+1/2, y+1/2) = vertical 6-tap over
+	// j[y][x]: centre half-pel at (x+1/2, y+1/2) = vertical 6-tap over
 	// unrounded horizontal values, for y in [yLo-1, yHi).
-	jRaw := make([][]int32, hRows)
-	for i := range jRaw {
-		y := yLo - 1 + i
-		jRaw[i] = make([]int32, w)
+	for i := 0; i < hRows; i++ {
+		iy := (yLo - 1 + i) - iLo // b-row index of this output row
+		b0 := s.b[(iy-2)*bw : (iy-1)*bw]
+		b1 := s.b[(iy-1)*bw : iy*bw]
+		b2 := s.b[iy*bw : (iy+1)*bw]
+		b3 := s.b[(iy+1)*bw : (iy+2)*bw]
+		b4 := s.b[(iy+2)*bw : (iy+3)*bw]
+		b5 := s.b[(iy+3)*bw : (iy+4)*bw]
+		jRow := s.j[i*w : (i+1)*w]
 		for x := 0; x < w; x++ {
-			jRaw[i][x] = sixTap(
-				bAt(x, y-2), bAt(x, y-1), bAt(x, y),
-				bAt(x, y+1), bAt(x, y+2), bAt(x, y+3))
+			jRow[x] = sixTap(b0[x+1], b1[x+1], b2[x+1], b3[x+1], b4[x+1], b5[x+1])
 		}
 	}
-	jAt := func(x, y int) int32 { return jRaw[y-(yLo-1)][x] }
 
-	// Rounded half-pel samples.
-	bPel := func(x, y int) int32 { return int32(clip((bAt(x, y) + 16) >> 5)) }
-	hPel := func(x, y int) int32 { return int32(clip((hAt(x, y) + 16) >> 5)) }
-	jPel := func(x, y int) int32 { return int32(clip((jAt(x, y) + 512) >> 10)) }
+	// Rounded half-pel rows: each b value is reused as next row's s, each h
+	// value as the previous column's m, so rounding once here halves the
+	// clip work and leaves the final loop as straight byte averaging.
+	n := yHi - yLo
+	s.bp = growU8(s.bp, (n+1)*w)
+	s.hp = growU8(s.hp, n*hw)
+	s.jp = growU8(s.jp, n*w)
+	for i := 0; i <= n; i++ {
+		bRow := s.b[(yLo+i-iLo)*bw:]
+		bpRow := s.bp[i*w : (i+1)*w]
+		for x := 0; x < w; x++ {
+			bpRow[x] = clip((bRow[x+1] + 16) >> 5)
+		}
+	}
+	for i := 0; i < n; i++ {
+		hRow := s.h[(i+1)*hw:] // h rows start at yLo-1
+		hpRow := s.hp[i*hw : (i+1)*hw]
+		for x := 0; x < hw; x++ {
+			hpRow[x] = clip((hRow[x] + 16) >> 5)
+		}
+		jRow := s.j[(i+1)*w:]
+		jpRow := s.jp[i*w : (i+1)*w]
+		for x := 0; x < w; x++ {
+			jpRow[x] = clip((jRow[x] + 512) >> 10)
+		}
+	}
 
+	var out [16][]uint8
 	for y := yLo; y < yHi; y++ {
+		for p := range out {
+			out[p] = sf.Planes[p].Row(y)
+		}
+		i := y - yLo
+		rp := ref.RowPadded(y)[pad:]
+		rpd := ref.RowPadded(y + 1)[pad:]
+		bpRow := s.bp[i*w : (i+1)*w]
+		bpDown := s.bp[(i+1)*w : (i+2)*w]
+		hpRow := s.hp[i*hw : (i+1)*hw]
+		jpRow := s.jp[i*w : (i+1)*w]
 		for x := 0; x < w; x++ {
-			G := int32(ref.At(x, y))
-			Gr := int32(ref.At(x+1, y)) // integer sample to the right
-			Gd := int32(ref.At(x, y+1)) // integer sample below
-			b := bPel(x, y)             // (1/2, 0)
-			h := hPel(x, y)             // (0, 1/2)
-			j := jPel(x, y)             // (1/2, 1/2)
-			m := hPel(x+1, y)           // h one integer column right
-			s := bPel(x, y+1)           // b one integer row down
+			G := uint32(rp[x])
+			Gr := uint32(rp[x+1])   // integer sample to the right
+			Gd := uint32(rpd[x])    // integer sample below
+			b := uint32(bpRow[x])   // (1/2, 0)
+			h := uint32(hpRow[x])   // (0, 1/2)
+			j := uint32(jpRow[x])   // (1/2, 1/2)
+			m := uint32(hpRow[x+1]) // h one integer column right
+			sv := uint32(bpDown[x]) // b one integer row down
 
-			sf.Planes[0].Set(x, y, uint8(G))            // (0,0)
-			sf.Planes[1].Set(x, y, uint8((G+b+1)>>1))   // a (1,0)
-			sf.Planes[2].Set(x, y, uint8(b))            // b (2,0)
-			sf.Planes[3].Set(x, y, uint8((b+Gr+1)>>1))  // c (3,0)
-			sf.Planes[4].Set(x, y, uint8((G+h+1)>>1))   // d (0,1)
-			sf.Planes[5].Set(x, y, uint8((b+h+1)>>1))   // e (1,1)
-			sf.Planes[6].Set(x, y, uint8((b+j+1)>>1))   // f (2,1)
-			sf.Planes[7].Set(x, y, uint8((b+m+1)>>1))   // g (3,1)
-			sf.Planes[8].Set(x, y, uint8(h))            // h (0,2)
-			sf.Planes[9].Set(x, y, uint8((h+j+1)>>1))   // i (1,2)
-			sf.Planes[10].Set(x, y, uint8(j))           // j (2,2)
-			sf.Planes[11].Set(x, y, uint8((j+m+1)>>1))  // k (3,2)
-			sf.Planes[12].Set(x, y, uint8((h+Gd+1)>>1)) // n (0,3)
-			sf.Planes[13].Set(x, y, uint8((h+s+1)>>1))  // p (1,3)
-			sf.Planes[14].Set(x, y, uint8((j+s+1)>>1))  // q (2,3)
-			sf.Planes[15].Set(x, y, uint8((m+s+1)>>1))  // r (3,3)
+			out[0][x] = uint8(G)                  // (0,0)
+			out[1][x] = uint8((G + b + 1) >> 1)   // a (1,0)
+			out[2][x] = uint8(b)                  // b (2,0)
+			out[3][x] = uint8((b + Gr + 1) >> 1)  // c (3,0)
+			out[4][x] = uint8((G + h + 1) >> 1)   // d (0,1)
+			out[5][x] = uint8((b + h + 1) >> 1)   // e (1,1)
+			out[6][x] = uint8((b + j + 1) >> 1)   // f (2,1)
+			out[7][x] = uint8((b + m + 1) >> 1)   // g (3,1)
+			out[8][x] = uint8(h)                  // h (0,2)
+			out[9][x] = uint8((h + j + 1) >> 1)   // i (1,2)
+			out[10][x] = uint8(j)                 // j (2,2)
+			out[11][x] = uint8((j + m + 1) >> 1)  // k (3,2)
+			out[12][x] = uint8((h + Gd + 1) >> 1) // n (0,3)
+			out[13][x] = uint8((h + sv + 1) >> 1) // p (1,3)
+			out[14][x] = uint8((j + sv + 1) >> 1) // q (2,3)
+			out[15][x] = uint8((m + sv + 1) >> 1) // r (3,3)
 		}
 	}
+
+	scratchPool.Put(s)
 }

@@ -199,12 +199,22 @@ func TestInterpolatePanicsOnSizeMismatch(t *testing.T) {
 	Interpolate(randomPlane(32, 32, 8), NewSubFrame(16, 16))
 }
 
-func BenchmarkInterpolateRows(b *testing.B) {
-	ref := randomPlane(176, 144, 42)
-	sf := NewSubFrame(176, 144)
-	b.SetBytes(176 * 144 * 16)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		InterpolateRows(ref, sf, 0, 9)
+func TestInterpolateRowsMatchesReference(t *testing.T) {
+	// The flat-scratch kernel must be bit-exact with the retained
+	// accessor-per-sample oracle, including on partial row ranges.
+	ref := randomPlane(80, 64, 90)
+	fast := NewSubFrame(80, 64)
+	slow := NewSubFrame(80, 64)
+	InterpolateRows(ref, fast, 0, 4)
+	InterpolateRowsRef(ref, slow, 0, 4)
+	if !fast.Equal(slow) {
+		t.Fatal("flat-scratch interpolation differs from reference")
+	}
+	fast2 := NewSubFrame(80, 64)
+	slow2 := NewSubFrame(80, 64)
+	InterpolateRows(ref, fast2, 1, 3)
+	InterpolateRowsRef(ref, slow2, 1, 3)
+	if !fast2.EqualRows(slow2, 1, 3) {
+		t.Fatal("partial-range interpolation differs from reference")
 	}
 }

@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"fmt"
+
+	"feves/internal/h264"
+)
+
+// InterpolateRowsRef is the accessor-per-sample interpolation kernel
+// retained as the bit-exactness oracle for the flat-scratch kernel and as
+// the baseline the device calibration and the bench-regression speedup
+// ratios are measured against.
+func InterpolateRowsRef(ref *h264.Plane, sf *SubFrame, rowLo, rowHi int) {
+	if ref.W != sf.W || ref.H != sf.H {
+		panic(fmt.Sprintf("interp: ref %dx%d vs SF %dx%d", ref.W, ref.H, sf.W, sf.H))
+	}
+	yLo, yHi := rowLo*h264.MBSize, rowHi*h264.MBSize
+	if yLo < 0 || yHi > ref.H || yLo >= yHi {
+		panic(fmt.Sprintf("interp: bad row range [%d,%d)", rowLo, rowHi))
+	}
+	w := ref.W
+
+	const halo = 3
+	iLo, iHi := yLo-halo, yHi+halo
+	rows := iHi - iLo
+	bRaw := make([][]int32, rows)
+	for i := range bRaw {
+		y := iLo + i
+		bRaw[i] = make([]int32, w+1)
+		for x := -1; x < w; x++ {
+			bRaw[i][x+1] = sixTap(
+				int32(ref.At(x-2, y)), int32(ref.At(x-1, y)), int32(ref.At(x, y)),
+				int32(ref.At(x+1, y)), int32(ref.At(x+2, y)), int32(ref.At(x+3, y)))
+		}
+	}
+	bAt := func(x, y int) int32 { return bRaw[y-iLo][x+1] }
+
+	hRows := yHi - (yLo - 1)
+	hRaw := make([][]int32, hRows)
+	for i := range hRaw {
+		y := yLo - 1 + i
+		hRaw[i] = make([]int32, w+1)
+		for x := 0; x <= w; x++ {
+			hRaw[i][x] = sixTap(
+				int32(ref.At(x, y-2)), int32(ref.At(x, y-1)), int32(ref.At(x, y)),
+				int32(ref.At(x, y+1)), int32(ref.At(x, y+2)), int32(ref.At(x, y+3)))
+		}
+	}
+	hAt := func(x, y int) int32 { return hRaw[y-(yLo-1)][x] }
+
+	jRaw := make([][]int32, hRows)
+	for i := range jRaw {
+		y := yLo - 1 + i
+		jRaw[i] = make([]int32, w)
+		for x := 0; x < w; x++ {
+			jRaw[i][x] = sixTap(
+				bAt(x, y-2), bAt(x, y-1), bAt(x, y),
+				bAt(x, y+1), bAt(x, y+2), bAt(x, y+3))
+		}
+	}
+	jAt := func(x, y int) int32 { return jRaw[y-(yLo-1)][x] }
+
+	bPel := func(x, y int) int32 { return int32(clip((bAt(x, y) + 16) >> 5)) }
+	hPel := func(x, y int) int32 { return int32(clip((hAt(x, y) + 16) >> 5)) }
+	jPel := func(x, y int) int32 { return int32(clip((jAt(x, y) + 512) >> 10)) }
+
+	for y := yLo; y < yHi; y++ {
+		for x := 0; x < w; x++ {
+			G := int32(ref.At(x, y))
+			Gr := int32(ref.At(x+1, y))
+			Gd := int32(ref.At(x, y+1))
+			b := bPel(x, y)
+			h := hPel(x, y)
+			j := jPel(x, y)
+			m := hPel(x+1, y)
+			s := bPel(x, y+1)
+
+			sf.Planes[0].Set(x, y, uint8(G))
+			sf.Planes[1].Set(x, y, uint8((G+b+1)>>1))
+			sf.Planes[2].Set(x, y, uint8(b))
+			sf.Planes[3].Set(x, y, uint8((b+Gr+1)>>1))
+			sf.Planes[4].Set(x, y, uint8((G+h+1)>>1))
+			sf.Planes[5].Set(x, y, uint8((b+h+1)>>1))
+			sf.Planes[6].Set(x, y, uint8((b+j+1)>>1))
+			sf.Planes[7].Set(x, y, uint8((b+m+1)>>1))
+			sf.Planes[8].Set(x, y, uint8(h))
+			sf.Planes[9].Set(x, y, uint8((h+j+1)>>1))
+			sf.Planes[10].Set(x, y, uint8(j))
+			sf.Planes[11].Set(x, y, uint8((j+m+1)>>1))
+			sf.Planes[12].Set(x, y, uint8((h+Gd+1)>>1))
+			sf.Planes[13].Set(x, y, uint8((h+s+1)>>1))
+			sf.Planes[14].Set(x, y, uint8((j+s+1)>>1))
+			sf.Planes[15].Set(x, y, uint8((m+s+1)>>1))
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package mc
+
+import (
+	"testing"
+)
+
+// BenchmarkPredictFrame times quarter-pel luma + eighth-pel chroma
+// prediction for every macroblock of a QCIF frame and reports the
+// per-macroblock cost tracked by the bench-regression gate.
+func BenchmarkPredictFrame(b *testing.B) {
+	cur := randomFrame(176, 144, 50)
+	ref := randomFrame(176, 144, 51)
+	smeF, sfs, refs := pipeline(cur, ref, 8)
+	dec := DecideFrame(smeF, 30)
+	mbw, mbh := cur.MBWidth(), cur.MBHeight()
+	var predY [256]uint8
+	var predCb, predCr [64]uint8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for mby := 0; mby < mbh; mby++ {
+			for mbx := 0; mbx < mbw; mbx++ {
+				PredictMB(dec.At(mbx, mby), sfs, refs, mbx, mby, &predY, &predCb, &predCr)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*mbw*mbh), "ns/MB")
+}

@@ -162,20 +162,40 @@ func PredictMB(dec *h264.MBDecision, sfs []*interp.SubFrame, refs []*h264.Frame,
 			panic(fmt.Sprintf("mc: decision references missing sub-frame %d", rf))
 		}
 		x0, y0 := mbx*h264.MBSize+ox, mby*h264.MBSize+oy
-		// Luma: direct quarter-pel plane lookup.
+		// Luma: the fractional phase (mv.X&3, mv.Y&3) is constant over the
+		// partition, so every sample comes from one sub-position plane and
+		// each output row is a contiguous run of it — a straight copy.
+		plane := sf.Planes[(int(mv.Y)&3)*4+(int(mv.X)&3)]
+		sx, sy := x0+int(mv.X)>>2, y0+int(mv.Y)>>2
 		for j := 0; j < h; j++ {
-			for i := 0; i < w; i++ {
-				predY[(oy+j)*16+ox+i] = sf.Sample(4*(x0+i)+int(mv.X), 4*(y0+j)+int(mv.Y))
-			}
+			src := plane.RowPadded(sy + j)[plane.Pad+sx : plane.Pad+sx+w]
+			copy(predY[(oy+j)*16+ox:(oy+j)*16+ox+w], src)
 		}
-		// Chroma: the luma quarter-pel vector is a chroma eighth-pel vector.
+		// Chroma: the luma quarter-pel vector is a chroma eighth-pel vector;
+		// the bilinear weights are constant over the partition, so hoist them
+		// and walk two source rows per output row.
 		cw, ch := w/2, h/2
 		cx0, cy0 := x0/2, y0/2
 		cox, coy := ox/2, oy/2
-		for j := 0; j < ch; j++ {
-			for i := 0; i < cw; i++ {
-				predCb[(coy+j)*8+cox+i] = chromaSample(refs[rf].Cb, cx0+i, cy0+j, mv)
-				predCr[(coy+j)*8+cox+i] = chromaSample(refs[rf].Cr, cx0+i, cy0+j, mv)
+		ix, iy := int(mv.X)>>3, int(mv.Y)>>3
+		fx, fy := int32(int(mv.X)&7), int32(int(mv.Y)&7)
+		w00 := (8 - fx) * (8 - fy)
+		w01 := fx * (8 - fy)
+		w10 := (8 - fx) * fy
+		w11 := fx * fy
+		for _, cp := range [2]struct {
+			src *h264.Plane
+			dst *[64]uint8
+		}{{refs[rf].Cb, predCb}, {refs[rf].Cr, predCr}} {
+			p := cp.src
+			for j := 0; j < ch; j++ {
+				r0 := p.RowPadded(cy0 + j + iy)[p.Pad+cx0+ix:]
+				r1 := p.RowPadded(cy0 + j + iy + 1)[p.Pad+cx0+ix:]
+				dst := cp.dst[(coy+j)*8+cox : (coy+j)*8+cox+cw]
+				for i := 0; i < cw; i++ {
+					dst[i] = uint8((w00*int32(r0[i]) + w01*int32(r0[i+1]) +
+						w10*int32(r1[i]) + w11*int32(r1[i+1]) + 32) >> 6)
+				}
 			}
 		}
 	}

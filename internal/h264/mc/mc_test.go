@@ -238,3 +238,25 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+func TestPredictMBMatchesSampleReference(t *testing.T) {
+	// The copy-based luma / hoisted-weight chroma path must be bit-exact
+	// with the retained sample-at-a-time oracle across real decisions,
+	// which exercise every partition mode and fractional phase.
+	cur := randomFrame(80, 64, 40)
+	ref := randomFrame(80, 64, 41)
+	smeF, sfs, refs := pipeline(cur, ref, 8)
+	dec := DecideFrame(smeF, 30)
+	for mby := 0; mby < cur.MBHeight(); mby++ {
+		for mbx := 0; mbx < cur.MBWidth(); mbx++ {
+			var fy, ry [256]uint8
+			var fcb, fcr, rcb, rcr [64]uint8
+			PredictMB(dec.At(mbx, mby), sfs, refs, mbx, mby, &fy, &fcb, &fcr)
+			PredictMBRef(dec.At(mbx, mby), sfs, refs, mbx, mby, &ry, &rcb, &rcr)
+			if fy != ry || fcb != rcb || fcr != rcr {
+				t.Fatalf("MB(%d,%d) mode %v: fast prediction differs from reference",
+					mbx, mby, dec.At(mbx, mby).Mode)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package mc
+
+import (
+	"fmt"
+
+	"feves/internal/h264"
+	"feves/internal/h264/interp"
+)
+
+// PredictMBRef is the sample-at-a-time prediction kernel retained as the
+// bit-exactness oracle for the copy-based PredictMB: quarter-pel luma via
+// SubFrame.Sample per pixel and eighth-pel chroma via chromaSample per
+// pixel, sharing no inner-loop code with the fast path.
+func PredictMBRef(dec *h264.MBDecision, sfs []*interp.SubFrame, refs []*h264.Frame,
+	mbx, mby int, predY *[256]uint8, predCb, predCr *[64]uint8) {
+	mode := dec.Mode
+	w, h := mode.Size()
+	for k := 0; k < mode.Count(); k++ {
+		ox, oy := mode.Offset(k)
+		rf := int(dec.Ref[k])
+		mv := dec.MV[k]
+		sf := sfs[rf]
+		if sf == nil {
+			panic(fmt.Sprintf("mc: decision references missing sub-frame %d", rf))
+		}
+		x0, y0 := mbx*h264.MBSize+ox, mby*h264.MBSize+oy
+		for j := 0; j < h; j++ {
+			for i := 0; i < w; i++ {
+				predY[(oy+j)*16+ox+i] = sf.Sample(4*(x0+i)+int(mv.X), 4*(y0+j)+int(mv.Y))
+			}
+		}
+		cw, ch := w/2, h/2
+		cx0, cy0 := x0/2, y0/2
+		cox, coy := ox/2, oy/2
+		for j := 0; j < ch; j++ {
+			for i := 0; i < cw; i++ {
+				predCb[(coy+j)*8+cox+i] = chromaSample(refs[rf].Cb, cx0+i, cy0+j, mv)
+				predCr[(coy+j)*8+cox+i] = chromaSample(refs[rf].Cr, cx0+i, cy0+j, mv)
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package me
+
+import (
+	"testing"
+
+	"feves/internal/h264"
+)
+
+// benchSearchRows times the FSBM kernel over a full QCIF frame and reports
+// the per-macroblock cost, the unit the device calibration (Fig. 6) and the
+// bench-regression gate track.
+func benchSearchRows(b *testing.B, sr int) {
+	cur := randomFrame(176, 144, 20)
+	ref := randomFrame(176, 144, 21)
+	dpb := h264.NewDPB(1)
+	dpb.Push(ref)
+	field := h264.NewMVField(cur.MBWidth(), cur.MBHeight(), 1)
+	cfg := Config{SearchRange: sr}
+	mbs := cur.MBWidth() * cur.MBHeight()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchRows(cur, dpb, cfg, field, 0, cur.MBHeight())
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*mbs), "ns/MB")
+}
+
+func BenchmarkSearchRowsSA16(b *testing.B) { benchSearchRows(b, 8) }
+func BenchmarkSearchRowsSA32(b *testing.B) { benchSearchRows(b, 16) }

@@ -8,8 +8,10 @@
 // displacement it computes the sixteen 4×4 SADs of the macroblock once and
 // aggregates them bottom-up into the 8×4, 4×8, 8×8, 16×8, 8×16 and 16×16
 // partition SADs, so the full partition tree costs barely more than a
-// single 16×16 search. This mirrors the optimized CPU/GPU kernels of the
-// paper's Parallel Modules library.
+// single 16×16 search. The inner loop is branch-free: eight samples are
+// loaded at a time and their absolute differences computed in the 16-bit
+// lanes of a uint64 (SWAR), which is what the paper's optimized CPU kernels
+// get from SSE and the GPU kernels from coalesced uchar4 loads.
 //
 // SearchRows is row-sliceable and reads only the current frame and the
 // (read-only) reference planes, so any cross-device row distribution is
@@ -17,6 +19,7 @@
 package me
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -39,8 +42,18 @@ type Config struct {
 }
 
 // SAFromSize converts the paper's "search area size" (e.g. 64 for a 64×64
-// SA) into a Config.
-func SAFromSize(sa int) Config { return Config{SearchRange: sa / 2} }
+// SA) into a Config. Odd sizes are rounded up to the next even size (the SA
+// is a diameter: SearchRange = SA/2); sizes below 2 cannot express a single
+// full pixel of displacement and are rejected.
+func SAFromSize(sa int) (Config, error) {
+	if sa < 2 {
+		return Config{}, fmt.Errorf("me: search area size %d is too small: the smallest search area is 2×2 (search range 1)", sa)
+	}
+	if sa%2 != 0 {
+		sa++ // round an odd diameter up rather than silently truncating
+	}
+	return Config{SearchRange: sa / 2}, nil
+}
 
 // Candidates returns the number of candidate displacements evaluated per
 // macroblock and reference frame — the quantity that quadruples between
@@ -55,6 +68,34 @@ func (c Config) Candidates() int {
 // field. Entries for reference indexes ≥ dpb.Len() (the DPB ramp-up frames)
 // are marked unusable with cost math.MaxInt32.
 func SearchRows(cf *h264.Frame, dpb *h264.DPB, cfg Config, field *h264.MVField, rowLo, rowHi int) {
+	checkSearchArgs(cf, cfg, field, rowLo, rowHi)
+	nrf := dpb.Len()
+	if nrf > field.NumRF {
+		nrf = field.NumRF
+	}
+	// The eval counter is accumulated locally and published with a single
+	// atomic add per call: one cache-line ping-pong per row slice instead
+	// of one per (macroblock, reference).
+	perSearch := int64(cfg.Candidates())
+	var evals int64
+	for mby := rowLo; mby < rowHi; mby++ {
+		for mbx := 0; mbx < cf.MBWidth(); mbx++ {
+			for rf := 0; rf < field.NumRF; rf++ {
+				if rf < nrf {
+					searchMB(cf.Y, dpb.Ref(rf).Y, cfg.SearchRange, field, mbx, mby, rf)
+					evals += perSearch
+				} else {
+					markUnusable(field, mbx, mby, rf)
+				}
+			}
+		}
+	}
+	if cfg.Evals != nil && evals != 0 {
+		atomic.AddInt64(cfg.Evals, evals)
+	}
+}
+
+func checkSearchArgs(cf *h264.Frame, cfg Config, field *h264.MVField, rowLo, rowHi int) {
 	if cfg.SearchRange < 1 {
 		panic(fmt.Sprintf("me: search range %d < 1", cfg.SearchRange))
 	}
@@ -66,24 +107,6 @@ func SearchRows(cf *h264.Frame, dpb *h264.DPB, cfg Config, field *h264.MVField, 
 	}
 	if rowLo < 0 || rowHi > cf.MBHeight() || rowLo >= rowHi {
 		panic(fmt.Sprintf("me: bad row range [%d,%d)", rowLo, rowHi))
-	}
-	nrf := dpb.Len()
-	if nrf > field.NumRF {
-		nrf = field.NumRF
-	}
-	for mby := rowLo; mby < rowHi; mby++ {
-		for mbx := 0; mbx < cf.MBWidth(); mbx++ {
-			for rf := 0; rf < field.NumRF; rf++ {
-				if rf < nrf {
-					searchMB(cf.Y, dpb.Ref(rf).Y, cfg.SearchRange, field, mbx, mby, rf)
-					if cfg.Evals != nil {
-						atomic.AddInt64(cfg.Evals, int64(cfg.Candidates()))
-					}
-				} else {
-					markUnusable(field, mbx, mby, rf)
-				}
-			}
-		}
 	}
 }
 
@@ -106,28 +129,31 @@ func searchMB(cur, ref *h264.Plane, r int, field *h264.MVField, mbx, mby, rf int
 	curRaw, refRaw := cur.Raw(), ref.Raw()
 	refStride := ref.Stride
 
-	// Cache the 16 current-MB rows' starting offsets.
-	var curOff [16]int
+	// Load the sixteen current-MB rows once as uint64 pairs; they are
+	// reused by all (2r)² candidates.
+	var curLo, curHi [16]uint64
 	for y := 0; y < 16; y++ {
-		curOff[y] = cur.Idx(x0, y0+y)
+		row := curRaw[cur.Idx(x0, y0+y):]
+		curLo[y] = binary.LittleEndian.Uint64(row)
+		curHi[y] = binary.LittleEndian.Uint64(row[8:])
 	}
 
 	for dy := -r; dy < r; dy++ {
 		for dx := -r; dx < r; dx++ {
-			// Sixteen 4×4 SADs for this candidate.
+			// Sixteen 4×4 SADs for this candidate, eight samples per step.
 			var blk4 [16]int32
 			refBase := ref.Idx(x0+dx, y0+dy)
 			for y := 0; y < 16; y++ {
-				co := curOff[y]
-				ro := refBase + y*refStride
+				row := refRaw[refBase+y*refStride:]
+				rLo := binary.LittleEndian.Uint64(row)
+				rHi := binary.LittleEndian.Uint64(row[8:])
 				bi := (y >> 2) * 4
-				for g := 0; g < 4; g++ {
-					c0, c1, c2, c3 := curRaw[co], curRaw[co+1], curRaw[co+2], curRaw[co+3]
-					r0, r1, r2, r3 := refRaw[ro], refRaw[ro+1], refRaw[ro+2], refRaw[ro+3]
-					blk4[bi+g] += absDiff(c0, r0) + absDiff(c1, r1) + absDiff(c2, r2) + absDiff(c3, r3)
-					co += 4
-					ro += 4
-				}
+				a, b := h264.SADPair8(curLo[y], rLo)
+				c, d := h264.SADPair8(curHi[y], rHi)
+				blk4[bi] += a
+				blk4[bi+1] += b
+				blk4[bi+2] += c
+				blk4[bi+3] += d
 			}
 
 			// Bottom-up aggregation into all partition SADs.
@@ -191,9 +217,31 @@ func absDiff(a, b uint8) int32 {
 }
 
 // SAD computes the sum of absolute differences between the w×h block of cur
-// at (cx, cy) and the block of ref at (rx, ry). Exported for oracle-style
-// verification in tests and for the sub-pixel refinement bootstrap.
+// at (cx, cy) and the block of ref at (rx, ry), four samples per step for
+// the partition widths (multiples of 4). Exported for the fast-search
+// ablations and the sub-pixel refinement bootstrap.
 func SAD(cur, ref *h264.Plane, cx, cy, rx, ry, w, h int) int32 {
+	if w%4 != 0 {
+		return SADRef(cur, ref, cx, cy, rx, ry, w, h)
+	}
+	curRaw, refRaw := cur.Raw(), ref.Raw()
+	var sum int32
+	for y := 0; y < h; y++ {
+		co := cur.Idx(cx, cy+y)
+		ro := ref.Idx(rx, ry+y)
+		for x := 0; x < w; x += 4 {
+			c := binary.LittleEndian.Uint32(curRaw[co+x:])
+			r := binary.LittleEndian.Uint32(refRaw[ro+x:])
+			sum += h264.SAD4(c, r)
+		}
+	}
+	return sum
+}
+
+// SADRef is the scalar sample-at-a-time SAD retained as the oracle for the
+// SWAR kernels: it shares no code with them, so tests comparing the two
+// genuinely cross-check the lane arithmetic.
+func SADRef(cur, ref *h264.Plane, cx, cy, rx, ry, w, h int) int32 {
 	var sum int32
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {

@@ -1,8 +1,10 @@
 package me
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"feves/internal/h264"
@@ -184,12 +186,92 @@ func TestDPBRampUpMarksMissingRefs(t *testing.T) {
 }
 
 func TestConfigHelpers(t *testing.T) {
-	c := SAFromSize(64)
+	c, err := SAFromSize(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.SearchRange != 32 {
 		t.Fatalf("SAFromSize(64).SearchRange = %d", c.SearchRange)
 	}
-	if SAFromSize(32).Candidates()*4 != SAFromSize(64).Candidates() {
+	c32, _ := SAFromSize(32)
+	if c32.Candidates()*4 != c.Candidates() {
 		t.Fatal("candidate count must quadruple between successive SA sizes")
+	}
+}
+
+func TestSAFromSizeValidatesAndRounds(t *testing.T) {
+	// Regression: SA 1 used to silently truncate to SearchRange 0, which
+	// only surfaced later as a "search range 0 < 1" panic inside
+	// SearchRows. The conversion site must reject it by name.
+	for _, sa := range []int{1, 0, -4} {
+		if _, err := SAFromSize(sa); err == nil {
+			t.Fatalf("SAFromSize(%d) must fail", sa)
+		} else if !strings.Contains(err.Error(), fmt.Sprintf("%d", sa)) {
+			t.Fatalf("SAFromSize(%d) error %q does not name the SA value", sa, err)
+		}
+	}
+	// Odd sizes round up to the next even diameter instead of truncating.
+	c, err := SAFromSize(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SearchRange != 17 {
+		t.Fatalf("SAFromSize(33).SearchRange = %d, want 17 (rounded up)", c.SearchRange)
+	}
+}
+
+func TestEvalsCountedOncePerCall(t *testing.T) {
+	// Regression for the hot-loop atomic contention fix: the eval counter
+	// is now accumulated locally and published once per SearchRows call;
+	// the final count must equal the old per-(MB, ref) accounting.
+	cur := randomFrame(48, 48, 30)
+	ref := randomFrame(48, 48, 31)
+	dpb := h264.NewDPB(2)
+	dpb.Push(ref)
+	var evals int64
+	cfg := Config{SearchRange: 4, Evals: &evals}
+	field := h264.NewMVField(3, 3, 2)
+	SearchRows(cur, dpb, cfg, field, 0, 2)
+	SearchRows(cur, dpb, cfg, field, 2, 3)
+	// 9 macroblocks, 1 usable reference (1 of 2 DPB slots filled), 64
+	// candidates each; ramp-up refs must not count.
+	want := int64(9 * 1 * cfg.Candidates())
+	if evals != want {
+		t.Fatalf("evals = %d, want %d", evals, want)
+	}
+}
+
+func TestSearchRowsMatchesScalarReference(t *testing.T) {
+	// The SWAR kernel must be bit-exact with the retained scalar kernel —
+	// same SADs, same vectors, same tie-breaking.
+	cur := randomFrame(80, 64, 32)
+	ref := randomFrame(80, 64, 33)
+	dpb := h264.NewDPB(1)
+	dpb.Push(ref)
+	cfg := Config{SearchRange: 6}
+	fast := h264.NewMVField(5, 4, 1)
+	slow := h264.NewMVField(5, 4, 1)
+	SearchRows(cur, dpb, cfg, fast, 0, 4)
+	SearchRowsRef(cur, dpb, cfg, slow, 0, 4)
+	if !fast.Equal(slow) {
+		t.Fatal("SWAR search differs from scalar reference")
+	}
+}
+
+func TestSADMatchesScalarReference(t *testing.T) {
+	cur := randomFrame(64, 48, 34)
+	ref := randomFrame(64, 48, 35)
+	rng := rand.New(rand.NewSource(36))
+	for i := 0; i < 200; i++ {
+		w := []int{4, 8, 16}[rng.Intn(3)]
+		h := []int{4, 8, 16}[rng.Intn(3)]
+		cx, cy := rng.Intn(64-w), rng.Intn(48-h)
+		rx, ry := cx+rng.Intn(9)-4, cy+rng.Intn(9)-4
+		got := SAD(cur.Y, ref.Y, cx, cy, rx, ry, w, h)
+		want := SADRef(cur.Y, ref.Y, cx, cy, rx, ry, w, h)
+		if got != want {
+			t.Fatalf("SAD(%d,%d %d,%d %dx%d) = %d, ref %d", cx, cy, rx, ry, w, h, got, want)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package h264
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // Plane is a rectangular 8-bit sample plane with an optional padded border.
 // The border replicates edge samples so that motion search and interpolation
@@ -136,11 +139,8 @@ func (p *Plane) Equal(q *Plane) bool {
 		return false
 	}
 	for y := 0; y < p.H; y++ {
-		a, b := p.Row(y), q.Row(y)
-		for x := range a {
-			if a[x] != b[x] {
-				return false
-			}
+		if !bytes.Equal(p.Row(y), q.Row(y)) {
+			return false
 		}
 	}
 	return true

@@ -137,6 +137,26 @@ func TestPlaneCopyFromAndEqual(t *testing.T) {
 	}
 }
 
+func TestPlaneEqualComparesPictureAreaOnly(t *testing.T) {
+	a := NewPlane(8, 8, 2)
+	b := NewPlane(8, 8, 2)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			a.Set(x, y, uint8(x+y))
+			b.Set(x, y, uint8(x+y))
+		}
+	}
+	a.ExtendBorder()
+	// b's border left stale: Equal must still report true.
+	if !a.Equal(b) {
+		t.Fatal("border content must not affect Equal")
+	}
+	b.Set(7, 7, b.At(7, 7)+1) // last picture sample, adjacent to border
+	if a.Equal(b) {
+		t.Fatal("difference in the last picture sample not detected")
+	}
+}
+
 func TestPlaneClone(t *testing.T) {
 	a := NewPlane(4, 4, 1)
 	a.Set(2, 2, 42)

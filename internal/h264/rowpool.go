@@ -1,0 +1,125 @@
+package h264
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RowKernel is a row-sliceable kernel: RunRows processes rows [lo, hi) and
+// must be safe to call concurrently on disjoint ranges. All the inter-loop
+// kernels (ME search, SME refinement, interpolation, per-plane deblocking)
+// satisfy this by construction — their row slices write disjoint output.
+type RowKernel interface {
+	RunRows(lo, hi int)
+}
+
+// RowFunc adapts a plain function to RowKernel.
+type RowFunc func(lo, hi int)
+
+// RunRows implements RowKernel.
+func (f RowFunc) RunRows(lo, hi int) { f(lo, hi) }
+
+// rowJob is one contiguous chunk of a Run call. Jobs travel by value
+// through the channel, so enqueueing performs no allocation.
+type rowJob struct {
+	k      RowKernel
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// RowPool executes row-sliceable kernels across a fixed set of worker
+// goroutines, modelling the compute streams of one device. The pool is
+// allocation-free in steady state: jobs are passed by value and the
+// WaitGroups are recycled through a freelist channel.
+type RowPool struct {
+	jobs    chan rowJob
+	wgs     chan *sync.WaitGroup
+	workers int
+}
+
+// NewRowPool starts a pool with the given number of worker goroutines.
+// The workers live for the lifetime of the process; shared use should go
+// through ParallelRows instead of creating per-encoder pools.
+func NewRowPool(workers int) *RowPool {
+	if workers < 1 {
+		panic(fmt.Sprintf("h264: row pool needs >= 1 worker, got %d", workers))
+	}
+	p := &RowPool{
+		jobs:    make(chan rowJob, 4*workers),
+		wgs:     make(chan *sync.WaitGroup, workers+1),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range p.jobs {
+				j.k.RunRows(j.lo, j.hi)
+				j.wg.Done()
+			}
+		}()
+	}
+	for i := 0; i < cap(p.wgs); i++ {
+		p.wgs <- new(sync.WaitGroup)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *RowPool) Workers() int { return p.workers }
+
+// Run splits rows [lo, hi) into at most ways contiguous chunks, executes
+// them on the pool (running one chunk inline on the caller), and returns
+// when all rows are processed. ways <= 1 runs the kernel serially inline.
+// The chunking is deterministic (ceil division), but the kernel must be
+// order-independent across chunks for the result to be well-defined; the
+// row-sliceable kernels are bit-exact under any partitioning.
+func (p *RowPool) Run(k RowKernel, lo, hi, ways int) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if ways > n {
+		ways = n
+	}
+	if ways <= 1 {
+		k.RunRows(lo, hi)
+		return
+	}
+	chunk := (n + ways - 1) / ways
+	parts := (n + chunk - 1) / chunk // may be fewer than ways
+	wg := <-p.wgs
+	wg.Add(parts - 1)
+	first := lo + chunk // chunk [lo, lo+chunk) runs inline below
+	for start := first; start < hi; start += chunk {
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		p.jobs <- rowJob{k: k, lo: start, hi: end, wg: wg}
+	}
+	k.RunRows(lo, first)
+	wg.Wait()
+	p.wgs <- wg
+}
+
+var (
+	sharedPoolOnce sync.Once
+	sharedPool     *RowPool
+)
+
+// ParallelRows runs the kernel over rows [lo, hi) split across at most
+// ways chunks on the process-shared row pool (GOMAXPROCS workers). This is
+// the entry point the slice-parallel kernel wrappers use: one call per
+// device dispatch, ways = the device's compute-stream count.
+func ParallelRows(k RowKernel, lo, hi, ways int) {
+	if ways <= 1 || hi-lo <= 1 {
+		if hi > lo {
+			k.RunRows(lo, hi)
+		}
+		return
+	}
+	sharedPoolOnce.Do(func() {
+		sharedPool = NewRowPool(runtime.GOMAXPROCS(0))
+	})
+	sharedPool.Run(k, lo, hi, ways)
+}

@@ -1,0 +1,20 @@
+package sme
+
+import (
+	"testing"
+)
+
+// BenchmarkRefineRows times the 41-partition sub-pel refinement over a full
+// QCIF frame and reports the per-macroblock cost tracked by the device
+// calibration and the bench-regression gate.
+func BenchmarkRefineRows(b *testing.B) {
+	cur := randomFrame(176, 144, 30)
+	ref := randomFrame(176, 144, 31)
+	meF, out, sfs := setup(cur, ref, 8)
+	mbs := cur.MBWidth() * cur.MBHeight()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RefineRows(cur, sfs, meF, out, 0, cur.MBHeight())
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*mbs), "ns/MB")
+}

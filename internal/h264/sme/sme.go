@@ -6,6 +6,14 @@
 // step (the eight quarter-pel neighbours of the best half-pel position) —
 // the classical refinement used by the JM reference encoder.
 //
+// The kernel extends the 4×4 SAD-reuse decomposition of the integer search
+// into the refinement: every partition is a union of 4×4 cells of the
+// macroblock grid (all 41 partition offsets and sizes are multiples of 4),
+// so per (macroblock, reference) the cell SADs are memoized per candidate
+// vector in a generation-stamped table and shared across all partitions
+// probing the same quarter-pel displacement. Cell SADs are computed four
+// samples at a time with the SWAR helpers of package h264.
+//
 // RefineRows is row-sliceable: a device assigned macroblock rows [lo, hi)
 // needs the ME vectors for those rows (the paper's MV→SME transfers) and
 // read access to the SF (the SF(RF)→SME transfers), and produces vectors
@@ -13,18 +21,87 @@
 package sme
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"feves/internal/h264"
 	"feves/internal/h264/interp"
 )
+
+// cellTabBits sizes the open-addressed memo table. At most 41 partitions ×
+// 17 candidates ≈ 700 distinct vectors are probed per (macroblock,
+// reference), so 2048 slots keep the load factor comfortable.
+const (
+	cellTabBits = 11
+	cellTabSize = 1 << cellTabBits
+)
+
+// cellEntry memoizes the sixteen 4×4 cell SADs of the macroblock for one
+// candidate quarter-pel vector. mask records which cells have been computed
+// so far; gen stamps the (macroblock, reference) the entry belongs to, so
+// advancing the generation invalidates the whole table without clearing it.
+type cellEntry struct {
+	key  uint32
+	gen  uint32
+	mask uint16
+	cell [16]int32
+}
+
+type scratch struct {
+	tab [cellTabSize]cellEntry
+	gen uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) nextGen() {
+	s.gen++
+	if s.gen == 0 { // wrapped: stamp collisions possible, clear and restart
+		s.tab = [cellTabSize]cellEntry{}
+		s.gen = 1
+	}
+}
+
+// lookup returns the memo entry for mv, claiming a stale slot if the vector
+// has not been seen this generation.
+func (s *scratch) lookup(mv h264.MV) *cellEntry {
+	key := uint32(uint16(mv.X))<<16 | uint32(uint16(mv.Y))
+	i := (key * 2654435761) >> (32 - cellTabBits)
+	for {
+		e := &s.tab[i]
+		if e.gen != s.gen {
+			e.gen = s.gen
+			e.key = key
+			e.mask = 0
+			return e
+		}
+		if e.key == key {
+			return e
+		}
+		i = (i + 1) & (cellTabSize - 1)
+	}
+}
 
 // RefineRows refines macroblock rows [rowLo, rowHi). meField holds the
 // integer-pel FSBM output; out receives quarter-pel vectors and SAD costs.
 // sfs[rf] is the interpolated sub-frame of reference rf; entries may be nil
 // for DPB ramp-up references, whose costs are passed through as unusable.
 func RefineRows(cf *h264.Frame, sfs []*interp.SubFrame, meField, out *h264.MVField, rowLo, rowHi int) {
+	checkRefineArgs(cf, sfs, meField, out, rowLo, rowHi)
+	s := scratchPool.Get().(*scratch)
+	for mby := rowLo; mby < rowHi; mby++ {
+		for mbx := 0; mbx < cf.MBWidth(); mbx++ {
+			for rf := 0; rf < meField.NumRF; rf++ {
+				refineMB(cf, sfs[rf], meField, out, mbx, mby, rf, s)
+			}
+		}
+	}
+	scratchPool.Put(s)
+}
+
+func checkRefineArgs(cf *h264.Frame, sfs []*interp.SubFrame, meField, out *h264.MVField, rowLo, rowHi int) {
 	if meField.MBW != out.MBW || meField.MBH != out.MBH || meField.NumRF != out.NumRF {
 		panic("sme: ME and output field geometry mismatch")
 	}
@@ -37,16 +114,11 @@ func RefineRows(cf *h264.Frame, sfs []*interp.SubFrame, meField, out *h264.MVFie
 	if len(sfs) < meField.NumRF {
 		panic(fmt.Sprintf("sme: %d sub-frames for %d reference slots", len(sfs), meField.NumRF))
 	}
-	for mby := rowLo; mby < rowHi; mby++ {
-		for mbx := 0; mbx < cf.MBWidth(); mbx++ {
-			for rf := 0; rf < meField.NumRF; rf++ {
-				refineMB(cf, sfs[rf], meField, out, mbx, mby, rf)
-			}
-		}
-	}
 }
 
-func refineMB(cf *h264.Frame, sf *interp.SubFrame, meField, out *h264.MVField, mbx, mby, rf int) {
+func refineMB(cf *h264.Frame, sf *interp.SubFrame, meField, out *h264.MVField, mbx, mby, rf int, s *scratch) {
+	s.nextGen() // cell SADs are only shareable within one (MB, ref)
+	mbX0, mbY0 := mbx*h264.MBSize, mby*h264.MBSize
 	for _, mode := range h264.AllModes() {
 		w, h := mode.Size()
 		for k := 0; k < mode.Count(); k++ {
@@ -57,27 +129,21 @@ func refineMB(cf *h264.Frame, sf *interp.SubFrame, meField, out *h264.MVField, m
 				continue
 			}
 			ox, oy := mode.Offset(k)
-			x, y := mbx*h264.MBSize+ox, mby*h264.MBSize+oy
 
 			center := imv.Scale4()
-			best, bestCost := refineStep(cf.Y, sf, x, y, w, h, center, 2)
-			best, bestCost = refineStepFrom(cf.Y, sf, x, y, w, h, best, bestCost, 1)
+			best := center
+			bestCost := s.subSAD(cf.Y, sf, mbX0, mbY0, ox, oy, w, h, center)
+			best, bestCost = refineStepFrom(cf.Y, sf, s, mbX0, mbY0, ox, oy, w, h, best, bestCost, 2)
+			best, bestCost = refineStepFrom(cf.Y, sf, s, mbX0, mbY0, ox, oy, w, h, best, bestCost, 1)
 			out.Set(mbx, mby, part, rf, best, bestCost)
 		}
 	}
 }
 
-// refineStep evaluates the 3×3 grid with the given quarter-pel step around
-// center (center included) and returns the best vector and cost.
-func refineStep(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, center h264.MV, step int16) (h264.MV, int32) {
-	best := center
-	bestCost := SubSAD(cur, sf, x, y, w, h, center)
-	return refineStepFrom(cur, sf, x, y, w, h, best, bestCost, step)
-}
-
-// refineStepFrom evaluates the eight neighbours at the given step around
-// best, keeping the incumbent on ties (deterministic scan order).
-func refineStepFrom(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, best h264.MV, bestCost int32, step int16) (h264.MV, int32) {
+// refineStepFrom evaluates the eight neighbours at the given quarter-pel
+// step around best, keeping the incumbent on ties (deterministic scan
+// order).
+func refineStepFrom(cur *h264.Plane, sf *interp.SubFrame, s *scratch, mbX0, mbY0, ox, oy, w, h int, best h264.MV, bestCost int32, step int16) (h264.MV, int32) {
 	center := best
 	for dy := int16(-1); dy <= 1; dy++ {
 		for dx := int16(-1); dx <= 1; dx++ {
@@ -85,7 +151,7 @@ func refineStepFrom(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, best h
 				continue
 			}
 			cand := h264.MV{X: center.X + dx*step, Y: center.Y + dy*step}
-			c := SubSAD(cur, sf, x, y, w, h, cand)
+			c := s.subSAD(cur, sf, mbX0, mbY0, ox, oy, w, h, cand)
 			if c < bestCost {
 				bestCost = c
 				best = cand
@@ -95,23 +161,63 @@ func refineStepFrom(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, best h
 	return best, bestCost
 }
 
+// subSAD returns the SAD of the partition at offset (ox, oy) size w×h of
+// the macroblock at (mbX0, mbY0) against the sub-pel reference displaced by
+// mv, as the sum of the partition's 4×4 cell SADs, memoizing cells per
+// candidate vector.
+func (s *scratch) subSAD(cur *h264.Plane, sf *interp.SubFrame, mbX0, mbY0, ox, oy, w, h int, mv h264.MV) int32 {
+	plane := sf.Planes[(int(mv.Y)&3)*4+(int(mv.X)&3)]
+	px, py := int(mv.X)>>2, int(mv.Y)>>2 // arithmetic shift floors negatives
+	e := s.lookup(mv)
+	ci0, cj0 := ox>>2, oy>>2
+	var sum int32
+	for cj := cj0; cj < cj0+(h>>2); cj++ {
+		for ci := ci0; ci < ci0+(w>>2); ci++ {
+			idx := cj*4 + ci
+			bit := uint16(1) << uint(idx)
+			if e.mask&bit == 0 {
+				e.cell[idx] = cellSAD(cur, plane, mbX0+ci*4, mbY0+cj*4, px, py)
+				e.mask |= bit
+			}
+			sum += e.cell[idx]
+		}
+	}
+	return sum
+}
+
+// cellSAD computes one 4×4 cell SAD between cur at (cx, cy) and the sub-pel
+// plane displaced by the integer part (px, py).
+func cellSAD(cur, ref *h264.Plane, cx, cy, px, py int) int32 {
+	curRaw, refRaw := cur.Raw(), ref.Raw()
+	co, ro := cur.Idx(cx, cy), ref.Idx(cx+px, cy+py)
+	cs, rs := cur.Stride, ref.Stride
+	var sum int32
+	for j := 0; j < 4; j++ {
+		c := binary.LittleEndian.Uint32(curRaw[co:])
+		r := binary.LittleEndian.Uint32(refRaw[ro:])
+		sum += h264.SAD4(c, r)
+		co += cs
+		ro += rs
+	}
+	return sum
+}
+
 // SubSAD computes the SAD between the w×h current-frame block at (x, y) and
-// the sub-pel reference block displaced by the quarter-pel vector mv.
+// the sub-pel reference block displaced by the quarter-pel vector mv, four
+// samples per step (partition widths are multiples of 4).
 func SubSAD(cur *h264.Plane, sf *interp.SubFrame, x, y, w, h int, mv h264.MV) int32 {
 	fx, fy := int(mv.X)&3, int(mv.Y)&3
-	px, py := int(mv.X)>>2, int(mv.Y)>>2 // arithmetic shift floors negatives
+	px, py := int(mv.X)>>2, int(mv.Y)>>2
 	plane := sf.Planes[fy*4+fx]
+	curRaw, refRaw := cur.Raw(), plane.Raw()
 	var sum int32
 	for j := 0; j < h; j++ {
-		cRow := cur.RowPadded(y + j)[cur.Pad+x:]
-		for i := 0; i < w; i++ {
-			a := cRow[i]
-			b := plane.At(x+i+px, y+j+py)
-			if a > b {
-				sum += int32(a - b)
-			} else {
-				sum += int32(b - a)
-			}
+		co := cur.Idx(x, y+j)
+		ro := plane.Idx(x+px, y+j+py)
+		for i := 0; i < w; i += 4 {
+			c := binary.LittleEndian.Uint32(curRaw[co+i:])
+			r := binary.LittleEndian.Uint32(refRaw[ro+i:])
+			sum += h264.SAD4(c, r)
 		}
 	}
 	return sum

@@ -197,12 +197,37 @@ func TestRefineRowsPanics(t *testing.T) {
 	}
 }
 
-func BenchmarkRefineRows(b *testing.B) {
-	cur := randomFrame(176, 144, 50)
-	ref := randomFrame(176, 144, 51)
-	meF, out, sfs := setup(cur, ref, 8)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		RefineRows(cur, sfs, meF, out, 0, 1)
+func TestRefineRowsMatchesScalarReference(t *testing.T) {
+	// The cell-memoized SWAR kernel must be bit-exact with the retained
+	// scalar kernel — same costs, same vectors, same tie-breaking.
+	for seed := int64(0); seed < 3; seed++ {
+		cur := randomFrame(80, 64, 60+seed)
+		ref := randomFrame(80, 64, 70+seed)
+		meF, out, sfs := setup(cur, ref, 6)
+		refOut := h264.NewMVField(out.MBW, out.MBH, out.NumRF)
+		RefineRows(cur, sfs, meF, out, 0, cur.MBHeight())
+		RefineRowsRef(cur, sfs, meF, refOut, 0, cur.MBHeight())
+		if !out.Equal(refOut) {
+			t.Fatalf("seed %d: memoized refinement differs from scalar reference", seed)
+		}
+	}
+}
+
+func TestSubSADMatchesScalarReference(t *testing.T) {
+	cur := randomFrame(64, 48, 80)
+	ref := randomFrame(64, 48, 81)
+	sf := interp.NewSubFrame(ref.W, ref.H)
+	interp.Interpolate(ref.Y, sf)
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 300; i++ {
+		w := []int{4, 8, 16}[rng.Intn(3)]
+		h := []int{4, 8, 16}[rng.Intn(3)]
+		x, y := rng.Intn(64-w), rng.Intn(48-h)
+		mv := h264.MV{X: int16(rng.Intn(33) - 16), Y: int16(rng.Intn(33) - 16)}
+		got := SubSAD(cur.Y, sf, x, y, w, h, mv)
+		want := subSADRef(cur.Y, sf, x, y, w, h, mv)
+		if got != want {
+			t.Fatalf("SubSAD(%d,%d %dx%d mv %v) = %d, ref %d", x, y, w, h, mv, got, want)
+		}
 	}
 }

@@ -1,0 +1,42 @@
+package h264
+
+// SWAR (SIMD-within-a-register) sample arithmetic shared by the ME and SME
+// hot kernels: a uint64 is treated as four 16-bit lanes each holding a byte
+// value, so eight samples are processed per step (even and odd bytes in two
+// lane groups). This is what the paper's optimized CPU kernels get from SSE
+// and the GPU kernels from coalesced uchar4 loads.
+const (
+	laneLow  = 0x00FF00FF00FF00FF
+	laneOnes = 0x0001000100010001
+	laneBias = 0x0100010001000100
+)
+
+// lanesAbsDiff returns per-lane |a−b| for four 16-bit lanes holding byte
+// values. Adding the bias keeps every lane's difference non-negative
+// (256+d with d in [−255, 255]), so no borrow crosses lanes; the carry bit
+// then selects between d and −d without branching.
+func lanesAbsDiff(a, b uint64) uint64 {
+	t := (a | laneBias) - b
+	m := (t >> 8) & laneOnes // 1 iff the lane difference is ≥ 0
+	low := t & laneLow       // d mod 256
+	nm := m ^ laneOnes       // 1 iff the lane difference is < 0
+	s := (nm << 8) - nm      // 0x00FF where negative, 0 elsewhere
+	return (low ^ s) + nm    // two's-complement negate where negative
+}
+
+// SADPair8 returns the two adjacent 4-sample SADs of eight horizontally
+// contiguous samples loaded little-endian (cells c and c+1 of a 4×4 grid
+// row).
+func SADPair8(c, r uint64) (int32, int32) {
+	s := lanesAbsDiff(c&laneLow, r&laneLow) + lanesAbsDiff((c>>8)&laneLow, (r>>8)&laneLow)
+	return int32(s&0xFFFF) + int32((s>>16)&0xFFFF),
+		int32((s>>32)&0xFFFF) + int32(s>>48)
+}
+
+// SAD4 returns the SAD of four horizontally contiguous samples loaded
+// little-endian as 32-bit words.
+func SAD4(c, r uint32) int32 {
+	s := lanesAbsDiff(uint64(c)&laneLow, uint64(r)&laneLow) +
+		lanesAbsDiff(uint64(c>>8)&laneLow, uint64(r>>8)&laneLow)
+	return int32(s&0xFFFF) + int32((s>>16)&0xFFFF)
+}

@@ -1,0 +1,28 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTQRoundTrip times the forward+inverse transform/quantization of
+// the 24 4×4 residual blocks of one macroblock (16 luma + 2×4 chroma) and
+// reports the per-macroblock cost tracked by the bench-regression gate.
+func BenchmarkTQRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(60))
+	var blocks [24][16]int32
+	for i := range blocks {
+		for j := range blocks[i] {
+			blocks[i][j] = int32(rng.Intn(61) - 30)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range blocks {
+			blk := blocks[j]
+			TQ(&blk, 30)
+			TQInv(&blk, 30)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/MB")
+}

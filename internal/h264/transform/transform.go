@@ -107,11 +107,12 @@ func Quantize(b *[16]int32, qp int) {
 	row := &mf[qp%6]
 	for i, w := range b {
 		m := row[posClass[i]]
-		if w >= 0 {
-			b[i] = (w*m + f) >> qbits
-		} else {
-			b[i] = -((-w*m + f) >> qbits)
-		}
+		// Branch-free |w| and sign restore: s is 0 for w>=0, -1 for w<0,
+		// so (w^s)-s == |w| and (q^s)-s reapplies the sign.
+		s := w >> 31
+		a := (w ^ s) - s
+		q := (a*m + f) >> qbits
+		b[i] = (q ^ s) - s
 	}
 }
 

@@ -192,14 +192,16 @@ func (m *Manager) pairPhase1(s *pairScratch, in *PairInput) {
 		intT := m.pairKernel(s, in.Frame, w, i, sched.ModINT, d.L[i], rf)
 		if intT != nil && m.Mode == Functional {
 			lo, hi := s.offL[i], s.offL[i]+d.L[i]
+			streams := pl.Dev(i).Streams
 			job := s.job
-			s.payloads.wave1 = append(s.payloads.wave1, func() { m.Enc.RunINT(job, lo, hi) })
+			s.payloads.wave1 = append(s.payloads.wave1, func() { m.Enc.RunINTStreams(job, lo, hi, streams) })
 		}
 		meT := m.pairKernel(s, in.Frame, w, i, sched.ModME, d.M[i], cfIn, rf)
 		if meT != nil && m.Mode == Functional {
 			lo, hi := s.offM[i], s.offM[i]+d.M[i]
+			streams := pl.Dev(i).Streams
 			job := s.job
-			s.payloads.wave1 = append(s.payloads.wave1, func() { m.Enc.RunME(job, lo, hi) })
+			s.payloads.wave1 = append(s.payloads.wave1, func() { m.Enc.RunMEStreams(job, lo, hi, streams) })
 		}
 		sfOut := m.pairXfer(s, i, sched.SFd2h, d.L[i], w.SFRowBytes(), false, intT)
 		mvOut := m.pairXfer(s, i, sched.MVd2h, d.M[i], w.MVRowBytes(), false, meT)
@@ -228,8 +230,9 @@ func (m *Manager) pairPhase2(s *pairScratch, in *PairInput) {
 		smeT := m.pairKernel(s, in.Frame, w, i, sched.ModSME, d.S[i], tau1, dlIn, dmIn)
 		if smeT != nil && m.Mode == Functional {
 			lo, hi := s.offS[i], s.offS[i]+d.S[i]
+			streams := pl.Dev(i).Streams
 			job := s.job
-			s.payloads.wave2 = append(s.payloads.wave2, func() { m.Enc.RunSME(job, lo, hi) })
+			s.payloads.wave2 = append(s.payloads.wave2, func() { m.Enc.RunSMEStreams(job, lo, hi, streams) })
 		}
 		s.tau2Deps = append(s.tau2Deps, smeT)
 		if pl.IsGPU(i) {

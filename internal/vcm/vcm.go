@@ -400,12 +400,14 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		intT := kernel(i, sched.ModINT, d.L[i], rf)
 		if intT != nil && m.Mode == Functional {
 			lo, hi := offL[i], offL[i]+d.L[i]
-			payloads.wave1 = append(payloads.wave1, func() { m.Enc.RunINT(job, lo, hi) })
+			streams := pl.Dev(i).Streams
+			payloads.wave1 = append(payloads.wave1, func() { m.Enc.RunINTStreams(job, lo, hi, streams) })
 		}
 		meT := kernel(i, sched.ModME, d.M[i], cfIn, rf)
 		if meT != nil && m.Mode == Functional {
 			lo, hi := offM[i], offM[i]+d.M[i]
-			payloads.wave1 = append(payloads.wave1, func() { m.Enc.RunME(job, lo, hi) })
+			streams := pl.Dev(i).Streams
+			payloads.wave1 = append(payloads.wave1, func() { m.Enc.RunMEStreams(job, lo, hi, streams) })
 		}
 		sfOut := xfer(i, sched.SFd2h, d.L[i], w.SFRowBytes(), false, intT)
 		mvOut := xfer(i, sched.MVd2h, d.M[i], w.MVRowBytes(), false, meT)
@@ -424,7 +426,8 @@ func (m *Manager) EncodeInterFrame(frame int, w device.Workload, d sched.Distrib
 		smeT := kernel(i, sched.ModSME, d.S[i], tau1, dlIn, dmIn)
 		if smeT != nil && m.Mode == Functional {
 			lo, hi := offS[i], offS[i]+d.S[i]
-			payloads.wave2 = append(payloads.wave2, func() { m.Enc.RunSME(job, lo, hi) })
+			streams := pl.Dev(i).Streams
+			payloads.wave2 = append(payloads.wave2, func() { m.Enc.RunSMEStreams(job, lo, hi, streams) })
 		}
 		m.tau2Deps = append(m.tau2Deps, smeT)
 		if pl.IsGPU(i) {
